@@ -1,0 +1,67 @@
+//! Criterion benches for the habit miner: the per-day work the mining
+//! component performs on-device (the paper stresses it must fit a
+//! phone's compute budget, §IV-C1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmaster_bench::harness;
+use netmaster_mining::{
+    cross_day_matrix, cross_user_matrix, predict_active_slots, predict_with, EwmaModel,
+    HourlyHistory, NetworkPrediction, PredictionConfig, SmoothedModel, SpecialApps,
+};
+use std::hint::black_box;
+
+fn bench_mining(c: &mut Criterion) {
+    let traces = harness::panel();
+    let trace = &traces[3];
+
+    c.bench_function("hourly_history_21d", |b| {
+        b.iter(|| black_box(HourlyHistory::from_trace(trace)))
+    });
+
+    let history = HourlyHistory::from_trace(trace);
+    c.bench_function("predict_active_slots", |b| {
+        b.iter(|| black_box(predict_active_slots(&history, PredictionConfig::default())))
+    });
+
+    c.bench_function("network_prediction_21d", |b| {
+        b.iter(|| black_box(NetworkPrediction::from_trace(trace)))
+    });
+
+    c.bench_function("special_apps_21d", |b| {
+        b.iter(|| black_box(SpecialApps::from_trace(trace)))
+    });
+
+    c.bench_function("pearson_cross_user_8", |b| {
+        b.iter(|| black_box(cross_user_matrix(&traces)))
+    });
+
+    c.bench_function("pearson_cross_day_21", |b| {
+        b.iter(|| black_box(cross_day_matrix(trace, 21)))
+    });
+
+    c.bench_function("predict_ewma", |b| {
+        b.iter(|| {
+            black_box(predict_with(&EwmaModel::default(), &history, PredictionConfig::default()))
+        })
+    });
+
+    c.bench_function("predict_smoothed", |b| {
+        b.iter(|| {
+            black_box(predict_with(
+                &SmoothedModel::default(),
+                &history,
+                PredictionConfig::default(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_mining
+}
+criterion_main!(benches);

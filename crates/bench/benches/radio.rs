@@ -1,0 +1,59 @@
+//! Criterion benches for the RRC energy accountant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netmaster_radio::attribution::attribute;
+use netmaster_radio::{Interval, RrcModel, Timeline};
+use netmaster_trace::event::AppId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn spans(n: usize, seed: u64) -> Vec<Interval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.random_range(0..7 * 86_400u64);
+            Interval::new(s, s + rng.random_range(1..60))
+        })
+        .collect()
+}
+
+fn bench_account(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rrc_account");
+    for &n in &[100usize, 1_000, 10_000] {
+        let sp = spans(n, 9);
+        let wcdma = RrcModel::wcdma_default();
+        let lte = RrcModel::lte_default();
+        g.bench_with_input(BenchmarkId::new("wcdma", n), &sp, |b, sp| {
+            b.iter(|| black_box(wcdma.account(sp)))
+        });
+        g.bench_with_input(BenchmarkId::new("lte", n), &sp, |b, sp| {
+            b.iter(|| black_box(lte.account(sp)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_timeline_and_attribution(c: &mut Criterion) {
+    let sp = spans(2_000, 3);
+    let wcdma = RrcModel::wcdma_default();
+    c.bench_function("timeline_build_2000", |b| {
+        b.iter(|| black_box(Timeline::build(&wcdma, &sp)))
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let tagged: Vec<(AppId, Interval)> =
+        sp.iter().map(|&s| (AppId(rng.random_range(0..20)), s)).collect();
+    c.bench_function("attribute_2000_spans_20_apps", |b| {
+        b.iter(|| black_box(attribute(&wcdma, &tagged)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_account, bench_timeline_and_attribution
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for trace generation and full-policy simulation —
+//! the end-to-end cost of one Fig. 7 arm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmaster_bench::harness;
+use netmaster_core::policies::{DefaultPolicy, OraclePolicy};
+use netmaster_sim::{par_map, simulate, SimConfig};
+use netmaster_trace::gen::TraceGenerator;
+use netmaster_trace::profile::UserProfile;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let profile = UserProfile::volunteers().remove(0);
+    c.bench_function("generate_21_days", |b| {
+        b.iter(|| {
+            black_box(
+                TraceGenerator::new(profile.clone()).with_seed(7).generate(21),
+            )
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let trace = harness::volunteers().remove(0);
+    let cfg = SimConfig::default();
+    let test = &trace.days[harness::TRAIN_DAYS..];
+
+    c.bench_function("simulate_default_7d", |b| {
+        b.iter(|| black_box(simulate(test, &mut DefaultPolicy, &cfg)))
+    });
+    c.bench_function("simulate_oracle_7d", |b| {
+        b.iter(|| black_box(simulate(test, &mut OraclePolicy, &cfg)))
+    });
+    // NetMaster re-trains and re-plans every day: the heavy arm.
+    c.bench_function("simulate_netmaster_7d", |b| {
+        b.iter(|| {
+            let mut nm = harness::trained_netmaster(&trace);
+            black_box(simulate(test, &mut nm, &cfg))
+        })
+    });
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let trace = harness::volunteers().remove(1);
+    let cfg = SimConfig::default();
+    let test = &trace.days[harness::TRAIN_DAYS..];
+    let delays: Vec<u64> = vec![0, 5, 10, 30, 60, 120, 300, 600];
+
+    c.bench_function("delay_sweep_serial_8pts", |b| {
+        b.iter(|| {
+            for &d in &delays {
+                let mut p = netmaster_core::policies::DelayPolicy::new(d);
+                black_box(simulate(test, &mut p, &cfg));
+            }
+        })
+    });
+    c.bench_function("delay_sweep_parallel_8pts", |b| {
+        b.iter(|| {
+            black_box(par_map(&delays, |&d| {
+                let mut p = netmaster_core::policies::DelayPolicy::new(d);
+                simulate(test, &mut p, &cfg)
+            }))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_generation, bench_simulation, bench_parallel_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Prints the ablation tables for the design choices DESIGN.md calls
+//! out (ε, δ strategy, Special Apps, duty-cycle window, background
+//! load, training history).
+//!
+//! ```text
+//! cargo run -p netmaster-bench --bin ablations --release
+//! ```
+
+use netmaster_bench::ablations as ab;
+
+fn main() {
+    ab::print_table("Ablation 1 — FPTAS epsilon", &ab::epsilon_sweep());
+    ab::print_table("Ablation 2 — prediction threshold strategy", &ab::delta_strategies());
+    ab::print_table("Ablation 3 — Special Apps tracking", &ab::special_apps());
+    ab::print_table("Ablation 4 — duty-cycle minimum window", &ab::duty_min_window());
+    ab::print_table("Ablation 5 — background sync load", &ab::background_load());
+    ab::print_table(
+        "Ablation 6 — training history (energy-saving column = gap to oracle)",
+        &ab::training_days(),
+    );
+    ab::print_table(
+        "Ablation 7 — predictors (energy-saving col = steady accuracy, affected col = drift accuracy)",
+        &ab::predictors(),
+    );
+    ab::print_table("Ablation 8 — radio technology", &ab::radio_technology());
+    ab::print_table(
+        "Ablation 9 — power-model sensitivity (all RRC constants ±20%)",
+        &ab::power_model_sensitivity(),
+    );
+    ab::print_table(
+        "Ablation 10 — mechanism decomposition (tail-cutting vs scheduling)",
+        &ab::mechanism_decomposition(),
+    );
+    ab::print_table(
+        "Ablation 11 — presets & the uninstall counterfactual",
+        &ab::presets_and_uninstall(),
+    );
+    ab::print_table(
+        "Ablation 12 — drift reaction (empty/day column = resets triggered)",
+        &ab::drift_reaction(),
+    );
+}

@@ -1,0 +1,95 @@
+//! Regenerates every table and figure of the NetMaster paper.
+//!
+//! ```text
+//! cargo run -p netmaster-bench --bin figures --release -- [--fig ID] [--json DIR]
+//! ```
+//!
+//! `ID` is one of `1a 1b 2 3 4 5 7 8 9 10a 10b 10c` or `all` (default).
+//! With `--json DIR`, each figure's data is also written as
+//! `DIR/fig<ID>.json` for external plotting.
+
+use netmaster_bench::{figures_eval as ev, figures_profiling as pf};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fig = "all".to_string();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                fig = args.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                i += 2;
+            }
+            "--json" => {
+                json_dir = Some(PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| "figures-json".into())));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures [--fig 1a|1b|2|3|4|5|7|8|9|10a|10b|10c|all] [--json DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(dir) = &json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+    }
+    let dump = |name: &str, value: &dyn erased_dump::Dump| {
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("fig{name}.json"));
+            fs::write(&path, value.to_json()).expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    let want = |id: &str| fig == "all" || fig == id;
+    let mut ran = false;
+    macro_rules! figure {
+        ($id:expr, $runner:expr) => {
+            if want($id) {
+                ran = true;
+                let data = $runner;
+                data.print();
+                dump($id, &data);
+                println!();
+            }
+        };
+    }
+
+    figure!("1a", pf::fig1a());
+    figure!("1b", pf::fig1b());
+    figure!("2", pf::fig2());
+    figure!("3", pf::fig3());
+    figure!("4", pf::fig4());
+    figure!("5", pf::fig5());
+    figure!("7", ev::fig7());
+    figure!("8", ev::fig8());
+    figure!("9", ev::fig9());
+    figure!("10a", ev::fig10a());
+    figure!("10b", ev::fig10b());
+    figure!("10c", ev::fig10c());
+
+    if !ran {
+        eprintln!("unknown figure id: {fig}");
+        std::process::exit(2);
+    }
+}
+
+/// Tiny object-safe JSON dumper so the macro can treat every figure
+/// struct uniformly.
+mod erased_dump {
+    use serde::Serialize;
+
+    pub trait Dump {
+        fn to_json(&self) -> String;
+    }
+
+    impl<T: Serialize> Dump for T {
+        fn to_json(&self) -> String {
+            serde_json::to_string_pretty(self).expect("figure serialization")
+        }
+    }
+}

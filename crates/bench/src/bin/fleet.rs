@@ -1,0 +1,75 @@
+//! Fleet experiment: how do NetMaster's savings generalize beyond the
+//! paper's three volunteers? Simulates N synthetic users (random
+//! chronotype × random seed) and reports the distribution of outcomes —
+//! addressing the paper's own §VII limitation ("the number of
+//! volunteers is rather small").
+//!
+//! ```text
+//! cargo run -p netmaster-bench --bin fleet --release -- [N]
+//! ```
+
+use netmaster_bench::harness::{TEST_DAYS, TRAIN_DAYS};
+use netmaster_core::policies::NetMasterPolicy;
+use netmaster_core::NetMasterConfig;
+use netmaster_radio::{LinkModel, RrcModel};
+use netmaster_sim::{run_fleet, par_map, Policy, SimConfig};
+use netmaster_trace::gen::TraceGenerator;
+use netmaster_trace::profile::UserProfile;
+use netmaster_trace::trace::Trace;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    eprintln!("generating {n} users…");
+    let seeds: Vec<u64> = (0..n as u64).map(|i| 0xF1EE7 + i * 7919).collect();
+    let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
+        let profile = UserProfile::panel().remove((seed % 8) as usize);
+        (seed, TraceGenerator::new(profile).with_seed(seed).generate(TRAIN_DAYS + TEST_DAYS))
+    });
+
+    eprintln!("simulating {n} members (2 arms each)…");
+    let cfg = SimConfig::default();
+    let report = run_fleet(&traces, TRAIN_DAYS, &cfg, |trace| {
+        Box::new(
+            NetMasterPolicy::new(
+                NetMasterConfig::default(),
+                LinkModel::default(),
+                RrcModel::wcdma_default(),
+            )
+            .with_training(&trace.days[..TRAIN_DAYS]),
+        ) as Box<dyn Policy + Send>
+    });
+
+    println!("fleet of {n} users — NetMaster vs stock device, test week");
+    let s = &report.saving;
+    println!(
+        "energy saving: mean {:.3}  sd {:.3}  min {:.3}  median {:.3}  p90 {:.3}  max {:.3}",
+        s.mean, s.std_dev, s.min, s.median, s.p90, s.max
+    );
+    println!(
+        "radio-time saving: mean {:.3}  min {:.3}",
+        report.radio_saving.mean, report.radio_saving.min
+    );
+    println!(
+        "affected interactions: mean {:.4}  max {:.4} (guarantee: < 0.01)",
+        report.affected.mean, report.affected.max
+    );
+    println!(
+        "members saving >50%: {:.0}%   >25%: {:.0}%",
+        100.0 * report.fraction_above(0.5),
+        100.0 * report.fraction_above(0.25)
+    );
+    if let Some(w) = report.worst() {
+        println!(
+            "worst member: user {} (seed {}) at {:.3} saving",
+            w.user_id,
+            w.seed,
+            w.saving()
+        );
+    }
+
+    // Savings histogram.
+    let savings: Vec<f64> = report.members.iter().map(|m| m.saving()).collect();
+    let hist = netmaster_trace::stats::Histogram::from_values(0.0, 1.0, 10, &savings);
+    println!("\nsaving distribution:");
+    print!("{}", hist.ascii(40));
+}

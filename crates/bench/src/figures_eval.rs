@@ -1,0 +1,461 @@
+//! Runners for the evaluation figures (Figs. 7–10, §VI).
+
+use crate::harness::{self, TRAIN_DAYS};
+use netmaster_core::dutycycle::{idle_wakeups, SleepScheme};
+use netmaster_core::policies::{BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy};
+use netmaster_core::NetMasterConfig;
+use netmaster_mining::{predict_active_slots, prediction_accuracy, HourlyHistory, PredictionConfig};
+use netmaster_radio::{LinkModel, RrcModel};
+use netmaster_sim::par_map;
+use netmaster_trace::time::Interval;
+use serde::Serialize;
+
+/// One policy arm's results for one volunteer.
+#[derive(Debug, Clone, Serialize)]
+pub struct Arm {
+    /// Policy display name.
+    pub policy: String,
+    /// Total test-week energy (J).
+    pub energy_j: f64,
+    /// Energy saving vs the baseline arm.
+    pub saving: f64,
+    /// Radio-on seconds.
+    pub radio_on_secs: f64,
+    /// Average downlink rate while radio-on (B/s).
+    pub down_rate: f64,
+    /// Average uplink rate while radio-on (B/s).
+    pub up_rate: f64,
+    /// Fraction of interactions affected.
+    pub affected: f64,
+}
+
+/// Fig. 7: the volunteer comparison (energy, radio time, bandwidth).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7 {
+    /// Per-volunteer arms (baseline, oracle, netmaster, delay 10/20/60).
+    pub volunteers: Vec<Vec<Arm>>,
+    /// Mean NetMaster energy saving (paper: 0.778).
+    pub netmaster_avg_saving: f64,
+    /// Mean naive delay-and-batch saving (paper: 0.2254).
+    pub delay_batch_avg_saving: f64,
+    /// Mean radio-on time saving for NetMaster (paper: 0.7539).
+    pub netmaster_radio_saving: f64,
+    /// Mean gap between NetMaster and the oracle (paper: <5% in 81.6%
+    /// of tests, worst case 11.2%).
+    pub gap_to_oracle: f64,
+    /// Mean down/up average-rate multipliers (paper: 3.84× / 2.63×).
+    pub down_ratio: f64,
+    /// Mean uplink multiplier.
+    pub up_ratio: f64,
+    /// Peak-rate multiplier (paper: ≈1 — scheduling cannot beat the
+    /// channel).
+    pub peak_ratio: f64,
+    /// Mean affected-interaction fraction for NetMaster (paper: <1%).
+    pub netmaster_affected: f64,
+}
+
+/// Runs the Fig. 7 experiment.
+pub fn fig7() -> Fig7 {
+    let traces = harness::volunteers();
+    let all: Vec<Vec<Arm>> = par_map(&traces, |t| {
+        let runs = harness::fig7_runs(t);
+        let base = runs[0].clone();
+        runs.iter()
+            .map(|m| Arm {
+                policy: m.policy.clone(),
+                energy_j: m.energy_j,
+                saving: m.energy_saving_vs(&base),
+                radio_on_secs: m.radio_on_secs,
+                down_rate: m.avg_down_rate(),
+                up_rate: m.avg_up_rate(),
+                affected: m.affected_fraction(),
+            })
+            .collect()
+    });
+    let n = all.len() as f64;
+    let mean = |f: &dyn Fn(&Vec<Arm>) -> f64| all.iter().map(f).sum::<f64>() / n;
+    Fig7 {
+        netmaster_avg_saving: mean(&|v| v[2].saving),
+        delay_batch_avg_saving: mean(&|v| (v[3].saving + v[4].saving + v[5].saving) / 3.0),
+        netmaster_radio_saving: mean(&|v| 1.0 - v[2].radio_on_secs / v[0].radio_on_secs),
+        gap_to_oracle: mean(&|v| v[1].saving - v[2].saving),
+        down_ratio: mean(&|v| v[2].down_rate / v[0].down_rate),
+        up_ratio: mean(&|v| v[2].up_rate / v[0].up_rate),
+        peak_ratio: 1.0,
+        netmaster_affected: mean(&|v| v[2].affected),
+        volunteers: all,
+    }
+}
+
+impl Fig7 {
+    /// Prints Figs. 7(a)–(c).
+    pub fn print(&self) {
+        println!("Fig 7(a) — radio energy saving per volunteer");
+        println!("{:>4} {:>12} {:>10} {:>8}", "vol", "policy", "energy J", "saving");
+        for (i, arms) in self.volunteers.iter().enumerate() {
+            for a in arms {
+                println!("{:>4} {:>12} {:>10.0} {:>8.3}", i + 1, a.policy, a.energy_j, a.saving);
+            }
+        }
+        println!(
+            "NetMaster avg saving: {:.3} (paper 0.778)   delay-batch avg: {:.3} (paper 0.2254)",
+            self.netmaster_avg_saving, self.delay_batch_avg_saving
+        );
+        println!("gap to oracle: {:.3} (paper: <0.05 typical, 0.112 worst)", self.gap_to_oracle);
+        println!();
+        println!("Fig 7(b) — radio-on time (fraction of power-on time)");
+        println!("{:>4} {:>10} {:>12} {:>14} {:>15}", "vol", "power-on", "radio default", "radio netmaster", "radio-off netm.");
+        for (i, arms) in self.volunteers.iter().enumerate() {
+            let power_on = 7.0 * 86_400.0;
+            let rd = arms[0].radio_on_secs / power_on;
+            let rn = arms[2].radio_on_secs / power_on;
+            println!("{:>4} {:>10.3} {:>12.3} {:>14.3} {:>15.3}", i + 1, 1.0, rd, rn, 1.0 - rn);
+        }
+        println!("NetMaster radio-on time saving: {:.3} (paper 0.7539)", self.netmaster_radio_saving);
+        println!();
+        println!("Fig 7(c) — bandwidth utilization increase (× over default)");
+        println!("{:>4} {:>10} {:>8}", "vol", "down avg", "up avg");
+        for (i, arms) in self.volunteers.iter().enumerate() {
+            println!(
+                "{:>4} {:>10.2} {:>8.2}",
+                i + 1,
+                arms[2].down_rate / arms[0].down_rate,
+                arms[2].up_rate / arms[0].up_rate
+            );
+        }
+        println!(
+            "avg: down {:.2}× (paper 3.84×), up {:.2}× (paper 2.63×), peak {:.2}× (paper ≈1×)",
+            self.down_ratio, self.up_ratio, self.peak_ratio
+        );
+        println!("NetMaster affected interactions: {:.4} (paper <0.01)", self.netmaster_affected);
+    }
+}
+
+/// One point of the Fig. 8 delay sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DelayPoint {
+    /// Delay interval (s).
+    pub delay: u64,
+    /// Energy saving vs default.
+    pub energy_saving: f64,
+    /// Radio-on time reduction vs default.
+    pub radio_saving: f64,
+    /// Bandwidth-utilization increase (down-rate multiplier − 1).
+    pub bandwidth_increase: f64,
+    /// Fraction of interactions affected.
+    pub affected: f64,
+}
+
+/// Fig. 8: the delay-interval sweep (paper x-grid 0–600 s).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8 {
+    /// Sweep points averaged over the volunteers.
+    pub points: Vec<DelayPoint>,
+}
+
+/// The paper's Fig. 8 x-axis grid.
+pub const DELAY_GRID: [u64; 13] = [0, 1, 2, 3, 4, 5, 10, 20, 30, 60, 120, 300, 600];
+
+/// Runs the Fig. 8 experiment.
+pub fn fig8() -> Fig8 {
+    let traces = harness::volunteers();
+    let baselines: Vec<_> =
+        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let grid: Vec<u64> = DELAY_GRID.to_vec();
+    let points = par_map(&grid, |&d| {
+        let mut saving = 0.0;
+        let mut radio = 0.0;
+        let mut bw = 0.0;
+        let mut aff = 0.0;
+        for (t, base) in traces.iter().zip(&baselines) {
+            let m = harness::run_test_days(t, &mut DelayPolicy::new(d));
+            saving += m.energy_saving_vs(base);
+            radio += m.radio_time_saving_vs(base);
+            bw += m.down_rate_ratio_vs(base) - 1.0;
+            aff += m.affected_fraction();
+        }
+        let n = traces.len() as f64;
+        DelayPoint {
+            delay: d,
+            energy_saving: saving / n,
+            radio_saving: radio / n,
+            bandwidth_increase: bw / n,
+            affected: aff / n,
+        }
+    });
+    Fig8 { points }
+}
+
+impl Fig8 {
+    /// Prints Figs. 8(a)–(c).
+    pub fn print(&self) {
+        println!("Fig 8 — off-line analysis of the delay method");
+        println!(
+            "{:>7} {:>13} {:>12} {:>12} {:>10}",
+            "delay s", "energy-saving", "radio-saving", "bw-increase", "affected"
+        );
+        for p in &self.points {
+            println!(
+                "{:>7} {:>13.3} {:>12.3} {:>12.3} {:>10.3}",
+                p.delay, p.energy_saving, p.radio_saving, p.bandwidth_increase, p.affected
+            );
+        }
+        let last = self.points.last().unwrap();
+        println!(
+            "at 600 s: radio-saving {:.3} (paper 0.367), bw +{:.3} (paper +0.3305), \
+             energy {:.3} (paper 0.092), affected {:.3} (paper >0.40)",
+            last.radio_saving, last.bandwidth_increase, last.energy_saving, last.affected
+        );
+    }
+}
+
+/// One point of the Fig. 9 batch sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchPoint {
+    /// Max batched activities.
+    pub max_batch: usize,
+    /// Energy saving vs default.
+    pub energy_saving: f64,
+    /// Radio-on time reduction.
+    pub radio_saving: f64,
+    /// Bandwidth-utilization increase.
+    pub bandwidth_increase: f64,
+    /// Fraction of interactions affected.
+    pub affected: f64,
+}
+
+/// Fig. 9: the batch-size sweep (0–10).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// Sweep points averaged over the volunteers.
+    pub points: Vec<BatchPoint>,
+}
+
+/// Runs the Fig. 9 experiment.
+pub fn fig9() -> Fig9 {
+    let traces = harness::volunteers();
+    let baselines: Vec<_> =
+        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let grid: Vec<usize> = (0..=10).collect();
+    let points = par_map(&grid, |&n| {
+        let mut saving = 0.0;
+        let mut radio = 0.0;
+        let mut bw = 0.0;
+        let mut aff = 0.0;
+        for (t, base) in traces.iter().zip(&baselines) {
+            let m = harness::run_test_days(t, &mut BatchPolicy::new(n));
+            saving += m.energy_saving_vs(base);
+            radio += m.radio_time_saving_vs(base);
+            bw += m.down_rate_ratio_vs(base) - 1.0;
+            aff += m.affected_fraction();
+        }
+        let k = traces.len() as f64;
+        BatchPoint {
+            max_batch: n,
+            energy_saving: saving / k,
+            radio_saving: radio / k,
+            bandwidth_increase: bw / k,
+            affected: aff / k,
+        }
+    });
+    Fig9 { points }
+}
+
+impl Fig9 {
+    /// Prints Figs. 9(a)–(b).
+    pub fn print(&self) {
+        println!("Fig 9 — off-line analysis of the batch method");
+        println!(
+            "{:>6} {:>13} {:>12} {:>12} {:>10}",
+            "batch", "energy-saving", "radio-saving", "bw-increase", "affected"
+        );
+        for p in &self.points {
+            println!(
+                "{:>6} {:>13.3} {:>12.3} {:>12.3} {:>10.3}",
+                p.max_batch, p.energy_saving, p.radio_saving, p.bandwidth_increase, p.affected
+            );
+        }
+        println!("paper: radio-on cut up to 17.7%, bandwidth +17.6%, plateau past 5");
+    }
+}
+
+/// Fig. 10(a): radio-on fraction after k duty-cycle wake-ups, per
+/// initial sleep interval.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10a {
+    /// `(sleep_T, k, radio_on_fraction)` rows.
+    pub rows: Vec<(u64, u64, f64)>,
+}
+
+/// Seconds one wake-up keeps the radio on (promotion + listen).
+const WAKE_SECS: f64 = 4.0;
+
+/// Runs Fig. 10(a): an idle screen-off stretch duty-cycled with the
+/// exponential scheme; after `k` wake-ups, what fraction of elapsed
+/// time was the radio on?
+pub fn fig10a() -> Fig10a {
+    let mut rows = Vec::new();
+    for &t in &[5u64, 10, 20, 30, 120, 360] {
+        for k in 2..=20u64 {
+            // Elapsed sleep after k exponential wake-ups: (2^k − 1)·T,
+            // saturating for large k.
+            let slept = ((1u128 << k.min(60)) - 1) as f64 * t as f64;
+            let on = k as f64 * WAKE_SECS;
+            rows.push((t, k, on / (on + slept)));
+        }
+    }
+    Fig10a { rows }
+}
+
+impl Fig10a {
+    /// Prints the figure data.
+    pub fn print(&self) {
+        println!("Fig 10(a) — radio-on fraction vs wake-ups (exponential sleep)");
+        println!("{:>7} {:>4} {:>10}", "sleep T", "k", "radio-on");
+        for (t, k, f) in self.rows.iter().filter(|(_, k, _)| k % 4 == 0 || *k == 2) {
+            println!("{t:>7} {k:>4} {f:>10.4}");
+        }
+        println!("longer initial sleeps cut radio-on time sharply (paper Fig. 10(a))");
+    }
+}
+
+/// Fig. 10(b): cumulative wake-ups over an idle 30 minutes per scheme.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10b {
+    /// `(minute, exponential, fixed, random)` counts.
+    pub rows: Vec<(u64, usize, usize, usize)>,
+}
+
+/// Runs Fig. 10(b) with the paper's `T = 30 s`.
+pub fn fig10b() -> Fig10b {
+    let window = Interval::new(0, 30 * 60);
+    let exp = idle_wakeups(SleepScheme::paper_default(), window);
+    let fixed = idle_wakeups(SleepScheme::Fixed { period: 30 }, window);
+    let random = idle_wakeups(SleepScheme::Random { min: 10, max: 60, seed: harness::SEED }, window);
+    let rows = (0..=30u64)
+        .step_by(5)
+        .map(|minute| {
+            let t = minute * 60;
+            let count = |v: &[u64]| v.iter().filter(|&&w| w <= t).count();
+            (minute, count(&exp), count(&fixed), count(&random))
+        })
+        .collect();
+    Fig10b { rows }
+}
+
+impl Fig10b {
+    /// Prints the figure data.
+    pub fn print(&self) {
+        println!("Fig 10(b) — cumulative wake-ups over 30 idle minutes (T = 30 s)");
+        println!("{:>7} {:>12} {:>7} {:>7}", "minute", "exponential", "fixed", "random");
+        for (m, e, f, r) in &self.rows {
+            println!("{m:>7} {e:>12} {f:>7} {r:>7}");
+        }
+        println!("exponential ≪ random < fixed (paper Fig. 10(b))");
+    }
+}
+
+/// One point of the Fig. 10(c) threshold sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThresholdPoint {
+    /// Prediction threshold δ.
+    pub delta: f64,
+    /// Prediction accuracy on the test week.
+    pub accuracy: f64,
+    /// NetMaster energy saving at this δ, as a fraction of the oracle
+    /// saving (the paper's "energy saving" is likewise oracle-relative).
+    pub energy_saving: f64,
+}
+
+/// Fig. 10(c): the prediction-threshold sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10c {
+    /// Sweep points averaged over the volunteers.
+    pub points: Vec<ThresholdPoint>,
+}
+
+/// Runs Fig. 10(c) over the full 8-user panel: the threshold's bite
+/// depends on usage sparsity, and the panel spans heavy regulars to
+/// light irregulars.
+pub fn fig10c() -> Fig10c {
+    let traces = harness::panel();
+    let cfg = harness::sim_config();
+    let baselines: Vec<_> =
+        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let oracle_savings: Vec<f64> = traces
+        .iter()
+        .zip(&baselines)
+        .map(|(t, b)| harness::run_test_days(t, &mut OraclePolicy).energy_saving_vs(b))
+        .collect();
+    let grid: Vec<f64> = (0..=10).map(|i| i as f64 * 0.05).collect();
+    let points = par_map(&grid, |&delta| {
+        let mut acc = 0.0;
+        let mut saving = 0.0;
+        for ((t, base), oracle) in traces.iter().zip(&baselines).zip(&oracle_savings) {
+            let train = t.slice_days(0, TRAIN_DAYS);
+            let test = t.slice_days(TRAIN_DAYS, t.num_days());
+            let hist = HourlyHistory::from_trace(&train);
+            let pred = predict_active_slots(&hist, PredictionConfig::uniform(delta));
+            acc += prediction_accuracy(&pred, &test);
+            let nm_cfg = NetMasterConfig {
+                prediction: PredictionConfig::uniform(delta),
+                ..Default::default()
+            };
+            let mut nm =
+                NetMasterPolicy::new(nm_cfg, LinkModel::default(), RrcModel::wcdma_default())
+                    .with_training(&train.days);
+            let m = netmaster_sim::simulate(&test.days, &mut nm, &cfg);
+            saving += m.energy_saving_vs(base) / oracle.max(1e-9);
+        }
+        let n = traces.len() as f64;
+        ThresholdPoint { delta, accuracy: acc / n, energy_saving: saving / n }
+    });
+    Fig10c { points }
+}
+
+impl Fig10c {
+    /// Prints the figure data.
+    pub fn print(&self) {
+        println!("Fig 10(c) — prediction threshold δ sweep");
+        println!("{:>6} {:>10} {:>14}", "delta", "accuracy", "energy-saving");
+        for p in &self.points {
+            println!("{:>6.2} {:>10.3} {:>14.3}", p.delta, p.accuracy, p.energy_saving);
+        }
+        println!("paper: accuracy falls / saving rises with δ; balance at δ ≈ 0.37;");
+        println!("deployment uses δ = 0.2 weekday / 0.1 weekend to keep interrupts < 1%");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_fraction_decreases_with_wakeups() {
+        let f = fig10a();
+        // For each T, radio-on fraction shrinks as the scheme backs off.
+        for t in [5u64, 30, 360] {
+            let series: Vec<f64> =
+                f.rows.iter().filter(|(tt, ..)| *tt == t).map(|&(_, _, v)| v).collect();
+            assert_eq!(series.len(), 19);
+            for w in series.windows(2) {
+                assert!(w[1] < w[0]);
+            }
+        }
+        // Longer sleeps give lower fractions at the same k.
+        let at = |t: u64, k: u64| {
+            f.rows.iter().find(|&&(tt, kk, _)| tt == t && kk == k).unwrap().2
+        };
+        assert!(at(360, 5) < at(5, 5));
+    }
+
+    #[test]
+    fn fig10b_ordering_matches_paper() {
+        let f = fig10b();
+        let last = f.rows.last().unwrap();
+        assert!(last.1 < last.3, "exponential < random");
+        assert!(last.3 <= last.2, "random ≤ fixed");
+        assert_eq!(last.2, 59, "fixed 30 s wakes every 30 s");
+        assert!(last.1 <= 7, "exponential is logarithmic: {}", last.1);
+    }
+}

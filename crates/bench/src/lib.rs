@@ -1,0 +1,16 @@
+//! # netmaster-bench
+//!
+//! Benchmark harness for the NetMaster reproduction: one runner per
+//! table/figure of the paper's evaluation (the `figures` binary prints
+//! the same rows/series the paper plots), plus Criterion micro-benches
+//! over the knapsack solvers, the miner, the generator, and the
+//! simulator, and ablation benches for the design choices called out in
+//! DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod figures_eval;
+pub mod figures_profiling;
+pub mod harness;

@@ -1,0 +1,668 @@
+//! The `netmaster` CLI subcommands.
+
+use crate::args::Args;
+use netmaster_core::policies::{BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy};
+use netmaster_core::NetMasterConfig;
+use netmaster_mining::{
+    cross_day_matrix, habit_stability, predict_active_slots, prediction_accuracy, HourlyHistory,
+    PredictionConfig, SpecialApps,
+};
+use netmaster_radio::{LinkModel, RrcConfig, RrcModel};
+use netmaster_sim::{simulate, Policy, RunMetrics, SimConfig};
+use netmaster_trace::gen::TraceGenerator;
+use netmaster_trace::profile::UserProfile;
+use netmaster_trace::profiling::{screen_on_utilization, traffic_split};
+use netmaster_trace::time::DayKind;
+use netmaster_trace::trace::Trace;
+use std::fs;
+use std::io::Write;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+netmaster — habit-driven scheduling of smartphone network activity (ICPP 2014 reproduction)
+
+USAGE:
+  netmaster <command> [args] [options]
+
+COMMANDS:
+  generate                Generate a synthetic habit-driven trace to JSON
+      --profile NAME        chronotype: panel1..panel8 | volunteer1..volunteer3 (default panel4)
+      --days N              days to generate (default 21)
+      --seed N              RNG seed (default 2014)
+      --out FILE            output path (default trace.json); `-` for stdout
+  profile <trace.json>    Habit & traffic statistics of a trace
+  predict <trace.json>    Predict user active slots from a trace
+      --delta X             uniform threshold δ (default: 0.2 weekday / 0.1 weekend)
+      --train N             training days (default all but the last 7)
+  simulate <trace.json>   Replay a trace under one policy
+      --policy NAME         default | oracle | netmaster | delay-<secs> | batch-<n>
+      --train N             NetMaster training days (default 14)
+      --radio TECH          wcdma | lte (default wcdma)
+      --json                machine-readable metrics
+  compare <trace.json>    Replay under every policy and print a table
+      --train N             NetMaster training days (default 14)
+      --radio TECH          wcdma | lte
+  devourers <trace.json>  Rank apps by attributed radio energy (eprof-style)
+      --top N               rows to print (default 10)
+      --radio TECH          wcdma | lte
+  anonymize <trace.json>  Strip app names from a trace (writes --out, default anon.json)
+  filter <trace.json>     Keep only some apps' traffic (comma list in --apps; --out)
+  fleet                   Simulate N synthetic users, report the saving distribution
+      --users N             fleet size (default 20)
+      --seed N              base seed (default 2014)
+  timeline <trace.json>   ASCII radio-state strip of one simulated day
+      --day N               which day to render (default last)
+      --policy NAME         policy to render under (default netmaster)
+      --train N             NetMaster training days (default all prior days)
+      --radio TECH          wcdma | lte
+  help                    This text
+";
+
+/// Runs a parsed command, writing human output to `out`.
+/// Returns the process exit code.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => generate(args, out),
+        "profile" => profile(args, out),
+        "predict" => predict(args, out),
+        "simulate" => cmd_simulate(args, out),
+        "compare" => compare_cmd(args, out),
+        "timeline" => timeline_cmd(args, out),
+        "devourers" => devourers_cmd(args, out),
+        "fleet" => fleet_cmd(args, out),
+        "anonymize" => anonymize_cmd(args, out),
+        "filter" => filter_cmd(args, out),
+        "" | "help" => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `netmaster help`")),
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("io error: {e}")
+}
+
+fn profile_by_name(name: &str) -> Result<UserProfile, String> {
+    if let Some(n) = name.strip_prefix("panel") {
+        let i: usize = n.parse().map_err(|_| format!("bad profile {name:?}"))?;
+        if (1..=8).contains(&i) {
+            return Ok(UserProfile::panel().remove(i - 1));
+        }
+    }
+    if let Some(n) = name.strip_prefix("volunteer") {
+        let i: usize = n.parse().map_err(|_| format!("bad profile {name:?}"))?;
+        if (1..=3).contains(&i) {
+            return Ok(UserProfile::volunteers().remove(i - 1));
+        }
+    }
+    Err(format!(
+        "unknown profile {name:?} (expected panel1..panel8 or volunteer1..volunteer3)"
+    ))
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("expected a trace file argument")?;
+    let json = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = netmaster_trace::io::from_json(&json).map_err(|e| format!("bad trace JSON: {e}"))?;
+    trace.validate().map_err(|e| format!("invalid trace: {e}"))?;
+    Ok(trace)
+}
+
+fn generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let profile = profile_by_name(args.opt("profile", "panel4"))?;
+    let days: usize = args.num("days", 21)?;
+    let seed: u64 = args.num("seed", 2014)?;
+    let label = profile.label.clone();
+    let trace = TraceGenerator::new(profile).with_seed(seed).generate(days);
+    let json = netmaster_trace::io::to_json(&trace);
+    let path = args.opt("out", "trace.json");
+    if path == "-" {
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else {
+        fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(
+            out,
+            "wrote {path}: {label}, {days} days, {} interactions, {} activities",
+            trace.all_interactions().count(),
+            trace.all_activities().count()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn profile(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let split = traffic_split(&trace);
+    let util = screen_on_utilization(&trace);
+    let pearson = cross_day_matrix(&trace, trace.num_days().min(8));
+    let special = SpecialApps::from_trace(&trace);
+    writeln!(out, "user {} — {} days", trace.user_id, trace.num_days()).map_err(io_err)?;
+    writeln!(
+        out,
+        "activities: {} ({:.1}% screen-off by count, {:.1}% by bytes)",
+        split.screen_on_count + split.screen_off_count,
+        100.0 * split.screen_off_fraction(),
+        100.0 * split.screen_off_byte_fraction()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "sessions: avg {:.1}s, payload-utilized {:.1}s ({:.0}%)",
+        util.avg_session_secs,
+        util.avg_utilized_secs,
+        100.0 * util.utilization_ratio()
+    )
+    .map_err(io_err)?;
+    writeln!(out, "day-to-day Pearson: {:.3}", pearson.mean_offdiag()).map_err(io_err)?;
+    let stability = habit_stability(&HourlyHistory::from_trace(&trace));
+    let drift = stability.drift_days(0.3);
+    writeln!(
+        out,
+        "habit stability: {:.3} ({}predictable){}",
+        stability.score,
+        if stability.is_predictable() { "" } else { "NOT " },
+        if drift.is_empty() {
+            String::new()
+        } else {
+            format!("; possible habit breaks on days {drift:?}")
+        }
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "special apps: {} of {} known",
+        special.count(),
+        special.known_count()
+    )
+    .map_err(io_err)?;
+    if let Some((app, uses)) = special.dominant() {
+        writeln!(
+            out,
+            "dominant app: {} ({} uses, {:.0}% share)",
+            trace.apps.name(app).unwrap_or("?"),
+            uses,
+            100.0 * special.usage_share(app)
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn predict(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let train_days: usize = args.num("train", trace.num_days().saturating_sub(7).max(1))?;
+    if train_days == 0 || train_days > trace.num_days() {
+        return Err(format!("--train {train_days} out of range 1..={}", trace.num_days()));
+    }
+    let cfg = match args.options.get("delta") {
+        Some(d) => PredictionConfig::uniform(d.parse().map_err(|_| "bad --delta")?),
+        None => PredictionConfig::default(),
+    };
+    let train = trace.slice_days(0, train_days);
+    let history = HourlyHistory::from_trace(&train);
+    let pred = predict_active_slots(&history, cfg);
+    for kind in [DayKind::Weekday, DayKind::Weekend] {
+        let hours = pred.hours(kind);
+        let bars: String = (0..24).map(|h| if hours[h] { '#' } else { '.' }).collect();
+        writeln!(
+            out,
+            "{kind:?}: |{bars}| {} active hours, residual risk {:.2}",
+            pred.active_hour_count(kind),
+            pred.residual_risk(kind)
+        )
+        .map_err(io_err)?;
+    }
+    if train_days < trace.num_days() {
+        let test = trace.slice_days(train_days, trace.num_days());
+        writeln!(
+            out,
+            "accuracy on the remaining {} days: {:.1}%",
+            test.num_days(),
+            100.0 * prediction_accuracy(&pred, &test)
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn radio_config(args: &Args) -> Result<(RrcConfig, RrcModel), String> {
+    match args.opt("radio", "wcdma") {
+        "wcdma" => Ok((RrcConfig::wcdma(), RrcModel::wcdma_default())),
+        "lte" => Ok((RrcConfig::lte(), RrcModel::lte_default())),
+        other => Err(format!("unknown radio {other:?} (wcdma|lte)")),
+    }
+}
+
+/// Builds a policy by CLI name; NetMaster is trained on the head of the
+/// trace.
+pub fn policy_by_name(
+    name: &str,
+    trace: &Trace,
+    train_days: usize,
+    radio: &RrcModel,
+) -> Result<Box<dyn Policy + Send>, String> {
+    if name == "default" {
+        return Ok(Box::new(DefaultPolicy));
+    }
+    if name == "oracle" {
+        return Ok(Box::new(OraclePolicy));
+    }
+    if name == "netmaster" {
+        let train = train_days.min(trace.num_days());
+        return Ok(Box::new(
+            NetMasterPolicy::new(NetMasterConfig::default(), LinkModel::default(), radio.clone())
+                .with_training(&trace.days[..train]),
+        ));
+    }
+    if let Some(d) = name.strip_prefix("delay-") {
+        let secs: u64 = d
+            .trim_end_matches('s')
+            .parse()
+            .map_err(|_| format!("bad delay policy {name:?}"))?;
+        return Ok(Box::new(DelayPolicy::new(secs)));
+    }
+    if let Some(n) = name.strip_prefix("batch-") {
+        let n: usize = n.parse().map_err(|_| format!("bad batch policy {name:?}"))?;
+        return Ok(Box::new(BatchPolicy::new(n)));
+    }
+    Err(format!(
+        "unknown policy {name:?} (default|oracle|netmaster|delay-<secs>|batch-<n>)"
+    ))
+}
+
+fn metrics_line(m: &RunMetrics, base: Option<&RunMetrics>) -> String {
+    let saving = base.map(|b| m.energy_saving_vs(b)).unwrap_or(0.0);
+    format!(
+        "{:>12}  {:>9.0} J  saving {:>6.1}%  radio {:>7.1} min  bw {:>6.0} B/s  affected {:>5.2}%",
+        m.policy,
+        m.energy_j,
+        100.0 * saving,
+        m.radio_on_secs / 60.0,
+        m.avg_down_rate(),
+        100.0 * m.affected_fraction()
+    )
+}
+
+fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let train: usize = args.num("train", 14)?;
+    let (rrc, radio) = radio_config(args)?;
+    let cfg = SimConfig { radio: rrc, ..SimConfig::default() };
+    let name = args.opt("policy", "netmaster");
+    let mut policy = policy_by_name(name, &trace, train, &radio)?;
+    let eval_from = if name == "netmaster" { train.min(trace.num_days() - 1) } else { 0 };
+    let m = simulate(&trace.days[eval_from..], policy.as_mut(), &cfg);
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?)
+            .map_err(io_err)?;
+    } else {
+        writeln!(out, "{}", metrics_line(&m, None)).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn compare_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let train: usize = args.num("train", 14.min(trace.num_days().saturating_sub(1)))?;
+    let (rrc, radio) = radio_config(args)?;
+    let cfg = SimConfig { radio: rrc, ..SimConfig::default() };
+    let eval_from = train.min(trace.num_days().saturating_sub(1));
+    let test = &trace.days[eval_from..];
+    let names = ["default", "oracle", "netmaster", "delay-60", "delay-600", "batch-5"];
+    let mut base: Option<RunMetrics> = None;
+    writeln!(
+        out,
+        "evaluating days {}..{} ({} training)",
+        eval_from,
+        trace.num_days(),
+        eval_from
+    )
+    .map_err(io_err)?;
+    for name in names {
+        let mut p = policy_by_name(name, &trace, train, &radio)?;
+        let m = simulate(test, p.as_mut(), &cfg);
+        writeln!(out, "{}", metrics_line(&m, base.as_ref())).map_err(io_err)?;
+        if base.is_none() {
+            base = Some(m);
+        }
+    }
+    Ok(())
+}
+
+fn devourers_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_radio::attribution::{attribute, ranked};
+    use netmaster_trace::time::Interval;
+
+    let trace = load_trace(args)?;
+    let top: usize = args.num("top", 10)?;
+    let (_, radio) = radio_config(args)?;
+    let transfers: Vec<(netmaster_trace::event::AppId, Interval)> = trace
+        .all_activities()
+        .map(|a| (a.app, a.span()))
+        .collect();
+    let att = attribute(&radio, &transfers);
+    let total: f64 = att.values().map(|e| e.total_j()).sum();
+    writeln!(
+        out,
+        "energy devourers over {} days ({:.0} J of network energy total):",
+        trace.num_days(),
+        total
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{:>32} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "app", "total J", "share", "active J", "overhead", "wakeups"
+    )
+    .map_err(io_err)?;
+    for (app, e) in ranked(&att).into_iter().take(top) {
+        writeln!(
+            out,
+            "{:>32} {:>9.0} {:>7.1}% {:>9.0} {:>8.0}% {:>9}",
+            trace.apps.name(app).unwrap_or("?"),
+            e.total_j(),
+            100.0 * e.total_j() / total.max(1e-9),
+            e.active_j,
+            100.0 * e.overhead_fraction(),
+            e.wakeups
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn write_trace(trace: &Trace, path: &str, out: &mut dyn Write) -> Result<(), String> {
+    fs::write(path, netmaster_trace::io::to_json(trace))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    writeln!(out, "wrote {path}: {} days, {} activities", trace.num_days(), trace.all_activities().count())
+        .map_err(io_err)
+}
+
+fn anonymize_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let anon = netmaster_trace::ops::anonymize(&trace);
+    write_trace(&anon, args.opt("out", "anon.json"), out)
+}
+
+fn filter_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let apps_arg = args.required_opt("apps")?;
+    let keep: Vec<&str> = apps_arg.split(',').map(str::trim).collect();
+    let filtered = netmaster_trace::ops::filter_apps(&trace, &keep);
+    if filtered.all_activities().count() == 0 {
+        return Err(format!("no traffic left after filtering to {keep:?} — check app names with `profile`"));
+    }
+    write_trace(&filtered, args.opt("out", "filtered.json"), out)
+}
+
+fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_sim::{par_map, run_fleet};
+    let n: usize = args.num("users", 20)?;
+    let base_seed: u64 = args.num("seed", 2014)?;
+    let train = 14usize;
+    let seeds: Vec<u64> = (0..n as u64).map(|i| base_seed.wrapping_add(i * 7919)).collect();
+    let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
+        let profile = UserProfile::panel().remove((seed % 8) as usize);
+        (seed, TraceGenerator::new(profile).with_seed(seed).generate(train + 7))
+    });
+    let report = run_fleet(&traces, train, &SimConfig::default(), |trace| {
+        Box::new(
+            NetMasterPolicy::new(
+                NetMasterConfig::default(),
+                LinkModel::default(),
+                RrcModel::wcdma_default(),
+            )
+            .with_training(&trace.days[..train]),
+        ) as Box<dyn Policy + Send>
+    });
+    writeln!(
+        out,
+        "fleet of {n}: saving mean {:.3} (sd {:.3}, min {:.3}, max {:.3});          {:.0}% of members above 50%; affected max {:.4}",
+        report.saving.mean,
+        report.saving.std_dev,
+        report.saving.min,
+        report.saving.max,
+        100.0 * report.fraction_above(0.5),
+        report.affected.max
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_radio::Timeline;
+    use netmaster_trace::time::{Interval, SECS_PER_HOUR};
+
+    let trace = load_trace(args)?;
+    let day_idx: usize = args.num("day", trace.num_days().saturating_sub(1))?;
+    if day_idx >= trace.num_days() {
+        return Err(format!("--day {day_idx} out of range 0..{}", trace.num_days()));
+    }
+    let (rrc, radio) = radio_config(args)?;
+    let name = args.opt("policy", "netmaster");
+    let train = args.num("train", day_idx.max(1))?;
+    let mut policy = policy_by_name(name, &trace, train.min(day_idx.max(1)), &radio)?;
+
+    let day = &trace.days[day_idx];
+    let plan = policy.plan_day(day);
+    let spans: Vec<Interval> = plan.executions.iter().map(|e| e.span()).collect();
+    let model = netmaster_radio::RrcModel { config: rrc, tail_policy: policy.tail_policy() };
+    let timeline = Timeline::build(&model, &spans);
+
+    writeln!(
+        out,
+        "day {day_idx} under {name}: {} transfers ({} moved), {:.0} J, {} wake-ups",
+        plan.executions.len(),
+        plan.moved_count(),
+        timeline.total_j(),
+        timeline.wakeups() + plan.empty_wakeups
+    )
+    .map_err(io_err)?;
+    writeln!(out, "legend: P=promoting  #=active  t=tail  ·=idle  (1 char = 60 s)")
+        .map_err(io_err)?;
+    let base = netmaster_trace::time::day_start(day_idx);
+    for hour in 0..24u64 {
+        let window = Interval::new(base + hour * SECS_PER_HOUR, base + (hour + 1) * SECS_PER_HOUR);
+        let strip = timeline.ascii(window, 60);
+        let screen = if day
+            .sessions
+            .iter()
+            .any(|sess| sess.span().overlaps(&window))
+        {
+            "S"
+        } else {
+            " "
+        };
+        writeln!(out, "{hour:02}h {screen} |{strip}|").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn run_to_string(a: &Args) -> Result<String, String> {
+        let mut buf = Vec::new();
+        run(a, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("netmaster-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_to_string(&args("help")).unwrap();
+        assert!(out.contains("COMMANDS"));
+        let out = run_to_string(&args("")).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_to_string(&args("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn generate_profile_predict_simulate_round_trip() {
+        let path = tmp("trip.json");
+        let out = run_to_string(&args(&format!(
+            "generate --profile volunteer1 --days 16 --seed 9 --out {path}"
+        )))
+        .unwrap();
+        assert!(out.contains("16 days"));
+
+        let out = run_to_string(&args(&format!("profile {path}"))).unwrap();
+        assert!(out.contains("screen-off"));
+        assert!(out.contains("special apps"));
+
+        let out = run_to_string(&args(&format!("predict {path} --train 9"))).unwrap();
+        assert!(out.contains("Weekday"));
+        assert!(out.contains("accuracy"));
+
+        let out =
+            run_to_string(&args(&format!("simulate {path} --policy netmaster --train 9")))
+                .unwrap();
+        assert!(out.contains("netmaster"));
+
+        let out = run_to_string(&args(&format!("compare {path} --train 9"))).unwrap();
+        assert!(out.contains("oracle"));
+        assert!(out.contains("batch-5"));
+    }
+
+    #[test]
+    fn simulate_json_output_parses() {
+        let path = tmp("json.json");
+        run_to_string(&args(&format!(
+            "generate --profile panel6 --days 5 --seed 3 --out {path}"
+        )))
+        .unwrap();
+        let out = run_to_string(&args(&format!(
+            "simulate {path} --policy delay-60 --json"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["policy"], "delay-60s");
+    }
+
+    #[test]
+    fn lte_radio_is_accepted() {
+        let path = tmp("lte.json");
+        run_to_string(&args(&format!(
+            "generate --profile volunteer2 --days 6 --seed 4 --out {path}"
+        )))
+        .unwrap();
+        let out = run_to_string(&args(&format!(
+            "simulate {path} --policy oracle --radio lte"
+        )))
+        .unwrap();
+        assert!(out.contains("oracle"));
+        assert!(run_to_string(&args(&format!(
+            "simulate {path} --policy oracle --radio 5g"
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn timeline_renders_a_day() {
+        let path = tmp("timeline.json");
+        run_to_string(&args(&format!(
+            "generate --profile volunteer3 --days 6 --seed 12 --out {path}"
+        )))
+        .unwrap();
+        let out = run_to_string(&args(&format!(
+            "timeline {path} --day 5 --policy default"
+        )))
+        .unwrap();
+        assert!(out.contains("legend"));
+        assert_eq!(out.lines().filter(|l| l.contains("h ") || l.contains("h S")).count(), 24);
+        assert!(out.contains('#'), "a normal day has transfers:\n{out}");
+        // Out-of-range day errors.
+        assert!(run_to_string(&args(&format!("timeline {path} --day 99"))).is_err());
+    }
+
+    #[test]
+    fn devourers_ranks_apps() {
+        let path = tmp("dev.json");
+        run_to_string(&args(&format!(
+            "generate --profile panel3 --days 7 --seed 17 --out {path}"
+        )))
+        .unwrap();
+        let out = run_to_string(&args(&format!("devourers {path} --top 5"))).unwrap();
+        assert!(out.contains("energy devourers"));
+        assert!(out.contains("com.tencent.mm"), "the messenger devours:\n{out}");
+        // 5 rows + 2 header lines.
+        assert_eq!(out.lines().count(), 7);
+    }
+
+    #[test]
+    fn anonymize_and_filter_round_trip() {
+        let path = tmp("ops.json");
+        run_to_string(&args(&format!(
+            "generate --profile panel3 --days 4 --seed 2 --out {path}"
+        )))
+        .unwrap();
+        let anon_path = tmp("ops-anon.json");
+        let out = run_to_string(&args(&format!("anonymize {path} --out {anon_path}"))).unwrap();
+        assert!(out.contains("4 days"));
+        let anon = run_to_string(&args(&format!("profile {anon_path}"))).unwrap();
+        assert!(anon.contains("app-"), "names must be stripped:\n{anon}");
+
+        let filt_path = tmp("ops-filt.json");
+        run_to_string(&args(&format!(
+            "filter {path} --apps com.tencent.mm --out {filt_path}"
+        )))
+        .unwrap();
+        let prof = run_to_string(&args(&format!("devourers {filt_path} --top 3"))).unwrap();
+        assert!(prof.contains("com.tencent.mm"));
+        // Filtering to a nonexistent app errors.
+        assert!(run_to_string(&args(&format!(
+            "filter {path} --apps com.absent.app --out {filt_path}"
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_command_reports_distribution() {
+        let out = run_to_string(&args("fleet --users 3 --seed 5")).unwrap();
+        assert!(out.contains("fleet of 3"));
+        assert!(out.contains("saving mean"));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(run_to_string(&args("profile /nonexistent.json")).is_err());
+        assert!(run_to_string(&args("generate --profile panel99")).is_err());
+        let path = tmp("bad.json");
+        fs::write(&path, "{broken").unwrap();
+        assert!(run_to_string(&args(&format!("profile {path}"))).is_err());
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(0))
+            .with_seed(1)
+            .generate(4);
+        let radio = RrcModel::wcdma_default();
+        for name in ["default", "oracle", "netmaster", "delay-30", "delay-30s", "batch-4"] {
+            assert!(policy_by_name(name, &trace, 3, &radio).is_ok(), "{name}");
+        }
+        for name in ["delay-x", "batch-", "magic"] {
+            assert!(policy_by_name(name, &trace, 3, &radio).is_err(), "{name}");
+        }
+    }
+}

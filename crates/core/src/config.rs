@@ -1,0 +1,151 @@
+//! NetMaster middleware configuration.
+
+use netmaster_mining::{Bound, PredictionConfig};
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the NetMaster middleware, defaulted to the paper's
+/// deployment values (§V–§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetMasterConfig {
+    /// FPTAS approximation parameter; the paper sets ε = 0.1 "to
+    /// guarantee good performance while control the computational
+    /// overhead" (§V-C).
+    pub epsilon: f64,
+    /// Prediction thresholds (δ = 0.2 weekday / 0.1 weekend, §IV-C1).
+    pub prediction: PredictionConfig,
+    /// Initial duty-cycle sleep interval in seconds (30 s, §IV-C2).
+    pub duty_initial_sleep: u64,
+    /// Screen-off windows shorter than this skip duty cycling entirely:
+    /// in a brief gap between sessions nothing is gained by waking the
+    /// radio — pending demands simply flush when the screen returns.
+    /// This curbs the "falsely waking up the radio" cost the paper's
+    /// exponential scheme exists to control.
+    pub duty_min_window: u64,
+    /// Penalty scaling factor `e_t` (Eq. 4) in joules per hour², the
+    /// exchange rate between interruption probability and energy.
+    pub et_j_per_hour2: f64,
+    /// Days of history required before the miner trusts its
+    /// predictions; before that the policy falls back to duty cycling.
+    pub min_training_days: usize,
+    /// Which statistic the δ threshold compares against: the paper's
+    /// raw frequency (`Bound::Point`), or a Wilson confidence bound —
+    /// `Bound::Upper` makes the ≤δ interrupt guarantee hold with
+    /// confidence on short histories at some energy cost.
+    pub prediction_bound: Bound,
+    /// React to habit drift: when the stability monitor flags a break
+    /// (a day correlating far below the user's running pattern), drop
+    /// history from before the break so the miner relearns the new
+    /// schedule instead of averaging two lives together.
+    pub drift_reset: bool,
+    /// Track "Special Apps" (§IV-C2). When disabled, the real-time
+    /// layer no longer powers the radio for a needs-network foreground
+    /// app outside predicted slots, so every such interaction becomes a
+    /// wrong decision — the `ablations` binary quantifies how much of
+    /// the <1% interrupt guarantee this mechanism carries.
+    pub track_special_apps: bool,
+}
+
+impl Default for NetMasterConfig {
+    fn default() -> Self {
+        NetMasterConfig {
+            epsilon: 0.1,
+            prediction: PredictionConfig::default(),
+            duty_initial_sleep: 30,
+            duty_min_window: 3_600,
+            et_j_per_hour2: 2.0,
+            min_training_days: 3,
+            prediction_bound: Bound::Point,
+            drift_reset: false,
+            track_special_apps: true,
+        }
+    }
+}
+
+impl NetMasterConfig {
+    /// Conservative preset: user experience above all — tiny δ (almost
+    /// every habitual hour counts as active), the Wilson upper bound so
+    /// the guarantee holds even on short histories, eager duty cycling.
+    pub fn conservative() -> Self {
+        NetMasterConfig {
+            prediction: PredictionConfig { delta_weekday: 0.05, delta_weekend: 0.05 },
+            prediction_bound: Bound::Upper,
+            duty_min_window: 900,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's deployment values (same as `Default`).
+    pub fn balanced() -> Self {
+        NetMasterConfig::default()
+    }
+
+    /// Aggressive preset: maximum energy saving — larger δ, duty
+    /// cycling only on multi-hour idles, longer initial sleeps.
+    pub fn aggressive() -> Self {
+        NetMasterConfig {
+            prediction: PredictionConfig { delta_weekday: 0.4, delta_weekend: 0.3 },
+            duty_min_window: 14_400,
+            duty_initial_sleep: 120,
+            ..Default::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.epsilon) {
+            return Err(format!("epsilon {} outside [0,1)", self.epsilon));
+        }
+        if self.duty_initial_sleep == 0 {
+            return Err("duty_initial_sleep must be positive".into());
+        }
+        if self.et_j_per_hour2 < 0.0 {
+            return Err("et must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NetMasterConfig::default();
+        assert_eq!(c.validate(), Ok(()));
+        assert!((c.epsilon - 0.1).abs() < 1e-12);
+        assert!((c.prediction.delta_weekday - 0.2).abs() < 1e-12);
+        assert!((c.prediction.delta_weekend - 0.1).abs() < 1e-12);
+        assert_eq!(c.duty_initial_sleep, 30);
+    }
+
+    #[test]
+    fn presets_are_valid_and_ordered() {
+        for c in [
+            NetMasterConfig::conservative(),
+            NetMasterConfig::balanced(),
+            NetMasterConfig::aggressive(),
+        ] {
+            assert_eq!(c.validate(), Ok(()));
+        }
+        assert!(
+            NetMasterConfig::conservative().prediction.delta_weekday
+                < NetMasterConfig::aggressive().prediction.delta_weekday
+        );
+        assert!(
+            NetMasterConfig::conservative().duty_min_window
+                < NetMasterConfig::aggressive().duty_min_window
+        );
+        assert_eq!(NetMasterConfig::balanced(), NetMasterConfig::default());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let c = NetMasterConfig { epsilon: 1.0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = NetMasterConfig { duty_initial_sleep: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = NetMasterConfig { et_j_per_hour2: -1.0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Fast dormancy baseline: the stock schedule with aggressively
+//! truncated inactivity tails.
+//!
+//! Huang et al. [2] pair batching with *fast dormancy* — the handset
+//! requests RRC demotion shortly after a transfer instead of letting
+//! the full timers run. As a standalone arm it isolates how much of
+//! NetMaster's saving is mere tail-cutting versus habit-driven
+//! rescheduling: fast dormancy pays no scheduling complexity but also
+//! collapses nothing into shared radio sessions.
+
+use netmaster_radio::TailPolicy;
+use netmaster_sim::{DayPlan, Policy};
+use netmaster_trace::trace::DayTrace;
+
+/// Stock schedule + fast dormancy after `hold_secs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastDormancyPolicy {
+    /// Seconds the radio lingers after a transfer before demotion
+    /// (3 s is the 3GPP-era handset-initiated figure).
+    pub hold_secs: f64,
+}
+
+impl FastDormancyPolicy {
+    /// New policy with the given post-transfer hold.
+    pub fn new(hold_secs: f64) -> Self {
+        FastDormancyPolicy { hold_secs }
+    }
+}
+
+impl Default for FastDormancyPolicy {
+    fn default() -> Self {
+        FastDormancyPolicy { hold_secs: 3.0 }
+    }
+}
+
+impl Policy for FastDormancyPolicy {
+    fn name(&self) -> String {
+        format!("fast-dormancy-{}s", self.hold_secs)
+    }
+
+    fn tail_policy(&self) -> TailPolicy {
+        TailPolicy::FastDormancy(self.hold_secs)
+    }
+
+    fn plan_day(&mut self, day: &DayTrace) -> DayPlan {
+        DayPlan::passthrough(day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmaster_sim::{simulate, DefaultPolicy, SimConfig};
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    #[test]
+    fn fast_dormancy_sits_between_stock_and_netmaster() {
+        let trace =
+            TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(70).generate(7);
+        let cfg = SimConfig::default();
+        let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
+        let fd = simulate(&trace.days, &mut FastDormancyPolicy::default(), &cfg);
+        // Cuts a large chunk of tail energy…
+        let saving = fd.energy_saving_vs(&base);
+        assert!(
+            (0.15..0.70).contains(&saving),
+            "fast dormancy should save tails, not everything: {saving:.3}"
+        );
+        // …without moving a single transfer or touching the user.
+        assert_eq!(fd.moved_transfers, 0);
+        assert_eq!(fd.affected_interactions, 0);
+        assert_eq!(fd.bytes_down, base.bytes_down);
+        // More promotions than stock: truncated tails break ride-alongs.
+        assert!(fd.wakeups >= base.wakeups);
+    }
+
+    #[test]
+    fn longer_holds_save_less() {
+        let trace =
+            TraceGenerator::new(UserProfile::volunteers().remove(1)).with_seed(71).generate(5);
+        let cfg = SimConfig::default();
+        let short = simulate(&trace.days, &mut FastDormancyPolicy::new(1.0), &cfg);
+        let long = simulate(&trace.days, &mut FastDormancyPolicy::new(10.0), &cfg);
+        assert!(short.energy_j < long.energy_j);
+    }
+
+    #[test]
+    fn zero_hold_equals_immediate_tail() {
+        let trace =
+            TraceGenerator::new(UserProfile::volunteers().remove(2)).with_seed(72).generate(3);
+        let cfg = SimConfig::default();
+        let fd0 = simulate(&trace.days, &mut FastDormancyPolicy::new(0.0), &cfg);
+        assert_eq!(fd0.rrc.tail_j, 0.0);
+        assert_eq!(fd0.rrc.tail_secs, 0.0);
+    }
+}

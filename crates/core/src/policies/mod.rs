@@ -1,0 +1,16 @@
+//! Scheduling policies: NetMaster and the comparison arms of §VI.
+
+mod batch;
+mod delay;
+mod fastdormancy;
+mod netmaster;
+mod oracle;
+
+pub use batch::BatchPolicy;
+pub use delay::DelayPolicy;
+pub use fastdormancy::FastDormancyPolicy;
+pub use netmaster::{NetMasterPolicy, NetMasterStats};
+pub use oracle::OraclePolicy;
+
+// The stock-device baseline lives in the simulator crate.
+pub use netmaster_sim::DefaultPolicy;

@@ -1,0 +1,415 @@
+//! The NetMaster policy: the full middleware pipeline as a simulator
+//! policy — monitoring feeds mining, mining feeds the knapsack
+//! scheduler, the duty-cycle layer catches what prediction misses, and
+//! Special Apps guard the user experience.
+
+use crate::config::NetMasterConfig;
+use crate::decision::{DayRouting, DecisionMaker, Disposition};
+use crate::dutycycle::{run_window, SleepScheme};
+use crate::monitoring::Monitor;
+use netmaster_mining::{
+    habit_stability, predict_with_confidence, HourlyHistory, NetworkPrediction, SpecialApps,
+};
+use netmaster_radio::{LinkModel, RrcModel, TailPolicy};
+use netmaster_sim::{DayPlan, Execution, Policy};
+use netmaster_trace::time::{hour_of, Interval, Timestamp};
+#[cfg(test)]
+use netmaster_trace::time::SECS_PER_DAY;
+use netmaster_trace::trace::DayTrace;
+use std::collections::HashMap;
+
+/// Per-run diagnostics beyond what [`netmaster_sim::RunMetrics`] carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetMasterStats {
+    /// Days planned with a trained miner.
+    pub trained_days: u64,
+    /// Days that fell back to duty-cycle-only.
+    pub untrained_days: u64,
+    /// Demands deferred into a later slot.
+    pub deferred: u64,
+    /// Demands pre-served in an earlier slot.
+    pub prefetched: u64,
+    /// Demands served by duty-cycle wake-ups.
+    pub duty_served: u64,
+    /// Wrong decisions (needs-network interaction while the radio was
+    /// blocked for a non-special app).
+    pub wrong_decisions: u64,
+    /// History resets triggered by habit-drift detection.
+    pub drift_resets: u64,
+}
+
+/// The NetMaster middleware as a policy.
+pub struct NetMasterPolicy {
+    cfg: NetMasterConfig,
+    decision: DecisionMaker,
+    /// Observed days (the monitoring DB's logical content).
+    history: Vec<DayTrace>,
+    special: SpecialApps,
+    monitor: Monitor,
+    stats: NetMasterStats,
+}
+
+impl NetMasterPolicy {
+    /// New untrained policy; it will learn online as days pass.
+    pub fn new(cfg: NetMasterConfig, link: LinkModel, radio: RrcModel) -> Self {
+        NetMasterPolicy {
+            decision: DecisionMaker::new(cfg, link, radio),
+            cfg,
+            history: Vec::new(),
+            special: SpecialApps::default(),
+            monitor: Monitor::new(),
+            stats: NetMasterStats::default(),
+        }
+    }
+
+    /// Pre-seeds training history (the paper trains on prior weeks of
+    /// monitoring data before evaluation).
+    pub fn with_training(mut self, days: &[DayTrace]) -> Self {
+        for d in days {
+            self.learn(d);
+        }
+        self
+    }
+
+    /// Run diagnostics.
+    pub fn stats(&self) -> NetMasterStats {
+        self.stats
+    }
+
+    /// The monitoring component (flush counts, record counts).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Whether enough history exists to trust predictions.
+    pub fn trained(&self) -> bool {
+        self.history.len() >= self.cfg.min_training_days
+    }
+
+    fn learn(&mut self, day: &DayTrace) {
+        self.monitor.observe_day(day);
+        self.history.push(day.clone());
+        // Habit-drift reaction: if the freshest days correlate far
+        // below the user's established pattern, the schedule changed —
+        // drop the stale prefix so tomorrow's predictions come from the
+        // new life, not the average of two.
+        if self.cfg.drift_reset && self.history.len() > self.cfg.min_training_days + 3 {
+            let mut t = netmaster_trace::trace::Trace::new(0);
+            t.days = self.history.clone();
+            let report = habit_stability(&HourlyHistory::from_trace(&t));
+            let last_day_index = self.history.len() - 1;
+            let drifts = report.drift_days(0.3);
+            // Two consecutive drift days ending today ⇒ a real break,
+            // not one scattered day.
+            if drifts.contains(&last_day_index) && drifts.contains(&(last_day_index - 1)) {
+                let keep_from = self.history.len() - 2;
+                self.history.drain(..keep_from);
+                self.stats.drift_resets += 1;
+            }
+        }
+        // Rebuild the Special Apps profile over the full history; the
+        // incremental equivalent of re-querying the DB.
+        let mut t = netmaster_trace::trace::Trace::new(0);
+        t.days = self.history.clone();
+        self.special = SpecialApps::from_trace(&t);
+    }
+
+    fn build_routing(&self, day: usize) -> DayRouting {
+        if !self.trained() {
+            return DayRouting::duty_only(day);
+        }
+        let mut t = netmaster_trace::trace::Trace::new(0);
+        t.days = self.history.clone();
+        let hist = HourlyHistory::from_trace(&t);
+        let active =
+            predict_with_confidence(&hist, self.cfg.prediction, self.cfg.prediction_bound, 1.96);
+        let network = NetworkPrediction::from_trace(&t);
+        self.decision.plan_day(day, &active, &network)
+    }
+
+    /// Screen-off windows of a day (gaps around sessions).
+    fn screen_off_windows(day: &DayTrace) -> Vec<Interval> {
+        let span = day.span();
+        let mut windows = Vec::new();
+        let mut cursor = span.start;
+        for s in &day.sessions {
+            if s.start > cursor {
+                windows.push(Interval::new(cursor, s.start));
+            }
+            cursor = s.end;
+        }
+        if cursor < span.end {
+            windows.push(Interval::new(cursor, span.end));
+        }
+        windows
+    }
+}
+
+impl Policy for NetMasterPolicy {
+    fn name(&self) -> String {
+        "netmaster".into()
+    }
+
+    fn tail_policy(&self) -> TailPolicy {
+        // The scheduling component flips the data radio off as soon as
+        // a transfer batch completes (`svc data disable`, §V-C2).
+        TailPolicy::Immediate
+    }
+
+    fn plan_day(&mut self, day: &DayTrace) -> DayPlan {
+        let routing = self.build_routing(day.day);
+        if self.trained() {
+            self.stats.trained_days += 1;
+        } else {
+            self.stats.untrained_days += 1;
+        }
+
+        let mut plan = DayPlan::default();
+        // Per-slot placement cursors: forward from slot start for
+        // deferred demands, backward from slot end for prefetches.
+        let mut fwd: HashMap<usize, u64> = HashMap::new();
+        let mut back: HashMap<usize, u64> = HashMap::new();
+        let mut hour_seq = [0usize; 24];
+        // Demands handed to the duty-cycle layer, by arrival time.
+        let mut duty_pending: Vec<(Timestamp, usize)> = Vec::new();
+
+        for (idx, a) in day.activities.iter().enumerate() {
+            if day.screen_on_at(a.start) {
+                // Foreground / screen-on: the radio is up with the user.
+                plan.executions.push(Execution::natural(a));
+                continue;
+            }
+            let h = hour_of(a.start);
+            let k = hour_seq[h];
+            hour_seq[h] += 1;
+            match routing.disposition(h, k) {
+                Disposition::Immediate => {
+                    // Predicted active hour, but the screen is off right
+                    // now: the real-time layer still keeps the radio
+                    // down ("turning off the radio in the user active
+                    // slots timely", §IV-C2) and the demand rides the
+                    // next screen-on or duty wake-up — which is imminent,
+                    // since the user is predicted to be around.
+                    duty_pending.push((a.start, idx));
+                }
+                Disposition::DeferTo { slot } => {
+                    let s = routing.slots[slot];
+                    let off = fwd.entry(slot).or_insert(0);
+                    let at = (s.start + *off).min(s.end.saturating_sub(1));
+                    *off += a.duration.max(1);
+                    plan.executions.push(Execution::moved(a, at));
+                    self.stats.deferred += 1;
+                }
+                Disposition::PrefetchIn { slot } => {
+                    let s = routing.slots[slot];
+                    let off = back.entry(slot).or_insert(0);
+                    let dur = a.duration.max(1);
+                    let at = s.end.saturating_sub(*off + dur).max(s.start);
+                    *off += dur;
+                    plan.executions.push(Execution::moved(a, at));
+                    self.stats.prefetched += 1;
+                }
+                Disposition::DutyCycle => {
+                    duty_pending.push((a.start, idx));
+                }
+            }
+        }
+
+        // Real-time adjustment: duty-cycle the screen-off windows,
+        // serving the pending demands at wake-ups.
+        duty_pending.sort_unstable();
+        // Continue doubling across served wake-ups: a served background
+        // sync is not evidence more traffic is imminent, and the paper's
+        // reset-to-T rule would chase every sync with a burst of short
+        // sleeps (see the `ablation_dutycycle` bench).
+        let scheme = SleepScheme::Exponential {
+            initial: self.cfg.duty_initial_sleep,
+            reset_on_serve: false,
+        };
+        for window in Self::screen_off_windows(day) {
+            let in_window: Vec<(Timestamp, usize)> = duty_pending
+                .iter()
+                .copied()
+                .filter(|&(t, _)| window.contains(t))
+                .collect();
+            let arrivals: Vec<Timestamp> = in_window.iter().map(|&(t, _)| t).collect();
+            // Short gaps between sessions skip duty cycling: the screen
+            // returns soon enough that pending demands just flush at the
+            // window edge, and empty wake-ups would only burn energy.
+            let outcome = if window.len() < self.cfg.duty_min_window {
+                run_window(scheme, Interval::empty_at(window.start), &[])
+                    .with_flush(&arrivals, window.end)
+            } else {
+                run_window(scheme, window, &arrivals)
+            };
+            plan.empty_wakeups += outcome.empty_wakeups;
+            // Demands served at the same instant run back-to-back, not
+            // in parallel — stagger so active time is counted honestly.
+            let mut stagger: HashMap<Timestamp, u64> = HashMap::new();
+            for (arr_idx, served_at) in outcome.served {
+                let demand = &day.activities[in_window[arr_idx].1];
+                let off = stagger.entry(served_at).or_insert(0);
+                let at = served_at + *off;
+                *off += demand.duration.max(1);
+                if at == demand.start {
+                    plan.executions.push(Execution::natural(demand));
+                } else {
+                    plan.executions.push(Execution::moved(demand, at));
+                }
+                self.stats.duty_served += 1;
+            }
+        }
+
+        // User-experience accounting: an interaction that needs the
+        // network while the radio is blocked is a wrong decision unless
+        // the foreground app is Special (then the adjustment layer
+        // powers the radio preemptively) or the hour is a predicted
+        // active slot (radio planned-on).
+        for i in &day.interactions {
+            let special = self.cfg.track_special_apps && self.special.is_special(i.app);
+            if i.needs_network && !routing.in_active_slot(i.at) && !special {
+                plan.affected_interactions += 1;
+                self.stats.wrong_decisions += 1;
+            }
+        }
+
+        // The monitoring component records today for tomorrow's mining.
+        self.learn(day);
+        plan.executions.sort_by_key(|e| e.start);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmaster_sim::{simulate, DefaultPolicy, SimConfig};
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    fn volunteer_trace(days: usize) -> netmaster_trace::trace::Trace {
+        TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(99).generate(days)
+    }
+
+    fn policy() -> NetMasterPolicy {
+        NetMasterPolicy::new(
+            NetMasterConfig::default(),
+            LinkModel::default(),
+            RrcModel::wcdma_default(),
+        )
+    }
+
+    #[test]
+    fn untrained_policy_duty_cycles_everything() {
+        let trace = volunteer_trace(1);
+        let mut p = policy();
+        assert!(!p.trained());
+        let plan = p.plan_day(&trace.days[0]);
+        // All demands still execute (served by duty cycle or natural).
+        assert_eq!(plan.executions.len(), trace.days[0].activities.len());
+        assert_eq!(p.stats().untrained_days, 1);
+        assert_eq!(p.stats().deferred + p.stats().prefetched, 0);
+    }
+
+    #[test]
+    fn training_enables_scheduling() {
+        let trace = volunteer_trace(17);
+        let mut p = policy().with_training(&trace.days[..14]);
+        assert!(p.trained());
+        for d in &trace.days[14..] {
+            let _ = p.plan_day(d);
+        }
+        let s = p.stats();
+        assert_eq!(s.trained_days, 3);
+        assert!(
+            s.deferred + s.prefetched > 10,
+            "trained NetMaster should reschedule screen-off demands: {s:?}"
+        );
+    }
+
+    #[test]
+    fn no_demand_is_lost() {
+        let trace = volunteer_trace(18);
+        let mut p = policy().with_training(&trace.days[..14]);
+        for d in &trace.days[14..] {
+            let plan = p.plan_day(d);
+            assert_eq!(
+                plan.executions.len(),
+                d.activities.len(),
+                "every demand must execute exactly once on day {}",
+                d.day
+            );
+            let planned: (u64, u64) = plan.total_bytes();
+            let expected: (u64, u64) = d
+                .activities
+                .iter()
+                .fold((0, 0), |(x, y), a| (x + a.bytes_down, y + a.bytes_up));
+            assert_eq!(planned, expected, "bytes preserved");
+        }
+    }
+
+    #[test]
+    fn netmaster_saves_energy_vs_default() {
+        let trace = volunteer_trace(21);
+        let cfg = SimConfig::default();
+        let test_days = &trace.days[14..];
+        let base = simulate(test_days, &mut DefaultPolicy, &cfg);
+        let mut nm = policy().with_training(&trace.days[..14]);
+        let m = simulate(test_days, &mut nm, &cfg);
+        let saving = m.energy_saving_vs(&base);
+        assert!(
+            saving > 0.4,
+            "NetMaster should save substantial energy, got {:.3} ({} vs {} J)",
+            saving,
+            m.energy_j,
+            base.energy_j
+        );
+        assert!(m.radio_on_secs < base.radio_on_secs);
+        assert!(m.avg_down_rate() > base.avg_down_rate());
+    }
+
+    #[test]
+    fn user_experience_is_preserved() {
+        let trace = volunteer_trace(21);
+        let cfg = SimConfig::default();
+        let mut nm = policy().with_training(&trace.days[..14]);
+        let m = simulate(&trace.days[14..], &mut nm, &cfg);
+        assert!(
+            m.affected_fraction() < 0.01,
+            "interrupt chance must stay under 1%: {:.4}",
+            m.affected_fraction()
+        );
+    }
+
+    #[test]
+    fn tail_policy_is_immediate() {
+        assert_eq!(policy().tail_policy(), TailPolicy::Immediate);
+        assert_eq!(policy().name(), "netmaster");
+    }
+
+    #[test]
+    fn screen_off_windows_cover_gaps() {
+        let trace = volunteer_trace(1);
+        let day = &trace.days[0];
+        let windows = NetMasterPolicy::screen_off_windows(day);
+        // Windows and sessions partition the day.
+        let total: u64 = windows.iter().map(Interval::len).sum::<u64>() + day.screen_on_seconds();
+        assert_eq!(total, SECS_PER_DAY);
+        // No window overlaps a session.
+        for w in &windows {
+            for s in &day.sessions {
+                assert!(!w.overlaps(&s.span()), "{w:?} vs {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_records_while_policy_runs() {
+        let trace = volunteer_trace(5);
+        let mut p = policy();
+        for d in &trace.days {
+            let _ = p.plan_day(d);
+        }
+        assert!(p.monitor().db.len() > 100, "monitoring component must record");
+    }
+}

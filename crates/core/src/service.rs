@@ -1,0 +1,240 @@
+//! The middleware as a long-running service: the deployment-facing API
+//! that packages monitoring → mining → scheduling with per-day
+//! reporting, the way the Android service of §V runs (mining broadcasts
+//! hourly predictions to the scheduling component each day).
+
+use crate::config::NetMasterConfig;
+use crate::policies::NetMasterPolicy;
+use netmaster_radio::battery::BatteryModel;
+use netmaster_radio::{LinkModel, RrcConfig, RrcModel};
+use netmaster_sim::{simulate, DefaultPolicy, RunMetrics, SimConfig};
+use netmaster_trace::trace::DayTrace;
+use serde::{Deserialize, Serialize};
+
+/// Per-day report the service emits after executing a day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayReport {
+    /// Which day.
+    pub day: usize,
+    /// Energy the stock device would have burned (J).
+    pub stock_energy_j: f64,
+    /// Energy actually burned under NetMaster (J).
+    pub energy_j: f64,
+    /// Battery percentage points saved today.
+    pub battery_points_saved: f64,
+    /// Transfers rescheduled (deferred + prefetched + duty-served late).
+    pub moved_transfers: u64,
+    /// Wrong decisions today.
+    pub wrong_decisions: u64,
+    /// Whether the miner was trained when planning this day.
+    pub trained: bool,
+}
+
+impl DayReport {
+    /// Fractional saving for the day.
+    pub fn saving(&self) -> f64 {
+        if self.stock_energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_j / self.stock_energy_j
+    }
+}
+
+/// Cumulative summary over the service lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceSummary {
+    /// Days executed.
+    pub days: usize,
+    /// Total stock energy (J).
+    pub stock_energy_j: f64,
+    /// Total NetMaster energy (J).
+    pub energy_j: f64,
+    /// Total battery points saved.
+    pub battery_points_saved: f64,
+    /// Total rescheduled transfers.
+    pub moved_transfers: u64,
+    /// Total wrong decisions.
+    pub wrong_decisions: u64,
+}
+
+impl ServiceSummary {
+    /// Lifetime energy-saving fraction.
+    pub fn saving(&self) -> f64 {
+        if self.stock_energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_j / self.stock_energy_j
+    }
+}
+
+/// The NetMaster middleware runtime: feed it observed days, get
+/// reports. Internally it compares each day against a stock-device
+/// counterfactual so savings are attributable per day.
+///
+/// ```
+/// use netmaster_core::MiddlewareService;
+/// use netmaster_trace::gen::generate_volunteers;
+///
+/// let trace = generate_volunteers(15, 3).remove(0);
+/// let mut svc = MiddlewareService::new().import_history(&trace.days[..14]);
+/// let report = svc.run_day(&trace.days[14]);
+/// assert!(report.trained);
+/// assert!(report.saving() > 0.3);
+/// ```
+pub struct MiddlewareService {
+    policy: NetMasterPolicy,
+    sim: SimConfig,
+    battery: BatteryModel,
+    summary: ServiceSummary,
+    last_wrong: u64,
+}
+
+impl MiddlewareService {
+    /// New service with the paper's defaults on WCDMA.
+    pub fn new() -> Self {
+        Self::with_config(NetMasterConfig::default(), RrcConfig::wcdma(), LinkModel::default())
+    }
+
+    /// New service with explicit configuration.
+    pub fn with_config(cfg: NetMasterConfig, radio: RrcConfig, link: LinkModel) -> Self {
+        let model = RrcModel { config: radio.clone(), tail_policy: netmaster_radio::TailPolicy::Full };
+        MiddlewareService {
+            policy: NetMasterPolicy::new(cfg, link, model),
+            sim: SimConfig { radio, link, ..SimConfig::default() },
+            battery: BatteryModel::htc_one_x(),
+            summary: ServiceSummary::default(),
+            last_wrong: 0,
+        }
+    }
+
+    /// Sets the battery used for percentage framing.
+    pub fn with_battery(mut self, battery: BatteryModel) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Pre-seeds habit history without executing (installing the
+    /// service on a phone that already has monitoring data).
+    pub fn import_history(mut self, days: &[DayTrace]) -> Self {
+        self.policy = std::mem::replace(&mut self.policy, dummy_policy()).with_training(days);
+        self
+    }
+
+    /// Executes one observed day under the middleware and reports.
+    pub fn run_day(&mut self, day: &DayTrace) -> DayReport {
+        let trained = self.policy.trained();
+        let stock = simulate(std::slice::from_ref(day), &mut DefaultPolicy, &self.sim);
+        let m = simulate(std::slice::from_ref(day), &mut self.policy, &self.sim);
+        let stats = self.policy.stats();
+        let wrong_today = stats.wrong_decisions - self.last_wrong;
+        self.last_wrong = stats.wrong_decisions;
+        let moved_today = m.moved_transfers;
+        let saved_j = (stock.energy_j - m.energy_j).max(0.0);
+        let report = DayReport {
+            day: day.day,
+            stock_energy_j: stock.energy_j,
+            energy_j: m.energy_j,
+            battery_points_saved: self.battery.percent_saved_per_day(saved_j),
+            moved_transfers: moved_today,
+            wrong_decisions: wrong_today,
+            trained,
+        };
+        self.summary.days += 1;
+        self.summary.stock_energy_j += stock.energy_j;
+        self.summary.energy_j += m.energy_j;
+        self.summary.battery_points_saved += report.battery_points_saved;
+        self.summary.moved_transfers += moved_today;
+        self.summary.wrong_decisions += wrong_today;
+        report
+    }
+
+    /// Lifetime summary.
+    pub fn summary(&self) -> ServiceSummary {
+        self.summary
+    }
+
+    /// The underlying policy (predictions, stats, monitor).
+    pub fn policy(&self) -> &NetMasterPolicy {
+        &self.policy
+    }
+
+    /// Last-run metrics detail for one day, stock-device counterfactual.
+    pub fn stock_counterfactual(&self, day: &DayTrace) -> RunMetrics {
+        simulate(std::slice::from_ref(day), &mut DefaultPolicy, &self.sim)
+    }
+}
+
+impl Default for MiddlewareService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn dummy_policy() -> NetMasterPolicy {
+    NetMasterPolicy::new(NetMasterConfig::default(), LinkModel::default(), RrcModel::wcdma_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    fn trace(days: usize) -> netmaster_trace::trace::Trace {
+        TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(44).generate(days)
+    }
+
+    #[test]
+    fn service_learns_and_saves_over_weeks() {
+        let t = trace(21);
+        let mut svc = MiddlewareService::new();
+        let mut reports = Vec::new();
+        for day in &t.days {
+            reports.push(svc.run_day(day));
+        }
+        // Early days untrained, later trained.
+        assert!(!reports[0].trained);
+        assert!(reports.last().unwrap().trained);
+        // Lifetime summary saves substantially.
+        let s = svc.summary();
+        assert_eq!(s.days, 21);
+        assert!(s.saving() > 0.3, "lifetime saving {:.3}", s.saving());
+        assert!(s.battery_points_saved > 20.0, "{}", s.battery_points_saved);
+        // Trained days reschedule transfers.
+        assert!(reports.iter().rev().take(5).any(|r| r.moved_transfers > 0));
+    }
+
+    #[test]
+    fn imported_history_skips_the_cold_start() {
+        let t = trace(16);
+        let mut svc = MiddlewareService::new().import_history(&t.days[..14]);
+        let r = svc.run_day(&t.days[14]);
+        assert!(r.trained);
+        assert!(r.saving() > 0.3, "first-day saving {:.3}", r.saving());
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let t = trace(17);
+        let mut svc = MiddlewareService::new().import_history(&t.days[..14]);
+        let mut total_saved_points = 0.0;
+        for day in &t.days[14..] {
+            let r = svc.run_day(day);
+            assert!(r.energy_j <= r.stock_energy_j * 1.001, "never worse than stock");
+            assert!((0.0..=1.0).contains(&r.saving()));
+            total_saved_points += r.battery_points_saved;
+        }
+        assert!((svc.summary().battery_points_saved - total_saved_points).abs() < 1e-9);
+        assert_eq!(svc.summary().days, 3);
+    }
+
+    #[test]
+    fn empty_day_report_is_benign() {
+        let mut svc = MiddlewareService::new();
+        let empty = DayTrace::new(0);
+        let r = svc.run_day(&empty);
+        assert_eq!(r.stock_energy_j, 0.0);
+        assert_eq!(r.saving(), 0.0);
+        assert_eq!(r.moved_transfers, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Knapsack item and solution types.
+
+/// One 0/1-knapsack item: profit to gain, weight to pay.
+///
+/// In NetMaster's scheduling problem an item is a screen-off network
+/// activity: profit `ΔE_j − ΔP_j` (energy saved minus interruption
+/// penalty), weight `V(n_j)` (payload bytes), capacity `C(t_i)`
+/// (slot bandwidth budget, Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Profit (may be fractional; non-positive items are never chosen).
+    pub profit: f64,
+    /// Weight in capacity units.
+    pub weight: u64,
+}
+
+impl Item {
+    /// Convenience constructor.
+    pub fn new(profit: f64, weight: u64) -> Self {
+        Item { profit, weight }
+    }
+
+    /// Profit-to-weight ratio; items with zero weight get `+inf`.
+    pub fn ratio(&self) -> f64 {
+        if self.weight == 0 {
+            f64::INFINITY
+        } else {
+            self.profit / self.weight as f64
+        }
+    }
+}
+
+/// A solution to a single knapsack instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solution {
+    /// Indices of chosen items (into the input slice), ascending.
+    pub chosen: Vec<usize>,
+    /// Total profit of the chosen set.
+    pub profit: f64,
+    /// Total weight of the chosen set.
+    pub weight: u64,
+}
+
+impl Solution {
+    /// Builds a solution from chosen indices, recomputing totals.
+    pub fn from_indices(items: &[Item], mut chosen: Vec<usize>) -> Self {
+        chosen.sort_unstable();
+        chosen.dedup();
+        let profit = chosen.iter().map(|&i| items[i].profit).sum();
+        let weight = chosen.iter().map(|&i| items[i].weight).sum();
+        Solution { chosen, profit, weight }
+    }
+
+    /// `true` when the solution respects `capacity`.
+    pub fn feasible(&self, capacity: u64) -> bool {
+        self.weight <= capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_weight() {
+        assert_eq!(Item::new(5.0, 0).ratio(), f64::INFINITY);
+        assert!((Item::new(6.0, 3).ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_indices_sorts_dedups_and_totals() {
+        let items = [Item::new(1.0, 2), Item::new(3.0, 4), Item::new(5.0, 6)];
+        let s = Solution::from_indices(&items, vec![2, 0, 2]);
+        assert_eq!(s.chosen, vec![0, 2]);
+        assert!((s.profit - 6.0).abs() < 1e-12);
+        assert_eq!(s.weight, 8);
+        assert!(s.feasible(8));
+        assert!(!s.feasible(7));
+    }
+}

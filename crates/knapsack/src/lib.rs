@@ -1,0 +1,39 @@
+//! # netmaster-knapsack
+//!
+//! Knapsack machinery behind NetMaster's scheduling component:
+//!
+//! * [`solvers::sin_knap`] — the Ibarra–Kim profit-scaling FPTAS the
+//!   paper calls `SinKnap` [13], a `(1−ε)`-approximation for 0/1
+//!   knapsack;
+//! * [`overlapped::solve`] — the paper's Algorithm 1 for multiple
+//!   knapsacks with *overlapped itemsets* (each screen-off network
+//!   activity may move into either adjacent user-active slot), a
+//!   `(1−ε)/2`-approximation (Lemma IV.1);
+//! * exact (`brute_force`, `dp_by_capacity`) and greedy baselines used
+//!   as test oracles and in the `GreedyAdd` filling step.
+//!
+//! ```
+//! use netmaster_knapsack::overlapped::{solve, OvItem, OvProblem};
+//!
+//! // Two user-active slots; one background sync that may move into
+//! // either (higher profit in slot 1 because it is nearer).
+//! let problem = OvProblem {
+//!     capacities: vec![1_000, 1_000],
+//!     items: vec![OvItem::pair(300, (0, 4.2), (1, 9.1))],
+//! };
+//! let solution = solve(&problem, 0.1);
+//! assert_eq!(solution.assignment[0], Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bnb;
+pub mod item;
+pub mod overlapped;
+pub mod solvers;
+
+pub use bnb::branch_and_bound;
+pub use item::{Item, Solution};
+pub use overlapped::{Candidate, OvItem, OvProblem, OvSolution};
+pub use solvers::{brute_force, dp_by_capacity, greedy_add, greedy_half, sin_knap};

@@ -1,0 +1,468 @@
+//! The paper's Algorithm 1: multiple knapsack with *overlapped itemsets*.
+//!
+//! Every screen-off network activity lies between two adjacent user
+//! active slots and may be scheduled into either — so adjacent knapsacks
+//! share an itemset. Algorithm 1 resolves this by (1) *duplicating* each
+//! item into both candidate slots, (2) *sorting* each slot's items by
+//! profit-to-weight ratio, (3) running the single-knapsack FPTAS
+//! (`SinKnap`) per slot, (4) *filtering* items selected twice, and
+//! (5) greedily adding leftovers (`GreedyAdd`). Lemma IV.1 proves the
+//! result is a `(1−ε)/2`-approximation; [`solve`] keeps that guarantee
+//! (filtering retains the higher-profit copy, which preserves at least
+//! half of each duplicated pair's contribution).
+
+use crate::item::{Item, Solution};
+use crate::solvers::{greedy_add, sin_knap};
+
+/// A candidate placement of an item into a slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Target slot index.
+    pub slot: usize,
+    /// Profit `ΔE_j − ΔP_j` *if placed in this slot* (the penalty term
+    /// depends on how far the activity moves, so profit is per-slot).
+    pub profit: f64,
+}
+
+/// One schedulable item with its weight and candidate slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OvItem {
+    /// Weight `V(n_j)` in capacity units (bytes).
+    pub weight: u64,
+    /// Candidate slots (typically the two adjacent user active slots;
+    /// one for activities before the first / after the last slot).
+    pub candidates: Vec<Candidate>,
+}
+
+impl OvItem {
+    /// Item with a single candidate slot.
+    pub fn single(weight: u64, slot: usize, profit: f64) -> Self {
+        OvItem { weight, candidates: vec![Candidate { slot, profit }] }
+    }
+
+    /// Item duplicated across two adjacent slots.
+    pub fn pair(weight: u64, left: (usize, f64), right: (usize, f64)) -> Self {
+        OvItem {
+            weight,
+            candidates: vec![
+                Candidate { slot: left.0, profit: left.1 },
+                Candidate { slot: right.0, profit: right.1 },
+            ],
+        }
+    }
+
+    /// Best candidate profit, `-inf` when no candidates.
+    pub fn best_profit(&self) -> f64 {
+        self.candidates.iter().map(|c| c.profit).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// The overlapped multiple-knapsack problem instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OvProblem {
+    /// Capacity `C(t_i)` of each slot (Eq. 5).
+    pub capacities: Vec<u64>,
+    /// Items to place.
+    pub items: Vec<OvItem>,
+}
+
+impl OvProblem {
+    /// Validates slot indices.
+    pub fn validate(&self) -> Result<(), String> {
+        for (j, it) in self.items.iter().enumerate() {
+            for c in &it.candidates {
+                if c.slot >= self.capacities.len() {
+                    return Err(format!("item {j} references slot {} of {}", c.slot, self.capacities.len()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A solution: where each item went (if anywhere).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OvSolution {
+    /// `assignment[j] = Some(slot)` when item `j` is scheduled.
+    pub assignment: Vec<Option<usize>>,
+    /// Items per slot.
+    pub per_slot: Vec<Vec<usize>>,
+    /// Total profit of the assignment.
+    pub profit: f64,
+    /// Used capacity per slot.
+    pub used: Vec<u64>,
+}
+
+impl OvSolution {
+    /// Checks feasibility against the problem.
+    pub fn feasible(&self, problem: &OvProblem) -> bool {
+        if self.used.len() != problem.capacities.len() {
+            return false;
+        }
+        for (slot, &u) in self.used.iter().enumerate() {
+            if u > problem.capacities[slot] {
+                return false;
+            }
+        }
+        // Each assignment must be one of the item's candidates.
+        for (j, a) in self.assignment.iter().enumerate() {
+            if let Some(slot) = a {
+                if !problem.items[j].candidates.iter().any(|c| c.slot == *slot) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of scheduled items.
+    pub fn scheduled_count(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// Solves the overlapped multiple-knapsack problem with Algorithm 1.
+///
+/// Guarantees profit ≥ `(1 − eps)/2 · OPT` for instances with
+/// non-negative candidate profits (Lemma IV.1).
+pub fn solve(problem: &OvProblem, eps: f64) -> OvSolution {
+    debug_assert_eq!(problem.validate(), Ok(()));
+    let nslots = problem.capacities.len();
+    let nitems = problem.items.len();
+
+    // --- Step 1: duplication — build each slot's (item, profit) list.
+    let mut slot_items: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nslots];
+    for (j, it) in problem.items.iter().enumerate() {
+        for c in &it.candidates {
+            slot_items[c.slot].push((j, c.profit));
+        }
+    }
+
+    // --- Steps 2+3: per-slot ratio sort then SinKnap.
+    let mut selected: Vec<Vec<usize>> = vec![Vec::new(); nslots]; // slot -> item ids
+    for (slot, list) in slot_items.iter_mut().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        // Sorting step (paper's step 2); SinKnap itself is order-free,
+        // but the canonical order makes reconstruction deterministic.
+        list.sort_by(|a, b| {
+            let ra = a.1 / problem.items[a.0].weight.max(1) as f64;
+            let rb = b.1 / problem.items[b.0].weight.max(1) as f64;
+            rb.total_cmp(&ra)
+        });
+        let items: Vec<Item> =
+            list.iter().map(|&(j, p)| Item::new(p, problem.items[j].weight)).collect();
+        let sol = sin_knap(&items, problem.capacities[slot], eps);
+        selected[slot] = sol.chosen.iter().map(|&k| list[k].0).collect();
+    }
+
+    // --- Step 4: filtering — items chosen in two slots keep one copy.
+    // Keep the higher-profit copy (preserves the (1−ε)/2 bound); on a
+    // profit tie use the paper's rule, the slot with smaller residual
+    // C(t_i) − V(n_j), leaving the roomier slot free for GreedyAdd.
+    let mut chosen_slots: Vec<Vec<usize>> = vec![Vec::new(); nitems]; // item -> slots
+    for (slot, items) in selected.iter().enumerate() {
+        for &j in items {
+            chosen_slots[j].push(slot);
+        }
+    }
+    let mut assignment: Vec<Option<usize>> = vec![None; nitems];
+    let mut used = vec![0u64; nslots];
+    let profit_of = |j: usize, slot: usize| -> f64 {
+        problem.items[j]
+            .candidates
+            .iter()
+            .find(|c| c.slot == slot)
+            .map(|c| c.profit)
+            .unwrap_or(f64::NEG_INFINITY)
+    };
+    for (j, slots) in chosen_slots.iter().enumerate() {
+        let keep = match slots.len() {
+            0 => continue,
+            1 => slots[0],
+            _ => {
+                let (a, b) = (slots[0], slots[1]);
+                let (pa, pb) = (profit_of(j, a), profit_of(j, b));
+                if pa > pb {
+                    a
+                } else if pb > pa {
+                    b
+                } else {
+                    // Tie: smaller residual capacity wins (paper's rule).
+                    let w = problem.items[j].weight;
+                    let ra = problem.capacities[a].saturating_sub(w);
+                    let rb = problem.capacities[b].saturating_sub(w);
+                    if ra <= rb {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        };
+        assignment[j] = Some(keep);
+        used[keep] += problem.items[j].weight;
+    }
+
+    // --- Step 5: GreedyAdd — pack unassigned items into residual room.
+    for slot in 0..nslots {
+        let residual = problem.capacities[slot].saturating_sub(used[slot]);
+        if residual == 0 {
+            continue;
+        }
+        // Candidate items for this slot that are still unassigned.
+        let cands: Vec<(usize, f64)> = slot_items[slot]
+            .iter()
+            .filter(|&&(j, p)| assignment[j].is_none() && p > 0.0)
+            .copied()
+            .collect();
+        if cands.is_empty() {
+            continue;
+        }
+        let items: Vec<Item> =
+            cands.iter().map(|&(j, p)| Item::new(p, problem.items[j].weight)).collect();
+        let mut empty = Solution::default();
+        greedy_add(&items, residual, &mut empty);
+        for &k in &empty.chosen {
+            let j = cands[k].0;
+            // An item may be a candidate of two slots scanned in this
+            // loop; re-check it is still unassigned.
+            if assignment[j].is_none() && used[slot] + problem.items[j].weight <= problem.capacities[slot] {
+                assignment[j] = Some(slot);
+                used[slot] += problem.items[j].weight;
+            }
+        }
+    }
+
+    // Assemble.
+    let mut per_slot: Vec<Vec<usize>> = vec![Vec::new(); nslots];
+    let mut profit = 0.0;
+    for (j, a) in assignment.iter().enumerate() {
+        if let Some(slot) = a {
+            per_slot[*slot].push(j);
+            profit += profit_of(j, *slot);
+        }
+    }
+    OvSolution { assignment, per_slot, profit, used }
+}
+
+/// Exact solver by exhaustive assignment enumeration, for instances of
+/// at most 12 items. Oracle for the approximation-ratio tests.
+pub fn brute_force(problem: &OvProblem) -> OvSolution {
+    let n = problem.items.len();
+    assert!(n <= 12, "brute force limited to 12 items");
+    let nslots = problem.capacities.len();
+    let mut best = OvSolution {
+        assignment: vec![None; n],
+        per_slot: vec![Vec::new(); nslots],
+        profit: 0.0,
+        used: vec![0; nslots],
+    };
+    // Each item has candidates.len()+1 options (including "skip").
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    fn rec(
+        j: usize,
+        problem: &OvProblem,
+        assignment: &mut Vec<Option<usize>>,
+        used: &mut Vec<u64>,
+        profit: f64,
+        best: &mut OvSolution,
+    ) {
+        if j == problem.items.len() {
+            if profit > best.profit {
+                best.profit = profit;
+                best.assignment = assignment.clone();
+                best.used = used.clone();
+            }
+            return;
+        }
+        // Skip.
+        rec(j + 1, problem, assignment, used, profit, best);
+        // Each candidate.
+        let cands = problem.items[j].candidates.clone();
+        for c in cands {
+            if used[c.slot] + problem.items[j].weight <= problem.capacities[c.slot] {
+                used[c.slot] += problem.items[j].weight;
+                assignment[j] = Some(c.slot);
+                rec(j + 1, problem, assignment, used, profit + c.profit, best);
+                assignment[j] = None;
+                used[c.slot] -= problem.items[j].weight;
+            }
+        }
+    }
+    let mut used = vec![0u64; nslots];
+    rec(0, problem, &mut assignment, &mut used, 0.0, &mut best);
+    // Rebuild per_slot.
+    for (j, a) in best.assignment.iter().enumerate() {
+        if let Some(slot) = a {
+            best.per_slot[*slot].push(j);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_slot_reduces_to_single_knapsack() {
+        let p = OvProblem {
+            capacities: vec![50],
+            items: vec![
+                OvItem::single(10, 0, 60.0),
+                OvItem::single(20, 0, 100.0),
+                OvItem::single(30, 0, 120.0),
+            ],
+        };
+        let s = solve(&p, 0.01);
+        assert!(s.feasible(&p));
+        assert!((s.profit - 220.0).abs() < 1e-6);
+        assert_eq!(s.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn duplicated_item_lands_in_exactly_one_slot() {
+        let p = OvProblem {
+            capacities: vec![10, 10],
+            items: vec![OvItem::pair(10, (0, 5.0), (1, 5.0))],
+        };
+        let s = solve(&p, 0.1);
+        assert!(s.feasible(&p));
+        assert_eq!(s.scheduled_count(), 1);
+        assert!((s.profit - 5.0).abs() < 1e-9);
+        // Exactly one slot used.
+        assert_eq!(s.used.iter().filter(|&&u| u > 0).count(), 1);
+    }
+
+    #[test]
+    fn filtering_prefers_higher_profit_slot() {
+        let p = OvProblem {
+            capacities: vec![10, 10],
+            items: vec![OvItem::pair(10, (0, 3.0), (1, 8.0))],
+        };
+        let s = solve(&p, 0.05);
+        assert_eq!(s.assignment[0], Some(1));
+        assert!((s.profit - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_breaks_to_tighter_slot() {
+        // Equal profits, slot 1 has less residual after placing.
+        let p = OvProblem {
+            capacities: vec![100, 12],
+            items: vec![OvItem::pair(10, (0, 5.0), (1, 5.0))],
+        };
+        let s = solve(&p, 0.05);
+        assert_eq!(s.assignment[0], Some(1), "tighter slot keeps the item");
+    }
+
+    #[test]
+    fn greedy_add_rescues_filtered_items() {
+        // Two identical items, both duplicated across two slots each of
+        // which only fits one: filtering would put both in one slot and
+        // drop one; GreedyAdd must place the loser in the other slot.
+        let p = OvProblem {
+            capacities: vec![10, 10],
+            items: vec![OvItem::pair(10, (0, 5.0), (1, 5.0)), OvItem::pair(10, (0, 5.0), (1, 5.0))],
+        };
+        let s = solve(&p, 0.05);
+        assert!(s.feasible(&p));
+        assert_eq!(s.scheduled_count(), 2, "both items must be placed");
+        assert!((s.profit - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_binds() {
+        let p = OvProblem {
+            capacities: vec![15],
+            items: vec![
+                OvItem::single(10, 0, 10.0),
+                OvItem::single(10, 0, 9.0),
+                OvItem::single(5, 0, 3.0),
+            ],
+        };
+        let s = solve(&p, 0.01);
+        assert!(s.feasible(&p));
+        // Best feasible: item0 + item2 = 13 profit, weight 15.
+        assert!((s.profit - 13.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let s = solve(&OvProblem::default(), 0.1);
+        assert_eq!(s.profit, 0.0);
+        assert_eq!(s.scheduled_count(), 0);
+    }
+
+    #[test]
+    fn negative_profit_items_are_skipped() {
+        let p = OvProblem {
+            capacities: vec![100],
+            items: vec![OvItem::single(10, 0, -5.0), OvItem::single(10, 0, 7.0)],
+        };
+        let s = solve(&p, 0.1);
+        assert_eq!(s.assignment[0], None);
+        assert_eq!(s.assignment[1], Some(0));
+    }
+
+    #[test]
+    fn approximation_bound_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2014);
+        let eps = 0.1;
+        for trial in 0..60 {
+            let nslots = rng.random_range(1..4usize);
+            let nitems = rng.random_range(1..9usize);
+            let capacities: Vec<u64> = (0..nslots).map(|_| rng.random_range(5..40)).collect();
+            let items: Vec<OvItem> = (0..nitems)
+                .map(|_| {
+                    let w = rng.random_range(1..20);
+                    let a = rng.random_range(0..nslots);
+                    let p1 = rng.random_range(0.5..20.0);
+                    if nslots > 1 && rng.random_bool(0.7) {
+                        let b = (a + 1) % nslots;
+                        let p2 = rng.random_range(0.5..20.0);
+                        OvItem::pair(w, (a, p1), (b, p2))
+                    } else {
+                        OvItem::single(w, a, p1)
+                    }
+                })
+                .collect();
+            let p = OvProblem { capacities, items };
+            let approx = solve(&p, eps);
+            let opt = brute_force(&p);
+            assert!(approx.feasible(&p), "trial {trial}");
+            assert!(
+                approx.profit >= (1.0 - eps) / 2.0 * opt.profit - 1e-9,
+                "trial {trial}: {} < (1-ε)/2 · {}",
+                approx.profit,
+                opt.profit
+            );
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_slot_index() {
+        let p = OvProblem { capacities: vec![10], items: vec![OvItem::single(1, 3, 1.0)] };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn brute_force_is_optimal_on_known_instance() {
+        let p = OvProblem {
+            capacities: vec![10, 10],
+            items: vec![
+                OvItem::pair(6, (0, 6.0), (1, 4.0)),
+                OvItem::pair(6, (0, 5.0), (1, 5.0)),
+                OvItem::single(4, 0, 3.0),
+            ],
+        };
+        let s = brute_force(&p);
+        // item0→0 (6), item1→1 (5), item2→0 (3) = 14, weights 10/6 ok.
+        assert!((s.profit - 14.0).abs() < 1e-9);
+        assert!(s.feasible(&p));
+    }
+}

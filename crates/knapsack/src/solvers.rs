@@ -1,0 +1,316 @@
+//! Single 0/1-knapsack solvers: brute force, capacity DP, greedy, and
+//! the Ibarra–Kim profit-scaling FPTAS — the paper's `SinKnap` [13].
+
+use crate::item::{Item, Solution};
+
+/// Exact solver by subset enumeration. `O(2^n)`; panics above 24 items.
+/// Reference oracle for tests.
+pub fn brute_force(items: &[Item], capacity: u64) -> Solution {
+    assert!(items.len() <= 24, "brute force limited to 24 items");
+    let n = items.len();
+    let mut best_mask = 0u32;
+    let mut best_profit = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let mut w = 0u64;
+        let mut p = 0.0f64;
+        let mut ok = true;
+        for (i, item) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                w += item.weight;
+                if w > capacity {
+                    ok = false;
+                    break;
+                }
+                p += item.profit;
+            }
+        }
+        if ok && p > best_profit {
+            best_profit = p;
+            best_mask = mask;
+        }
+    }
+    let chosen = (0..n).filter(|i| best_mask >> i & 1 == 1).collect();
+    Solution::from_indices(items, chosen)
+}
+
+/// Exact DP over capacity, `O(n · C)` time and space. Only sensible for
+/// small integer capacities; the scheduler uses [`sin_knap`] instead.
+pub fn dp_by_capacity(items: &[Item], capacity: u64) -> Solution {
+    let cap = capacity as usize;
+    let n = items.len();
+    // best[w] = max profit with weight exactly ≤ w; keep[i][w] for reconstruction.
+    let mut best = vec![0.0f64; cap + 1];
+    let mut keep = vec![false; n * (cap + 1)];
+    for (i, item) in items.iter().enumerate() {
+        if item.profit <= 0.0 || item.weight > capacity {
+            continue;
+        }
+        let w = item.weight as usize;
+        for c in (w..=cap).rev() {
+            let cand = best[c - w] + item.profit;
+            if cand > best[c] {
+                best[c] = cand;
+                keep[i * (cap + 1) + c] = true;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if keep[i * (cap + 1) + c] {
+            chosen.push(i);
+            c -= items[i].weight as usize;
+        }
+    }
+    Solution::from_indices(items, chosen)
+}
+
+/// Greedy by profit-to-weight ratio with the classic "best single item"
+/// fallback, a 1/2-approximation.
+pub fn greedy_half(items: &[Item], capacity: u64) -> Solution {
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity)
+        .collect();
+    order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
+    let mut chosen = Vec::new();
+    let mut used = 0u64;
+    for &i in &order {
+        if used + items[i].weight <= capacity {
+            used += items[i].weight;
+            chosen.push(i);
+        }
+    }
+    let greedy = Solution::from_indices(items, chosen);
+    // Compare against the single most profitable item.
+    let best_single = (0..items.len())
+        .filter(|&i| items[i].weight <= capacity && items[i].profit > 0.0)
+        .max_by(|&a, &b| items[a].profit.total_cmp(&items[b].profit));
+    match best_single {
+        Some(i) if items[i].profit > greedy.profit => {
+            Solution::from_indices(items, vec![i])
+        }
+        _ => greedy,
+    }
+}
+
+/// Greedy *filling* pass: adds any still-fitting items (by ratio) to an
+/// existing selection. The paper's `GreedyAdd` step.
+pub fn greedy_add(items: &[Item], capacity: u64, existing: &mut Solution) {
+    let in_set: std::collections::HashSet<usize> = existing.chosen.iter().copied().collect();
+    let mut order: Vec<usize> = (0..items.len())
+        .filter(|i| !in_set.contains(i))
+        .filter(|&i| items[i].profit > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
+    for &i in &order {
+        if existing.weight + items[i].weight <= capacity {
+            existing.weight += items[i].weight;
+            existing.profit += items[i].profit;
+            existing.chosen.push(i);
+        }
+    }
+    existing.chosen.sort_unstable();
+}
+
+/// The Ibarra–Kim FPTAS (`SinKnap` in the paper): profit-scaling dynamic
+/// programming guaranteeing profit ≥ `(1 − ε) · OPT` in
+/// `O(n² ⌈n/ε⌉)` time.
+///
+/// `eps` is clamped to `[1e-6, 0.999]`. Items with non-positive profit
+/// or weight exceeding `capacity` are never selected.
+///
+/// ```
+/// use netmaster_knapsack::{sin_knap, Item};
+///
+/// let items = [Item::new(60.0, 10), Item::new(100.0, 20), Item::new(120.0, 30)];
+/// let sol = sin_knap(&items, 50, 0.1);
+/// assert!(sol.profit >= 0.9 * 220.0); // within (1-ε) of the optimum
+/// assert!(sol.weight <= 50);
+/// ```
+pub fn sin_knap(items: &[Item], capacity: u64, eps: f64) -> Solution {
+    let eps = eps.clamp(1e-6, 0.999);
+    // Eligible items only.
+    let eligible: Vec<usize> = (0..items.len())
+        .filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity)
+        .collect();
+    if eligible.is_empty() {
+        return Solution::default();
+    }
+    let n = eligible.len();
+    let p_max = eligible.iter().map(|&i| items[i].profit).fold(0.0f64, f64::max);
+    // Scale factor K = ε·P/n ⇒ every item's scaled profit ≤ n/ε.
+    let k = eps * p_max / n as f64;
+    let scaled: Vec<u64> = eligible
+        .iter()
+        .map(|&i| (items[i].profit / k).floor() as u64)
+        .collect();
+    let p_total: u64 = scaled.iter().sum();
+
+    // min_weight[q] = least weight achieving scaled profit exactly q.
+    const INF: u64 = u64::MAX;
+    let cells = (p_total + 1) as usize;
+    let mut min_weight = vec![INF; cells];
+    let mut choice = vec![false; n * cells]; // choice[j][q]
+    min_weight[0] = 0;
+    for (j, &idx) in eligible.iter().enumerate() {
+        let (pj, wj) = (scaled[j] as usize, items[idx].weight);
+        for q in (pj..cells).rev() {
+            let from = min_weight[q - pj];
+            if from != INF && from + wj < min_weight[q] {
+                min_weight[q] = from + wj;
+                choice[j * cells + q] = true;
+            }
+        }
+    }
+    // Best achievable scaled profit within capacity.
+    let best_q = (0..cells)
+        .rev()
+        .find(|&q| min_weight[q] <= capacity)
+        .unwrap_or(0);
+    // Reconstruct.
+    let mut chosen = Vec::new();
+    let mut q = best_q;
+    for j in (0..n).rev() {
+        if choice[j * cells + q] {
+            chosen.push(eligible[j]);
+            q -= scaled[j] as usize;
+        }
+    }
+    debug_assert_eq!(q, 0, "reconstruction must land at profit 0");
+    Solution::from_indices(items, chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(v: &[(f64, u64)]) -> Vec<Item> {
+        v.iter().map(|&(p, w)| Item::new(p, w)).collect()
+    }
+
+    #[test]
+    fn brute_force_small_instance() {
+        let it = items(&[(60.0, 10), (100.0, 20), (120.0, 30)]);
+        let s = brute_force(&it, 50);
+        assert_eq!(s.chosen, vec![1, 2]);
+        assert!((s.profit - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let it = items(&[(3.0, 4), (7.0, 5), (2.0, 1), (9.0, 7), (5.0, 3)]);
+        for cap in 0..=20 {
+            let a = brute_force(&it, cap);
+            let b = dp_by_capacity(&it, cap);
+            assert!((a.profit - b.profit).abs() < 1e-9, "cap {cap}: {} vs {}", a.profit, b.profit);
+            assert!(b.feasible(cap));
+        }
+    }
+
+    #[test]
+    fn dp_skips_oversized_and_worthless_items() {
+        let it = items(&[(10.0, 100), (-5.0, 1), (0.0, 1), (4.0, 2)]);
+        let s = dp_by_capacity(&it, 10);
+        assert_eq!(s.chosen, vec![3]);
+    }
+
+    #[test]
+    fn greedy_half_is_at_least_half_optimal() {
+        // Adversarial case for plain greedy: one big item beats ratio-greedy.
+        let it = items(&[(1.0, 1), (99.0, 100)]);
+        let s = greedy_half(&it, 100);
+        assert!((s.profit - 99.0).abs() < 1e-9, "fallback to best single item");
+        let opt = brute_force(&it, 100);
+        assert!(s.profit >= 0.5 * opt.profit);
+    }
+
+    #[test]
+    fn greedy_add_fills_leftover_capacity() {
+        let it = items(&[(5.0, 5), (4.0, 4), (3.0, 3)]);
+        let mut s = Solution::from_indices(&it, vec![0]);
+        greedy_add(&it, 12, &mut s);
+        assert_eq!(s.chosen, vec![0, 1, 2]);
+        assert_eq!(s.weight, 12);
+        // Never exceeds capacity.
+        let mut s2 = Solution::from_indices(&it, vec![0]);
+        greedy_add(&it, 8, &mut s2);
+        assert!(s2.weight <= 8);
+    }
+
+    #[test]
+    fn sin_knap_exact_on_small_eps() {
+        let it = items(&[(60.0, 10), (100.0, 20), (120.0, 30)]);
+        let s = sin_knap(&it, 50, 0.01);
+        assert!((s.profit - 220.0).abs() < 1e-9);
+        assert!(s.feasible(50));
+    }
+
+    #[test]
+    fn sin_knap_respects_epsilon_guarantee() {
+        let it = items(&[
+            (13.0, 9),
+            (8.0, 5),
+            (17.0, 14),
+            (4.0, 2),
+            (9.0, 6),
+            (11.0, 8),
+            (6.0, 4),
+        ]);
+        for &eps in &[0.05, 0.1, 0.3, 0.5, 0.9] {
+            for cap in [5u64, 10, 20, 30] {
+                let opt = brute_force(&it, cap);
+                let s = sin_knap(&it, cap, eps);
+                assert!(s.feasible(cap));
+                assert!(
+                    s.profit >= (1.0 - eps) * opt.profit - 1e-9,
+                    "eps={eps} cap={cap}: {} < (1-ε)·{}",
+                    s.profit,
+                    opt.profit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sin_knap_empty_and_degenerate() {
+        assert_eq!(sin_knap(&[], 10, 0.1), Solution::default());
+        let it = items(&[(-1.0, 1), (0.0, 1)]);
+        assert_eq!(sin_knap(&it, 10, 0.1).chosen.len(), 0);
+        // All items oversized.
+        let it = items(&[(5.0, 100)]);
+        assert_eq!(sin_knap(&it, 10, 0.1).chosen.len(), 0);
+    }
+
+    #[test]
+    fn sin_knap_zero_weight_items_always_fit() {
+        let it = items(&[(5.0, 0), (3.0, 0), (7.0, 10)]);
+        let s = sin_knap(&it, 10, 0.05);
+        assert!((s.profit - 15.0).abs() < 0.8); // within FPTAS slack
+        assert_eq!(s.chosen.len(), 3);
+    }
+
+    #[test]
+    fn solvers_agree_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..50 {
+            let n = rng.random_range(1..=12);
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(rng.random_range(1.0..50.0), rng.random_range(1..30)))
+                .collect();
+            let cap = rng.random_range(1..80);
+            let opt = brute_force(&it, cap);
+            let dp = dp_by_capacity(&it, cap);
+            let fptas = sin_knap(&it, cap, 0.1);
+            let gr = greedy_half(&it, cap);
+            assert!((dp.profit - opt.profit).abs() < 1e-9, "trial {trial}");
+            assert!(fptas.profit >= 0.9 * opt.profit - 1e-9, "trial {trial}");
+            assert!(gr.profit >= 0.5 * opt.profit - 1e-9, "trial {trial}");
+            for s in [&dp, &fptas, &gr] {
+                assert!(s.feasible(cap), "trial {trial}");
+            }
+        }
+    }
+}

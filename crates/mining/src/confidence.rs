@@ -1,0 +1,172 @@
+//! Confidence-aware slot prediction.
+//!
+//! With only 2–3 weeks of history, `Pr[u(t_i)]` is estimated from a
+//! handful of Bernoulli trials — 3 quiet days out of 10 could be a 30%
+//! habit or bad luck. The paper thresholds the raw frequency; this
+//! module offers the statistically careful variant: threshold the
+//! **Wilson score interval** instead. Declaring a slot *inactive* only
+//! when the *upper* bound sits below δ makes the ≤δ interrupt guarantee
+//! hold with confidence, at some energy cost (fewer hours are declared
+//! safe to go dark); the reverse trade uses the lower bound.
+
+use crate::intensity::HourlyHistory;
+use crate::prediction::{ActiveSlotPrediction, PredictionConfig};
+use netmaster_trace::time::{DayKind, HOURS_PER_DAY};
+use serde::{Deserialize, Serialize};
+
+/// Wilson score interval for a Bernoulli proportion: `successes` in
+/// `trials` at the given `z` (1.96 ≈ 95%). Returns `(lower, upper)`.
+///
+/// ```
+/// use netmaster_mining::wilson_interval;
+///
+/// // 3 active days out of 10: the point estimate is 0.30, but with so
+/// // few trials the truth plausibly sits anywhere in roughly [0.11, 0.60].
+/// let (lo, hi) = wilson_interval(3, 10, 1.96);
+/// assert!(lo < 0.3 && 0.3 < hi);
+/// assert!(hi - lo > 0.4);
+/// ```
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Which interval bound the δ threshold compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Compare δ against the **upper** bound: an hour goes inactive only
+    /// when we are confident usage probability is ≤ δ. Conservative on
+    /// user experience (the paper's first-place concern).
+    Upper,
+    /// Compare against the raw point estimate — the paper's rule.
+    Point,
+    /// Compare against the **lower** bound: aggressive energy saving,
+    /// weaker interrupt guarantee.
+    Lower,
+}
+
+/// Predicts active slots thresholding the chosen Wilson bound at δ.
+pub fn predict_with_confidence(
+    history: &HourlyHistory,
+    cfg: PredictionConfig,
+    bound: Bound,
+    z: f64,
+) -> ActiveSlotPrediction {
+    let mut out = ActiveSlotPrediction {
+        weekday: [false; HOURS_PER_DAY],
+        weekend: [false; HOURS_PER_DAY],
+        prob_weekday: [0.0; HOURS_PER_DAY],
+        prob_weekend: [0.0; HOURS_PER_DAY],
+    };
+    for kind in [DayKind::Weekday, DayKind::Weekend] {
+        let rows = history.rows_of_kind(kind);
+        let trials = rows.len() as u64;
+        let delta = cfg.delta(kind);
+        for h in 0..HOURS_PER_DAY {
+            let successes = rows.iter().filter(|r| r[h] > 0).count() as u64;
+            let point = if trials == 0 { 0.0 } else { successes as f64 / trials as f64 };
+            let (lo, hi) = wilson_interval(successes, trials, z);
+            let stat = match bound {
+                Bound::Upper => hi,
+                Bound::Point => point,
+                Bound::Lower => lo,
+            };
+            let active = stat > delta;
+            match kind {
+                DayKind::Weekday => {
+                    out.prob_weekday[h] = point;
+                    out.weekday[h] = active;
+                }
+                DayKind::Weekend => {
+                    out.prob_weekend[h] = point;
+                    out.weekend[h] = active;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::{predict_active_slots, prediction_accuracy};
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    #[test]
+    fn wilson_brackets_the_point_estimate() {
+        for (s, n) in [(0u64, 10u64), (3, 10), (5, 10), (10, 10), (7, 21)] {
+            let p = s as f64 / n as f64;
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{s}/{n}: [{lo},{hi}] vs {p}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let (lo1, hi1) = wilson_interval(3, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(30, 100, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn zero_trials_is_maximally_uncertain() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn upper_bound_declares_more_hours_active() {
+        let trace =
+            TraceGenerator::new(UserProfile::panel().remove(1)).with_seed(8).generate(14);
+        let h = HourlyHistory::from_trace(&trace);
+        let cfg = PredictionConfig::default();
+        let point = predict_with_confidence(&h, cfg, Bound::Point, 1.96);
+        let upper = predict_with_confidence(&h, cfg, Bound::Upper, 1.96);
+        let lower = predict_with_confidence(&h, cfg, Bound::Lower, 1.96);
+        let count = |p: &ActiveSlotPrediction| {
+            p.weekday.iter().chain(&p.weekend).filter(|&&b| b).count()
+        };
+        assert!(count(&upper) >= count(&point), "upper is conservative");
+        assert!(count(&point) >= count(&lower), "lower is aggressive");
+        assert!(count(&upper) > count(&lower), "the bounds actually differ");
+    }
+
+    #[test]
+    fn point_bound_matches_the_paper_rule() {
+        let trace =
+            TraceGenerator::new(UserProfile::panel().remove(3)).with_seed(12).generate(14);
+        let h = HourlyHistory::from_trace(&trace);
+        let cfg = PredictionConfig::default();
+        let a = predict_with_confidence(&h, cfg, Bound::Point, 1.96);
+        let b = predict_active_slots(&h, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn upper_bound_never_reduces_accuracy() {
+        let trace =
+            TraceGenerator::new(UserProfile::panel().remove(6)).with_seed(20).generate(21);
+        let train = trace.slice_days(0, 14);
+        let test = trace.slice_days(14, 21);
+        let h = HourlyHistory::from_trace(&train);
+        let cfg = PredictionConfig::default();
+        let point_acc =
+            prediction_accuracy(&predict_with_confidence(&h, cfg, Bound::Point, 1.96), &test);
+        let upper_acc =
+            prediction_accuracy(&predict_with_confidence(&h, cfg, Bound::Upper, 1.96), &test);
+        assert!(
+            upper_acc >= point_acc - 1e-12,
+            "more active hours cannot lower coverage accuracy: {upper_acc} vs {point_acc}"
+        );
+    }
+}

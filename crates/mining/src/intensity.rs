@@ -1,0 +1,185 @@
+//! Hourly usage-intensity extraction from traces.
+//!
+//! "Intensity" is the paper's unit of habit: *the total times of usage
+//! in an hour* (§IV-C1). Everything the miner does — Pearson
+//! correlation, active-slot prediction, threshold tuning — runs on the
+//! per-day, per-hour interaction counts extracted here.
+
+use netmaster_trace::time::{DayKind, HOURS_PER_DAY};
+use netmaster_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Per-day hourly usage counts for one user.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HourlyHistory {
+    /// `counts[d][h]` = interactions in hour `h` of recorded day `d`.
+    pub counts: Vec<[u64; HOURS_PER_DAY]>,
+    /// Weekday/weekend tag of each recorded day.
+    pub kinds: Vec<DayKind>,
+}
+
+impl HourlyHistory {
+    /// Extracts the history from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut h = HourlyHistory::default();
+        for day in &trace.days {
+            let mut row = [0u64; HOURS_PER_DAY];
+            for i in &day.interactions {
+                row[netmaster_trace::time::hour_of(i.at)] += 1;
+            }
+            h.counts.push(row);
+            h.kinds.push(DayKind::of_day(day.day));
+        }
+        h
+    }
+
+    /// Number of recorded days.
+    pub fn num_days(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Day rows restricted to one day kind.
+    pub fn rows_of_kind(&self, kind: DayKind) -> Vec<&[u64; HOURS_PER_DAY]> {
+        self.counts
+            .iter()
+            .zip(&self.kinds)
+            .filter(|(_, k)| **k == kind)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Mean intensity per hour over all days (the Fig. 3 usage vector).
+    pub fn mean_intensity(&self) -> [f64; HOURS_PER_DAY] {
+        let mut v = [0.0; HOURS_PER_DAY];
+        if self.counts.is_empty() {
+            return v;
+        }
+        for row in &self.counts {
+            for (h, &c) in row.iter().enumerate() {
+                v[h] += c as f64;
+            }
+        }
+        for x in &mut v {
+            *x /= self.counts.len() as f64;
+        }
+        v
+    }
+
+    /// `Pr[u(t_i)]` per Eq. 2: the fraction of days (of the given kind)
+    /// in which hour `i` saw any usage — `u(t_i)_j ∈ {0, 1}`.
+    pub fn usage_probability(&self, kind: DayKind) -> [f64; HOURS_PER_DAY] {
+        let rows = self.rows_of_kind(kind);
+        let mut v = [0.0; HOURS_PER_DAY];
+        if rows.is_empty() {
+            return v;
+        }
+        for row in &rows {
+            for (h, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    v[h] += 1.0;
+                }
+            }
+        }
+        for x in &mut v {
+            *x /= rows.len() as f64;
+        }
+        v
+    }
+
+    /// One day's counts as an f64 vector (for Pearson).
+    pub fn day_vector(&self, d: usize) -> [f64; HOURS_PER_DAY] {
+        let mut v = [0.0; HOURS_PER_DAY];
+        for (h, &c) in self.counts[d].iter().enumerate() {
+            v[h] = c as f64;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmaster_trace::event::Interaction;
+    use netmaster_trace::time::{at_hour, SECS_PER_HOUR};
+    use netmaster_trace::trace::DayTrace;
+
+    fn trace_with_usage(pattern: &[(usize, usize, u64)]) -> Trace {
+        // pattern: (day, hour, count)
+        let mut t = Trace::new(1);
+        let app = t.apps.register("a");
+        let max_day = pattern.iter().map(|&(d, ..)| d).max().unwrap_or(0);
+        for d in 0..=max_day {
+            let mut day = DayTrace::new(d);
+            for &(pd, h, n) in pattern {
+                if pd == d {
+                    for k in 0..n {
+                        day.interactions.push(Interaction {
+                            at: at_hour(d, h) + k * 60,
+                            app,
+                            needs_network: false,
+                        });
+                    }
+                }
+            }
+            // A covering session so validation would hold (not required here).
+            if !day.interactions.is_empty() {
+                day.sessions = vec![netmaster_trace::event::ScreenSession {
+                    start: day.interactions[0].at,
+                    end: day.interactions.last().unwrap().at + SECS_PER_HOUR,
+                }];
+            }
+            day.normalize();
+            t.days.push(day);
+        }
+        t
+    }
+
+    #[test]
+    fn counts_land_in_right_cells() {
+        let t = trace_with_usage(&[(0, 8, 3), (0, 20, 1), (1, 8, 2)]);
+        let h = HourlyHistory::from_trace(&t);
+        assert_eq!(h.num_days(), 2);
+        assert_eq!(h.counts[0][8], 3);
+        assert_eq!(h.counts[0][20], 1);
+        assert_eq!(h.counts[1][8], 2);
+        assert_eq!(h.counts[0][9], 0);
+    }
+
+    #[test]
+    fn mean_intensity_averages_days() {
+        let t = trace_with_usage(&[(0, 8, 4), (1, 8, 2)]);
+        let h = HourlyHistory::from_trace(&t);
+        assert!((h.mean_intensity()[8] - 3.0).abs() < 1e-12);
+        assert_eq!(h.mean_intensity()[0], 0.0);
+    }
+
+    #[test]
+    fn usage_probability_is_binary_per_day() {
+        // Day 0 (Mon): 5 uses at hour 8; day 1 (Tue): none at hour 8.
+        let t = trace_with_usage(&[(0, 8, 5), (1, 9, 1)]);
+        let h = HourlyHistory::from_trace(&t);
+        let p = h.usage_probability(DayKind::Weekday);
+        assert!((p[8] - 0.5).abs() < 1e-12, "5 uses count once");
+        assert!((p[9] - 0.5).abs() < 1e-12);
+        assert_eq!(p[10], 0.0);
+    }
+
+    #[test]
+    fn weekend_rows_are_separated() {
+        // Days 0..6; day 5 = Saturday.
+        let t = trace_with_usage(&[(5, 14, 2), (0, 14, 1)]);
+        let h = HourlyHistory::from_trace(&t);
+        assert_eq!(h.rows_of_kind(DayKind::Weekend).len(), 1);
+        let p_we = h.usage_probability(DayKind::Weekend);
+        assert!((p_we[14] - 1.0).abs() < 1e-12);
+        let p_wd = h.usage_probability(DayKind::Weekday);
+        assert!(p_wd[14] < 0.5);
+    }
+
+    #[test]
+    fn empty_history_is_all_zero() {
+        let h = HourlyHistory::default();
+        assert_eq!(h.mean_intensity(), [0.0; 24]);
+        assert_eq!(h.usage_probability(DayKind::Weekday), [0.0; 24]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Alternative usage-probability models.
+//!
+//! The paper's predictor (Eq. 2) weighs every history day equally; its
+//! future work calls for deeper habit analysis. This module makes the
+//! probability model pluggable: the paper's frequency model, an
+//! exponentially-weighted variant that adapts to habit drift (schedule
+//! changes, travel), and an hour-smoothed variant that credits shoulder
+//! hours. All feed the same thresholding ([`predict_with`]).
+
+use crate::intensity::HourlyHistory;
+use crate::prediction::{ActiveSlotPrediction, PredictionConfig};
+use netmaster_trace::time::{DayKind, HOURS_PER_DAY};
+
+/// A model turning history into `Pr[u(t_i)]` per hour.
+pub trait UsageModel {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Hourly usage probabilities for one day kind.
+    fn usage_probability(&self, history: &HourlyHistory, kind: DayKind) -> [f64; HOURS_PER_DAY];
+}
+
+/// The paper's Eq. 2: every history day counts equally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrequencyModel;
+
+impl UsageModel for FrequencyModel {
+    fn name(&self) -> &'static str {
+        "frequency"
+    }
+
+    fn usage_probability(&self, history: &HourlyHistory, kind: DayKind) -> [f64; HOURS_PER_DAY] {
+        history.usage_probability(kind)
+    }
+}
+
+/// Exponentially weighted frequencies: a day `a` days old weighs
+/// `(1 − alpha)^a`. Adapts within ~`1/alpha` days to a habit change.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaModel {
+    /// Per-day decay in `(0, 1]`; `alpha → 0` recovers [`FrequencyModel`].
+    pub alpha: f64,
+}
+
+impl Default for EwmaModel {
+    fn default() -> Self {
+        EwmaModel { alpha: 0.3 }
+    }
+}
+
+impl UsageModel for EwmaModel {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn usage_probability(&self, history: &HourlyHistory, kind: DayKind) -> [f64; HOURS_PER_DAY] {
+        let alpha = self.alpha.clamp(1e-6, 1.0);
+        let rows: Vec<(usize, &[u64; HOURS_PER_DAY])> = history
+            .counts
+            .iter()
+            .zip(&history.kinds)
+            .enumerate()
+            .filter(|(_, (_, k))| **k == kind)
+            .map(|(i, (c, _))| (i, c))
+            .collect();
+        let mut probs = [0.0; HOURS_PER_DAY];
+        if rows.is_empty() {
+            return probs;
+        }
+        let newest = rows.last().map(|&(i, _)| i).unwrap_or(0);
+        let mut weight_sum = 0.0;
+        for &(i, row) in &rows {
+            let age = (newest - i) as f64;
+            let w = (1.0 - alpha).powf(age);
+            weight_sum += w;
+            for (h, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    probs[h] += w;
+                }
+            }
+        }
+        for p in &mut probs {
+            *p /= weight_sum;
+        }
+        probs
+    }
+}
+
+/// Frequency model smoothed across adjacent hours (wrap-around kernel
+/// `[spill, 1, spill]`), crediting shoulder hours so slots grow one
+/// hour of margin on each side as `spill → 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoothedModel {
+    /// Neighbour weight in `[0, 1]`.
+    pub spill: f64,
+}
+
+impl Default for SmoothedModel {
+    fn default() -> Self {
+        SmoothedModel { spill: 0.35 }
+    }
+}
+
+impl UsageModel for SmoothedModel {
+    fn name(&self) -> &'static str {
+        "smoothed"
+    }
+
+    fn usage_probability(&self, history: &HourlyHistory, kind: DayKind) -> [f64; HOURS_PER_DAY] {
+        let base = history.usage_probability(kind);
+        let s = self.spill.clamp(0.0, 1.0);
+        let mut out = [0.0; HOURS_PER_DAY];
+        for h in 0..HOURS_PER_DAY {
+            let prev = base[(h + HOURS_PER_DAY - 1) % HOURS_PER_DAY];
+            let next = base[(h + 1) % HOURS_PER_DAY];
+            // Max-combine rather than average: smoothing must never
+            // *reduce* an hour's probability (that would raise
+            // interrupt risk), only lift shoulders.
+            out[h] = base[h].max(s * prev).max(s * next);
+        }
+        out
+    }
+}
+
+/// Thresholds any model's probabilities into an
+/// [`ActiveSlotPrediction`] (the δ rule of §IV-C1).
+pub fn predict_with(
+    model: &dyn UsageModel,
+    history: &HourlyHistory,
+    cfg: PredictionConfig,
+) -> ActiveSlotPrediction {
+    let prob_weekday = model.usage_probability(history, DayKind::Weekday);
+    let prob_weekend = model.usage_probability(history, DayKind::Weekend);
+    let mut weekday = [false; HOURS_PER_DAY];
+    let mut weekend = [false; HOURS_PER_DAY];
+    for h in 0..HOURS_PER_DAY {
+        weekday[h] = prob_weekday[h] > cfg.delta_weekday;
+        weekend[h] = prob_weekend[h] > cfg.delta_weekend;
+    }
+    ActiveSlotPrediction { weekday, weekend, prob_weekday, prob_weekend }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::{predict_active_slots, prediction_accuracy};
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    /// History where the user's evening habit moved from hour 8 to
+    /// hour 20 three days ago.
+    fn drifted_history() -> HourlyHistory {
+        let mut h = HourlyHistory::default();
+        for i in 0..10 {
+            let mut row = [0u64; HOURS_PER_DAY];
+            if i < 7 {
+                row[8] = 3;
+            } else {
+                row[20] = 3;
+            }
+            h.counts.push(row);
+            h.kinds.push(DayKind::Weekday);
+        }
+        h
+    }
+
+    #[test]
+    fn frequency_model_matches_eq2() {
+        let h = drifted_history();
+        let freq = FrequencyModel.usage_probability(&h, DayKind::Weekday);
+        assert!((freq[8] - 0.7).abs() < 1e-12);
+        assert!((freq[20] - 0.3).abs() < 1e-12);
+        // And predict_with(FrequencyModel) == predict_active_slots.
+        let cfg = PredictionConfig::uniform(0.25);
+        let a = predict_with(&FrequencyModel, &h, cfg);
+        let b = predict_active_slots(&h, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ewma_adapts_to_habit_drift() {
+        let h = drifted_history();
+        let ewma = EwmaModel { alpha: 0.5 }.usage_probability(&h, DayKind::Weekday);
+        let freq = FrequencyModel.usage_probability(&h, DayKind::Weekday);
+        // The new 20h habit dominates for EWMA but not for frequency.
+        assert!(ewma[20] > 0.8, "ewma[20] = {}", ewma[20]);
+        assert!(ewma[8] < 0.2, "ewma[8] = {}", ewma[8]);
+        assert!(freq[8] > freq[20]);
+        // With the paper's δ = 0.2, EWMA drops the stale hour.
+        let pred = predict_with(&EwmaModel { alpha: 0.5 }, &h, PredictionConfig::uniform(0.2));
+        assert!(pred.weekday[20]);
+        assert!(!pred.weekday[8]);
+    }
+
+    #[test]
+    fn ewma_with_tiny_alpha_recovers_frequency() {
+        let h = drifted_history();
+        let ewma = EwmaModel { alpha: 1e-6 }.usage_probability(&h, DayKind::Weekday);
+        let freq = FrequencyModel.usage_probability(&h, DayKind::Weekday);
+        for hh in 0..HOURS_PER_DAY {
+            assert!((ewma[hh] - freq[hh]).abs() < 1e-3, "hour {hh}");
+        }
+    }
+
+    #[test]
+    fn smoothing_lifts_shoulders_only() {
+        let h = drifted_history();
+        let base = FrequencyModel.usage_probability(&h, DayKind::Weekday);
+        let smooth = SmoothedModel { spill: 0.5 }.usage_probability(&h, DayKind::Weekday);
+        for hh in 0..HOURS_PER_DAY {
+            assert!(smooth[hh] >= base[hh] - 1e-12, "never reduces: hour {hh}");
+        }
+        assert!(smooth[7] > 0.0 && smooth[9] > 0.0, "shoulders of hour 8 lift");
+        assert!((smooth[7] - 0.5 * base[8]).abs() < 1e-12);
+        // Wrap-around: hour 23 gets spill from hour 0 usage.
+        let mut hh = HourlyHistory::default();
+        let mut row = [0u64; HOURS_PER_DAY];
+        row[0] = 1;
+        hh.counts.push(row);
+        hh.kinds.push(DayKind::Weekday);
+        let s = SmoothedModel { spill: 0.4 }.usage_probability(&hh, DayKind::Weekday);
+        assert!((s[23] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn models_agree_on_steady_habits() {
+        // On a regular user with no drift, all three models predict
+        // nearly identical slots at the deployment δ.
+        let trace = TraceGenerator::new(UserProfile::panel().remove(3)).with_seed(4).generate(14);
+        let h = HourlyHistory::from_trace(&trace);
+        let cfg = PredictionConfig::default();
+        let freq = predict_with(&FrequencyModel, &h, cfg);
+        let ewma = predict_with(&EwmaModel::default(), &h, cfg);
+        let differing = (0..HOURS_PER_DAY)
+            .filter(|&hh| freq.weekday[hh] != ewma.weekday[hh])
+            .count();
+        assert!(differing <= 3, "{differing} hours differ on a steady user");
+    }
+
+    #[test]
+    fn accuracy_comparable_across_models_on_test_week() {
+        let trace = TraceGenerator::new(UserProfile::panel().remove(0)).with_seed(6).generate(21);
+        let train = trace.slice_days(0, 14);
+        let test = trace.slice_days(14, 21);
+        let h = HourlyHistory::from_trace(&train);
+        let cfg = PredictionConfig::default();
+        let models: [&dyn UsageModel; 3] =
+            [&FrequencyModel, &EwmaModel::default(), &SmoothedModel::default()];
+        for m in models {
+            let acc = prediction_accuracy(&predict_with(m, &h, cfg), &test);
+            assert!(acc > 0.8, "{}: accuracy {acc}", m.name());
+        }
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = HourlyHistory::default();
+        for m in [&EwmaModel::default() as &dyn UsageModel, &SmoothedModel::default()] {
+            let p = m.usage_probability(&h, DayKind::Weekend);
+            assert_eq!(p, [0.0; HOURS_PER_DAY], "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! "Special Apps" detection (§IV-C2).
+//!
+//! A Special App is one "used at least once along with network
+//! activities" — for user 3 of Fig. 5 only 8 of 23 installed apps
+//! qualify. The real-time adjustment layer tracks only these apps:
+//! a foreground Special App outside predicted slots wakes the radio;
+//! anything else does not. Newly installed apps default to Special
+//! until profiled, to avoid false denials.
+
+use netmaster_trace::event::AppId;
+use netmaster_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The per-user Special Apps profile.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpecialApps {
+    special: HashSet<AppId>,
+    /// Apps seen at all during profiling (used or trafficking).
+    known: HashSet<AppId>,
+    /// Interaction counts per app (Fig. 5's usage totals).
+    usage: HashMap<AppId, u64>,
+}
+
+impl SpecialApps {
+    /// Profiles a training trace: an app is Special when it was used at
+    /// least once *and* produced at least one network activity.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut usage: HashMap<AppId, u64> = HashMap::new();
+        let mut networked: HashSet<AppId> = HashSet::new();
+        let mut known: HashSet<AppId> = HashSet::new();
+        for day in &trace.days {
+            for i in &day.interactions {
+                *usage.entry(i.app).or_insert(0) += 1;
+                known.insert(i.app);
+            }
+            for a in &day.activities {
+                networked.insert(a.app);
+                known.insert(a.app);
+            }
+        }
+        let special = usage
+            .keys()
+            .filter(|app| networked.contains(app))
+            .copied()
+            .collect();
+        SpecialApps { special, known, usage }
+    }
+
+    /// Is this app Special? Unknown (newly installed) apps are treated
+    /// as Special until profiled, as the paper prescribes.
+    pub fn is_special(&self, app: AppId) -> bool {
+        self.special.contains(&app) || !self.known.contains(&app)
+    }
+
+    /// Is the app known from profiling at all?
+    pub fn is_known(&self, app: AppId) -> bool {
+        self.known.contains(&app)
+    }
+
+    /// Number of profiled Special Apps (excludes the unknown-app default).
+    pub fn count(&self) -> usize {
+        self.special.len()
+    }
+
+    /// Number of apps seen during profiling.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Interaction count recorded for an app.
+    pub fn usage_count(&self, app: AppId) -> u64 {
+        self.usage.get(&app).copied().unwrap_or(0)
+    }
+
+    /// The most-used Special App and its count (WeChat for user 3:
+    /// 669 uses, 59% of all usage).
+    pub fn dominant(&self) -> Option<(AppId, u64)> {
+        self.special
+            .iter()
+            .map(|&a| (a, self.usage_count(a)))
+            .max_by_key(|&(_, c)| c)
+    }
+
+    /// Fraction of all interactions owned by an app.
+    pub fn usage_share(&self, app: AppId) -> f64 {
+        let total: u64 = self.usage.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.usage_count(app) as f64 / total as f64
+    }
+
+    /// Registers a newly observed app as Special (paper: "when meeting
+    /// a new installed app, we first recognize it as Special Apps").
+    pub fn admit(&mut self, app: AppId) {
+        self.special.insert(app);
+        self.known.insert(app);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    fn user3_trace() -> Trace {
+        TraceGenerator::new(UserProfile::panel().remove(2)).with_seed(35).generate(7)
+    }
+
+    #[test]
+    fn special_requires_usage_and_network() {
+        let t = user3_trace();
+        let s = SpecialApps::from_trace(&t);
+        // Offline apps that were used (contacts/phone/settings) are known
+        // but not special.
+        let contacts = t.apps.lookup("com.android.contacts").unwrap();
+        if s.is_known(contacts) {
+            assert!(!s.is_special(contacts), "contacts has no network traffic");
+        }
+        // The messenger is both used and networked.
+        let mm = t.apps.lookup("com.tencent.mm").unwrap();
+        assert!(s.is_special(mm));
+        assert!(s.count() >= 3, "expect several special apps, got {}", s.count());
+        assert!(s.count() < s.known_count(), "special must filter something");
+    }
+
+    #[test]
+    fn unknown_apps_default_to_special() {
+        let t = user3_trace();
+        let s = SpecialApps::from_trace(&t);
+        let never_seen = AppId(9_999);
+        assert!(s.is_special(never_seen));
+        assert!(!s.is_known(never_seen));
+    }
+
+    #[test]
+    fn admit_registers_new_app() {
+        let mut s = SpecialApps::default();
+        let app = AppId(7);
+        s.admit(app);
+        assert!(s.is_special(app));
+        assert!(s.is_known(app));
+        assert_eq!(s.usage_count(app), 0);
+    }
+
+    #[test]
+    fn messenger_dominates_user3_usage() {
+        // Fig. 5: weChat is 59% of user 3's usage.
+        let t = user3_trace();
+        let s = SpecialApps::from_trace(&t);
+        let (app, uses) = s.dominant().expect("user 3 has special apps");
+        assert_eq!(t.apps.name(app), Some("com.tencent.mm"));
+        assert!(uses > 50, "dominant app should be heavily used: {uses}");
+        assert!(
+            s.usage_share(app) > 0.4,
+            "weChat share should dominate: {}",
+            s.usage_share(app)
+        );
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_nothing() {
+        let s = SpecialApps::from_trace(&Trace::new(1));
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.known_count(), 0);
+        assert_eq!(s.dominant(), None);
+        assert_eq!(s.usage_share(AppId(0)), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-app energy attribution — eprof-style fine-grained accounting
+//! (Pathak et al., the paper's ref [9]): which apps are the *energy
+//! devourers* of the title.
+//!
+//! The hard part of attributing cellular energy is the shared state
+//! machine: when several apps' transfers ride one radio session, who
+//! pays for the promotion and the tail? Following eprof's
+//! last-trigger convention: the app that *wakes* the radio pays the
+//! promotion, the app whose transfer *ends last* pays the tail (its
+//! traffic is what kept the radio lingering), and active energy splits
+//! by each app's own transfer seconds.
+
+use crate::rrc::RrcModel;
+use netmaster_trace::event::AppId;
+use netmaster_trace::time::{merge_intervals, Interval};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One app's share of the radio bill.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AppEnergy {
+    /// Energy from the app's own transfer seconds (J).
+    pub active_j: f64,
+    /// Promotion energy charged to this app (J).
+    pub promo_j: f64,
+    /// Tail energy charged to this app (J).
+    pub tail_j: f64,
+    /// Radio sessions this app initiated.
+    pub wakeups: u64,
+    /// Seconds of this app's transfers.
+    pub transfer_secs: f64,
+}
+
+impl AppEnergy {
+    /// Total joules charged.
+    pub fn total_j(&self) -> f64 {
+        self.active_j + self.promo_j + self.tail_j
+    }
+
+    /// Overhead (promotion + tail) share of the app's bill.
+    pub fn overhead_fraction(&self) -> f64 {
+        let t = self.total_j();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        (self.promo_j + self.tail_j) / t
+    }
+}
+
+/// Attributes the energy of a transfer timeline to apps.
+///
+/// `transfers` are `(app, span)` pairs (need not be sorted). The sum of
+/// all apps' totals equals [`RrcModel::account`]'s total for the same
+/// spans exactly (conservation is unit-tested).
+///
+/// ```
+/// use netmaster_radio::attribution::attribute;
+/// use netmaster_radio::{Interval, RrcModel};
+/// use netmaster_trace::event::AppId;
+///
+/// let model = RrcModel::wcdma_default();
+/// // The chat app wakes the radio; the mail app's sync rides along
+/// // and ends last, so it owns the tail.
+/// let att = attribute(&model, &[
+///     (AppId(1), Interval::new(0, 10)),
+///     (AppId(2), Interval::new(10, 25)),
+/// ]);
+/// assert!(att[&AppId(1)].promo_j > 0.0);
+/// assert_eq!(att[&AppId(2)].promo_j, 0.0);
+/// assert!(att[&AppId(2)].tail_j > att[&AppId(1)].tail_j);
+/// ```
+pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<AppId, AppEnergy> {
+    let mut out: HashMap<AppId, AppEnergy> = HashMap::new();
+    if transfers.is_empty() {
+        return out;
+    }
+    let cfg = &model.config;
+    let tail_len = model.tail_secs();
+
+    // Radio sessions: merged spans further fused across tail-riding
+    // gaps (a transfer arriving inside the previous tail extends the
+    // same session, as in `account`).
+    let spans: Vec<Interval> = transfers.iter().map(|&(_, s)| s).collect();
+    let merged = merge_intervals(spans);
+    let mut sessions: Vec<Interval> = Vec::new();
+    for span in merged {
+        match sessions.last_mut() {
+            Some(last) if (span.start as f64) <= last.end as f64 + tail_len => {
+                last.end = last.end.max(span.end);
+            }
+            _ => sessions.push(span),
+        }
+    }
+
+    // Raw transfer seconds are informational (they may overlap).
+    for &(app, span) in transfers {
+        out.entry(app).or_default().transfer_secs += span.len() as f64;
+    }
+    // Active energy: each merged burst is charged once (as in
+    // `account`) and split among the apps transferring during it,
+    // proportionally to their own seconds inside the burst — so
+    // concurrent transfers share rather than double-charge.
+    let bursts_all = merge_intervals(transfers.iter().map(|&(_, s)| s).collect());
+    for burst in &bursts_all {
+        let shares: Vec<(AppId, f64)> = transfers
+            .iter()
+            .filter_map(|&(app, s)| s.intersect(burst).map(|o| (app, o.len() as f64)))
+            .collect();
+        let total_share: f64 = shares.iter().map(|&(_, s)| s).sum();
+        if total_share <= 0.0 {
+            continue;
+        }
+        let burst_j = cfg.active_energy_j(burst.len() as f64);
+        for (app, share) in shares {
+            out.entry(app).or_default().active_j += burst_j * share / total_share;
+        }
+    }
+
+    // Overheads per session: promotion to the earliest-starting
+    // transfer's app, tail to the latest-ending transfer's app. The
+    // session-internal tail gaps (elapsed tail between bursts inside
+    // one session) are charged to the app whose transfer preceded the
+    // gap.
+    for session in &sessions {
+        // Transfers inside this session, ordered by start.
+        let mut inside: Vec<&(AppId, Interval)> = transfers
+            .iter()
+            .filter(|(_, s)| s.overlaps(session))
+            .collect();
+        inside.sort_by_key(|(_, s)| (s.start, s.end));
+        if inside.is_empty() {
+            continue;
+        }
+        let first_app = inside[0].0;
+        let e = out.entry(first_app).or_default();
+        e.promo_j += cfg.promo_energy_j();
+        e.wakeups += 1;
+
+        let last_app = inside.iter().max_by_key(|(_, s)| s.end).map(|(a, _)| *a).unwrap();
+        out.entry(last_app).or_default().tail_j += model.tail_policy.tail_energy_j(cfg);
+
+        // Internal elapsed-tail gaps: walk the merged bursts of this
+        // session; each gap's tail-prefix energy goes to the app whose
+        // transfer ended the preceding burst.
+        let bursts = merge_intervals(inside.iter().map(|(_, s)| *s).collect());
+        for w in bursts.windows(2) {
+            let gap = (w[1].start - w[0].end) as f64;
+            if gap <= 0.0 {
+                continue;
+            }
+            let payer = inside
+                .iter()
+                .filter(|(_, s)| s.end <= w[0].end)
+                .max_by_key(|(_, s)| s.end)
+                .map(|(a, _)| *a)
+                .unwrap_or(first_app);
+            out.entry(payer).or_default().tail_j += cfg.tail_prefix_energy_j(gap);
+        }
+    }
+    out
+}
+
+/// Ranks apps by total charged energy, descending.
+pub fn ranked(attribution: &HashMap<AppId, AppEnergy>) -> Vec<(AppId, AppEnergy)> {
+    let mut v: Vec<(AppId, AppEnergy)> =
+        attribution.iter().map(|(&a, &e)| (a, e)).collect();
+    v.sort_by(|a, b| b.1.total_j().total_cmp(&a.1.total_j()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn conservation_check(model: &RrcModel, transfers: &[(AppId, Interval)]) {
+        let spans: Vec<Interval> = transfers.iter().map(|&(_, s)| s).collect();
+        let total = model.account(&spans).total_j();
+        let attributed: f64 =
+            attribute(model, transfers).values().map(AppEnergy::total_j).sum();
+        assert!(
+            (total - attributed).abs() < 1e-6,
+            "conservation violated: account {total} vs attributed {attributed}"
+        );
+    }
+
+    #[test]
+    fn lone_app_pays_everything() {
+        let m = RrcModel::wcdma_default();
+        let t = [(AppId(1), iv(100, 110))];
+        let a = attribute(&m, &t);
+        let e = a[&AppId(1)];
+        assert!((e.active_j - 8.0).abs() < 1e-9);
+        assert!((e.promo_j - 1.1).abs() < 1e-9);
+        assert!((e.tail_j - 9.52).abs() < 1e-9);
+        assert_eq!(e.wakeups, 1);
+        conservation_check(&m, &t);
+    }
+
+    #[test]
+    fn shared_session_splits_overheads_by_trigger() {
+        let m = RrcModel::wcdma_default();
+        // App 1 wakes the radio; app 2's transfer ends last.
+        let t = [(AppId(1), iv(0, 10)), (AppId(2), iv(10, 30))];
+        let a = attribute(&m, &t);
+        assert!((a[&AppId(1)].promo_j - 1.1).abs() < 1e-9, "initiator pays promo");
+        assert_eq!(a[&AppId(1)].tail_j, 0.0);
+        assert!((a[&AppId(2)].tail_j - 9.52).abs() < 1e-9, "last app pays tail");
+        assert_eq!(a[&AppId(2)].promo_j, 0.0);
+        assert_eq!(a[&AppId(1)].wakeups, 1);
+        assert_eq!(a[&AppId(2)].wakeups, 0);
+        conservation_check(&m, &t);
+    }
+
+    #[test]
+    fn tail_riding_gap_charged_to_preceding_app() {
+        let m = RrcModel::wcdma_default();
+        // App 1's transfer, 5 s of its tail elapse, app 2 rides it.
+        let t = [(AppId(1), iv(0, 10)), (AppId(2), iv(15, 25))];
+        let a = attribute(&m, &t);
+        // App 1: promo + its 5 s elapsed-tail gap (5 × 0.8 = 4 J).
+        assert!((a[&AppId(1)].promo_j - 1.1).abs() < 1e-9);
+        assert!((a[&AppId(1)].tail_j - 4.0).abs() < 1e-9);
+        // App 2: the trailing full tail.
+        assert!((a[&AppId(2)].tail_j - 9.52).abs() < 1e-9);
+        conservation_check(&m, &t);
+    }
+
+    #[test]
+    fn separate_sessions_pay_separately() {
+        let m = RrcModel::wcdma_default();
+        let t = [(AppId(1), iv(0, 10)), (AppId(2), iv(5_000, 5_010))];
+        let a = attribute(&m, &t);
+        for app in [AppId(1), AppId(2)] {
+            assert!((a[&app].promo_j - 1.1).abs() < 1e-9);
+            assert!((a[&app].tail_j - 9.52).abs() < 1e-9);
+            assert_eq!(a[&app].wakeups, 1);
+        }
+        conservation_check(&m, &t);
+    }
+
+    #[test]
+    fn conservation_on_random_timelines() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = RrcModel::wcdma_default();
+        for _ in 0..50 {
+            let n = rng.random_range(1..25);
+            let t: Vec<(AppId, Interval)> = (0..n)
+                .map(|_| {
+                    let s = rng.random_range(0..20_000u64);
+                    (AppId(rng.random_range(0..5)), iv(s, s + rng.random_range(1..60)))
+                })
+                .collect();
+            conservation_check(&m, &t);
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_total() {
+        let m = RrcModel::wcdma_default();
+        let t = [
+            (AppId(1), iv(0, 100)),      // heavy
+            (AppId(2), iv(5_000, 5_002)), // light
+        ];
+        let r = ranked(&attribute(&m, &t));
+        assert_eq!(r[0].0, AppId(1));
+        assert!(r[0].1.total_j() > r[1].1.total_j());
+        // Light app's bill is overhead-dominated.
+        assert!(r[1].1.overhead_fraction() > 0.8);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let m = RrcModel::wcdma_default();
+        assert!(attribute(&m, &[]).is_empty());
+    }
+
+    #[test]
+    fn immediate_off_attributes_no_tail() {
+        let m = RrcModel::wcdma_immediate_off();
+        let t = [(AppId(1), iv(0, 10)), (AppId(2), iv(10, 20))];
+        let a = attribute(&m, &t);
+        assert_eq!(a[&AppId(1)].tail_j + a[&AppId(2)].tail_j, 0.0);
+        conservation_check(&m, &t);
+    }
+}

@@ -1,0 +1,115 @@
+//! Battery model: joules to battery percentage and battery-life
+//! framing. The paper's motivation is battery life ("serious problems
+//! with regard to battery life"); this converts the simulator's joule
+//! counts into the units a user sees.
+
+use serde::{Deserialize, Serialize};
+
+/// A phone battery.
+///
+/// ```
+/// use netmaster_radio::BatteryModel;
+///
+/// let b = BatteryModel::htc_one_x();
+/// // 1 800 J/day of network energy on a 2013 battery:
+/// assert!((b.percent_per_day(1_800.0) - 7.31).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryModel {
+    /// Capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal voltage.
+    pub voltage: f64,
+}
+
+impl BatteryModel {
+    /// A 2013-era handset battery (the HTC One X ships 1800 mAh @ 3.8 V).
+    pub fn htc_one_x() -> Self {
+        BatteryModel { capacity_mah: 1_800.0, voltage: 3.8 }
+    }
+
+    /// Total energy content in joules.
+    pub fn capacity_j(&self) -> f64 {
+        // mAh → C: ×3.6; C × V → J.
+        self.capacity_mah * 3.6 * self.voltage
+    }
+
+    /// Fraction of a full battery that `joules` drains.
+    pub fn drain_fraction(&self, joules: f64) -> f64 {
+        joules / self.capacity_j()
+    }
+
+    /// Battery percentage points per day for a given daily energy.
+    pub fn percent_per_day(&self, joules_per_day: f64) -> f64 {
+        100.0 * self.drain_fraction(joules_per_day)
+    }
+
+    /// Days one full charge lasts if `joules_per_day` were the only
+    /// consumer (the network-activity share of standby life).
+    pub fn days_per_charge(&self, joules_per_day: f64) -> f64 {
+        if joules_per_day <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.capacity_j() / joules_per_day
+    }
+
+    /// How many extra battery-percentage points per day a saving of
+    /// `saved_joules_per_day` buys.
+    pub fn percent_saved_per_day(&self, saved_joules_per_day: f64) -> f64 {
+        self.percent_per_day(saved_joules_per_day)
+    }
+
+    /// Sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_mah <= 0.0 || self.voltage <= 0.0 {
+            return Err("battery capacity and voltage must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_in_joules() {
+        let b = BatteryModel::htc_one_x();
+        assert_eq!(b.validate(), Ok(()));
+        // 1800 mAh × 3.6 × 3.8 V = 24 624 J.
+        assert!((b.capacity_j() - 24_624.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_fraction_and_percent() {
+        let b = BatteryModel::htc_one_x();
+        let quarter = b.capacity_j() / 4.0;
+        assert!((b.drain_fraction(quarter) - 0.25).abs() < 1e-12);
+        assert!((b.percent_per_day(quarter) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn days_per_charge() {
+        let b = BatteryModel::htc_one_x();
+        assert!((b.days_per_charge(b.capacity_j()) - 1.0).abs() < 1e-12);
+        assert_eq!(b.days_per_charge(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_scale_savings_are_meaningful() {
+        // Our volunteers' network stack burns ~1 800 J/day stock and
+        // NetMaster saves ~1 100 J/day: that is ≈4.5 battery points per
+        // day on a 2013 battery — the "energy devourer" of the title.
+        let b = BatteryModel::htc_one_x();
+        let stock_network = 1_800.0;
+        let saved = 1_100.0;
+        assert!(b.percent_per_day(stock_network) > 5.0);
+        assert!((4.0..6.0).contains(&b.percent_saved_per_day(saved)));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(BatteryModel { capacity_mah: 0.0, voltage: 3.8 }.validate().is_err());
+        assert!(BatteryModel { capacity_mah: 1000.0, voltage: -1.0 }.validate().is_err());
+    }
+}

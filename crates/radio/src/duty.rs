@@ -1,0 +1,66 @@
+//! Energy cost of duty-cycled radio wake-ups.
+//!
+//! NetMaster's real-time adjustment keeps the radio off while the screen
+//! is off and wakes it periodically so "Special Apps" can sync
+//! (§IV-C2). Each wake-up costs a promotion, a listen window, and —
+//! if nothing happens — a demotion; this module prices that.
+
+use crate::power::RrcConfig;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one duty-cycle wake-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycleCost {
+    /// Seconds the radio listens for pending traffic after promoting.
+    pub listen_secs: f64,
+    /// Power while listening (typically FACH-level).
+    pub listen_mw: f64,
+}
+
+impl Default for DutyCycleCost {
+    fn default() -> Self {
+        DutyCycleCost { listen_secs: 2.0, listen_mw: 460.0 }
+    }
+}
+
+impl DutyCycleCost {
+    /// Energy (J) of one *empty* wake-up: promote, listen, drop.
+    pub fn empty_wakeup_j(&self, cfg: &RrcConfig) -> f64 {
+        cfg.promo_energy_j() + self.listen_secs * self.listen_mw / 1_000.0
+    }
+
+    /// Radio-on seconds of one empty wake-up.
+    pub fn empty_wakeup_secs(&self, cfg: &RrcConfig) -> f64 {
+        cfg.promo_secs + self.listen_secs
+    }
+
+    /// Energy of `n` empty wake-ups.
+    pub fn total_empty_j(&self, cfg: &RrcConfig, n: u64) -> f64 {
+        n as f64 * self.empty_wakeup_j(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_wakeup_cost() {
+        let cfg = RrcConfig::wcdma();
+        let d = DutyCycleCost::default();
+        // 1.1 J promo + 2 s × 0.46 W listen = 2.02 J
+        assert!((d.empty_wakeup_j(&cfg) - 2.02).abs() < 1e-9);
+        assert!((d.empty_wakeup_secs(&cfg) - 4.0).abs() < 1e-9);
+        assert!((d.total_empty_j(&cfg, 10) - 20.2).abs() < 1e-9);
+        assert_eq!(d.total_empty_j(&cfg, 0), 0.0);
+    }
+
+    #[test]
+    fn wakeups_are_cheaper_than_idling_in_tail() {
+        // One empty wake-up must cost less than 17 s of tail, otherwise
+        // duty cycling would never pay off.
+        let cfg = RrcConfig::wcdma();
+        let d = DutyCycleCost::default();
+        assert!(d.empty_wakeup_j(&cfg) < cfg.tail_energy_j());
+    }
+}

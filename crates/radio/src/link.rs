@@ -1,0 +1,106 @@
+//! Carrier link model: average and peak rates, transfer durations, and
+//! the knapsack slot capacity `C(t_i) = Bandwidth · |t_i|` (Eq. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Average/peak link rates in bytes per second.
+///
+/// The paper's deployment used China Unicom WCDMA; the defaults are
+/// typical 2013-era WCDMA figures. Only the average rate enters the
+/// optimizer (slot capacity); the peak rate bounds instantaneous
+/// transfer speed and is what Fig. 7(c) shows no scheme can improve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Average achievable downlink rate (B/s).
+    pub avg_down_bps: f64,
+    /// Average achievable uplink rate (B/s).
+    pub avg_up_bps: f64,
+    /// Peak downlink rate (B/s), channel-state bound.
+    pub peak_down_bps: f64,
+    /// Peak uplink rate (B/s).
+    pub peak_up_bps: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            avg_down_bps: 150_000.0, // ≈ 1.2 Mbit/s
+            avg_up_bps: 60_000.0,    // ≈ 0.5 Mbit/s
+            peak_down_bps: 500_000.0,
+            peak_up_bps: 180_000.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// Combined average bandwidth used for slot capacities.
+    pub fn avg_total_bps(&self) -> f64 {
+        self.avg_down_bps + self.avg_up_bps
+    }
+
+    /// Knapsack capacity of a slot `slot_secs` long, in bytes (Eq. 5).
+    pub fn slot_capacity_bytes(&self, slot_secs: u64) -> u64 {
+        (self.avg_total_bps() * slot_secs as f64) as u64
+    }
+
+    /// Seconds to move `bytes` at the average rate (at least 1 s).
+    pub fn transfer_secs(&self, bytes_down: u64, bytes_up: u64) -> u64 {
+        let down = bytes_down as f64 / self.avg_down_bps;
+        let up = bytes_up as f64 / self.avg_up_bps;
+        (down + up).ceil().max(1.0) as u64
+    }
+
+    /// Seconds to move `bytes` flat-out at peak rate (at least 1 s).
+    pub fn peak_transfer_secs(&self, bytes_down: u64, bytes_up: u64) -> u64 {
+        let down = bytes_down as f64 / self.peak_down_bps;
+        let up = bytes_up as f64 / self.peak_up_bps;
+        (down + up).ceil().max(1.0) as u64
+    }
+
+    /// Sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.avg_down_bps <= 0.0 || self.avg_up_bps <= 0.0 {
+            return Err("average rates must be positive".into());
+        }
+        if self.peak_down_bps < self.avg_down_bps || self.peak_up_bps < self.avg_up_bps {
+            return Err("peak rates below average rates".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(LinkModel::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn slot_capacity_is_linear_in_length() {
+        let l = LinkModel::default();
+        assert_eq!(l.slot_capacity_bytes(0), 0);
+        assert_eq!(l.slot_capacity_bytes(10), 10 * l.slot_capacity_bytes(1));
+        assert_eq!(l.slot_capacity_bytes(1), 210_000);
+    }
+
+    #[test]
+    fn transfer_secs_rounds_up_with_floor_of_one() {
+        let l = LinkModel::default();
+        assert_eq!(l.transfer_secs(0, 0), 1);
+        assert_eq!(l.transfer_secs(150_000, 0), 1);
+        assert_eq!(l.transfer_secs(300_000, 0), 2);
+        assert_eq!(l.transfer_secs(150_000, 60_000), 2);
+        assert!(l.peak_transfer_secs(1_000_000, 0) < l.transfer_secs(1_000_000, 0));
+    }
+
+    #[test]
+    fn validation_rejects_inverted_rates() {
+        let l = LinkModel { peak_down_bps: 10.0, ..Default::default() };
+        assert!(l.validate().is_err());
+        let l = LinkModel { avg_up_bps: 0.0, ..Default::default() };
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! RRC state-machine energy accounting over transfer timelines.
+//!
+//! Given the set of intervals during which the radio is actively moving
+//! bytes, [`RrcModel::account`] replays the state machine — promotion,
+//! active, tail phases, idle — and returns where the time and joules
+//! went. This is the paper's `g` function generalized from a single
+//! activity to a whole timeline (overlapping transfers share radio-on
+//! time; back-to-back transfers ride each other's tails).
+
+use crate::power::{RrcConfig, TailPolicy};
+use netmaster_trace::time::{merge_intervals, Interval};
+use serde::{Deserialize, Serialize};
+
+/// Where the radio's time and energy went over a timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Number of IDLE→active promotions (radio wake-ups).
+    pub wakeups: u64,
+    /// Seconds spent promoting.
+    pub promo_secs: f64,
+    /// Seconds actively transferring.
+    pub active_secs: f64,
+    /// Seconds lingering in tail states.
+    pub tail_secs: f64,
+    /// Energy spent promoting (J).
+    pub promo_j: f64,
+    /// Energy spent transferring (J).
+    pub active_j: f64,
+    /// Energy spent in tails (J).
+    pub tail_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total radio-on seconds (promotion + active + tail).
+    pub fn radio_on_secs(&self) -> f64 {
+        self.promo_secs + self.active_secs + self.tail_secs
+    }
+
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.promo_j + self.active_j + self.tail_j
+    }
+
+    /// Energy that bought no bytes: promotion + tail overhead.
+    pub fn overhead_j(&self) -> f64 {
+        self.promo_j + self.tail_j
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.wakeups += other.wakeups;
+        self.promo_secs += other.promo_secs;
+        self.active_secs += other.active_secs;
+        self.tail_secs += other.tail_secs;
+        self.promo_j += other.promo_j;
+        self.active_j += other.active_j;
+        self.tail_j += other.tail_j;
+    }
+}
+
+/// An RRC power model bound to a tail policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RrcModel {
+    /// Technology parameters.
+    pub config: RrcConfig,
+    /// Tail-cutting behaviour.
+    pub tail_policy: TailPolicy,
+}
+
+impl RrcModel {
+    /// Stock 3G device: WCDMA with full inactivity timers.
+    pub fn wcdma_default() -> Self {
+        RrcModel { config: RrcConfig::wcdma(), tail_policy: TailPolicy::Full }
+    }
+
+    /// WCDMA with the radio forced off after each transfer, as
+    /// NetMaster's scheduling component does via `svc data disable`.
+    pub fn wcdma_immediate_off() -> Self {
+        RrcModel { config: RrcConfig::wcdma(), tail_policy: TailPolicy::Immediate }
+    }
+
+    /// Stock LTE device.
+    pub fn lte_default() -> Self {
+        RrcModel { config: RrcConfig::lte(), tail_policy: TailPolicy::Full }
+    }
+
+    /// Effective tail length under the bound policy.
+    pub fn tail_secs(&self) -> f64 {
+        self.tail_policy.tail_secs(&self.config)
+    }
+
+    /// Accounts energy and radio-on time for a transfer timeline.
+    ///
+    /// `transfers` need not be sorted or disjoint; they are merged
+    /// first. A transfer arriving while a previous tail is still
+    /// running re-activates the radio without a promotion (the radio
+    /// is still in a connected state) and the tail is truncated.
+    pub fn account(&self, transfers: &[Interval]) -> EnergyBreakdown {
+        let cfg = &self.config;
+        let tail_len = self.tail_secs();
+        let merged = merge_intervals(transfers.to_vec());
+        let mut out = EnergyBreakdown::default();
+
+        let mut tail_until: Option<f64> = None; // end of the running tail
+        for span in &merged {
+            let (s, e) = (span.start as f64, span.end as f64);
+            match tail_until {
+                Some(t_end) if s <= t_end => {
+                    // Arrived inside the previous tail: pay only the
+                    // portion of tail actually elapsed before `s`.
+                    let prev_active_end = t_end - tail_len;
+                    let elapsed = (s - prev_active_end).max(0.0);
+                    out.tail_secs += elapsed;
+                    out.tail_j += cfg.tail_prefix_energy_j(elapsed);
+                }
+                _ => {
+                    // Fresh wake-up: close out the previous tail fully,
+                    // then promote.
+                    if tail_until.is_some() {
+                        out.tail_secs += tail_len;
+                        out.tail_j += self.tail_policy.tail_energy_j(cfg);
+                    }
+                    out.wakeups += 1;
+                    out.promo_secs += cfg.promo_secs;
+                    out.promo_j += cfg.promo_energy_j();
+                }
+            }
+            out.active_secs += e - s;
+            out.active_j += cfg.active_energy_j(e - s);
+            tail_until = Some(e + tail_len);
+        }
+        if tail_until.is_some() {
+            out.tail_secs += tail_len;
+            out.tail_j += self.tail_policy.tail_energy_j(cfg);
+        }
+        out
+    }
+
+    /// The merged intervals during which the radio is in a non-idle
+    /// RRC state for the given transfer timeline: promotion before each
+    /// burst, the transfers themselves, and the (policy-truncated) tail
+    /// after. This is what "radio-on" means when the paper measures the
+    /// *radio utilization ratio* of Fig. 2 — tails count.
+    pub fn radio_on_spans(&self, transfers: &[Interval]) -> Vec<Interval> {
+        let promo = self.config.promo_secs.ceil() as u64;
+        let tail = self.tail_secs().ceil() as u64;
+        let widened: Vec<Interval> = merge_intervals(transfers.to_vec())
+            .into_iter()
+            .map(|s| Interval::new(s.start.saturating_sub(promo), s.end + tail))
+            .collect();
+        merge_intervals(widened)
+    }
+
+    /// Energy of a single activity executed in isolation — the paper's
+    /// `g(t_j)`, the saving available by *eliminating* a lone screen-off
+    /// activity (promotion + transfer + full tail).
+    pub fn isolated_energy_j(&self, duration_secs: f64) -> f64 {
+        self.config.promo_energy_j()
+            + self.config.active_energy_j(duration_secs.max(0.0))
+            + self.tail_policy.tail_energy_j(&self.config)
+    }
+
+    /// Marginal energy of adding `duration_secs` of transfer to an
+    /// already-active radio (piggybacking a scheduled activity onto a
+    /// user-active slot): active power only, no promotion, no new tail.
+    pub fn piggyback_energy_j(&self, duration_secs: f64) -> f64 {
+        self.config.active_energy_j(duration_secs.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn empty_timeline_is_free() {
+        let m = RrcModel::wcdma_default();
+        let b = m.account(&[]);
+        assert_eq!(b.wakeups, 0);
+        assert_eq!(b.total_j(), 0.0);
+        assert_eq!(b.radio_on_secs(), 0.0);
+    }
+
+    #[test]
+    fn single_transfer_pays_promo_active_tail() {
+        let m = RrcModel::wcdma_default();
+        let b = m.account(&[iv(100, 110)]);
+        assert_eq!(b.wakeups, 1);
+        assert!((b.promo_j - 1.1).abs() < 1e-9);
+        assert!((b.active_j - 8.0).abs() < 1e-9);
+        assert!((b.tail_j - 9.52).abs() < 1e-9);
+        assert!((b.radio_on_secs() - (2.0 + 10.0 + 17.0)).abs() < 1e-9);
+        // Matches the isolated-energy helper.
+        assert!((b.total_j() - m.isolated_energy_j(10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_to_back_transfers_share_one_tail() {
+        let m = RrcModel::wcdma_default();
+        // Second transfer starts 5 s after the first ends — inside the tail.
+        let b = m.account(&[iv(0, 10), iv(15, 25)]);
+        assert_eq!(b.wakeups, 1, "no second promotion inside the tail");
+        // Tail: 5 s elapsed between transfers + one full trailing tail.
+        assert!((b.tail_secs - (5.0 + 17.0)).abs() < 1e-9);
+        // 5 s of elapsed tail is all DCH-tail: 5 × 0.8 = 4.0 J.
+        assert!((b.tail_j - (4.0 + 9.52)).abs() < 1e-9);
+        assert!((b.active_secs - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distant_transfers_pay_two_promotions() {
+        let m = RrcModel::wcdma_default();
+        let b = m.account(&[iv(0, 10), iv(1000, 1010)]);
+        assert_eq!(b.wakeups, 2);
+        assert!((b.promo_j - 2.2).abs() < 1e-9);
+        assert!((b.tail_j - 2.0 * 9.52).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_isolated_cost_more_than_batched() {
+        let m = RrcModel::wcdma_default();
+        let separate = m.account(&[iv(0, 10), iv(500, 510)]);
+        let batched = m.account(&[iv(0, 10), iv(10, 20)]);
+        assert!(batched.total_j() < separate.total_j());
+        assert!((separate.total_j() - 2.0 * m.isolated_energy_j(10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_transfers_merge() {
+        let m = RrcModel::wcdma_default();
+        let overlapped = m.account(&[iv(0, 20), iv(10, 30)]);
+        let single = m.account(&[iv(0, 30)]);
+        assert_eq!(overlapped, single);
+    }
+
+    #[test]
+    fn immediate_off_kills_tail() {
+        let m = RrcModel::wcdma_immediate_off();
+        let b = m.account(&[iv(0, 10)]);
+        assert_eq!(b.tail_j, 0.0);
+        assert_eq!(b.tail_secs, 0.0);
+        assert!((b.radio_on_secs() - 12.0).abs() < 1e-9);
+        // With no tail, a transfer 5 s later is a *new* wakeup.
+        let b2 = m.account(&[iv(0, 10), iv(15, 25)]);
+        assert_eq!(b2.wakeups, 2);
+    }
+
+    #[test]
+    fn fast_dormancy_truncates_tail() {
+        let m = RrcModel {
+            config: RrcConfig::wcdma(),
+            tail_policy: TailPolicy::FastDormancy(3.0),
+        };
+        let b = m.account(&[iv(0, 10)]);
+        assert!((b.tail_secs - 3.0).abs() < 1e-9);
+        assert!((b.tail_j - 2.4).abs() < 1e-9); // 3 s of DCH tail
+    }
+
+    #[test]
+    fn lte_single_transfer() {
+        let m = RrcModel::lte_default();
+        let b = m.account(&[iv(0, 10)]);
+        assert_eq!(b.wakeups, 1);
+        assert!((b.total_j() - (0.26 * 1.21 + 10.0 * 1.21 + 11.6 * 1.06)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let m = RrcModel::wcdma_default();
+        let mut acc = EnergyBreakdown::default();
+        acc.add(&m.account(&[iv(0, 10)]));
+        acc.add(&m.account(&[iv(0, 10)]));
+        let single = m.account(&[iv(0, 10)]);
+        assert_eq!(acc.wakeups, 2);
+        assert!((acc.total_j() - 2.0 * single.total_j()).abs() < 1e-9);
+        assert!((acc.overhead_j() - 2.0 * single.overhead_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piggyback_is_cheapest() {
+        let m = RrcModel::wcdma_default();
+        assert!(m.piggyback_energy_j(10.0) < m.isolated_energy_j(10.0));
+        assert!((m.piggyback_energy_j(10.0) - 8.0).abs() < 1e-9);
+        assert_eq!(m.piggyback_energy_j(-3.0), 0.0);
+    }
+
+    #[test]
+    fn radio_on_spans_cover_promo_and_tail() {
+        let m = RrcModel::wcdma_default();
+        let spans = m.radio_on_spans(&[iv(100, 110)]);
+        assert_eq!(spans, vec![iv(98, 127)]); // 2 s promo + 17 s tail
+        // Two bursts whose widened spans touch merge into one.
+        let spans = m.radio_on_spans(&[iv(100, 110), iv(120, 130)]);
+        assert_eq!(spans, vec![iv(98, 147)]);
+        // Immediate-off policy drops the tail.
+        let spans = RrcModel::wcdma_immediate_off().radio_on_spans(&[iv(100, 110)]);
+        assert_eq!(spans, vec![iv(98, 110)]);
+        // Total span time matches the energy accountant's radio-on time
+        // for an isolated transfer.
+        let b = m.account(&[iv(100, 110)]);
+        assert!((b.radio_on_secs() - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let m = RrcModel::wcdma_default();
+        let a = m.account(&[iv(1000, 1010), iv(0, 10)]);
+        let b = m.account(&[iv(0, 10), iv(1000, 1010)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Fleet simulation: run a policy comparison across many users in
+//! parallel and report the *distribution* of outcomes, not just the
+//! mean. The paper evaluates three volunteers; a fleet run quantifies
+//! how the savings generalize across chronotypes and seeds (its §VII
+//! "small number of volunteers" limitation).
+
+use crate::metrics::RunMetrics;
+use crate::par::par_map;
+use crate::plan::Policy;
+use crate::runner::{simulate, SimConfig};
+use netmaster_trace::stats::Summary;
+use netmaster_trace::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One fleet member's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMember {
+    /// User id from the trace.
+    pub user_id: u32,
+    /// Seed the member's trace was generated with.
+    pub seed: u64,
+    /// Baseline (stock-device) metrics.
+    pub baseline: RunMetrics,
+    /// Candidate-policy metrics.
+    pub candidate: RunMetrics,
+}
+
+impl FleetMember {
+    /// Energy saving of the candidate vs the member's own baseline.
+    pub fn saving(&self) -> f64 {
+        self.candidate.energy_saving_vs(&self.baseline)
+    }
+}
+
+/// Distributional summary of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-member outcomes.
+    pub members: Vec<FleetMember>,
+    /// Distribution of per-member energy savings.
+    pub saving: Summary,
+    /// Distribution of per-member affected-interaction fractions.
+    pub affected: Summary,
+    /// Distribution of per-member radio-time savings.
+    pub radio_saving: Summary,
+}
+
+impl FleetReport {
+    /// Fraction of members whose saving exceeds `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let n = self.members.iter().filter(|m| m.saving() > threshold).count();
+        n as f64 / self.members.len() as f64
+    }
+
+    /// The member with the worst saving.
+    pub fn worst(&self) -> Option<&FleetMember> {
+        self.members
+            .iter()
+            .min_by(|a, b| a.saving().total_cmp(&b.saving()))
+    }
+}
+
+/// Runs a fleet: for each trace, builds a fresh candidate policy with
+/// `make_policy` (policies are stateful learners, so each member gets
+/// its own), simulates candidate and stock baseline over `test_range`,
+/// and summarizes. Members fan out across cores.
+pub fn run_fleet<F>(
+    traces: &[(u64, Trace)],
+    test_from: usize,
+    cfg: &SimConfig,
+    make_policy: F,
+) -> FleetReport
+where
+    F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
+{
+    let members: Vec<FleetMember> = par_map(traces, |(seed, trace)| {
+        let test = &trace.days[test_from.min(trace.days.len().saturating_sub(1))..];
+        let baseline = simulate(test, &mut crate::plan::DefaultPolicy, cfg);
+        let mut policy = make_policy(trace);
+        let candidate = simulate(test, policy.as_mut(), cfg);
+        FleetMember { user_id: trace.user_id, seed: *seed, baseline, candidate }
+    });
+    let savings: Vec<f64> = members.iter().map(FleetMember::saving).collect();
+    let affected: Vec<f64> =
+        members.iter().map(|m| m.candidate.affected_fraction()).collect();
+    let radio: Vec<f64> = members
+        .iter()
+        .map(|m| m.candidate.radio_time_saving_vs(&m.baseline))
+        .collect();
+    FleetReport {
+        saving: Summary::of(&savings).unwrap_or_else(empty_summary),
+        affected: Summary::of(&affected).unwrap_or_else(empty_summary),
+        radio_saving: Summary::of(&radio).unwrap_or_else(empty_summary),
+        members,
+    }
+}
+
+fn empty_summary() -> Summary {
+    Summary {
+        count: 0,
+        min: 0.0,
+        max: 0.0,
+        mean: 0.0,
+        std_dev: 0.0,
+        median: 0.0,
+        p90: 0.0,
+        p99: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DayPlan, DefaultPolicy};
+    use netmaster_radio::TailPolicy;
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+
+    /// A trivial policy that kills tails (saves energy everywhere).
+    struct TailKiller;
+    impl Policy for TailKiller {
+        fn name(&self) -> String {
+            "tail-killer".into()
+        }
+        fn tail_policy(&self) -> TailPolicy {
+            TailPolicy::Immediate
+        }
+        fn plan_day(&mut self, day: &netmaster_trace::trace::DayTrace) -> DayPlan {
+            DayPlan::passthrough(day)
+        }
+    }
+
+    fn small_fleet() -> Vec<(u64, Trace)> {
+        let mut fleet = Vec::new();
+        for seed in 0..4u64 {
+            let profile = UserProfile::panel().remove((seed % 8) as usize);
+            fleet.push((seed, TraceGenerator::new(profile).with_seed(seed).generate(5)));
+        }
+        fleet
+    }
+
+    #[test]
+    fn fleet_reports_distributions() {
+        let fleet = small_fleet();
+        let cfg = SimConfig::default();
+        let report = run_fleet(&fleet, 3, &cfg, |_| Box::new(TailKiller));
+        assert_eq!(report.members.len(), 4);
+        assert_eq!(report.saving.count, 4);
+        // Killing tails always saves something.
+        assert!(report.saving.min > 0.0, "worst member {:?}", report.worst().map(|m| m.saving()));
+        assert!(report.saving.max <= 1.0);
+        assert_eq!(report.fraction_above(0.0), 1.0);
+        assert_eq!(report.fraction_above(1.0), 0.0);
+        // Affected stays zero for a passthrough policy.
+        assert_eq!(report.affected.max, 0.0);
+    }
+
+    #[test]
+    fn identity_policy_fleet_saves_nothing() {
+        let fleet = small_fleet();
+        let cfg = SimConfig::default();
+        let report = run_fleet(&fleet, 3, &cfg, |_| Box::new(DefaultPolicy));
+        for m in &report.members {
+            assert!(m.saving().abs() < 1e-9, "identity must not save");
+        }
+        assert!(report.worst().is_some());
+    }
+
+    #[test]
+    fn empty_fleet_is_safe() {
+        let cfg = SimConfig::default();
+        let report = run_fleet(&[], 0, &cfg, |_| Box::new(DefaultPolicy));
+        assert_eq!(report.members.len(), 0);
+        assert_eq!(report.saving.count, 0);
+        assert_eq!(report.fraction_above(0.5), 0.0);
+        assert!(report.worst().is_none());
+    }
+}

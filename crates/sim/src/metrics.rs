@@ -1,0 +1,197 @@
+//! Run metrics: everything Figs. 7–10 report about a simulated run.
+
+use netmaster_radio::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of simulating a policy over a span of days.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Policy display name.
+    pub policy: String,
+    /// Days simulated.
+    pub days: usize,
+    /// Total energy of network activity (J), including duty-cycle
+    /// wake-up overhead.
+    pub energy_j: f64,
+    /// Total radio-on seconds (promotion + active + tail + duty listens).
+    pub radio_on_secs: f64,
+    /// Seconds the screen was on.
+    pub screen_on_secs: u64,
+    /// Total simulated seconds (the "power on time" bar of Fig. 7(b)).
+    pub power_on_secs: u64,
+    /// Radio promotions, including duty-cycle wake-ups.
+    pub wakeups: u64,
+    /// Duty-cycle wake-ups that found nothing to send.
+    pub empty_wakeups: u64,
+    /// Bytes received.
+    pub bytes_down: u64,
+    /// Bytes sent.
+    pub bytes_up: u64,
+    /// Seconds of active transfer.
+    pub transfer_secs: f64,
+    /// Total user interactions replayed.
+    pub interactions: u64,
+    /// Interactions the policy affected (held or wrongly blocked).
+    pub affected_interactions: u64,
+    /// Transfers moved from their natural time.
+    pub moved_transfers: u64,
+    /// Transfers executed in total.
+    pub executed_transfers: u64,
+    /// RRC-level energy breakdown (excludes duty-cycle listens).
+    pub rrc: EnergyBreakdown,
+}
+
+impl RunMetrics {
+    /// Average downlink rate while the radio is on (B/s) — the
+    /// bandwidth-utilization metric of Figs. 7(c) and 8(b).
+    pub fn avg_down_rate(&self) -> f64 {
+        if self.radio_on_secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_down as f64 / self.radio_on_secs
+    }
+
+    /// Average uplink rate while the radio is on (B/s).
+    pub fn avg_up_rate(&self) -> f64 {
+        if self.radio_on_secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_up as f64 / self.radio_on_secs
+    }
+
+    /// Fraction of interactions affected — the user-experience metric
+    /// (paper: < 1% for NetMaster, up to 40% for long delays).
+    pub fn affected_fraction(&self) -> f64 {
+        if self.interactions == 0 {
+            return 0.0;
+        }
+        self.affected_interactions as f64 / self.interactions as f64
+    }
+
+    /// Radio-on time as a fraction of total time (Fig. 7(b)).
+    pub fn radio_on_fraction(&self) -> f64 {
+        if self.power_on_secs == 0 {
+            return 0.0;
+        }
+        self.radio_on_secs / self.power_on_secs as f64
+    }
+
+    /// Fraction of radio-on time that moved bytes.
+    pub fn radio_efficiency(&self) -> f64 {
+        if self.radio_on_secs <= 0.0 {
+            return 0.0;
+        }
+        self.transfer_secs / self.radio_on_secs
+    }
+
+    /// Energy saving of this run relative to a baseline run:
+    /// `1 − E/E_baseline` (Fig. 7(a)'s y-axis, "fraction of radio
+    /// energy saving").
+    pub fn energy_saving_vs(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.energy_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.energy_j / baseline.energy_j
+    }
+
+    /// Radio-on time saving relative to a baseline run.
+    pub fn radio_time_saving_vs(&self, baseline: &RunMetrics) -> f64 {
+        if baseline.radio_on_secs <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.radio_on_secs / baseline.radio_on_secs
+    }
+
+    /// Multiplier on average downlink rate vs a baseline (Fig. 7(c)).
+    pub fn down_rate_ratio_vs(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.avg_down_rate();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        self.avg_down_rate() / b
+    }
+
+    /// Multiplier on average uplink rate vs a baseline.
+    pub fn up_rate_ratio_vs(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.avg_up_rate();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        self.avg_up_rate() / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(energy: f64, radio: f64, down: u64) -> RunMetrics {
+        RunMetrics {
+            policy: "t".into(),
+            days: 1,
+            energy_j: energy,
+            radio_on_secs: radio,
+            bytes_down: down,
+            bytes_up: down / 10,
+            interactions: 100,
+            affected_interactions: 2,
+            power_on_secs: 86_400,
+            transfer_secs: radio / 2.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rates_divide_by_radio_time() {
+        let m = metrics(100.0, 50.0, 5_000);
+        assert!((m.avg_down_rate() - 100.0).abs() < 1e-9);
+        assert!((m.avg_up_rate() - 10.0).abs() < 1e-9);
+        assert!((m.radio_efficiency() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_radio_time_is_safe() {
+        let m = metrics(0.0, 0.0, 100);
+        assert_eq!(m.avg_down_rate(), 0.0);
+        assert_eq!(m.radio_efficiency(), 0.0);
+        assert_eq!(m.radio_on_fraction(), 0.0);
+    }
+
+    #[test]
+    fn savings_vs_baseline() {
+        let base = metrics(200.0, 100.0, 5_000);
+        let better = metrics(50.0, 25.0, 5_000);
+        assert!((better.energy_saving_vs(&base) - 0.75).abs() < 1e-9);
+        assert!((better.radio_time_saving_vs(&base) - 0.75).abs() < 1e-9);
+        // Same bytes over quarter the radio time = 4× the rate.
+        assert!((better.down_rate_ratio_vs(&base) - 4.0).abs() < 1e-9);
+        assert!((better.up_rate_ratio_vs(&base) - 4.0).abs() < 1e-9);
+        // Baseline saves nothing vs itself.
+        assert_eq!(base.energy_saving_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn affected_fraction() {
+        let m = metrics(1.0, 1.0, 1);
+        assert!((m.affected_fraction() - 0.02).abs() < 1e-12);
+        let none = RunMetrics::default();
+        assert_eq!(none.affected_fraction(), 0.0);
+    }
+
+    #[test]
+    fn radio_efficiency_and_fraction_bounds() {
+        let m = metrics(100.0, 50.0, 5_000);
+        assert!((0.0..=1.0).contains(&m.radio_efficiency()));
+        assert!((0.0..=1.0).contains(&m.radio_on_fraction()));
+        // radio_on_fraction uses power_on_secs = 86 400.
+        assert!((m.radio_on_fraction() - 50.0 / 86_400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_baselines_return_zero() {
+        let m = metrics(10.0, 10.0, 10);
+        let zero = RunMetrics::default();
+        assert_eq!(m.energy_saving_vs(&zero), 0.0);
+        assert_eq!(m.down_rate_ratio_vs(&zero), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Trace (de)serialization: JSON for interchange, a compact CSV-style
+//! event dump for eyeballing.
+
+use crate::time::DayKind;
+use crate::trace::Trace;
+use std::io::{self, Read, Write};
+
+/// Serializes a trace to pretty JSON.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+}
+
+/// Parses a trace from JSON.
+pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Writes a trace as JSON to a writer.
+pub fn write_json<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(to_json(trace).as_bytes())
+}
+
+/// Reads a trace from a JSON reader.
+pub fn read_json<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    from_json(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Renders a human-readable event log:
+/// `day,kind,time,event,app,detail` — one line per event.
+pub fn to_event_log(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("day,daykind,time,event,app,detail\n");
+    for day in &trace.days {
+        let kind = if DayKind::of_day(day.day).is_weekend() { "weekend" } else { "weekday" };
+        for ev in day.events() {
+            use crate::event::Event::*;
+            match ev {
+                ScreenOn(t) => out.push_str(&format!("{},{kind},{t},screen_on,,\n", day.day)),
+                ScreenOff(t) => out.push_str(&format!("{},{kind},{t},screen_off,,\n", day.day)),
+                Interaction(i) => {
+                    let name = trace.apps.name(i.app).unwrap_or("?");
+                    out.push_str(&format!(
+                        "{},{kind},{},interaction,{name},needs_net={}\n",
+                        day.day, i.at, i.needs_network
+                    ));
+                }
+                Network(n) => {
+                    let name = trace.apps.name(n.app).unwrap_or("?");
+                    out.push_str(&format!(
+                        "{},{kind},{},network,{name},bytes={} dur={}s cause={:?}\n",
+                        day.day,
+                        n.start,
+                        n.volume(),
+                        n.duration,
+                        n.cause
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_panel, TraceGenerator};
+    use crate::profile::UserProfile;
+
+    #[test]
+    fn json_round_trip_preserves_trace() {
+        let t = TraceGenerator::new(UserProfile::panel().remove(5)).with_seed(8).generate(3);
+        let json = to_json(&t);
+        let back = from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_round_trip_via_io() {
+        let t = generate_panel(1, 3).remove(0);
+        let mut buf = Vec::new();
+        write_json(&t, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(read_json(&b"oops"[..]).is_err());
+    }
+
+    #[test]
+    fn event_log_has_all_events() {
+        let t = generate_panel(1, 3).remove(2);
+        let log = to_event_log(&t);
+        let lines = log.lines().count();
+        let expected = 1 + t
+            .days
+            .iter()
+            .map(|d| 2 * d.sessions.len() + d.interactions.len() + d.activities.len())
+            .sum::<usize>();
+        assert_eq!(lines, expected);
+        assert!(log.contains("screen_on"));
+        assert!(log.contains("network"));
+    }
+}

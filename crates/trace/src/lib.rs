@@ -1,0 +1,49 @@
+//! # netmaster-trace
+//!
+//! Smartphone usage trace schema, habit-driven synthetic trace
+//! generation, and trace profiling for the NetMaster reproduction.
+//!
+//! The NetMaster paper (ICPP 2014) evaluates on real traces of 8 users
+//! over 3 weeks; this crate supplies the substitute substrate: a
+//! deterministic generator whose [`profile::UserProfile`]s encode the
+//! *statistical habits* the paper measures — diurnal intensity with
+//! strong day-to-day regularity, short screen sessions, and
+//! round-the-clock background syncs.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use netmaster_trace::gen::generate_panel;
+//! use netmaster_trace::profiling::traffic_split;
+//!
+//! let traces = generate_panel(/* days */ 7, /* seed */ 42);
+//! assert_eq!(traces.len(), 8);
+//! for t in &traces {
+//!     let split = traffic_split(t);
+//!     println!("user {}: {:.1}% of activities screen-off",
+//!              t.user_id, 100.0 * split.screen_off_fraction());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod dist;
+pub mod event;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod profile;
+pub mod profiling;
+pub mod scenario;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{ActivityCause, AppId, Direction, Event, Interaction, NetworkActivity, ScreenSession};
+pub use gen::{generate_panel, generate_volunteers, GenOptions, TraceGenerator};
+pub use builder::ProfileBuilder;
+pub use profile::{AppProfile, SessionModel, UserProfile};
+pub use time::{DayKind, Interval, Seconds, Timestamp};
+pub use trace::{AppRegistry, DayTrace, Trace};

@@ -1,0 +1,198 @@
+//! Trace manipulation utilities: filtering, slicing by day kind,
+//! merging, and anonymization — the tooling a downstream user needs to
+//! work with recorded trace files (the paper's monitoring component
+//! exports exactly this kind of data).
+
+use crate::event::AppId;
+use crate::time::DayKind;
+use crate::trace::{AppRegistry, Trace};
+
+/// Keeps only the named apps' interactions and activities (screen
+/// sessions are left intact — the user still used the phone).
+///
+/// ```
+/// use netmaster_trace::gen::generate_panel;
+/// use netmaster_trace::ops::filter_apps;
+///
+/// let trace = generate_panel(3, 7).remove(2);
+/// let only_chat = filter_apps(&trace, &["com.tencent.mm"]);
+/// assert!(only_chat.all_activities().count() < trace.all_activities().count());
+/// assert_eq!(only_chat.validate(), Ok(()));
+/// ```
+pub fn filter_apps(trace: &Trace, keep: &[&str]) -> Trace {
+    let keep_ids: Vec<AppId> =
+        keep.iter().filter_map(|n| trace.apps.lookup(n)).collect();
+    let mut out = trace.clone();
+    for day in &mut out.days {
+        day.interactions.retain(|i| keep_ids.contains(&i.app));
+        day.activities.retain(|a| keep_ids.contains(&a.app));
+    }
+    out
+}
+
+/// Drops the named apps' traffic (e.g. to ask "what if we uninstalled
+/// the messenger?").
+pub fn without_apps(trace: &Trace, drop: &[&str]) -> Trace {
+    let drop_ids: Vec<AppId> =
+        drop.iter().filter_map(|n| trace.apps.lookup(n)).collect();
+    let mut out = trace.clone();
+    for day in &mut out.days {
+        day.interactions.retain(|i| !drop_ids.contains(&i.app));
+        day.activities.retain(|a| !drop_ids.contains(&a.app));
+    }
+    out
+}
+
+/// Keeps only days of the given kind (day indices are preserved, so
+/// weekday arithmetic stays correct).
+pub fn filter_day_kind(trace: &Trace, kind: DayKind) -> Trace {
+    let mut out = Trace::new(trace.user_id);
+    out.apps = trace.apps.clone();
+    out.days = trace
+        .days
+        .iter()
+        .filter(|d| DayKind::of_day(d.day) == kind)
+        .cloned()
+        .collect();
+    out
+}
+
+/// Replaces app names with `app-0`, `app-1`, … preserving identity
+/// structure but removing package names (sharing traces without leaking
+/// the user's app portfolio).
+pub fn anonymize(trace: &Trace) -> Trace {
+    let mut out = trace.clone();
+    let mut reg = AppRegistry::new();
+    for (i, _) in trace.apps.iter().enumerate() {
+        reg.register(&format!("app-{i}"));
+    }
+    out.apps = reg;
+    out
+}
+
+/// Concatenates a continuation trace after `base` (the continuation's
+/// day indices must start where `base` ends; apps are re-mapped through
+/// name lookup, registering unseen names).
+pub fn concat(base: &Trace, continuation: &Trace) -> Result<Trace, String> {
+    let expected = base.days.last().map(|d| d.day + 1).unwrap_or(0);
+    let got = continuation.days.first().map(|d| d.day);
+    if got != Some(expected) && got.is_some() {
+        return Err(format!(
+            "continuation starts at day {:?}, expected {expected}",
+            got
+        ));
+    }
+    let mut out = base.clone();
+    let remap: Vec<AppId> = continuation
+        .apps
+        .iter()
+        .map(|(_, name)| out.apps.register(name))
+        .collect();
+    for day in &continuation.days {
+        let mut d = day.clone();
+        for i in &mut d.interactions {
+            i.app = remap[i.app.index()];
+        }
+        for a in &mut d.activities {
+            a.app = remap[a.app.index()];
+        }
+        out.days.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::profile::UserProfile;
+
+    fn base() -> Trace {
+        TraceGenerator::new(UserProfile::panel().remove(2)).with_seed(4).generate(7)
+    }
+
+    #[test]
+    fn filter_keeps_only_named_apps() {
+        let t = base();
+        let f = filter_apps(&t, &["com.tencent.mm"]);
+        assert_eq!(f.validate(), Ok(()));
+        let mm = f.apps.lookup("com.tencent.mm").unwrap();
+        assert!(f.all_activities().all(|a| a.app == mm));
+        assert!(f.all_interactions().all(|i| i.app == mm));
+        assert!(f.all_activities().count() > 0);
+        // Sessions untouched.
+        assert_eq!(f.all_sessions().count(), t.all_sessions().count());
+    }
+
+    #[test]
+    fn without_apps_removes_traffic() {
+        let t = base();
+        let before = t.all_activities().count();
+        let f = without_apps(&t, &["com.tencent.mm"]);
+        let removed = before - f.all_activities().count();
+        assert!(removed > before / 3, "the messenger dominates traffic");
+        assert!(f.apps.lookup("com.tencent.mm").is_some(), "registry unchanged");
+        let mm = f.apps.lookup("com.tencent.mm").unwrap();
+        assert!(f.all_activities().all(|a| a.app != mm));
+    }
+
+    #[test]
+    fn day_kind_filter_preserves_indices() {
+        let t = base();
+        let we = filter_day_kind(&t, DayKind::Weekend);
+        assert_eq!(we.num_days(), 2);
+        assert_eq!(we.days[0].day, 5);
+        assert_eq!(we.days[1].day, 6);
+        let wd = filter_day_kind(&t, DayKind::Weekday);
+        assert_eq!(wd.num_days(), 5);
+    }
+
+    #[test]
+    fn anonymize_keeps_structure_hides_names() {
+        let t = base();
+        let a = anonymize(&t);
+        assert_eq!(a.apps.len(), t.apps.len());
+        assert!(a.apps.lookup("com.tencent.mm").is_none());
+        assert!(a.apps.lookup("app-0").is_some());
+        // Event structure identical.
+        assert_eq!(a.all_activities().count(), t.all_activities().count());
+        assert_eq!(
+            a.all_activities().map(|x| x.start).collect::<Vec<_>>(),
+            t.all_activities().map(|x| x.start).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn concat_extends_a_trace() {
+        let t = base();
+        let more = TraceGenerator::new(UserProfile::panel().remove(2))
+            .with_seed(5)
+            .generate(10)
+            .slice_days(7, 10);
+        let joined = concat(&t, &more).unwrap();
+        assert_eq!(joined.num_days(), 10);
+        assert_eq!(joined.validate(), Ok(()));
+        assert_eq!(
+            joined.all_activities().count(),
+            t.all_activities().count() + more.all_activities().count()
+        );
+    }
+
+    #[test]
+    fn concat_rejects_gaps() {
+        let t = base();
+        let wrong = TraceGenerator::new(UserProfile::panel().remove(2))
+            .with_seed(5)
+            .generate(12)
+            .slice_days(9, 12);
+        assert!(concat(&t, &wrong).is_err());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let t = base();
+        let f = filter_day_kind(&without_apps(&t, &["browser"]), DayKind::Weekday);
+        assert_eq!(f.validate(), Ok(()));
+        assert_eq!(f.num_days(), 5);
+    }
+}

@@ -1,0 +1,226 @@
+//! Edge-case scenario traces for robustness testing.
+//!
+//! The generator produces *typical* habit-driven days; real deployments
+//! also see days the miner's assumptions break on — phones left in a
+//! drawer, flights, binge sessions, sudden schedule changes. Each
+//! scenario here transforms a base trace into one of those shapes so
+//! the middleware's behaviour can be pinned under stress.
+
+use crate::event::{ActivityCause, NetworkActivity, ScreenSession};
+use crate::gen::TraceGenerator;
+use crate::profile::UserProfile;
+use crate::time::{day_start, DayIndex, SECS_PER_DAY, SECS_PER_HOUR};
+use crate::trace::{DayTrace, Trace};
+
+/// A base trace to build scenarios from.
+fn base(days: usize, seed: u64) -> Trace {
+    TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(seed).generate(days)
+}
+
+/// Replaces days `[from, to)` with completely empty days (phone in a
+/// drawer / switched off): no sessions, no interactions, no traffic.
+pub fn drawer_days(mut trace: Trace, from: DayIndex, to: DayIndex) -> Trace {
+    for d in trace.days.iter_mut() {
+        if (from..to).contains(&d.day) {
+            *d = DayTrace::new(d.day);
+        }
+    }
+    trace
+}
+
+/// A three-week trace whose middle week the phone sat unused.
+///
+/// ```
+/// let t = netmaster_trace::scenario::vacation(1);
+/// assert!(t.days[9].activities.is_empty(), "vacation days are silent");
+/// assert!(!t.days[2].activities.is_empty());
+/// ```
+pub fn vacation(seed: u64) -> Trace {
+    drawer_days(base(21, seed), 7, 14)
+}
+
+/// Strips all network activities from days `[from, to)` while keeping
+/// usage (airplane mode with offline use).
+pub fn flight_mode(mut trace: Trace, from: DayIndex, to: DayIndex) -> Trace {
+    for d in trace.days.iter_mut() {
+        if (from..to).contains(&d.day) {
+            d.activities.clear();
+            for i in &mut d.interactions {
+                i.needs_network = false;
+            }
+        }
+    }
+    trace
+}
+
+/// A 16-day trace whose last two days are in airplane mode.
+pub fn airplane_weekend(seed: u64) -> Trace {
+    flight_mode(base(16, seed), 14, 16)
+}
+
+/// Replaces one day with a single marathon screen session (a binge
+/// day): screen on from 10:00 to 23:00 with dense foreground traffic.
+pub fn binge_day(mut trace: Trace, day: DayIndex) -> Trace {
+    let app = trace.apps.register("com.youku.video");
+    let start = day_start(day) + 10 * SECS_PER_HOUR;
+    let end = day_start(day) + 23 * SECS_PER_HOUR;
+    let mut d = DayTrace::new(day);
+    d.sessions = vec![ScreenSession { start, end }];
+    let mut t = start + 60;
+    while t + 400 < end {
+        d.activities.push(NetworkActivity {
+            start: t,
+            duration: 30,
+            bytes_down: 2_000_000,
+            bytes_up: 20_000,
+            app,
+            cause: ActivityCause::Foreground,
+        });
+        d.interactions.push(crate::event::Interaction {
+            at: t,
+            app,
+            needs_network: true,
+        });
+        t += 300;
+    }
+    d.normalize();
+    trace.days[day] = d;
+    trace
+}
+
+/// A 16-day trace whose day 15 is a video binge.
+pub fn binge(seed: u64) -> Trace {
+    binge_day(base(16, seed), 15)
+}
+
+/// Concept drift: the first `split` days come from one chronotype, the
+/// rest from another (a user changing jobs/schedules). Both halves use
+/// the same app registry ordering so AppIds stay consistent.
+pub fn schedule_change(days: usize, split: usize, seed: u64) -> Trace {
+    let before = TraceGenerator::new(UserProfile::panel().remove(0)) // office worker
+        .with_seed(seed)
+        .generate(days);
+    let after = TraceGenerator::new(UserProfile::panel().remove(4)) // night-shift worker
+        .with_seed(seed ^ 0xD1F7)
+        .generate(days);
+    // Panels share the common app tail but differ in portfolio; rebuild
+    // with a merged registry by remapping the "after" half.
+    let mut merged = Trace::new(before.user_id);
+    merged.apps = before.apps.clone();
+    let remap: Vec<crate::event::AppId> = after
+        .apps
+        .iter()
+        .map(|(_, name)| merged.apps.register(name))
+        .collect();
+    for (i, d) in before.days.iter().enumerate() {
+        if i < split {
+            merged.days.push(d.clone());
+        } else {
+            let mut nd = after.days[i].clone();
+            for a in &mut nd.activities {
+                a.app = remap[a.app.index()];
+            }
+            for x in &mut nd.interactions {
+                x.app = remap[x.app.index()];
+            }
+            merged.days.push(nd);
+        }
+    }
+    merged
+}
+
+/// A day consisting of nothing but screen-off background noise —
+/// no sessions at all, traffic every few minutes (a phone forgotten
+/// face-down but still syncing).
+pub fn forgotten_phone_day(mut trace: Trace, day: DayIndex) -> Trace {
+    let app = trace.apps.register("com.android.pushcore");
+    let mut d = DayTrace::new(day);
+    let mut t = day_start(day) + 120;
+    while t + 60 < day_start(day) + SECS_PER_DAY {
+        d.activities.push(NetworkActivity {
+            start: t,
+            duration: 3,
+            bytes_down: 900,
+            bytes_up: 300,
+            app,
+            cause: ActivityCause::Background,
+        });
+        t += 480;
+    }
+    d.normalize();
+    trace.days[day] = d;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vacation_week_is_empty() {
+        let t = vacation(3);
+        assert_eq!(t.validate(), Ok(()));
+        for d in 7..14 {
+            assert!(t.days[d].sessions.is_empty());
+            assert!(t.days[d].activities.is_empty());
+        }
+        assert!(!t.days[6].activities.is_empty());
+        assert!(!t.days[14].activities.is_empty());
+    }
+
+    #[test]
+    fn flight_mode_keeps_usage_drops_network() {
+        let t = airplane_weekend(4);
+        assert_eq!(t.validate(), Ok(()));
+        for d in 14..16 {
+            assert!(t.days[d].activities.is_empty());
+            assert!(
+                t.days[d].interactions.iter().all(|i| !i.needs_network),
+                "offline interactions must not need network"
+            );
+        }
+        assert!(!t.days[13].activities.is_empty());
+    }
+
+    #[test]
+    fn binge_day_is_one_marathon_session() {
+        let t = binge(5);
+        assert_eq!(t.validate(), Ok(()));
+        let d = &t.days[15];
+        assert_eq!(d.sessions.len(), 1);
+        assert!(d.sessions[0].len() > 12 * SECS_PER_HOUR);
+        assert!(d.activities.len() > 100);
+        let (down, _) = t.total_bytes();
+        assert!(down > 100_000_000, "a binge moves real bytes: {down}");
+    }
+
+    #[test]
+    fn schedule_change_shifts_the_diurnal_pattern() {
+        let t = schedule_change(20, 10, 8);
+        assert_eq!(t.validate(), Ok(()));
+        // Night usage (00–05 h) before vs after the change.
+        let night = |days: &[DayTrace]| -> usize {
+            days.iter()
+                .flat_map(|d| d.interactions.iter())
+                .filter(|i| crate::time::hour_of(i.at) < 5)
+                .count()
+        };
+        let before = night(&t.days[..10]);
+        let after = night(&t.days[10..]);
+        assert!(
+            after > 5 * before.max(1),
+            "night-shift half should be nocturnal: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn forgotten_phone_day_has_traffic_without_sessions() {
+        let t = forgotten_phone_day(base(16, 6), 15);
+        assert_eq!(t.validate(), Ok(()));
+        let d = &t.days[15];
+        assert!(d.sessions.is_empty());
+        assert!(d.interactions.is_empty());
+        assert!(d.activities.len() > 100);
+        assert!(d.screen_off_activities().count() == d.activities.len());
+    }
+}

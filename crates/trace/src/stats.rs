@@ -1,0 +1,245 @@
+//! Small descriptive-statistics toolkit used by trace profiling, the
+//! figure runners, and the CLI: summaries, quantiles, and fixed-width
+//! histograms, all allocation-light and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample.
+///
+/// ```
+/// use netmaster_trace::stats::Summary;
+///
+/// let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.std_dev, 2.0);
+/// assert_eq!(s.median, 4.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        Some(Summary {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+            median: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+}
+
+/// Linear-interpolation quantile of a **sorted** sample, `q ∈ [0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted sample (sorts a copy).
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    Some(quantile_sorted(&v, q))
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the
+/// range clamped into the edge bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Bin counts.
+    pub bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// New histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(hi > lo && bins > 0, "bad histogram bounds");
+        Histogram { lo, hi, bins: vec![0; bins] }
+    }
+
+    /// Adds one observation (clamped into the edge bins).
+    pub fn add(&mut self, v: f64) {
+        let n = self.bins.len();
+        let idx = if v < self.lo {
+            0
+        } else if v >= self.hi {
+            n - 1
+        } else {
+            (((v - self.lo) / (self.hi - self.lo)) * n as f64) as usize
+        };
+        self.bins[idx.min(n - 1)] += 1;
+    }
+
+    /// Builds from a sample.
+    pub fn from_values(lo: f64, hi: f64, bins: usize, values: &[f64]) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Empirical CDF at the upper edge of bin `i`.
+    pub fn cdf_at_bin(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i.min(self.bins.len() - 1)].iter().sum();
+        cum as f64 / total as f64
+    }
+
+    /// ASCII bar chart (one row per bin).
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{:>10.1} | {:<width$} {}\n", self.bin_lo(i), bar, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Summary::of(&v).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        assert_eq!(Summary::of(&[]), None);
+        assert_eq!(Summary::of(&[f64::NAN]), None);
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        // Non-finite values are dropped, finite kept.
+        let s = Summary::of(&[1.0, f64::INFINITY, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.0), Some(0.0));
+        assert_eq!(quantile(&v, 1.0), Some(100.0));
+        assert_eq!(quantile(&v, 0.5), Some(50.0));
+        assert!((quantile(&v, 0.905).unwrap() - 90.5).abs() < 1e-9);
+        assert_eq!(quantile(&[], 0.5), None);
+        // Out-of-range q clamps.
+        assert_eq!(quantile(&v, 2.0), Some(100.0));
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 5.5, 9.9, -3.0, 42.0] {
+            h.add(v);
+        }
+        assert_eq!(h.bins, vec![3, 1, 1, 0, 2]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_lo(4), 8.0);
+        assert!((h.cdf_at_bin(4) - 1.0).abs() < 1e-12);
+        assert!((h.cdf_at_bin(0) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_ascii_has_one_row_per_bin() {
+        let h = Histogram::from_values(0.0, 4.0, 4, &[0.5, 1.5, 1.6, 3.0]);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram")]
+    fn histogram_rejects_inverted_bounds() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+
+    #[test]
+    fn summary_matches_generator_durations() {
+        // Smoke: summarize real generated transfer durations.
+        use crate::gen::generate_panel;
+        let t = &generate_panel(3, 8)[0];
+        let durations: Vec<f64> =
+            t.all_activities().map(|a| a.duration as f64).collect();
+        let s = Summary::of(&durations).unwrap();
+        assert!(s.count > 50);
+        assert!(s.min >= 1.0);
+        assert!(s.mean < 60.0, "transfers are short: mean {}", s.mean);
+        assert!(s.p90 >= s.median && s.median >= s.min);
+    }
+}

@@ -1,0 +1,305 @@
+//! Simulation time primitives.
+//!
+//! All timestamps in this workspace are `u64` seconds counted from the
+//! *trace epoch* — midnight at the start of day 0 of a trace. A trace
+//! spans a whole number of days; hours and days are derived purely
+//! arithmetically, with day 0 assumed to be a Monday so that
+//! weekday/weekend classification is deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one minute.
+pub const SECS_PER_MIN: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+/// Hours in one day.
+pub const HOURS_PER_DAY: usize = 24;
+
+/// A timestamp in seconds since the trace epoch.
+pub type Timestamp = u64;
+
+/// A duration in seconds.
+pub type Seconds = u64;
+
+/// Index of a day within a trace (0-based, day 0 is a Monday).
+pub type DayIndex = usize;
+
+/// Returns the day index containing timestamp `t`.
+#[inline]
+pub fn day_of(t: Timestamp) -> DayIndex {
+    (t / SECS_PER_DAY) as DayIndex
+}
+
+/// Returns the hour-of-day (0..24) containing timestamp `t`.
+#[inline]
+pub fn hour_of(t: Timestamp) -> usize {
+    ((t % SECS_PER_DAY) / SECS_PER_HOUR) as usize
+}
+
+/// Returns the second-of-day (0..86400) for timestamp `t`.
+#[inline]
+pub fn second_of_day(t: Timestamp) -> u64 {
+    t % SECS_PER_DAY
+}
+
+/// Returns the timestamp of midnight starting day `day`.
+#[inline]
+pub fn day_start(day: DayIndex) -> Timestamp {
+    day as u64 * SECS_PER_DAY
+}
+
+/// Returns the timestamp at `day` + `hour`:00:00.
+#[inline]
+pub fn at_hour(day: DayIndex, hour: usize) -> Timestamp {
+    debug_assert!(hour < HOURS_PER_DAY);
+    day_start(day) + hour as u64 * SECS_PER_HOUR
+}
+
+/// Day-of-week classification; day 0 of every trace is a Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DayKind {
+    /// Monday through Friday.
+    Weekday,
+    /// Saturday or Sunday.
+    Weekend,
+}
+
+impl DayKind {
+    /// Classifies a day index (day 0 = Monday).
+    #[inline]
+    pub fn of_day(day: DayIndex) -> Self {
+        match day % 7 {
+            5 | 6 => DayKind::Weekend,
+            _ => DayKind::Weekday,
+        }
+    }
+
+    /// Classifies the day containing a timestamp.
+    #[inline]
+    pub fn of_timestamp(t: Timestamp) -> Self {
+        Self::of_day(day_of(t))
+    }
+
+    /// `true` for Saturday/Sunday.
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        matches!(self, DayKind::Weekend)
+    }
+}
+
+/// A half-open time interval `[start, end)` in trace time.
+///
+/// Intervals are the basic currency of the scheduler: user active slots,
+/// screen sessions, radio-on spans, and knapsack slots are all intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start time.
+    pub start: Timestamp,
+    /// Exclusive end time.
+    pub end: Timestamp,
+}
+
+impl Interval {
+    /// Creates an interval; panics if `end < start`.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end >= start, "interval end {end} before start {start}");
+        Interval { start, end }
+    }
+
+    /// An empty interval at `t`.
+    #[inline]
+    pub fn empty_at(t: Timestamp) -> Self {
+        Interval { start: t, end: t }
+    }
+
+    /// The full span of day `day`.
+    #[inline]
+    pub fn day(day: DayIndex) -> Self {
+        Interval::new(day_start(day), day_start(day + 1))
+    }
+
+    /// The span of hour `hour` on day `day`.
+    #[inline]
+    pub fn hour(day: DayIndex, hour: usize) -> Self {
+        Interval::new(at_hour(day, hour), at_hour(day, hour) + SECS_PER_HOUR)
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn len(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// `true` when the interval contains no time.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` when `t` lies inside `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// `true` when the two intervals share any time.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The overlap of two intervals, if any.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Interval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest interval covering both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Clamps this interval to `bounds`, returning `None` when disjoint.
+    pub fn clamp_to(&self, bounds: &Interval) -> Option<Interval> {
+        self.intersect(bounds)
+    }
+
+    /// Midpoint timestamp (rounded down).
+    #[inline]
+    pub fn midpoint(&self) -> Timestamp {
+        self.start + self.len() / 2
+    }
+}
+
+/// Merges a set of possibly overlapping intervals into a minimal sorted
+/// set of disjoint intervals. Adjacent (touching) intervals are fused.
+///
+/// Used for radio-on span accounting and for merging predicted slots.
+pub fn merge_intervals(mut spans: Vec<Interval>) -> Vec<Interval> {
+    spans.retain(|s| !s.is_empty());
+    spans.sort_by_key(|s| (s.start, s.end));
+    let mut out: Vec<Interval> = Vec::with_capacity(spans.len());
+    for s in spans {
+        match out.last_mut() {
+            Some(last) if s.start <= last.end => {
+                last.end = last.end.max(s.end);
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+/// Total covered seconds of a set of (possibly overlapping) intervals.
+pub fn covered_seconds(spans: &[Interval]) -> Seconds {
+    merge_intervals(spans.to_vec()).iter().map(Interval::len).sum()
+}
+
+/// Sum of overlap between `spans` (assumed disjoint & sorted) and `window`.
+pub fn overlap_with(spans: &[Interval], window: &Interval) -> Seconds {
+    spans
+        .iter()
+        .filter_map(|s| s.intersect(window))
+        .map(|i| i.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_and_hour_arithmetic() {
+        assert_eq!(day_of(0), 0);
+        assert_eq!(day_of(SECS_PER_DAY - 1), 0);
+        assert_eq!(day_of(SECS_PER_DAY), 1);
+        assert_eq!(hour_of(0), 0);
+        assert_eq!(hour_of(SECS_PER_HOUR), 1);
+        assert_eq!(hour_of(SECS_PER_DAY + 3 * SECS_PER_HOUR + 12), 3);
+        assert_eq!(at_hour(2, 5), 2 * SECS_PER_DAY + 5 * SECS_PER_HOUR);
+        assert_eq!(second_of_day(SECS_PER_DAY + 42), 42);
+    }
+
+    #[test]
+    fn day_kind_week_cycle() {
+        // Day 0 is Monday.
+        assert_eq!(DayKind::of_day(0), DayKind::Weekday);
+        assert_eq!(DayKind::of_day(4), DayKind::Weekday); // Friday
+        assert_eq!(DayKind::of_day(5), DayKind::Weekend); // Saturday
+        assert_eq!(DayKind::of_day(6), DayKind::Weekend); // Sunday
+        assert_eq!(DayKind::of_day(7), DayKind::Weekday); // next Monday
+        assert!(DayKind::of_day(12).is_weekend()); // second Saturday
+        assert!(!DayKind::of_day(9).is_weekend()); // second Wednesday
+        assert!(DayKind::of_timestamp(5 * SECS_PER_DAY + 1).is_weekend());
+    }
+
+    #[test]
+    fn interval_basics() {
+        let a = Interval::new(10, 20);
+        assert_eq!(a.len(), 10);
+        assert!(a.contains(10));
+        assert!(!a.contains(20));
+        assert!(!a.is_empty());
+        assert!(Interval::empty_at(5).is_empty());
+        assert_eq!(a.midpoint(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval end")]
+    fn interval_rejects_inverted() {
+        let _ = Interval::new(20, 10);
+    }
+
+    #[test]
+    fn interval_set_ops() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        let c = Interval::new(20, 30);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.intersect(&b), Some(Interval::new(5, 10)));
+        assert_eq!(a.intersect(&c), None);
+        assert_eq!(a.hull(&c), Interval::new(0, 30));
+        assert_eq!(b.clamp_to(&a), Some(Interval::new(5, 10)));
+    }
+
+    #[test]
+    fn merge_fuses_overlapping_and_touching() {
+        let merged = merge_intervals(vec![
+            Interval::new(10, 20),
+            Interval::new(0, 5),
+            Interval::new(5, 8),
+            Interval::new(15, 25),
+            Interval::new(30, 30), // empty, dropped
+        ]);
+        assert_eq!(merged, vec![Interval::new(0, 8), Interval::new(10, 25)]);
+    }
+
+    #[test]
+    fn coverage_and_overlap() {
+        let spans = vec![Interval::new(0, 10), Interval::new(5, 15), Interval::new(20, 25)];
+        assert_eq!(covered_seconds(&spans), 20);
+        let disjoint = merge_intervals(spans);
+        assert_eq!(overlap_with(&disjoint, &Interval::new(8, 22)), 9);
+    }
+
+    #[test]
+    fn hour_interval_shape() {
+        let h = Interval::hour(1, 23);
+        assert_eq!(h.len(), SECS_PER_HOUR);
+        assert_eq!(day_of(h.start), 1);
+        assert_eq!(hour_of(h.start), 23);
+        assert_eq!(Interval::day(3).len(), SECS_PER_DAY);
+    }
+}

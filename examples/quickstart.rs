@@ -1,0 +1,72 @@
+//! Quickstart: generate a habit-driven user, train NetMaster on two
+//! weeks of history, and compare a week under NetMaster against the
+//! stock device.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use netmaster::prelude::*;
+
+fn main() {
+    // A synthetic "regular commuter" — the most habit-driven profile in
+    // the panel (the paper's user 4).
+    let profile = UserProfile::panel().remove(3);
+    println!("user: {} (regularity {:.2})", profile.label, profile.regularity);
+
+    let trace = TraceGenerator::new(profile).with_seed(42).generate(21);
+    let (train, test) = (&trace.days[..14], &trace.days[14..]);
+    println!(
+        "trace: {} days, {} interactions, {} network activities",
+        trace.num_days(),
+        trace.all_interactions().count(),
+        trace.all_activities().count()
+    );
+
+    // The middleware, trained on the first two weeks of monitoring data.
+    let mut netmaster = NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    )
+    .with_training(train);
+
+    let cfg = SimConfig::default();
+    let baseline = simulate(test, &mut DefaultPolicy, &cfg);
+    let master = simulate(test, &mut netmaster, &cfg);
+
+    println!("\n                         stock device      NetMaster");
+    println!(
+        "energy (J)            {:>12.0} {:>14.0}",
+        baseline.energy_j, master.energy_j
+    );
+    println!(
+        "radio-on time (min)   {:>12.1} {:>14.1}",
+        baseline.radio_on_secs / 60.0,
+        master.radio_on_secs / 60.0
+    );
+    println!(
+        "avg downlink (B/s)    {:>12.0} {:>14.0}",
+        baseline.avg_down_rate(),
+        master.avg_down_rate()
+    );
+    println!(
+        "radio wake-ups        {:>12} {:>14}",
+        baseline.wakeups, master.wakeups
+    );
+    println!(
+        "\nNetMaster saved {:.1}% of network energy and {:.1}% of radio-on time;",
+        100.0 * master.energy_saving_vs(&baseline),
+        100.0 * master.radio_time_saving_vs(&baseline)
+    );
+    println!(
+        "bandwidth utilization rose {:.2}x; {:.2}% of interactions were affected.",
+        master.down_rate_ratio_vs(&baseline),
+        100.0 * master.affected_fraction()
+    );
+    let stats = netmaster.stats();
+    println!(
+        "scheduling: {} deferred, {} prefetched, {} served by duty cycle, {} wrong decisions",
+        stats.deferred, stats.prefetched, stats.duty_served, stats.wrong_decisions
+    );
+}

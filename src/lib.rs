@@ -1,0 +1,78 @@
+//! # netmaster
+//!
+//! A full reproduction of **"NetMaster: Taming Energy Devourers on
+//! Smartphones"** (Zhang, He, Wu, Liu, He — ICPP 2014) as a Rust
+//! workspace: the habit-mining middleware, every substrate it needs
+//! (synthetic habit-driven traces, RRC radio power models, a smartphone
+//! simulator, knapsack solvers), the baselines it compares against, and
+//! a bench harness regenerating every figure of the evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace crates under
+//! one roof.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`trace`] | `netmaster-trace` | trace schema, habit-driven generator, profiling |
+//! | [`radio`] | `netmaster-radio` | WCDMA/LTE RRC power models, link model |
+//! | [`knapsack`] | `netmaster-knapsack` | `SinKnap` FPTAS, Algorithm 1 |
+//! | [`mining`] | `netmaster-mining` | Pearson habit analysis, slot prediction, Special Apps |
+//! | [`sim`] | `netmaster-sim` | trace-replay simulator, metrics, parallel sweeps |
+//! | [`core`] | `netmaster-core` | the middleware: monitoring/mining/scheduling, policies |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use netmaster::prelude::*;
+//!
+//! // Three weeks of a habit-driven synthetic user.
+//! let trace = TraceGenerator::new(UserProfile::volunteers().remove(0))
+//!     .with_seed(7)
+//!     .generate(21);
+//!
+//! // Train NetMaster on two weeks, evaluate on the third.
+//! let mut netmaster = NetMasterPolicy::new(
+//!     NetMasterConfig::default(),
+//!     LinkModel::default(),
+//!     RrcModel::wcdma_default(),
+//! )
+//! .with_training(&trace.days[..14]);
+//!
+//! let cfg = SimConfig::default();
+//! let baseline = simulate(&trace.days[14..], &mut DefaultPolicy, &cfg);
+//! let master = simulate(&trace.days[14..], &mut netmaster, &cfg);
+//!
+//! println!(
+//!     "energy saving: {:.1}%  interrupts: {:.2}%",
+//!     100.0 * master.energy_saving_vs(&baseline),
+//!     100.0 * master.affected_fraction(),
+//! );
+//! assert!(master.energy_saving_vs(&baseline) > 0.3);
+//! assert!(master.affected_fraction() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use netmaster_core as core;
+pub use netmaster_knapsack as knapsack;
+pub use netmaster_mining as mining;
+pub use netmaster_radio as radio;
+pub use netmaster_sim as sim;
+pub use netmaster_trace as trace;
+
+/// One-stop imports for the common workflow: generate → train → simulate.
+pub mod prelude {
+    pub use netmaster_core::policies::{
+        BatchPolicy, DefaultPolicy, DelayPolicy, FastDormancyPolicy, NetMasterPolicy,
+        OraclePolicy,
+    };
+    pub use netmaster_core::{DayReport, MiddlewareService, NetMasterConfig, ServiceSummary, SleepScheme};
+    pub use netmaster_mining::{
+        predict_active_slots, prediction_accuracy, HourlyHistory, PredictionConfig, SpecialApps,
+    };
+    pub use netmaster_radio::{BatteryModel, LinkModel, RrcConfig, RrcModel, TailPolicy, Timeline};
+    pub use netmaster_sim::{compare, simulate, Policy, RunMetrics, SimConfig};
+    pub use netmaster_trace::gen::{generate_panel, generate_volunteers};
+    pub use netmaster_trace::profile::UserProfile;
+    pub use netmaster_trace::{Trace, TraceGenerator};
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full generate → mine → schedule →
+//! simulate pipeline, exercised end to end.
+
+use netmaster::prelude::*;
+
+fn trained(trace: &Trace) -> NetMasterPolicy {
+    NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    )
+    .with_training(&trace.days[..14])
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let run = || {
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(1))
+            .with_seed(77)
+            .generate(21);
+        let mut nm = trained(&trace);
+        simulate(&trace.days[14..], &mut nm, &SimConfig::default())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the identical run");
+}
+
+#[test]
+fn every_policy_conserves_bytes_and_transfer_count() {
+    let trace = generate_volunteers(21, 5)[0].clone();
+    let test = &trace.days[14..];
+    let cfg = SimConfig::default();
+    let expected_bytes = test.iter().fold((0u64, 0u64), |(d, u), day| {
+        day.activities
+            .iter()
+            .fold((d, u), |(d, u), a| (d + a.bytes_down, u + a.bytes_up))
+    });
+    let expected_count: u64 = test.iter().map(|d| d.activities.len() as u64).sum();
+
+    let mut policies: Vec<Box<dyn Policy + Send>> = vec![
+        Box::new(DefaultPolicy),
+        Box::new(OraclePolicy),
+        Box::new(trained(&trace)),
+        Box::new(DelayPolicy::new(60)),
+        Box::new(DelayPolicy::new(600)),
+        Box::new(BatchPolicy::new(5)),
+    ];
+    for m in compare(test, &mut policies, &cfg) {
+        assert_eq!(
+            (m.bytes_down, m.bytes_up),
+            expected_bytes,
+            "{} lost or invented bytes",
+            m.policy
+        );
+        assert_eq!(m.executed_transfers, expected_count, "{} dropped transfers", m.policy);
+    }
+}
+
+#[test]
+fn policy_ordering_matches_the_paper() {
+    // Oracle ≤ NetMaster < delay/batch < default, for every volunteer.
+    let cfg = SimConfig::default();
+    for trace in generate_volunteers(21, 2014) {
+        let test = &trace.days[14..];
+        let base = simulate(test, &mut DefaultPolicy, &cfg);
+        let oracle = simulate(test, &mut OraclePolicy, &cfg);
+        let mut nm = trained(&trace);
+        let master = simulate(test, &mut nm, &cfg);
+        let delay = simulate(test, &mut DelayPolicy::new(60), &cfg);
+        let batch = simulate(test, &mut BatchPolicy::new(5), &cfg);
+        assert!(
+            oracle.energy_j <= master.energy_j * 1.001,
+            "volunteer {}: oracle {} vs netmaster {}",
+            trace.user_id,
+            oracle.energy_j,
+            master.energy_j
+        );
+        assert!(master.energy_j < delay.energy_j, "volunteer {}", trace.user_id);
+        assert!(master.energy_j < batch.energy_j, "volunteer {}", trace.user_id);
+        assert!(delay.energy_j <= base.energy_j * 1.01, "volunteer {}", trace.user_id);
+        assert!(batch.energy_j < base.energy_j, "volunteer {}", trace.user_id);
+    }
+}
+
+#[test]
+fn netmaster_learns_online_without_pretraining() {
+    // Start untrained and run three weeks straight: the first days fall
+    // back to duty cycling, later days schedule, and the whole run still
+    // beats the stock device.
+    let trace = generate_volunteers(21, 9)[2].clone();
+    let cfg = SimConfig::default();
+    let mut nm = NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    );
+    let master = simulate(&trace.days, &mut nm, &cfg);
+    let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
+    assert!(nm.trained(), "three weeks must train the miner");
+    let stats = nm.stats();
+    assert!(stats.untrained_days >= 1);
+    assert!(stats.trained_days > stats.untrained_days);
+    assert!(
+        master.energy_saving_vs(&base) > 0.3,
+        "online learning should still save: {:.3}",
+        master.energy_saving_vs(&base)
+    );
+}
+
+#[test]
+fn user_experience_holds_across_the_panel() {
+    // The <1% interrupt claim, checked on all 8 panel users, not just
+    // the volunteers.
+    let cfg = SimConfig::default();
+    for trace in generate_panel(21, 2014) {
+        let mut nm = trained(&trace);
+        let m = simulate(&trace.days[14..], &mut nm, &cfg);
+        assert!(
+            m.affected_fraction() < 0.01,
+            "user {}: {:.4} interrupts",
+            trace.user_id,
+            m.affected_fraction()
+        );
+    }
+}
+
+#[test]
+fn lte_radio_works_throughout_the_pipeline() {
+    // The whole stack is radio-technology agnostic: swap LTE in.
+    let trace = generate_volunteers(21, 3)[0].clone();
+    let cfg = SimConfig {
+        radio: RrcConfig::lte(),
+        ..SimConfig::default()
+    };
+    let mut nm = NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::lte_default(),
+    )
+    .with_training(&trace.days[..14]);
+    let base = simulate(&trace.days[14..], &mut DefaultPolicy, &cfg);
+    let master = simulate(&trace.days[14..], &mut nm, &cfg);
+    assert!(master.energy_j < base.energy_j);
+    assert!(master.affected_fraction() < 0.01);
+}
+
+#[test]
+fn trace_serialization_survives_the_simulator() {
+    // Round-trip a trace through JSON and verify the simulation result
+    // is bit-identical.
+    let trace = generate_volunteers(16, 11)[1].clone();
+    let json = netmaster::trace::io::to_json(&trace);
+    let back = netmaster::trace::io::from_json(&json).unwrap();
+    assert_eq!(trace, back);
+    let cfg = SimConfig::default();
+    let a = simulate(&trace.days[14..], &mut DefaultPolicy, &cfg);
+    let b = simulate(&back.days[14..], &mut DefaultPolicy, &cfg);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,157 @@
+//! The paper's headline claims, asserted at reproduction-band level.
+//!
+//! Exact magnitudes depend on the authors' (unavailable) traces and
+//! handsets; these tests pin the *shape* — who wins, by roughly what
+//! factor, where crossovers fall. EXPERIMENTS.md records the exact
+//! paper-vs-measured numbers.
+
+use netmaster_bench::{figures_eval as ev, figures_profiling as pf};
+
+#[test]
+fn claim_screen_off_traffic_is_substantial() {
+    // §III: "network activities at the screen-off state accounts for
+    // 40.98% of all the activities".
+    let f = pf::fig1a();
+    assert!(
+        (0.25..=0.55).contains(&f.avg_screen_off),
+        "screen-off share {:.3} outside band around 0.41",
+        f.avg_screen_off
+    );
+}
+
+#[test]
+fn claim_screen_off_rates_sit_below_screen_on() {
+    // Fig. 1(b): 90% of screen-off transfers below 1 kB/s, screen-on
+    // below 5 kB/s.
+    let f = pf::fig1b();
+    assert!(f.p90_off < 1_000.0, "p90 screen-off {:.0} B/s", f.p90_off);
+    assert!(f.p90_on < 10_000.0, "p90 screen-on {:.0} B/s", f.p90_on);
+    assert!(f.p90_on > 2.0 * f.p90_off);
+}
+
+#[test]
+fn claim_users_differ_but_days_repeat() {
+    // Fig. 3 vs Fig. 4: cross-user Pearson low (0.1353), user 4's
+    // day-to-day Pearson high (0.8171).
+    let f3 = pf::fig3();
+    let f4 = pf::fig4();
+    assert!(f3.avg < 0.45, "cross-user avg {:.3}", f3.avg);
+    assert!(f4.avg > 0.6, "user-4 day avg {:.3}", f4.avg);
+    assert!(f4.avg - f3.avg > 0.25, "habit signal too weak");
+}
+
+#[test]
+fn claim_netmaster_saves_most_of_the_energy() {
+    // §VI-A: 77.8% average energy saving; gap to the oracle below 5%
+    // typical, 11.2% worst case; 75.39% of radio-on time removed.
+    let f = ev::fig7();
+    assert!(
+        f.netmaster_avg_saving > 0.5,
+        "NetMaster saving {:.3} (paper 0.778)",
+        f.netmaster_avg_saving
+    );
+    assert!(
+        f.gap_to_oracle < 0.112,
+        "gap to oracle {:.3} exceeds the paper's worst case",
+        f.gap_to_oracle
+    );
+    assert!(
+        f.netmaster_radio_saving > 0.5,
+        "radio-on saving {:.3} (paper 0.7539)",
+        f.netmaster_radio_saving
+    );
+}
+
+#[test]
+fn claim_bandwidth_utilization_doubles_or_more() {
+    // Abstract: "increases network bandwidth utilization by over 200%"
+    // (i.e. >2×); Fig. 7(c): 3.84× down, 2.63× up, peak unchanged.
+    let f = ev::fig7();
+    assert!(f.down_ratio > 2.0, "down ratio {:.2}", f.down_ratio);
+    assert!(f.up_ratio > 2.0, "up ratio {:.2}", f.up_ratio);
+    assert!((f.peak_ratio - 1.0).abs() < 0.01, "peak must not improve");
+}
+
+#[test]
+fn claim_interrupt_chance_below_one_percent() {
+    // Abstract/§VI-B: "the chance of undesired interrupt during normal
+    // usage is less than 1%".
+    let f = ev::fig7();
+    assert!(
+        f.netmaster_affected < 0.01,
+        "affected fraction {:.4}",
+        f.netmaster_affected
+    );
+}
+
+#[test]
+fn claim_netmaster_dominates_naive_schemes() {
+    // §VI-A/§VI-C: naive delay-and-batch saves far less (22.54% in the
+    // paper) and NetMaster beats it decisively.
+    let f = ev::fig7();
+    assert!(
+        f.netmaster_avg_saving > f.delay_batch_avg_saving + 0.3,
+        "NetMaster {:.3} vs delay-batch {:.3}",
+        f.netmaster_avg_saving,
+        f.delay_batch_avg_saving
+    );
+}
+
+#[test]
+fn claim_delay_tradeoff_shape() {
+    // Fig. 8: longer delays cut radio time and lift bandwidth, but the
+    // affected-interaction ratio climbs with the window — the method
+    // cannot win on both axes.
+    let f = ev::fig8();
+    let first = &f.points[0];
+    let last = f.points.last().unwrap();
+    assert_eq!(first.delay, 0);
+    assert_eq!(last.delay, 600);
+    assert!(last.radio_saving > 0.05, "600 s delay should cut radio time");
+    assert!(last.affected > 10.0 * first.affected.max(1e-6) || last.affected > 0.03);
+    // Monotone-ish growth of affected interactions along the sweep.
+    let mid = f.points.iter().find(|p| p.delay == 60).unwrap();
+    assert!(first.affected <= mid.affected && mid.affected <= last.affected);
+    // Small delays achieve almost nothing (paper: 5 s "gives little
+    // improvement").
+    let small = f.points.iter().find(|p| p.delay == 5).unwrap();
+    assert!(small.energy_saving < 0.05);
+}
+
+#[test]
+fn claim_batch_plateaus_past_five() {
+    // Fig. 9: "its performance does not improve when the max number
+    // exceeds five".
+    let f = ev::fig9();
+    let at = |n: usize| f.points.iter().find(|p| p.max_batch == n).unwrap();
+    let gain_2_5 = at(5).energy_saving - at(2).energy_saving;
+    let gain_5_10 = at(10).energy_saving - at(5).energy_saving;
+    assert!(gain_2_5 > 0.0);
+    assert!(
+        gain_5_10 < 0.5 * gain_2_5,
+        "no plateau: 2→5 {:.3}, 5→10 {:.3}",
+        gain_2_5,
+        gain_5_10
+    );
+    assert!(at(10).affected < 0.15, "batch impact stays bounded");
+}
+
+#[test]
+fn claim_exponential_sleep_wins() {
+    // Fig. 10(b): exponential ≪ random ≤ fixed wake-up counts.
+    let f = ev::fig10b();
+    let last = f.rows.last().unwrap();
+    assert!(last.1 < last.3 && last.3 <= last.2);
+}
+
+#[test]
+fn claim_threshold_trades_accuracy() {
+    // Fig. 10(c): accuracy decreases with δ (energy sensitivity is
+    // muted in our screen-state-driven radio control; see
+    // EXPERIMENTS.md).
+    let f = ev::fig10c();
+    let first = f.points.first().unwrap();
+    let last = f.points.last().unwrap();
+    assert!(first.accuracy >= last.accuracy);
+    assert!(last.energy_saving > 0.5, "NetMaster stays effective at all δ");
+}

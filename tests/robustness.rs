@@ -1,0 +1,202 @@
+//! Robustness integration tests: the middleware under edge-case
+//! workloads the miner's assumptions break on.
+
+use netmaster::prelude::*;
+use netmaster::trace::scenario;
+
+fn netmaster_for(trace: &Trace, train_days: usize) -> NetMasterPolicy {
+    NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    )
+    .with_training(&trace.days[..train_days])
+}
+
+fn check_sane(trace: &Trace, train_days: usize) -> (RunMetrics, RunMetrics) {
+    let cfg = SimConfig::default();
+    let test = &trace.days[train_days..];
+    let base = simulate(test, &mut DefaultPolicy, &cfg);
+    let mut nm = netmaster_for(trace, train_days);
+    let master = simulate(test, &mut nm, &cfg);
+    assert_eq!(
+        (master.bytes_down, master.bytes_up),
+        (base.bytes_down, base.bytes_up),
+        "bytes conserved"
+    );
+    assert!(master.energy_j >= 0.0 && master.energy_j.is_finite());
+    assert!(master.affected_fraction() < 0.02, "{:.4}", master.affected_fraction());
+    (base, master)
+}
+
+#[test]
+fn vacation_week_in_training_does_not_break_prediction() {
+    // A week of drawer days inside the training window dilutes the
+    // usage probabilities; the policy must still schedule and save.
+    let trace = scenario::vacation(2014);
+    let (base, master) = check_sane(&trace, 14);
+    assert!(
+        master.energy_saving_vs(&base) > 0.25,
+        "saving {:.3}",
+        master.energy_saving_vs(&base)
+    );
+}
+
+#[test]
+fn empty_test_days_cost_nothing() {
+    // Drawer days in the *test* window: nothing to do, nothing spent
+    // beyond a handful of duty wake-ups.
+    let trace = scenario::drawer_days(
+        netmaster::trace::gen::generate_volunteers(18, 7).remove(0),
+        16,
+        18,
+    );
+    let cfg = SimConfig::default();
+    let mut nm = netmaster_for(&trace, 14);
+    let m = simulate(&trace.days[16..], &mut nm, &cfg);
+    assert_eq!(m.bytes_down, 0);
+    assert_eq!(m.executed_transfers, 0);
+    // Only duty-cycle listens may spend energy; an idle day costs a few
+    // dozen joules at most.
+    assert!(m.energy_j < 100.0, "idle days cost {} J", m.energy_j);
+    assert_eq!(m.affected_interactions, 0);
+}
+
+#[test]
+fn airplane_mode_days_are_harmless() {
+    let trace = scenario::airplane_weekend(11);
+    let cfg = SimConfig::default();
+    let mut nm = netmaster_for(&trace, 14);
+    let m = simulate(&trace.days[14..], &mut nm, &cfg);
+    assert_eq!(m.executed_transfers, 0, "no network demands in airplane mode");
+    assert_eq!(m.affected_interactions, 0, "offline interactions need no radio");
+    assert!(m.interactions > 0, "the user still used the phone");
+}
+
+#[test]
+fn binge_day_streams_without_interference() {
+    let trace = scenario::binge(21);
+    let cfg = SimConfig::default();
+    let test = &trace.days[14..];
+    let base = simulate(test, &mut DefaultPolicy, &cfg);
+    let mut nm = netmaster_for(&trace, 14);
+    let m = simulate(test, &mut nm, &cfg);
+    assert_eq!(m.bytes_down, base.bytes_down, "streams untouched");
+    // Foreground streaming is screen-on: NetMaster must not move it.
+    assert!(
+        m.affected_fraction() < 0.01,
+        "binge interrupted: {:.4}",
+        m.affected_fraction()
+    );
+    // Long back-to-back transfers leave little tail waste, so savings
+    // shrink — but NetMaster must never cost MORE than stock.
+    assert!(m.energy_j <= base.energy_j * 1.001);
+}
+
+#[test]
+fn schedule_change_is_survivable_and_ewma_adapts_faster() {
+    use netmaster::mining::{predict_with, EwmaModel, FrequencyModel};
+    let trace = scenario::schedule_change(21, 10, 5);
+    // Train across the drift boundary: 14 days = 10 old + 4 new habit.
+    let (_base, master) = check_sane(&trace, 14);
+    assert!(master.energy_j.is_finite());
+
+    // The EWMA predictor tracks the new nocturnal habit better than the
+    // paper's equal-weight frequency model.
+    let train = trace.slice_days(0, 14);
+    let test = trace.slice_days(14, 21);
+    let h = HourlyHistory::from_trace(&train);
+    let cfg = PredictionConfig::default();
+    let freq_acc = prediction_accuracy(&predict_with(&FrequencyModel, &h, cfg), &test);
+    let ewma_acc =
+        prediction_accuracy(&predict_with(&EwmaModel { alpha: 0.4 }, &h, cfg), &test);
+    assert!(
+        ewma_acc >= freq_acc,
+        "EWMA should adapt at least as fast: {ewma_acc:.3} vs {freq_acc:.3}"
+    );
+}
+
+#[test]
+fn drift_reset_relearns_a_new_schedule() {
+    use netmaster::mining::{predict_active_slots, HourlyHistory};
+    use netmaster::trace::time::DayKind;
+    // Office worker switches to night shifts on day 10.
+    let trace = netmaster::trace::scenario::schedule_change(21, 10, 77);
+    let cfg = SimConfig::default();
+
+    let run = |drift_reset: bool| {
+        let nm_cfg = NetMasterConfig { drift_reset, ..Default::default() };
+        let mut nm = NetMasterPolicy::new(
+            nm_cfg,
+            LinkModel::default(),
+            RrcModel::wcdma_default(),
+        );
+        // Run the whole three weeks online.
+        let m = simulate(&trace.days, &mut nm, &cfg);
+        (m, nm.stats())
+    };
+    let (plain_m, plain_stats) = run(false);
+    let (adaptive_m, adaptive_stats) = run(true);
+    assert_eq!(plain_stats.drift_resets, 0);
+    assert!(
+        adaptive_stats.drift_resets >= 1,
+        "the day-10 schedule change must trigger a reset: {adaptive_stats:?}"
+    );
+    // Both conserve the workload and keep the interrupt guarantee.
+    assert_eq!(adaptive_m.bytes_down, plain_m.bytes_down);
+    assert!(adaptive_m.affected_fraction() < 0.01);
+
+    // After the reset, predictions come from post-drift history only:
+    // rebuild what the adaptive miner would see at day 20 and check the
+    // nocturnal hours are predicted active.
+    let post = trace.slice_days(15, 21);
+    let pred = predict_active_slots(
+        &HourlyHistory::from_trace(&post),
+        PredictionConfig::default(),
+    );
+    assert!(
+        pred.hours(DayKind::Weekday)[1] || pred.hours(DayKind::Weekday)[2],
+        "night-shift hours must be active in post-drift history"
+    );
+}
+
+#[test]
+fn forgotten_phone_day_gets_batched_hard() {
+    // A sessionless day of pure background noise: everything funnels
+    // through duty-cycle wake-ups; batching should beat stock clearly.
+    let trace = scenario::forgotten_phone_day(
+        netmaster::trace::gen::generate_volunteers(16, 13).remove(0),
+        15,
+    );
+    let cfg = SimConfig::default();
+    let day = &trace.days[15..16];
+    let base = simulate(day, &mut DefaultPolicy, &cfg);
+    let mut nm = netmaster_for(&trace, 14);
+    let m = simulate(day, &mut nm, &cfg);
+    assert_eq!(m.bytes_down, base.bytes_down);
+    assert!(
+        m.energy_saving_vs(&base) > 0.5,
+        "sessionless background day should batch well: {:.3}",
+        m.energy_saving_vs(&base)
+    );
+}
+
+#[test]
+fn single_day_traces_do_not_panic_any_policy() {
+    let trace = netmaster::trace::gen::generate_volunteers(1, 99).remove(2);
+    let cfg = SimConfig::default();
+    let mut policies: Vec<Box<dyn Policy + Send>> = vec![
+        Box::new(DefaultPolicy),
+        Box::new(OraclePolicy),
+        Box::new(DelayPolicy::new(600)),
+        Box::new(BatchPolicy::new(8)),
+        Box::new(NetMasterPolicy::new(
+            NetMasterConfig::default(),
+            LinkModel::default(),
+            RrcModel::wcdma_default(),
+        )),
+    ];
+    for m in compare(&trace.days, &mut policies, &cfg) {
+        assert!(m.energy_j.is_finite(), "{}", m.policy);
+    }
+}

@@ -1,0 +1,114 @@
+//! API-stability tests: every serializable surface round-trips through
+//! JSON, so saved traces, exported metrics, and figure dumps stay
+//! loadable across versions.
+
+use netmaster::core::decision::DayRouting;
+use netmaster::prelude::*;
+use netmaster::sim::{run_fleet, FleetReport};
+use netmaster::trace::stats::{Histogram, Summary};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn run_metrics_round_trip() {
+    let trace = generate_volunteers(5, 3).remove(0);
+    let m = simulate(&trace.days, &mut DefaultPolicy, &SimConfig::default());
+    let back: RunMetrics = round_trip(&m);
+    assert_eq!(m, back);
+    // Key fields present under stable names in the JSON.
+    let v: serde_json::Value = serde_json::to_value(&m).unwrap();
+    for key in ["policy", "energy_j", "radio_on_secs", "affected_interactions", "rrc"] {
+        assert!(v.get(key).is_some(), "missing key {key}");
+    }
+}
+
+#[test]
+fn netmaster_config_round_trip_includes_extensions() {
+    let cfg = NetMasterConfig {
+        drift_reset: true,
+        prediction_bound: netmaster::mining::Bound::Upper,
+        ..NetMasterConfig::aggressive()
+    };
+    let back: NetMasterConfig = round_trip(&cfg);
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn day_routing_round_trip() {
+    use netmaster::core::DecisionMaker;
+    use netmaster::mining::{predict_active_slots, NetworkPrediction};
+    let trace = generate_volunteers(14, 8).remove(1);
+    let history = HourlyHistory::from_trace(&trace);
+    let active = predict_active_slots(&history, PredictionConfig::default());
+    let network = NetworkPrediction::from_trace(&trace);
+    let maker = DecisionMaker::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    );
+    let routing = maker.plan_day(14, &active, &network);
+    let back: DayRouting = round_trip(&routing);
+    assert_eq!(routing, back);
+    assert!(!back.slots.is_empty());
+}
+
+#[test]
+fn fleet_report_round_trip() {
+    let traces: Vec<(u64, Trace)> =
+        vec![(1, generate_volunteers(4, 1).remove(0)), (2, generate_volunteers(4, 2).remove(1))];
+    let report = run_fleet(&traces, 3, &SimConfig::default(), |_| Box::new(DefaultPolicy));
+    let back: FleetReport = round_trip(&report);
+    assert_eq!(report, back);
+}
+
+#[test]
+fn stats_types_round_trip() {
+    let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+    assert_eq!(s, round_trip(&s));
+    let h = Histogram::from_values(0.0, 10.0, 4, &[1.0, 2.0, 9.0]);
+    assert_eq!(h, round_trip(&h));
+}
+
+#[test]
+fn radio_models_round_trip() {
+    use netmaster::radio::{SizeAwareRrc, Timeline};
+    let m = RrcModel::wcdma_default();
+    assert_eq!(m, round_trip(&m));
+    let s = SizeAwareRrc::wcdma();
+    assert_eq!(s, round_trip(&s));
+    let t = Timeline::build(&m, &[netmaster::radio::Interval::new(0, 5)]);
+    assert_eq!(t, round_trip(&t));
+    let b = BatteryModel::htc_one_x();
+    assert_eq!(b, round_trip(&b));
+}
+
+#[test]
+fn mining_outputs_round_trip() {
+    use netmaster::mining::{habit_stability, NetworkPrediction, StabilityReport};
+    let trace = generate_volunteers(10, 4).remove(2);
+    let history = HourlyHistory::from_trace(&trace);
+    let pred = netmaster::mining::predict_active_slots(&history, PredictionConfig::default());
+    assert_eq!(pred, round_trip(&pred));
+    let net = NetworkPrediction::from_trace(&trace);
+    assert_eq!(net, round_trip(&net));
+    let stab: StabilityReport = habit_stability(&history);
+    assert_eq!(stab, round_trip(&stab));
+}
+
+#[test]
+fn figure_json_dumps_parse_back() {
+    // The figures binary dumps these; make sure the shapes parse as
+    // generic JSON and carry the expected top-level keys.
+    use netmaster_bench::{figures_eval as ev, figures_profiling as pf};
+    let f1a = serde_json::to_value(pf::fig1a()).unwrap();
+    assert!(f1a["rows"].is_array());
+    assert!(f1a["avg_screen_off"].is_number());
+    let f10b = serde_json::to_value(ev::fig10b()).unwrap();
+    assert!(f10b["rows"].is_array());
+}
