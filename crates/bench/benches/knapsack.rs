@@ -39,7 +39,10 @@ fn bench_alternatives(c: &mut Criterion) {
         b.iter(|| black_box(greedy_half(&it, 500_000)))
     });
     // DP needs a small capacity to be tractable.
-    let small: Vec<Item> = it.iter().map(|i| Item::new(i.profit, i.weight % 997 + 1)).collect();
+    let small: Vec<Item> = it
+        .iter()
+        .map(|i| Item::new(i.profit, i.weight % 997 + 1))
+        .collect();
     g.bench_function("dp_by_capacity_n50_c5000", |b| {
         b.iter(|| black_box(dp_by_capacity(&small, 5_000)))
     });

@@ -41,7 +41,11 @@ fn bench_mining(c: &mut Criterion) {
 
     c.bench_function("predict_ewma", |b| {
         b.iter(|| {
-            black_box(predict_with(&EwmaModel::default(), &history, PredictionConfig::default()))
+            black_box(predict_with(
+                &EwmaModel::default(),
+                &history,
+                PredictionConfig::default(),
+            ))
         })
     });
 

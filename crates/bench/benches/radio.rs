@@ -41,8 +41,10 @@ fn bench_timeline_and_attribution(c: &mut Criterion) {
         b.iter(|| black_box(Timeline::build(&wcdma, &sp)))
     });
     let mut rng = StdRng::seed_from_u64(4);
-    let tagged: Vec<(AppId, Interval)> =
-        sp.iter().map(|&s| (AppId(rng.random_range(0..20)), s)).collect();
+    let tagged: Vec<(AppId, Interval)> = sp
+        .iter()
+        .map(|&s| (AppId(rng.random_range(0..20)), s))
+        .collect();
     c.bench_function("attribute_2000_spans_20_apps", |b| {
         b.iter(|| black_box(attribute(&wcdma, &tagged)))
     });

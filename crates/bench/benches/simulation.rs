@@ -14,7 +14,9 @@ fn bench_generation(c: &mut Criterion) {
     c.bench_function("generate_21_days", |b| {
         b.iter(|| {
             black_box(
-                TraceGenerator::new(profile.clone()).with_seed(7).generate(21),
+                TraceGenerator::new(profile.clone())
+                    .with_seed(7)
+                    .generate(21),
             )
         })
     });

@@ -5,18 +5,18 @@ use crate::harness::{self, TRAIN_DAYS};
 use netmaster_core::policies::{DefaultPolicy, NetMasterPolicy, OraclePolicy};
 use netmaster_core::NetMasterConfig;
 use netmaster_mining::PredictionConfig;
-use netmaster_radio::{LinkModel, RrcModel};
-use netmaster_sim::par_map;
-use netmaster_trace::gen::{GenOptions, TraceGenerator};
-use netmaster_trace::profile::UserProfile;
-use serde::Serialize;
 use netmaster_mining::{
     predict_with, prediction_accuracy, EwmaModel, FrequencyModel, HourlyHistory, SmoothedModel,
     UsageModel,
 };
 use netmaster_radio::RrcConfig;
+use netmaster_radio::{LinkModel, RrcModel};
+use netmaster_sim::par_map;
 use netmaster_sim::SimConfig;
+use netmaster_trace::gen::{GenOptions, TraceGenerator};
+use netmaster_trace::profile::UserProfile;
 use netmaster_trace::scenario;
+use serde::Serialize;
 
 /// One ablation variant's outcome, averaged over the volunteers.
 #[derive(Debug, Clone, Serialize)]
@@ -57,7 +57,10 @@ fn run_variant(name: &str, cfg: NetMasterConfig) -> Variant {
 pub fn epsilon_sweep() -> Vec<Variant> {
     let grid = [0.01f64, 0.05, 0.1, 0.3, 0.5, 0.9];
     par_map(grid.as_ref(), |&e| {
-        let cfg = NetMasterConfig { epsilon: e, ..Default::default() };
+        let cfg = NetMasterConfig {
+            epsilon: e,
+            ..Default::default()
+        };
         run_variant(&format!("epsilon={e}"), cfg)
     })
 }
@@ -66,7 +69,10 @@ pub fn epsilon_sweep() -> Vec<Variant> {
 /// uniform alternatives.
 pub fn delta_strategies() -> Vec<Variant> {
     let mut out = Vec::new();
-    out.push(run_variant("delta=0.2/0.1 (paper)", NetMasterConfig::default()));
+    out.push(run_variant(
+        "delta=0.2/0.1 (paper)",
+        NetMasterConfig::default(),
+    ));
     for d in [0.05f64, 0.2, 0.37, 0.5] {
         let cfg = NetMasterConfig {
             prediction: PredictionConfig::uniform(d),
@@ -84,7 +90,10 @@ pub fn special_apps() -> Vec<Variant> {
         run_variant("special-apps on", NetMasterConfig::default()),
         run_variant(
             "special-apps off",
-            NetMasterConfig { track_special_apps: false, ..Default::default() },
+            NetMasterConfig {
+                track_special_apps: false,
+                ..Default::default()
+            },
         ),
     ]
 }
@@ -94,7 +103,10 @@ pub fn special_apps() -> Vec<Variant> {
 pub fn duty_min_window() -> Vec<Variant> {
     let grid = [60u64, 600, 1_800, 3_600, 14_400];
     par_map(grid.as_ref(), |&w| {
-        let cfg = NetMasterConfig { duty_min_window: w, ..Default::default() };
+        let cfg = NetMasterConfig {
+            duty_min_window: w,
+            ..Default::default()
+        };
         run_variant(&format!("min-window={w}s"), cfg)
     })
 }
@@ -111,7 +123,10 @@ pub fn background_load() -> Vec<Variant> {
         for p in &profiles {
             let trace = TraceGenerator::new(p.clone())
                 .with_seed(harness::SEED)
-                .with_options(GenOptions { bg_period_scale: 1.0 / scale, ..Default::default() })
+                .with_options(GenOptions {
+                    bg_period_scale: 1.0 / scale,
+                    ..Default::default()
+                })
                 .generate(TRAIN_DAYS + harness::TEST_DAYS);
             let base = harness::run_test_days(&trace, &mut DefaultPolicy);
             let mut nm = NetMasterPolicy::new(
@@ -147,7 +162,10 @@ pub fn training_days() -> Vec<Variant> {
             let base = harness::run_test_days(t, &mut DefaultPolicy);
             let oracle = harness::run_test_days(t, &mut OraclePolicy);
             let mut nm = NetMasterPolicy::new(
-                NetMasterConfig { min_training_days: 1, ..Default::default() },
+                NetMasterConfig {
+                    min_training_days: 1,
+                    ..Default::default()
+                },
                 LinkModel::default(),
                 RrcModel::wcdma_default(),
             )
@@ -214,14 +232,16 @@ pub fn radio_technology() -> Vec<Variant> {
         .into_iter()
         .map(|(name, rrc, radio)| {
             let traces = harness::volunteers();
-            let cfg = SimConfig { radio: rrc, ..SimConfig::default() };
+            let cfg = SimConfig {
+                radio: rrc,
+                ..SimConfig::default()
+            };
             let mut saving = 0.0;
             let mut affected = 0.0;
             let mut empties = 0.0;
             for t in &traces {
                 let test = &t.days[TRAIN_DAYS..];
-                let base =
-                    netmaster_sim::simulate(test, &mut netmaster_sim::DefaultPolicy, &cfg);
+                let base = netmaster_sim::simulate(test, &mut netmaster_sim::DefaultPolicy, &cfg);
                 let mut nm = NetMasterPolicy::new(
                     NetMasterConfig::default(),
                     LinkModel::default(),
@@ -253,13 +273,12 @@ pub fn drift_reaction() -> Vec<Variant> {
     [("static history (paper)", false), ("drift-reset", true)]
         .into_iter()
         .map(|(name, drift_reset)| {
-            let cfg = NetMasterConfig { drift_reset, ..Default::default() };
+            let cfg = NetMasterConfig {
+                drift_reset,
+                ..Default::default()
+            };
             let base = harness::run_test_days(&trace, &mut DefaultPolicy);
-            let mut nm = NetMasterPolicy::new(
-                cfg,
-                LinkModel::default(),
-                RrcModel::wcdma_default(),
-            );
+            let mut nm = NetMasterPolicy::new(cfg, LinkModel::default(), RrcModel::wcdma_default());
             // Run online through the drift, then measure the last week.
             for d in &trace.days[..TRAIN_DAYS] {
                 let _ = netmaster_sim::Policy::plan_day(&mut nm, d);
@@ -358,8 +377,14 @@ pub fn power_model_sensitivity() -> Vec<Variant> {
             p.secs *= k;
         }
         let traces = harness::volunteers();
-        let cfg = SimConfig { radio: rrc.clone(), ..SimConfig::default() };
-        let radio = RrcModel { config: rrc, tail_policy: netmaster_radio::TailPolicy::Full };
+        let cfg = SimConfig {
+            radio: rrc.clone(),
+            ..SimConfig::default()
+        };
+        let radio = RrcModel {
+            config: rrc,
+            tail_policy: netmaster_radio::TailPolicy::Full,
+        };
         let mut saving = 0.0;
         let mut affected = 0.0;
         for t in &traces {
@@ -388,7 +413,10 @@ pub fn power_model_sensitivity() -> Vec<Variant> {
 /// Prints a variant table.
 pub fn print_table(title: &str, variants: &[Variant]) {
     println!("{title}");
-    println!("{:>26} {:>14} {:>10} {:>12}", "variant", "energy-saving", "affected", "empty/day");
+    println!(
+        "{:>26} {:>14} {:>10} {:>12}",
+        "variant", "energy-saving", "affected", "empty/day"
+    );
     for v in variants {
         println!(
             "{:>26} {:>14.3} {:>10.4} {:>12.1}",
@@ -424,8 +452,12 @@ mod tests {
         // Steady accuracy comparable (energy_saving column).
         assert!((freq.energy_saving - ewma.energy_saving).abs() < 0.05);
         // Drift accuracy (affected column): EWMA at least as good.
-        assert!(ewma.affected >= freq.affected - 0.01,
-            "ewma {} vs freq {}", ewma.affected, freq.affected);
+        assert!(
+            ewma.affected >= freq.affected - 0.01,
+            "ewma {} vs freq {}",
+            ewma.affected,
+            freq.affected
+        );
     }
 
     #[test]
@@ -474,9 +506,12 @@ mod tests {
         let fd = &v[0];
         let nm = &v[1];
         let oracle = &v[2];
-        assert!(nm.energy_saving > fd.energy_saving + 0.1,
+        assert!(
+            nm.energy_saving > fd.energy_saving + 0.1,
             "habit scheduling must add real value over fast dormancy: {} vs {}",
-            nm.energy_saving, fd.energy_saving);
+            nm.energy_saving,
+            fd.energy_saving
+        );
         assert!(oracle.energy_saving >= nm.energy_saving - 0.01);
     }
 
@@ -504,7 +539,10 @@ mod tests {
         // The knapsack rarely saturates slot capacities, so ε mostly
         // trades solver time, as the paper implies by fixing 0.1.
         let v = epsilon_sweep();
-        let min = v.iter().map(|x| x.energy_saving).fold(f64::INFINITY, f64::min);
+        let min = v
+            .iter()
+            .map(|x| x.energy_saving)
+            .fold(f64::INFINITY, f64::min);
         let max = v.iter().map(|x| x.energy_saving).fold(0.0, f64::max);
         assert!(max - min < 0.1, "epsilon swing too large: {min}..{max}");
     }

@@ -10,9 +10,15 @@ use netmaster_bench::ablations as ab;
 
 fn main() {
     ab::print_table("Ablation 1 — FPTAS epsilon", &ab::epsilon_sweep());
-    ab::print_table("Ablation 2 — prediction threshold strategy", &ab::delta_strategies());
+    ab::print_table(
+        "Ablation 2 — prediction threshold strategy",
+        &ab::delta_strategies(),
+    );
     ab::print_table("Ablation 3 — Special Apps tracking", &ab::special_apps());
-    ab::print_table("Ablation 4 — duty-cycle minimum window", &ab::duty_min_window());
+    ab::print_table(
+        "Ablation 4 — duty-cycle minimum window",
+        &ab::duty_min_window(),
+    );
     ab::print_table("Ablation 5 — background sync load", &ab::background_load());
     ab::print_table(
         "Ablation 6 — training history (energy-saving column = gap to oracle)",

@@ -24,12 +24,18 @@ fn main() {
                 i += 2;
             }
             "--json" => {
-                json_dir = Some(PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| "figures-json".into())));
+                json_dir = Some(PathBuf::from(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| "figures-json".into()),
+                ));
                 i += 2;
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [--fig 1a|1b|2|3|4|5|7|8|9|10a|10b|10c|all] [--json DIR]");
+                eprintln!(
+                    "usage: figures [--fig 1a|1b|2|3|4|5|7|8|9|10a|10b|10c|all] [--json DIR]"
+                );
                 std::process::exit(2);
             }
         }

@@ -12,18 +12,26 @@ use netmaster_bench::harness::{TEST_DAYS, TRAIN_DAYS};
 use netmaster_core::policies::NetMasterPolicy;
 use netmaster_core::NetMasterConfig;
 use netmaster_radio::{LinkModel, RrcModel};
-use netmaster_sim::{run_fleet, par_map, Policy, SimConfig};
+use netmaster_sim::{par_map, run_fleet, Policy, SimConfig};
 use netmaster_trace::gen::TraceGenerator;
 use netmaster_trace::profile::UserProfile;
 use netmaster_trace::trace::Trace;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     eprintln!("generating {n} users…");
     let seeds: Vec<u64> = (0..n as u64).map(|i| 0xF1EE7 + i * 7919).collect();
     let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
         let profile = UserProfile::panel().remove((seed % 8) as usize);
-        (seed, TraceGenerator::new(profile).with_seed(seed).generate(TRAIN_DAYS + TEST_DAYS))
+        (
+            seed,
+            TraceGenerator::new(profile)
+                .with_seed(seed)
+                .generate(TRAIN_DAYS + TEST_DAYS),
+        )
     });
 
     eprintln!("simulating {n} members (2 arms each)…");

@@ -73,13 +73,28 @@ fn main() {
     println!("### Fig. 7 — policy comparison\n");
     println!("| metric | measured | paper |");
     println!("|---|---|---|");
-    println!("| NetMaster energy saving | {:.3} | 0.778 |", f7.netmaster_avg_saving);
-    println!("| gap to oracle | {:.3} | <0.05 typical |", f7.gap_to_oracle);
-    println!("| radio-on time saving | {:.3} | 0.7539 |", f7.netmaster_radio_saving);
-    println!("| naive delay-batch saving | {:.3} | 0.2254 |", f7.delay_batch_avg_saving);
+    println!(
+        "| NetMaster energy saving | {:.3} | 0.778 |",
+        f7.netmaster_avg_saving
+    );
+    println!(
+        "| gap to oracle | {:.3} | <0.05 typical |",
+        f7.gap_to_oracle
+    );
+    println!(
+        "| radio-on time saving | {:.3} | 0.7539 |",
+        f7.netmaster_radio_saving
+    );
+    println!(
+        "| naive delay-batch saving | {:.3} | 0.2254 |",
+        f7.delay_batch_avg_saving
+    );
     println!("| bandwidth ratio (down) | {:.2}x | 3.84x |", f7.down_ratio);
     println!("| bandwidth ratio (up) | {:.2}x | 2.63x |", f7.up_ratio);
-    println!("| affected interactions | {:.4} | <0.01 |\n", f7.netmaster_affected);
+    println!(
+        "| affected interactions | {:.4} | <0.01 |\n",
+        f7.netmaster_affected
+    );
 
     let f8 = ev::fig8();
     println!("### Fig. 8 — delay sweep\n");
@@ -123,14 +138,46 @@ fn main() {
 
     // --- Ablations.
     println!("## Ablations\n");
-    variants_table("ε sweep", ("energy saving", "affected", "empty/day"), &ab::epsilon_sweep());
-    variants_table("δ strategies", ("energy saving", "affected", "empty/day"), &ab::delta_strategies());
-    variants_table("Special Apps", ("energy saving", "affected", "empty/day"), &ab::special_apps());
-    variants_table("duty min-window", ("energy saving", "affected", "empty/day"), &ab::duty_min_window());
-    variants_table("background load", ("energy saving", "affected", "empty/day"), &ab::background_load());
-    variants_table("training days", ("gap to oracle", "affected", "-"), &ab::training_days());
-    variants_table("predictors", ("steady accuracy", "drift accuracy", "-"), &ab::predictors());
-    variants_table("radio technology", ("energy saving", "affected", "empty/day"), &ab::radio_technology());
+    variants_table(
+        "ε sweep",
+        ("energy saving", "affected", "empty/day"),
+        &ab::epsilon_sweep(),
+    );
+    variants_table(
+        "δ strategies",
+        ("energy saving", "affected", "empty/day"),
+        &ab::delta_strategies(),
+    );
+    variants_table(
+        "Special Apps",
+        ("energy saving", "affected", "empty/day"),
+        &ab::special_apps(),
+    );
+    variants_table(
+        "duty min-window",
+        ("energy saving", "affected", "empty/day"),
+        &ab::duty_min_window(),
+    );
+    variants_table(
+        "background load",
+        ("energy saving", "affected", "empty/day"),
+        &ab::background_load(),
+    );
+    variants_table(
+        "training days",
+        ("gap to oracle", "affected", "-"),
+        &ab::training_days(),
+    );
+    variants_table(
+        "predictors",
+        ("steady accuracy", "drift accuracy", "-"),
+        &ab::predictors(),
+    );
+    variants_table(
+        "radio technology",
+        ("energy saving", "affected", "empty/day"),
+        &ab::radio_technology(),
+    );
     variants_table(
         "power-model sensitivity",
         ("energy saving", "affected", "-"),
@@ -147,7 +194,12 @@ fn main() {
     let seeds: Vec<u64> = (0..24u64).map(|i| 0xF1EE7 + i * 7919).collect();
     let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
         let profile = UserProfile::panel().remove((seed % 8) as usize);
-        (seed, TraceGenerator::new(profile).with_seed(seed).generate(TRAIN_DAYS + TEST_DAYS))
+        (
+            seed,
+            TraceGenerator::new(profile)
+                .with_seed(seed)
+                .generate(TRAIN_DAYS + TEST_DAYS),
+        )
     });
     let report = run_fleet(&traces, TRAIN_DAYS, &SimConfig::default(), |trace| {
         Box::new(

@@ -2,9 +2,13 @@
 
 use crate::harness::{self, TRAIN_DAYS};
 use netmaster_core::dutycycle::{idle_wakeups, SleepScheme};
-use netmaster_core::policies::{BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy};
+use netmaster_core::policies::{
+    BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy,
+};
 use netmaster_core::NetMasterConfig;
-use netmaster_mining::{predict_active_slots, prediction_accuracy, HourlyHistory, PredictionConfig};
+use netmaster_mining::{
+    predict_active_slots, prediction_accuracy, HourlyHistory, PredictionConfig,
+};
 use netmaster_radio::{LinkModel, RrcModel};
 use netmaster_sim::par_map;
 use netmaster_trace::time::Interval;
@@ -91,27 +95,52 @@ impl Fig7 {
     /// Prints Figs. 7(a)–(c).
     pub fn print(&self) {
         println!("Fig 7(a) — radio energy saving per volunteer");
-        println!("{:>4} {:>12} {:>10} {:>8}", "vol", "policy", "energy J", "saving");
+        println!(
+            "{:>4} {:>12} {:>10} {:>8}",
+            "vol", "policy", "energy J", "saving"
+        );
         for (i, arms) in self.volunteers.iter().enumerate() {
             for a in arms {
-                println!("{:>4} {:>12} {:>10.0} {:>8.3}", i + 1, a.policy, a.energy_j, a.saving);
+                println!(
+                    "{:>4} {:>12} {:>10.0} {:>8.3}",
+                    i + 1,
+                    a.policy,
+                    a.energy_j,
+                    a.saving
+                );
             }
         }
         println!(
             "NetMaster avg saving: {:.3} (paper 0.778)   delay-batch avg: {:.3} (paper 0.2254)",
             self.netmaster_avg_saving, self.delay_batch_avg_saving
         );
-        println!("gap to oracle: {:.3} (paper: <0.05 typical, 0.112 worst)", self.gap_to_oracle);
+        println!(
+            "gap to oracle: {:.3} (paper: <0.05 typical, 0.112 worst)",
+            self.gap_to_oracle
+        );
         println!();
         println!("Fig 7(b) — radio-on time (fraction of power-on time)");
-        println!("{:>4} {:>10} {:>12} {:>14} {:>15}", "vol", "power-on", "radio default", "radio netmaster", "radio-off netm.");
+        println!(
+            "{:>4} {:>10} {:>12} {:>14} {:>15}",
+            "vol", "power-on", "radio default", "radio netmaster", "radio-off netm."
+        );
         for (i, arms) in self.volunteers.iter().enumerate() {
             let power_on = 7.0 * 86_400.0;
             let rd = arms[0].radio_on_secs / power_on;
             let rn = arms[2].radio_on_secs / power_on;
-            println!("{:>4} {:>10.3} {:>12.3} {:>14.3} {:>15.3}", i + 1, 1.0, rd, rn, 1.0 - rn);
+            println!(
+                "{:>4} {:>10.3} {:>12.3} {:>14.3} {:>15.3}",
+                i + 1,
+                1.0,
+                rd,
+                rn,
+                1.0 - rn
+            );
         }
-        println!("NetMaster radio-on time saving: {:.3} (paper 0.7539)", self.netmaster_radio_saving);
+        println!(
+            "NetMaster radio-on time saving: {:.3} (paper 0.7539)",
+            self.netmaster_radio_saving
+        );
         println!();
         println!("Fig 7(c) — bandwidth utilization increase (× over default)");
         println!("{:>4} {:>10} {:>8}", "vol", "down avg", "up avg");
@@ -127,7 +156,10 @@ impl Fig7 {
             "avg: down {:.2}× (paper 3.84×), up {:.2}× (paper 2.63×), peak {:.2}× (paper ≈1×)",
             self.down_ratio, self.up_ratio, self.peak_ratio
         );
-        println!("NetMaster affected interactions: {:.4} (paper <0.01)", self.netmaster_affected);
+        println!(
+            "NetMaster affected interactions: {:.4} (paper <0.01)",
+            self.netmaster_affected
+        );
     }
 }
 
@@ -159,8 +191,10 @@ pub const DELAY_GRID: [u64; 13] = [0, 1, 2, 3, 4, 5, 10, 20, 30, 60, 120, 300, 6
 /// Runs the Fig. 8 experiment.
 pub fn fig8() -> Fig8 {
     let traces = harness::volunteers();
-    let baselines: Vec<_> =
-        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let baselines: Vec<_> = traces
+        .iter()
+        .map(|t| harness::run_test_days(t, &mut DefaultPolicy))
+        .collect();
     let grid: Vec<u64> = DELAY_GRID.to_vec();
     let points = par_map(&grid, |&d| {
         let mut saving = 0.0;
@@ -234,8 +268,10 @@ pub struct Fig9 {
 /// Runs the Fig. 9 experiment.
 pub fn fig9() -> Fig9 {
     let traces = harness::volunteers();
-    let baselines: Vec<_> =
-        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let baselines: Vec<_> = traces
+        .iter()
+        .map(|t| harness::run_test_days(t, &mut DefaultPolicy))
+        .collect();
     let grid: Vec<usize> = (0..=10).collect();
     let points = par_map(&grid, |&n| {
         let mut saving = 0.0;
@@ -331,7 +367,14 @@ pub fn fig10b() -> Fig10b {
     let window = Interval::new(0, 30 * 60);
     let exp = idle_wakeups(SleepScheme::paper_default(), window);
     let fixed = idle_wakeups(SleepScheme::Fixed { period: 30 }, window);
-    let random = idle_wakeups(SleepScheme::Random { min: 10, max: 60, seed: harness::SEED }, window);
+    let random = idle_wakeups(
+        SleepScheme::Random {
+            min: 10,
+            max: 60,
+            seed: harness::SEED,
+        },
+        window,
+    );
     let rows = (0..=30u64)
         .step_by(5)
         .map(|minute| {
@@ -347,7 +390,10 @@ impl Fig10b {
     /// Prints the figure data.
     pub fn print(&self) {
         println!("Fig 10(b) — cumulative wake-ups over 30 idle minutes (T = 30 s)");
-        println!("{:>7} {:>12} {:>7} {:>7}", "minute", "exponential", "fixed", "random");
+        println!(
+            "{:>7} {:>12} {:>7} {:>7}",
+            "minute", "exponential", "fixed", "random"
+        );
         for (m, e, f, r) in &self.rows {
             println!("{m:>7} {e:>12} {f:>7} {r:>7}");
         }
@@ -380,8 +426,10 @@ pub struct Fig10c {
 pub fn fig10c() -> Fig10c {
     let traces = harness::panel();
     let cfg = harness::sim_config();
-    let baselines: Vec<_> =
-        traces.iter().map(|t| harness::run_test_days(t, &mut DefaultPolicy)).collect();
+    let baselines: Vec<_> = traces
+        .iter()
+        .map(|t| harness::run_test_days(t, &mut DefaultPolicy))
+        .collect();
     let oracle_savings: Vec<f64> = traces
         .iter()
         .zip(&baselines)
@@ -408,7 +456,11 @@ pub fn fig10c() -> Fig10c {
             saving += m.energy_saving_vs(base) / oracle.max(1e-9);
         }
         let n = traces.len() as f64;
-        ThresholdPoint { delta, accuracy: acc / n, energy_saving: saving / n }
+        ThresholdPoint {
+            delta,
+            accuracy: acc / n,
+            energy_saving: saving / n,
+        }
     });
     Fig10c { points }
 }
@@ -419,7 +471,10 @@ impl Fig10c {
         println!("Fig 10(c) — prediction threshold δ sweep");
         println!("{:>6} {:>10} {:>14}", "delta", "accuracy", "energy-saving");
         for p in &self.points {
-            println!("{:>6.2} {:>10.3} {:>14.3}", p.delta, p.accuracy, p.energy_saving);
+            println!(
+                "{:>6.2} {:>10.3} {:>14.3}",
+                p.delta, p.accuracy, p.energy_saving
+            );
         }
         println!("paper: accuracy falls / saving rises with δ; balance at δ ≈ 0.37;");
         println!("deployment uses δ = 0.2 weekday / 0.1 weekend to keep interrupts < 1%");
@@ -435,8 +490,12 @@ mod tests {
         let f = fig10a();
         // For each T, radio-on fraction shrinks as the scheme backs off.
         for t in [5u64, 30, 360] {
-            let series: Vec<f64> =
-                f.rows.iter().filter(|(tt, ..)| *tt == t).map(|&(_, _, v)| v).collect();
+            let series: Vec<f64> = f
+                .rows
+                .iter()
+                .filter(|(tt, ..)| *tt == t)
+                .map(|&(_, _, v)| v)
+                .collect();
             assert_eq!(series.len(), 19);
             for w in series.windows(2) {
                 assert!(w[1] < w[0]);
@@ -444,7 +503,11 @@ mod tests {
         }
         // Longer sleeps give lower fractions at the same k.
         let at = |t: u64, k: u64| {
-            f.rows.iter().find(|&&(tt, kk, _)| tt == t && kk == k).unwrap().2
+            f.rows
+                .iter()
+                .find(|&&(tt, kk, _)| tt == t && kk == k)
+                .unwrap()
+                .2
         };
         assert!(at(360, 5) < at(5, 5));
     }

@@ -23,11 +23,18 @@ pub fn fig1a() -> Fig1a {
         .iter()
         .map(|t| {
             let s = traffic_split(t);
-            (t.user_id, 1.0 - s.screen_off_fraction(), s.screen_off_fraction())
+            (
+                t.user_id,
+                1.0 - s.screen_off_fraction(),
+                s.screen_off_fraction(),
+            )
         })
         .collect();
     let avg = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
-    Fig1a { rows, avg_screen_off: avg }
+    Fig1a {
+        rows,
+        avg_screen_off: avg,
+    }
 }
 
 impl Fig1a {
@@ -38,7 +45,10 @@ impl Fig1a {
         for (u, on, off) in &self.rows {
             println!("{u:>6} {on:>10.3} {off:>11.3}");
         }
-        println!("panel avg screen-off: {:.4}  (paper: 0.4098)", self.avg_screen_off);
+        println!(
+            "panel avg screen-off: {:.4}  (paper: 0.4098)",
+            self.avg_screen_off
+        );
     }
 }
 
@@ -57,11 +67,16 @@ pub struct Fig1b {
 pub fn fig1b() -> Fig1b {
     let traces = harness::panel();
     let cdf = rate_cdf(&traces);
-    let grid: Vec<f64> =
-        (0..=10).map(|i| i as f64 * 500.0).collect(); // 0..5 kB/s in 0.5 kB/s steps
+    let grid: Vec<f64> = (0..=10).map(|i| i as f64 * 500.0).collect(); // 0..5 kB/s in 0.5 kB/s steps
     let rows = grid
         .iter()
-        .map(|&r| (r, cdf.screen_on_fraction_below(r), cdf.screen_off_fraction_below(r)))
+        .map(|&r| {
+            (
+                r,
+                cdf.screen_on_fraction_below(r),
+                cdf.screen_off_fraction_below(r),
+            )
+        })
         .collect();
     Fig1b {
         rows,
@@ -74,7 +89,10 @@ impl Fig1b {
     /// Prints the figure data.
     pub fn print(&self) {
         println!("Fig 1(b) — bandwidth utilization CDF (sampling-window rates)");
-        println!("{:>10} {:>10} {:>11}", "rate B/s", "screen-on", "screen-off");
+        println!(
+            "{:>10} {:>10} {:>11}",
+            "rate B/s", "screen-on", "screen-off"
+        );
         for (r, on, off) in &self.rows {
             println!("{r:>10.0} {on:>10.3} {off:>11.3}");
         }
@@ -120,17 +138,29 @@ pub fn fig2() -> Fig2 {
             let on_spans = radio.radio_on_spans(&spans);
             sessions += day.sessions.len() as u64;
             on_secs += day.screen_on_seconds();
-            radio_secs +=
-                day.sessions.iter().map(|s| overlap_with(&on_spans, &s.span())).sum::<u64>();
+            radio_secs += day
+                .sessions
+                .iter()
+                .map(|s| overlap_with(&on_spans, &s.span()))
+                .sum::<u64>();
         }
         let u = screen_on_utilization(t);
         let n = sessions.max(1) as f64;
-        rows.push((t.user_id, on_secs as f64 / n, radio_secs as f64 / n, u.avg_utilized_secs));
+        rows.push((
+            t.user_id,
+            on_secs as f64 / n,
+            radio_secs as f64 / n,
+            u.avg_utilized_secs,
+        ));
         ratio_sum += radio_secs as f64 / on_secs.max(1) as f64;
         payload_sum += u.utilization_ratio();
     }
     let n = traces.len() as f64;
-    Fig2 { rows, avg_ratio: ratio_sum / n, avg_payload_ratio: payload_sum / n }
+    Fig2 {
+        rows,
+        avg_ratio: ratio_sum / n,
+        avg_payload_ratio: payload_sum / n,
+    }
 }
 
 impl Fig2 {
@@ -171,21 +201,34 @@ pub struct FigMatrix {
 pub fn fig3() -> FigMatrix {
     let traces = harness::panel();
     let m = cross_user_matrix(&traces);
-    FigMatrix { fig: "3".into(), avg: m.mean_offdiag(), min: m.min_offdiag(), matrix: m.values }
+    FigMatrix {
+        fig: "3".into(),
+        avg: m.mean_offdiag(),
+        min: m.min_offdiag(),
+        matrix: m.values,
+    }
 }
 
 /// Runs Fig. 4 (day-by-day Pearson for user 4; paper avg 0.8171).
 pub fn fig4() -> FigMatrix {
     let traces = harness::panel();
     let m = cross_day_matrix(&traces[3], 8);
-    FigMatrix { fig: "4".into(), avg: m.mean_offdiag(), min: m.min_offdiag(), matrix: m.values }
+    FigMatrix {
+        fig: "4".into(),
+        avg: m.mean_offdiag(),
+        min: m.min_offdiag(),
+        matrix: m.values,
+    }
 }
 
 impl FigMatrix {
     /// Prints the matrix.
     pub fn print(&self) {
         let paper = if self.fig == "3" { 0.1353 } else { 0.8171 };
-        println!("Fig {} — Pearson matrix (avg {:.4}, paper {paper})", self.fig, self.avg);
+        println!(
+            "Fig {} — Pearson matrix (avg {:.4}, paper {paper})",
+            self.fig, self.avg
+        );
         for row in &self.matrix {
             let cells: Vec<String> = row.iter().map(|v| format!("{v:>6.2}")).collect();
             println!("  {}", cells.join(" "));
@@ -227,7 +270,10 @@ pub fn fig5() -> Fig5 {
 impl Fig5 {
     /// Prints the figure data.
     pub fn print(&self) {
-        println!("Fig 5 — one-week program pattern, user 3 ({} networked apps used)", self.apps.len());
+        println!(
+            "Fig 5 — one-week program pattern, user 3 ({} networked apps used)",
+            self.apps.len()
+        );
         println!("{:>32} {:>7} {:>9}", "app", "uses", "peak-hour");
         for (i, app) in self.apps.iter().enumerate() {
             let peak = (0..24).max_by_key(|&h| self.hourly[i][h]).unwrap_or(0);
@@ -252,7 +298,11 @@ mod tests {
         for (_, on, off) in &f.rows {
             assert!((on + off - 1.0).abs() < 1e-9);
         }
-        assert!((0.25..0.6).contains(&f.avg_screen_off), "avg {}", f.avg_screen_off);
+        assert!(
+            (0.25..0.6).contains(&f.avg_screen_off),
+            "avg {}",
+            f.avg_screen_off
+        );
     }
 
     #[test]
@@ -263,15 +313,30 @@ mod tests {
             assert!(w[1].2 >= w[0].2);
         }
         assert!(f.p90_off < f.p90_on, "screen-off rates sit lower");
-        assert!(f.p90_off < 1_000.0, "paper band: p90 off < 1 kB/s, got {}", f.p90_off);
-        assert!(f.p90_on < 10_000.0, "paper band: p90 on < 5 kB/s (×2 slack), got {}", f.p90_on);
+        assert!(
+            f.p90_off < 1_000.0,
+            "paper band: p90 off < 1 kB/s, got {}",
+            f.p90_off
+        );
+        assert!(
+            f.p90_on < 10_000.0,
+            "paper band: p90 on < 5 kB/s (×2 slack), got {}",
+            f.p90_on
+        );
     }
 
     #[test]
     fn fig2_utilization_in_band() {
         let f = fig2();
-        assert!((0.25..0.8).contains(&f.avg_ratio), "radio ratio {}", f.avg_ratio);
-        assert!(f.avg_payload_ratio < f.avg_ratio, "tails must widen utilization");
+        assert!(
+            (0.25..0.8).contains(&f.avg_ratio),
+            "radio ratio {}",
+            f.avg_ratio
+        );
+        assert!(
+            f.avg_payload_ratio < f.avg_ratio,
+            "tails must widen utilization"
+        );
         for (_, avg, radio, payload) in &f.rows {
             assert!(payload <= radio, "payload within radio-on time");
             assert!(radio <= avg, "radio-on within the session");
@@ -293,6 +358,10 @@ mod tests {
         let f = fig5();
         assert_eq!(f.dominant.0, "com.tencent.mm");
         assert!(f.dominant.1 > 0.4);
-        assert!((5..=12).contains(&f.apps.len()), "paper: 8 networked apps, got {}", f.apps.len());
+        assert!(
+            (5..=12).contains(&f.apps.len()),
+            "paper: 8 networked apps, got {}",
+            f.apps.len()
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Shared experiment setup: standard seeds, panels, training splits,
 //! and policy constructors used by every figure runner and bench.
 
-use netmaster_core::policies::{BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy};
+use netmaster_core::policies::{
+    BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy,
+};
 use netmaster_core::NetMasterConfig;
 use netmaster_radio::{LinkModel, RrcModel};
 use netmaster_sim::{simulate, Policy, RunMetrics, SimConfig};

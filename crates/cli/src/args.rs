@@ -71,7 +71,6 @@ impl Args {
             .map(String::as_str)
             .ok_or_else(|| format!("missing required option --{key}"))
     }
-
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! The `netmaster` CLI subcommands.
 
 use crate::args::Args;
-use netmaster_core::policies::{BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy};
+use netmaster_core::policies::{
+    BatchPolicy, DefaultPolicy, DelayPolicy, NetMasterPolicy, OraclePolicy,
+};
 use netmaster_core::NetMasterConfig;
 use netmaster_mining::{
     cross_day_matrix, habit_stability, predict_active_slots, prediction_accuracy, HourlyHistory,
@@ -108,8 +110,11 @@ fn load_trace(args: &Args) -> Result<Trace, String> {
         .first()
         .ok_or("expected a trace file argument")?;
     let json = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let trace = netmaster_trace::io::from_json(&json).map_err(|e| format!("bad trace JSON: {e}"))?;
-    trace.validate().map_err(|e| format!("invalid trace: {e}"))?;
+    let trace =
+        netmaster_trace::io::from_json(&json).map_err(|e| format!("bad trace JSON: {e}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("invalid trace: {e}"))?;
     Ok(trace)
 }
 
@@ -166,7 +171,11 @@ fn profile(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         out,
         "habit stability: {:.3} ({}predictable){}",
         stability.score,
-        if stability.is_predictable() { "" } else { "NOT " },
+        if stability.is_predictable() {
+            ""
+        } else {
+            "NOT "
+        },
         if drift.is_empty() {
             String::new()
         } else {
@@ -198,7 +207,10 @@ fn predict(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let trace = load_trace(args)?;
     let train_days: usize = args.num("train", trace.num_days().saturating_sub(7).max(1))?;
     if train_days == 0 || train_days > trace.num_days() {
-        return Err(format!("--train {train_days} out of range 1..={}", trace.num_days()));
+        return Err(format!(
+            "--train {train_days} out of range 1..={}",
+            trace.num_days()
+        ));
     }
     let cfg = match args.options.get("delta") {
         Some(d) => PredictionConfig::uniform(d.parse().map_err(|_| "bad --delta")?),
@@ -256,8 +268,12 @@ pub fn policy_by_name(
     if name == "netmaster" {
         let train = train_days.min(trace.num_days());
         return Ok(Box::new(
-            NetMasterPolicy::new(NetMasterConfig::default(), LinkModel::default(), radio.clone())
-                .with_training(&trace.days[..train]),
+            NetMasterPolicy::new(
+                NetMasterConfig::default(),
+                LinkModel::default(),
+                radio.clone(),
+            )
+            .with_training(&trace.days[..train]),
         ));
     }
     if let Some(d) = name.strip_prefix("delay-") {
@@ -268,7 +284,9 @@ pub fn policy_by_name(
         return Ok(Box::new(DelayPolicy::new(secs)));
     }
     if let Some(n) = name.strip_prefix("batch-") {
-        let n: usize = n.parse().map_err(|_| format!("bad batch policy {name:?}"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad batch policy {name:?}"))?;
         return Ok(Box::new(BatchPolicy::new(n)));
     }
     Err(format!(
@@ -293,14 +311,25 @@ fn cmd_simulate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let trace = load_trace(args)?;
     let train: usize = args.num("train", 14)?;
     let (rrc, radio) = radio_config(args)?;
-    let cfg = SimConfig { radio: rrc, ..SimConfig::default() };
+    let cfg = SimConfig {
+        radio: rrc,
+        ..SimConfig::default()
+    };
     let name = args.opt("policy", "netmaster");
     let mut policy = policy_by_name(name, &trace, train, &radio)?;
-    let eval_from = if name == "netmaster" { train.min(trace.num_days() - 1) } else { 0 };
+    let eval_from = if name == "netmaster" {
+        train.min(trace.num_days() - 1)
+    } else {
+        0
+    };
     let m = simulate(&trace.days[eval_from..], policy.as_mut(), &cfg);
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?)
-            .map_err(io_err)?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?
+        )
+        .map_err(io_err)?;
     } else {
         writeln!(out, "{}", metrics_line(&m, None)).map_err(io_err)?;
     }
@@ -311,10 +340,20 @@ fn compare_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let trace = load_trace(args)?;
     let train: usize = args.num("train", 14.min(trace.num_days().saturating_sub(1)))?;
     let (rrc, radio) = radio_config(args)?;
-    let cfg = SimConfig { radio: rrc, ..SimConfig::default() };
+    let cfg = SimConfig {
+        radio: rrc,
+        ..SimConfig::default()
+    };
     let eval_from = train.min(trace.num_days().saturating_sub(1));
     let test = &trace.days[eval_from..];
-    let names = ["default", "oracle", "netmaster", "delay-60", "delay-600", "batch-5"];
+    let names = [
+        "default",
+        "oracle",
+        "netmaster",
+        "delay-60",
+        "delay-600",
+        "batch-5",
+    ];
     let mut base: Option<RunMetrics> = None;
     writeln!(
         out,
@@ -342,10 +381,8 @@ fn devourers_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let trace = load_trace(args)?;
     let top: usize = args.num("top", 10)?;
     let (_, radio) = radio_config(args)?;
-    let transfers: Vec<(netmaster_trace::event::AppId, Interval)> = trace
-        .all_activities()
-        .map(|a| (a.app, a.span()))
-        .collect();
+    let transfers: Vec<(netmaster_trace::event::AppId, Interval)> =
+        trace.all_activities().map(|a| (a.app, a.span())).collect();
     let att = attribute(&radio, &transfers);
     let total: f64 = att.values().map(|e| e.total_j()).sum();
     writeln!(
@@ -380,8 +417,13 @@ fn devourers_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 fn write_trace(trace: &Trace, path: &str, out: &mut dyn Write) -> Result<(), String> {
     fs::write(path, netmaster_trace::io::to_json(trace))
         .map_err(|e| format!("cannot write {path}: {e}"))?;
-    writeln!(out, "wrote {path}: {} days, {} activities", trace.num_days(), trace.all_activities().count())
-        .map_err(io_err)
+    writeln!(
+        out,
+        "wrote {path}: {} days, {} activities",
+        trace.num_days(),
+        trace.all_activities().count()
+    )
+    .map_err(io_err)
 }
 
 fn anonymize_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
@@ -396,7 +438,9 @@ fn filter_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let keep: Vec<&str> = apps_arg.split(',').map(str::trim).collect();
     let filtered = netmaster_trace::ops::filter_apps(&trace, &keep);
     if filtered.all_activities().count() == 0 {
-        return Err(format!("no traffic left after filtering to {keep:?} — check app names with `profile`"));
+        return Err(format!(
+            "no traffic left after filtering to {keep:?} — check app names with `profile`"
+        ));
     }
     write_trace(&filtered, args.opt("out", "filtered.json"), out)
 }
@@ -406,10 +450,17 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let n: usize = args.num("users", 20)?;
     let base_seed: u64 = args.num("seed", 2014)?;
     let train = 14usize;
-    let seeds: Vec<u64> = (0..n as u64).map(|i| base_seed.wrapping_add(i * 7919)).collect();
+    let seeds: Vec<u64> = (0..n as u64)
+        .map(|i| base_seed.wrapping_add(i * 7919))
+        .collect();
     let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
         let profile = UserProfile::panel().remove((seed % 8) as usize);
-        (seed, TraceGenerator::new(profile).with_seed(seed).generate(train + 7))
+        (
+            seed,
+            TraceGenerator::new(profile)
+                .with_seed(seed)
+                .generate(train + 7),
+        )
     });
     let report = run_fleet(&traces, train, &SimConfig::default(), |trace| {
         Box::new(
@@ -442,7 +493,10 @@ fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let trace = load_trace(args)?;
     let day_idx: usize = args.num("day", trace.num_days().saturating_sub(1))?;
     if day_idx >= trace.num_days() {
-        return Err(format!("--day {day_idx} out of range 0..{}", trace.num_days()));
+        return Err(format!(
+            "--day {day_idx} out of range 0..{}",
+            trace.num_days()
+        ));
     }
     let (rrc, radio) = radio_config(args)?;
     let name = args.opt("policy", "netmaster");
@@ -452,7 +506,10 @@ fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let day = &trace.days[day_idx];
     let plan = policy.plan_day(day);
     let spans: Vec<Interval> = plan.executions.iter().map(|e| e.span()).collect();
-    let model = netmaster_radio::RrcModel { config: rrc, tail_policy: policy.tail_policy() };
+    let model = netmaster_radio::RrcModel {
+        config: rrc,
+        tail_policy: policy.tail_policy(),
+    };
     let timeline = Timeline::build(&model, &spans);
 
     writeln!(
@@ -464,11 +521,17 @@ fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         timeline.wakeups() + plan.empty_wakeups
     )
     .map_err(io_err)?;
-    writeln!(out, "legend: P=promoting  #=active  t=tail  ·=idle  (1 char = 60 s)")
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "legend: P=promoting  #=active  t=tail  ·=idle  (1 char = 60 s)"
+    )
+    .map_err(io_err)?;
     let base = netmaster_trace::time::day_start(day_idx);
     for hour in 0..24u64 {
-        let window = Interval::new(base + hour * SECS_PER_HOUR, base + (hour + 1) * SECS_PER_HOUR);
+        let window = Interval::new(
+            base + hour * SECS_PER_HOUR,
+            base + (hour + 1) * SECS_PER_HOUR,
+        );
         let strip = timeline.ascii(window, 60);
         let screen = if day
             .sessions
@@ -534,9 +597,10 @@ mod tests {
         assert!(out.contains("Weekday"));
         assert!(out.contains("accuracy"));
 
-        let out =
-            run_to_string(&args(&format!("simulate {path} --policy netmaster --train 9")))
-                .unwrap();
+        let out = run_to_string(&args(&format!(
+            "simulate {path} --policy netmaster --train 9"
+        )))
+        .unwrap();
         assert!(out.contains("netmaster"));
 
         let out = run_to_string(&args(&format!("compare {path} --train 9"))).unwrap();
@@ -551,10 +615,8 @@ mod tests {
             "generate --profile panel6 --days 5 --seed 3 --out {path}"
         )))
         .unwrap();
-        let out = run_to_string(&args(&format!(
-            "simulate {path} --policy delay-60 --json"
-        )))
-        .unwrap();
+        let out =
+            run_to_string(&args(&format!("simulate {path} --policy delay-60 --json"))).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["policy"], "delay-60s");
     }
@@ -584,12 +646,15 @@ mod tests {
             "generate --profile volunteer3 --days 6 --seed 12 --out {path}"
         )))
         .unwrap();
-        let out = run_to_string(&args(&format!(
-            "timeline {path} --day 5 --policy default"
-        )))
-        .unwrap();
+        let out =
+            run_to_string(&args(&format!("timeline {path} --day 5 --policy default"))).unwrap();
         assert!(out.contains("legend"));
-        assert_eq!(out.lines().filter(|l| l.contains("h ") || l.contains("h S")).count(), 24);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.contains("h ") || l.contains("h S"))
+                .count(),
+            24
+        );
         assert!(out.contains('#'), "a normal day has transfers:\n{out}");
         // Out-of-range day errors.
         assert!(run_to_string(&args(&format!("timeline {path} --day 99"))).is_err());
@@ -604,7 +669,10 @@ mod tests {
         .unwrap();
         let out = run_to_string(&args(&format!("devourers {path} --top 5"))).unwrap();
         assert!(out.contains("energy devourers"));
-        assert!(out.contains("com.tencent.mm"), "the messenger devours:\n{out}");
+        assert!(
+            out.contains("com.tencent.mm"),
+            "the messenger devours:\n{out}"
+        );
         // 5 rows + 2 header lines.
         assert_eq!(out.lines().count(), 7);
     }
@@ -658,7 +726,14 @@ mod tests {
             .with_seed(1)
             .generate(4);
         let radio = RrcModel::wcdma_default();
-        for name in ["default", "oracle", "netmaster", "delay-30", "delay-30s", "batch-4"] {
+        for name in [
+            "default",
+            "oracle",
+            "netmaster",
+            "delay-30",
+            "delay-30s",
+            "batch-4",
+        ] {
             assert!(policy_by_name(name, &trace, 3, &radio).is_ok(), "{name}");
         }
         for name in ["delay-x", "batch-", "magic"] {

@@ -67,7 +67,10 @@ impl NetMasterConfig {
     /// the guarantee holds even on short histories, eager duty cycling.
     pub fn conservative() -> Self {
         NetMasterConfig {
-            prediction: PredictionConfig { delta_weekday: 0.05, delta_weekend: 0.05 },
+            prediction: PredictionConfig {
+                delta_weekday: 0.05,
+                delta_weekend: 0.05,
+            },
             prediction_bound: Bound::Upper,
             duty_min_window: 900,
             ..Default::default()
@@ -83,7 +86,10 @@ impl NetMasterConfig {
     /// cycling only on multi-hour idles, longer initial sleeps.
     pub fn aggressive() -> Self {
         NetMasterConfig {
-            prediction: PredictionConfig { delta_weekday: 0.4, delta_weekend: 0.3 },
+            prediction: PredictionConfig {
+                delta_weekday: 0.4,
+                delta_weekend: 0.3,
+            },
             duty_min_window: 14_400,
             duty_initial_sleep: 120,
             ..Default::default()
@@ -141,11 +147,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let c = NetMasterConfig { epsilon: 1.0, ..Default::default() };
+        let c = NetMasterConfig {
+            epsilon: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = NetMasterConfig { duty_initial_sleep: 0, ..Default::default() };
+        let c = NetMasterConfig {
+            duty_initial_sleep: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = NetMasterConfig { et_j_per_hour2: -1.0, ..Default::default() };
+        let c = NetMasterConfig {
+            et_j_per_hour2: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::config::NetMasterConfig;
 use netmaster_knapsack::overlapped::{self, Candidate, OvItem, OvProblem};
+use netmaster_knapsack::OvScratch;
 use netmaster_mining::{ActiveSlotPrediction, NetworkPrediction};
 use netmaster_radio::{LinkModel, RrcModel};
 use netmaster_trace::time::{DayIndex, Interval, Timestamp, HOURS_PER_DAY, SECS_PER_HOUR};
@@ -111,7 +112,11 @@ pub struct DecisionMaker {
 impl DecisionMaker {
     /// New decision maker.
     pub fn new(config: NetMasterConfig, link: LinkModel, radio: RrcModel) -> Self {
-        DecisionMaker { config, link, radio }
+        DecisionMaker {
+            config,
+            link,
+            radio,
+        }
     }
 
     /// The penalty `ΔP` (Eq. 4) of moving a demand from `from` to `to`:
@@ -146,12 +151,26 @@ impl DecisionMaker {
     }
 
     /// Compiles the routing for `day` from the mining component's
-    /// predictions.
+    /// predictions. Allocates fresh solver state; the simulation hot
+    /// path should prefer [`DecisionMaker::plan_day_with`].
     pub fn plan_day(
         &self,
         day: DayIndex,
         active: &ActiveSlotPrediction,
         network: &NetworkPrediction,
+    ) -> DayRouting {
+        self.plan_day_with(day, active, network, &mut OvScratch::new())
+    }
+
+    /// [`DecisionMaker::plan_day`] threading a reusable [`OvScratch`] so
+    /// repeated daily planning (fleet simulation) performs no DP-table
+    /// allocations per solve.
+    pub fn plan_day_with(
+        &self,
+        day: DayIndex,
+        active: &ActiveSlotPrediction,
+        network: &NetworkPrediction,
+        scratch: &mut OvScratch,
     ) -> DayRouting {
         let slots = active.slots_for_day(day);
         if slots.is_empty() {
@@ -209,8 +228,9 @@ impl DecisionMaker {
                 }
                 let n_items = (count.round() as usize).max(1);
                 let bytes_per_item = (bytes / count).max(256.0) as u64;
-                let duration =
-                    (bytes_per_item as f64 / self.link.avg_total_bps()).ceil().max(1.0);
+                let duration = (bytes_per_item as f64 / self.link.avg_total_bps())
+                    .ceil()
+                    .max(1.0);
                 let delta_e = self.saving_j(duration);
                 let mut candidates = Vec::new();
                 if let Some((idx, edge)) = left {
@@ -231,15 +251,20 @@ impl DecisionMaker {
             }
         }
 
-        let capacities: Vec<u64> =
-            slots.iter().map(|s| self.link.slot_capacity_bytes(s.len())).collect();
+        let capacities: Vec<u64> = slots
+            .iter()
+            .map(|s| self.link.slot_capacity_bytes(s.len()))
+            .collect();
         let problem = OvProblem { capacities, items };
-        let solution = overlapped::solve(&problem, self.config.epsilon);
+        let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 
         // Flatten into the per-hour routing table.
         let mut route: Vec<Vec<Disposition>> = vec![Vec::new(); HOURS_PER_DAY];
         for (hour, dispositions) in route.iter_mut().enumerate() {
-            if slots.iter().any(|s| s.contains(Interval::hour(day, hour).start)) {
+            if slots
+                .iter()
+                .any(|s| s.contains(Interval::hour(day, hour).start))
+            {
                 dispositions.push(Disposition::Immediate);
             }
         }
@@ -258,7 +283,12 @@ impl DecisionMaker {
             };
             route[hour].push(d);
         }
-        DayRouting { day, slots, route, planned_profit: solution.profit }
+        DayRouting {
+            day,
+            slots,
+            route,
+            planned_profit: solution.profit,
+        }
     }
 }
 
@@ -321,7 +351,11 @@ mod tests {
         let m = maker();
         let pred = two_slot_prediction();
         // Moving within the dead of night (Pr≈0) is nearly free.
-        let night = m.penalty_j(&pred, netmaster_trace::time::at_hour(0, 2), netmaster_trace::time::at_hour(0, 4));
+        let night = m.penalty_j(
+            &pred,
+            netmaster_trace::time::at_hour(0, 2),
+            netmaster_trace::time::at_hour(0, 4),
+        );
         assert!(night < 1e-9, "night penalty {night}");
         // Crossing the 18–19h active block costs real joules.
         let across = m.penalty_j(
@@ -356,7 +390,10 @@ mod tests {
         // Hour 12 sits between the slots: either direction is legal.
         let d12 = routing.disposition(12, 0);
         assert!(
-            matches!(d12, Disposition::PrefetchIn { slot: 0 } | Disposition::DeferTo { slot: 1 }),
+            matches!(
+                d12,
+                Disposition::PrefetchIn { slot: 0 } | Disposition::DeferTo { slot: 1 }
+            ),
             "{d12:?}"
         );
         assert!(routing.planned_profit > 0.0);
@@ -436,7 +473,10 @@ mod tests {
             counts.push(row);
             kinds.push(DayKind::of_day(d));
         }
-        let pred = predict_active_slots(&HourlyHistory { counts, kinds }, PredictionConfig::default());
+        let pred = predict_active_slots(
+            &HourlyHistory { counts, kinds },
+            PredictionConfig::default(),
+        );
         let m = maker();
         let net = network_with_hours(&[(3, 1.0, 1_000.0)]);
         let monday = m.plan_day(7, &pred, &net);

@@ -47,7 +47,10 @@ impl SleepScheme {
     /// The paper's scheme: exponential with `T = 30 s`, resetting on
     /// served traffic.
     pub fn paper_default() -> Self {
-        SleepScheme::Exponential { initial: 30, reset_on_serve: true }
+        SleepScheme::Exponential {
+            initial: 30,
+            reset_on_serve: true,
+        }
     }
 }
 
@@ -102,9 +105,9 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
     debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals sorted");
     let mut out = DutyOutcome::default();
     let mut rng = match scheme {
-        SleepScheme::Random { seed, .. } => {
-            Some(StdRng::seed_from_u64(seed ^ window.start.wrapping_mul(0x9E37_79B9)))
-        }
+        SleepScheme::Random { seed, .. } => Some(StdRng::seed_from_u64(
+            seed ^ window.start.wrapping_mul(0x9E37_79B9),
+        )),
         _ => None,
     };
     let initial = match scheme {
@@ -114,7 +117,10 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
     };
     let next_interval = |current: Seconds, served_now: bool, rng: &mut Option<StdRng>| -> Seconds {
         match scheme {
-            SleepScheme::Exponential { initial, reset_on_serve } => {
+            SleepScheme::Exponential {
+                initial,
+                reset_on_serve,
+            } => {
                 if served_now && reset_on_serve {
                     initial.max(1)
                 } else {
@@ -124,7 +130,9 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
             SleepScheme::Fixed { period } => period.max(1),
             SleepScheme::Random { min, max, .. } => {
                 let (lo, hi) = (min.max(1), max.max(min.max(1)));
-                rng.as_mut().expect("rng for random scheme").random_range(lo..=hi)
+                rng.as_mut()
+                    .expect("rng for random scheme")
+                    .random_range(lo..=hi)
             }
         }
     };
@@ -188,7 +196,10 @@ mod tests {
         // the future), +210 (serves it, resets to 30), +240, +300;
         // +300+120 = 420 falls outside the 400 s window.
         let out = run_window(
-            SleepScheme::Exponential { initial: 30, reset_on_serve: true },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: true,
+            },
             window(400),
             &[1_100],
         );
@@ -218,7 +229,11 @@ mod tests {
 
     #[test]
     fn random_scheme_is_deterministic_and_in_range() {
-        let s = SleepScheme::Random { min: 20, max: 60, seed: 7 };
+        let s = SleepScheme::Random {
+            min: 20,
+            max: 60,
+            seed: 7,
+        };
         let a = run_window(s, window(2_000), &[]);
         let b = run_window(s, window(2_000), &[]);
         assert_eq!(a, b, "same seed+window ⇒ same wakeups");
@@ -237,10 +252,20 @@ mod tests {
     fn all_arrivals_get_served() {
         let arrivals: Vec<u64> = (0..20).map(|i| 1_000 + i * 37).collect();
         for scheme in [
-            SleepScheme::Exponential { initial: 30, reset_on_serve: true },
-            SleepScheme::Exponential { initial: 30, reset_on_serve: false },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: true,
+            },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: false,
+            },
             SleepScheme::Fixed { period: 45 },
-            SleepScheme::Random { min: 10, max: 80, seed: 3 },
+            SleepScheme::Random {
+                min: 10,
+                max: 80,
+                seed: 3,
+            },
         ] {
             let out = run_window(scheme, window(900), &arrivals);
             assert_eq!(out.served.len(), 20, "{scheme:?}");
@@ -256,7 +281,10 @@ mod tests {
         // Arrival at +950 in a 1000-long window; exponential wakes end
         // at +930, so it flushes at the window edge (screen-on).
         let out = run_window(
-            SleepScheme::Exponential { initial: 30, reset_on_serve: true },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: true,
+            },
             window(1_000),
             &[1_950],
         );
@@ -267,12 +295,18 @@ mod tests {
     fn no_reset_variant_keeps_doubling_through_serves() {
         let arrivals: Vec<u64> = vec![1_100, 1_400];
         let reset = run_window(
-            SleepScheme::Exponential { initial: 30, reset_on_serve: true },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: true,
+            },
             window(2_000),
             &arrivals,
         );
         let no_reset = run_window(
-            SleepScheme::Exponential { initial: 30, reset_on_serve: false },
+            SleepScheme::Exponential {
+                initial: 30,
+                reset_on_serve: false,
+            },
             window(2_000),
             &arrivals,
         );

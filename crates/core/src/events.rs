@@ -114,14 +114,27 @@ impl EventBus {
 pub fn day_events(day: &DayTrace, cfg: &MonitorConfig) -> Vec<SystemEvent> {
     let mut events: Vec<SystemEvent> = Vec::new();
     for s in &day.sessions {
-        events.push(SystemEvent::ScreenChanged { at: s.start, on: true });
-        events.push(SystemEvent::ScreenChanged { at: s.end, on: false });
+        events.push(SystemEvent::ScreenChanged {
+            at: s.start,
+            on: true,
+        });
+        events.push(SystemEvent::ScreenChanged {
+            at: s.end,
+            on: false,
+        });
     }
     for i in &day.interactions {
-        events.push(SystemEvent::ForegroundChanged { at: i.at, app: i.app });
+        events.push(SystemEvent::ForegroundChanged {
+            at: i.at,
+            app: i.app,
+        });
     }
     for a in &day.activities {
-        events.push(SystemEvent::NetworkDetected { at: a.start, app: a.app, bytes: a.volume() });
+        events.push(SystemEvent::NetworkDetected {
+            at: a.start,
+            app: a.app,
+            bytes: a.volume(),
+        });
         // Time-triggered samples across the transfer window, on the
         // screen-state-appropriate timer.
         let period = if day.screen_on_at(a.start) {
@@ -163,7 +176,9 @@ pub struct DatabaseRecorder {
 impl DatabaseRecorder {
     /// Recorder with the given cache capacity.
     pub fn new(cache_bytes: usize) -> Self {
-        DatabaseRecorder { db: Database::new(cache_bytes) }
+        DatabaseRecorder {
+            db: Database::new(cache_bytes),
+        }
     }
 }
 
@@ -264,14 +279,29 @@ mod tests {
     fn day_events_cover_all_trigger_kinds() {
         let day = one_day();
         let evs = day_events(&day, &MonitorConfig::default());
-        let screens = evs.iter().filter(|e| matches!(e, SystemEvent::ScreenChanged { .. })).count();
-        let fgs = evs.iter().filter(|e| matches!(e, SystemEvent::ForegroundChanged { .. })).count();
-        let nets = evs.iter().filter(|e| matches!(e, SystemEvent::NetworkDetected { .. })).count();
-        let bytes = evs.iter().filter(|e| matches!(e, SystemEvent::BytesSampled { .. })).count();
+        let screens = evs
+            .iter()
+            .filter(|e| matches!(e, SystemEvent::ScreenChanged { .. }))
+            .count();
+        let fgs = evs
+            .iter()
+            .filter(|e| matches!(e, SystemEvent::ForegroundChanged { .. }))
+            .count();
+        let nets = evs
+            .iter()
+            .filter(|e| matches!(e, SystemEvent::NetworkDetected { .. }))
+            .count();
+        let bytes = evs
+            .iter()
+            .filter(|e| matches!(e, SystemEvent::BytesSampled { .. }))
+            .count();
         assert_eq!(screens, 2 * day.sessions.len());
         assert_eq!(fgs, day.interactions.len());
         assert_eq!(nets, day.activities.len());
-        assert!(bytes >= day.activities.len(), "at least one sample per activity");
+        assert!(
+            bytes >= day.activities.len(),
+            "at least one sample per activity"
+        );
     }
 
     #[test]
@@ -315,7 +345,10 @@ mod tests {
         let day = one_day();
         let mut counter = UsageCounter::default();
         for i in &day.interactions {
-            counter.on_event(&SystemEvent::ForegroundChanged { at: i.at, app: i.app });
+            counter.on_event(&SystemEvent::ForegroundChanged {
+                at: i.at,
+                app: i.app,
+            });
         }
         assert_eq!(counter.total as usize, day.interactions.len());
         assert_eq!(counter.per_hour.iter().sum::<u64>(), counter.total);

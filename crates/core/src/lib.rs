@@ -49,6 +49,8 @@ pub mod service;
 pub use config::NetMasterConfig;
 pub use decision::{DayRouting, DecisionMaker, Disposition};
 pub use dutycycle::{idle_wakeups, run_window, DutyOutcome, SleepScheme};
-pub use events::{day_events, replay_day, DatabaseRecorder, EventBus, EventReceiver, SystemEvent, UsageCounter};
+pub use events::{
+    day_events, replay_day, DatabaseRecorder, EventBus, EventReceiver, SystemEvent, UsageCounter,
+};
 pub use monitoring::{Database, Monitor, MonitorConfig, Record};
 pub use service::{DayReport, MiddlewareService, ServiceSummary};

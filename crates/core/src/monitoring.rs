@@ -27,7 +27,11 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { screen_on_timer: 1, screen_off_timer: 30, cache_bytes: 500_000 }
+        MonitorConfig {
+            screen_on_timer: 1,
+            screen_off_timer: 30,
+            cache_bytes: 500_000,
+        }
     }
 }
 
@@ -94,7 +98,10 @@ pub struct Database {
 impl Database {
     /// A database with the given cache capacity.
     pub fn new(cache_capacity: usize) -> Self {
-        Database { cache_capacity, ..Default::default() }
+        Database {
+            cache_capacity,
+            ..Default::default()
+        }
     }
 
     /// Appends a record through the cache.
@@ -151,21 +158,37 @@ impl Monitor {
     /// New monitor with default §V-A parameters.
     pub fn new() -> Self {
         let config = MonitorConfig::default();
-        Monitor { config, db: Database::new(config.cache_bytes) }
+        Monitor {
+            config,
+            db: Database::new(config.cache_bytes),
+        }
     }
 
     /// Observes one day, emitting event- and time-triggered records.
     pub fn observe_day(&mut self, day: &DayTrace) {
         // Event triggers: screen changes and foreground switches.
         for s in &day.sessions {
-            self.db.record(Record::Screen { at: s.start, on: true });
-            self.db.record(Record::Screen { at: s.end, on: false });
+            self.db.record(Record::Screen {
+                at: s.start,
+                on: true,
+            });
+            self.db.record(Record::Screen {
+                at: s.end,
+                on: false,
+            });
         }
         for i in &day.interactions {
-            self.db.record(Record::Foreground { at: i.at, app: i.app });
+            self.db.record(Record::Foreground {
+                at: i.at,
+                app: i.app,
+            });
         }
         for a in &day.activities {
-            self.db.record(Record::Network { at: a.start, app: a.app, bytes: a.volume() });
+            self.db.record(Record::Network {
+                at: a.start,
+                app: a.app,
+                bytes: a.volume(),
+            });
         }
         // Time triggers: sample byte counters. One sample per period
         // *that saw traffic* (idle samples carry no record — the real
@@ -207,7 +230,11 @@ mod tests {
     fn cache_batches_writes() {
         let mut db = Database::new(100);
         for i in 0..20 {
-            db.record(Record::Bytes { at: i, down: 1, up: 1 }); // 24 B each
+            db.record(Record::Bytes {
+                at: i,
+                down: 1,
+                up: 1,
+            }); // 24 B each
         }
         // 100 B cache, 24 B records ⇒ flush every 5 records (120 ≥ 100).
         assert_eq!(db.flush_count(), 4);
@@ -232,13 +259,19 @@ mod tests {
     fn big_cache_flushes_rarely() {
         // The design point of the 500 KB cache: a full day of records
         // must cost only a handful of flash writes.
-        let trace = TraceGenerator::new(UserProfile::panel().remove(2)).with_seed(4).generate(7);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(2))
+            .with_seed(4)
+            .generate(7);
         let mut mon = Monitor::new();
         for d in &trace.days {
             mon.observe_day(d);
         }
         mon.finalize();
-        assert!(mon.db.len() > 1_000, "expected a busy week, got {}", mon.db.len());
+        assert!(
+            mon.db.len() > 1_000,
+            "expected a busy week, got {}",
+            mon.db.len()
+        );
         assert!(
             mon.db.flush_count() <= 3,
             "500 KB cache should batch a week into a few flushes, got {}",
@@ -248,7 +281,9 @@ mod tests {
 
     #[test]
     fn observe_day_emits_all_event_kinds() {
-        let trace = TraceGenerator::new(UserProfile::panel().remove(0)).with_seed(8).generate(1);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(0))
+            .with_seed(8)
+            .generate(1);
         let mut mon = Monitor::new();
         mon.observe_day(&trace.days[0]);
         mon.finalize();
@@ -285,7 +320,11 @@ mod tests {
             let mut mon = Monitor::new();
             mon.observe_day(day);
             mon.finalize();
-            mon.db.persisted().iter().filter(|r| matches!(r, Record::Bytes { .. })).count()
+            mon.db
+                .persisted()
+                .iter()
+                .filter(|r| matches!(r, Record::Bytes { .. }))
+                .count()
         };
         assert_eq!(count_bytes(&mk_day(false)), 2);
         assert_eq!(count_bytes(&mk_day(true)), 60);
@@ -295,9 +334,20 @@ mod tests {
     fn record_sizes_are_positive() {
         for r in [
             Record::Screen { at: 0, on: true },
-            Record::Foreground { at: 0, app: AppId(0) },
-            Record::Bytes { at: 0, down: 0, up: 0 },
-            Record::Network { at: 0, app: AppId(0), bytes: 0 },
+            Record::Foreground {
+                at: 0,
+                app: AppId(0),
+            },
+            Record::Bytes {
+                at: 0,
+                down: 0,
+                up: 0,
+            },
+            Record::Network {
+                at: 0,
+                app: AppId(0),
+                bytes: 0,
+            },
         ] {
             assert!(r.size_bytes() > 0);
         }

@@ -140,9 +140,15 @@ mod tests {
     fn needs_network_interaction_forces_flush_and_counts() {
         let mut day = DayTrace::new(0);
         day.activities = vec![demand(1_000), demand(2_000)];
-        day.interactions =
-            vec![Interaction { at: 2_500, app: AppId(0), needs_network: true }];
-        day.sessions = vec![netmaster_trace::event::ScreenSession { start: 2_400, end: 2_600 }];
+        day.interactions = vec![Interaction {
+            at: 2_500,
+            app: AppId(0),
+            needs_network: true,
+        }];
+        day.sessions = vec![netmaster_trace::event::ScreenSession {
+            start: 2_400,
+            end: 2_600,
+        }];
         let plan = BatchPolicy::new(5).plan_day(&day);
         assert_eq!(plan.affected_interactions, 1);
         // Both demands flushed at the interaction instant.
@@ -163,8 +169,9 @@ mod tests {
 
     #[test]
     fn bigger_batches_save_more_until_interactions_cap_them() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(2)).with_seed(31).generate(7);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(2))
+            .with_seed(31)
+            .generate(7);
         let cfg = SimConfig::default();
         let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
         let b2 = simulate(&trace.days, &mut BatchPolicy::new(2), &cfg);

@@ -73,7 +73,9 @@ impl Policy for DelayPolicy {
 mod tests {
     use super::*;
     use netmaster_sim::{simulate, DefaultPolicy, SimConfig};
-    use netmaster_trace::event::{ActivityCause, AppId, Interaction, NetworkActivity, ScreenSession};
+    use netmaster_trace::event::{
+        ActivityCause, AppId, Interaction, NetworkActivity, ScreenSession,
+    };
     use netmaster_trace::gen::TraceGenerator;
     use netmaster_trace::profile::UserProfile;
 
@@ -117,7 +119,10 @@ mod tests {
     #[test]
     fn screen_on_demands_unaffected() {
         let mut day = DayTrace::new(0);
-        day.sessions = vec![ScreenSession { start: 900, end: 1_200 }];
+        day.sessions = vec![ScreenSession {
+            start: 900,
+            end: 1_200,
+        }];
         day.activities = vec![demand(1_000)];
         let plan = DelayPolicy::new(60).plan_day(&day);
         assert!(!plan.executions[0].was_moved());
@@ -127,11 +132,22 @@ mod tests {
     fn interactions_in_hold_windows_are_affected() {
         let mut day = DayTrace::new(0);
         // Demand at 1 000 is held until the next 60 s boundary, 1 020.
-        day.sessions = vec![ScreenSession { start: 1_005, end: 1_090 }];
+        day.sessions = vec![ScreenSession {
+            start: 1_005,
+            end: 1_090,
+        }];
         day.activities = vec![demand(1_000)];
         day.interactions = vec![
-            Interaction { at: 1_010, app: AppId(0), needs_network: false }, // inside hold
-            Interaction { at: 1_050, app: AppId(0), needs_network: true },  // after release
+            Interaction {
+                at: 1_010,
+                app: AppId(0),
+                needs_network: false,
+            }, // inside hold
+            Interaction {
+                at: 1_050,
+                app: AppId(0),
+                needs_network: true,
+            }, // after release
         ];
         let plan = DelayPolicy::new(60).plan_day(&day);
         assert_eq!(plan.affected_interactions, 1);
@@ -139,8 +155,9 @@ mod tests {
 
     #[test]
     fn longer_delays_affect_more_interactions_and_save_more_radio_time() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(13).generate(7);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(0))
+            .with_seed(13)
+            .generate(7);
         let cfg = SimConfig::default();
         let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
         let short = simulate(&trace.days, &mut DelayPolicy::new(10), &cfg);

@@ -56,8 +56,9 @@ mod tests {
 
     #[test]
     fn fast_dormancy_sits_between_stock_and_netmaster() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(70).generate(7);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(0))
+            .with_seed(70)
+            .generate(7);
         let cfg = SimConfig::default();
         let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
         let fd = simulate(&trace.days, &mut FastDormancyPolicy::default(), &cfg);
@@ -77,8 +78,9 @@ mod tests {
 
     #[test]
     fn longer_holds_save_less() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(1)).with_seed(71).generate(5);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(1))
+            .with_seed(71)
+            .generate(5);
         let cfg = SimConfig::default();
         let short = simulate(&trace.days, &mut FastDormancyPolicy::new(1.0), &cfg);
         let long = simulate(&trace.days, &mut FastDormancyPolicy::new(10.0), &cfg);
@@ -87,8 +89,9 @@ mod tests {
 
     #[test]
     fn zero_hold_equals_immediate_tail() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(2)).with_seed(72).generate(3);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(2))
+            .with_seed(72)
+            .generate(3);
         let cfg = SimConfig::default();
         let fd0 = simulate(&trace.days, &mut FastDormancyPolicy::new(0.0), &cfg);
         assert_eq!(fd0.rrc.tail_j, 0.0);

@@ -7,16 +7,15 @@ use crate::config::NetMasterConfig;
 use crate::decision::{DayRouting, DecisionMaker, Disposition};
 use crate::dutycycle::{run_window, SleepScheme};
 use crate::monitoring::Monitor;
-use netmaster_mining::{
-    habit_stability, predict_with_confidence, HourlyHistory, NetworkPrediction, SpecialApps,
-};
+use netmaster_knapsack::OvScratch;
+use netmaster_mining::IncrementalMiner;
 use netmaster_radio::{LinkModel, RrcModel, TailPolicy};
 use netmaster_sim::{DayPlan, Execution, Policy};
-use netmaster_trace::time::{hour_of, Interval, Timestamp};
 #[cfg(test)]
 use netmaster_trace::time::SECS_PER_DAY;
+use netmaster_trace::time::{hour_of, Interval, Timestamp};
 use netmaster_trace::trace::DayTrace;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Per-run diagnostics beyond what [`netmaster_sim::RunMetrics`] carries.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -39,12 +38,22 @@ pub struct NetMasterStats {
 }
 
 /// The NetMaster middleware as a policy.
+///
+/// Mining state lives in an [`IncrementalMiner`]: absorbing a day is
+/// `O(day)` instead of re-deriving every statistic from a clone of the
+/// full history, and daily planning reuses one [`OvScratch`] so the
+/// knapsack solver allocates nothing per day. Only the last two
+/// [`DayTrace`]s are retained (for habit-drift resets); memory per
+/// policy is therefore independent of how long it has been running.
 pub struct NetMasterPolicy {
     cfg: NetMasterConfig,
     decision: DecisionMaker,
-    /// Observed days (the monitoring DB's logical content).
-    history: Vec<DayTrace>,
-    special: SpecialApps,
+    /// Incrementally-maintained mining statistics over observed days.
+    miner: IncrementalMiner,
+    /// The freshest two days, kept verbatim for drift resets.
+    recent: VecDeque<DayTrace>,
+    /// Reusable knapsack solver state.
+    scratch: OvScratch,
     monitor: Monitor,
     stats: NetMasterStats,
 }
@@ -55,8 +64,9 @@ impl NetMasterPolicy {
         NetMasterPolicy {
             decision: DecisionMaker::new(cfg, link, radio),
             cfg,
-            history: Vec::new(),
-            special: SpecialApps::default(),
+            miner: IncrementalMiner::new(),
+            recent: VecDeque::with_capacity(3),
+            scratch: OvScratch::new(),
             monitor: Monitor::new(),
             stats: NetMasterStats::default(),
         }
@@ -83,48 +93,47 @@ impl NetMasterPolicy {
 
     /// Whether enough history exists to trust predictions.
     pub fn trained(&self) -> bool {
-        self.history.len() >= self.cfg.min_training_days
+        self.miner.num_days() >= self.cfg.min_training_days
     }
 
     fn learn(&mut self, day: &DayTrace) {
         self.monitor.observe_day(day);
-        self.history.push(day.clone());
+        self.miner.push_day(day);
+        self.recent.push_back(day.clone());
+        while self.recent.len() > 2 {
+            self.recent.pop_front();
+        }
         // Habit-drift reaction: if the freshest days correlate far
         // below the user's established pattern, the schedule changed —
         // drop the stale prefix so tomorrow's predictions come from the
         // new life, not the average of two.
-        if self.cfg.drift_reset && self.history.len() > self.cfg.min_training_days + 3 {
-            let mut t = netmaster_trace::trace::Trace::new(0);
-            t.days = self.history.clone();
-            let report = habit_stability(&HourlyHistory::from_trace(&t));
-            let last_day_index = self.history.len() - 1;
+        if self.cfg.drift_reset && self.miner.num_days() > self.cfg.min_training_days + 3 {
+            let report = self.miner.stability();
+            let last_day_index = self.miner.num_days() - 1;
             let drifts = report.drift_days(0.3);
             // Two consecutive drift days ending today ⇒ a real break,
             // not one scattered day.
             if drifts.contains(&last_day_index) && drifts.contains(&(last_day_index - 1)) {
-                let keep_from = self.history.len() - 2;
-                self.history.drain(..keep_from);
+                // Restart mining from the two retained days.
+                self.miner = IncrementalMiner::new();
+                for d in &self.recent {
+                    self.miner.push_day(d);
+                }
                 self.stats.drift_resets += 1;
             }
         }
-        // Rebuild the Special Apps profile over the full history; the
-        // incremental equivalent of re-querying the DB.
-        let mut t = netmaster_trace::trace::Trace::new(0);
-        t.days = self.history.clone();
-        self.special = SpecialApps::from_trace(&t);
     }
 
-    fn build_routing(&self, day: usize) -> DayRouting {
+    fn build_routing(&mut self, day: usize) -> DayRouting {
         if !self.trained() {
             return DayRouting::duty_only(day);
         }
-        let mut t = netmaster_trace::trace::Trace::new(0);
-        t.days = self.history.clone();
-        let hist = HourlyHistory::from_trace(&t);
         let active =
-            predict_with_confidence(&hist, self.cfg.prediction, self.cfg.prediction_bound, 1.96);
-        let network = NetworkPrediction::from_trace(&t);
-        self.decision.plan_day(day, &active, &network)
+            self.miner
+                .predict_confident(self.cfg.prediction, self.cfg.prediction_bound, 1.96);
+        let network = self.miner.network_prediction();
+        self.decision
+            .plan_day_with(day, &active, &network, &mut self.scratch)
     }
 
     /// Screen-off windows of a day (gaps around sessions).
@@ -266,7 +275,8 @@ impl Policy for NetMasterPolicy {
         // powers the radio preemptively) or the hour is a predicted
         // active slot (radio planned-on).
         for i in &day.interactions {
-            let special = self.cfg.track_special_apps && self.special.is_special(i.app);
+            let special =
+                self.cfg.track_special_apps && self.miner.special_apps().is_special(i.app);
             if i.needs_network && !routing.in_active_slot(i.at) && !special {
                 plan.affected_interactions += 1;
                 self.stats.wrong_decisions += 1;
@@ -288,7 +298,9 @@ mod tests {
     use netmaster_trace::profile::UserProfile;
 
     fn volunteer_trace(days: usize) -> netmaster_trace::trace::Trace {
-        TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(99).generate(days)
+        TraceGenerator::new(UserProfile::volunteers().remove(0))
+            .with_seed(99)
+            .generate(days)
     }
 
     fn policy() -> NetMasterPolicy {
@@ -410,6 +422,9 @@ mod tests {
         for d in &trace.days {
             let _ = p.plan_day(d);
         }
-        assert!(p.monitor().db.len() > 100, "monitoring component must record");
+        assert!(
+            p.monitor().db.len() > 100,
+            "monitoring component must record"
+        );
     }
 }

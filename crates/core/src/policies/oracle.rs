@@ -107,8 +107,14 @@ mod tests {
     fn screen_off_demands_move_into_sessions() {
         let mut day = DayTrace::new(0);
         day.sessions = vec![
-            ScreenSession { start: 1_000, end: 1_100 },
-            ScreenSession { start: 50_000, end: 50_200 },
+            ScreenSession {
+                start: 1_000,
+                end: 1_100,
+            },
+            ScreenSession {
+                start: 50_000,
+                end: 50_200,
+            },
         ];
         day.activities = vec![demand(5_000), demand(49_000), demand(60_000)];
         let mut p = OraclePolicy;
@@ -120,17 +126,27 @@ mod tests {
                 .sessions
                 .iter()
                 .any(|s| e.start >= s.start && e.start < s.end);
-            assert!(in_session, "execution at {} must be inside a session", e.start);
+            assert!(
+                in_session,
+                "execution at {} must be inside a session",
+                e.start
+            );
         }
         // 5 000 is nearer session 0's end (3 900) than session 1's start
         // (45 000): it prefetches into session 0.
-        assert!(plan.executions.iter().any(|e| e.moved_from == Some(5_000) && e.start < 1_100));
+        assert!(plan
+            .executions
+            .iter()
+            .any(|e| e.moved_from == Some(5_000) && e.start < 1_100));
     }
 
     #[test]
     fn screen_on_demands_stay_put() {
         let mut day = DayTrace::new(0);
-        day.sessions = vec![ScreenSession { start: 100, end: 300 }];
+        day.sessions = vec![ScreenSession {
+            start: 100,
+            end: 300,
+        }];
         day.activities = vec![demand(150)];
         let plan = OraclePolicy.plan_day(&day);
         assert!(!plan.executions[0].was_moved());
@@ -146,8 +162,9 @@ mod tests {
 
     #[test]
     fn oracle_is_the_cheapest_arm() {
-        let trace =
-            TraceGenerator::new(UserProfile::volunteers().remove(1)).with_seed(5).generate(7);
+        let trace = TraceGenerator::new(UserProfile::volunteers().remove(1))
+            .with_seed(5)
+            .generate(7);
         let cfg = SimConfig::default();
         let base = simulate(&trace.days, &mut DefaultPolicy, &cfg);
         let oracle = simulate(&trace.days, &mut OraclePolicy, &cfg);
@@ -157,14 +174,20 @@ mod tests {
             oracle.energy_j,
             base.energy_j
         );
-        assert_eq!(oracle.affected_interactions, 0, "the oracle never interrupts");
+        assert_eq!(
+            oracle.affected_interactions, 0,
+            "the oracle never interrupts"
+        );
         assert_eq!(oracle.bytes_down, base.bytes_down);
     }
 
     #[test]
     fn prefetch_cursors_stack_without_overlap() {
         let mut day = DayTrace::new(0);
-        day.sessions = vec![ScreenSession { start: 1_000, end: 1_100 }];
+        day.sessions = vec![ScreenSession {
+            start: 1_000,
+            end: 1_100,
+        }];
         day.activities = vec![demand(2_000), demand(3_000), demand(4_000)];
         let plan = OraclePolicy.plan_day(&day);
         let mut starts: Vec<u64> = plan.executions.iter().map(|e| e.start).collect();

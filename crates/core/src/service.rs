@@ -92,15 +92,26 @@ pub struct MiddlewareService {
 impl MiddlewareService {
     /// New service with the paper's defaults on WCDMA.
     pub fn new() -> Self {
-        Self::with_config(NetMasterConfig::default(), RrcConfig::wcdma(), LinkModel::default())
+        Self::with_config(
+            NetMasterConfig::default(),
+            RrcConfig::wcdma(),
+            LinkModel::default(),
+        )
     }
 
     /// New service with explicit configuration.
     pub fn with_config(cfg: NetMasterConfig, radio: RrcConfig, link: LinkModel) -> Self {
-        let model = RrcModel { config: radio.clone(), tail_policy: netmaster_radio::TailPolicy::Full };
+        let model = RrcModel {
+            config: radio.clone(),
+            tail_policy: netmaster_radio::TailPolicy::Full,
+        };
         MiddlewareService {
             policy: NetMasterPolicy::new(cfg, link, model),
-            sim: SimConfig { radio, link, ..SimConfig::default() },
+            sim: SimConfig {
+                radio,
+                link,
+                ..SimConfig::default()
+            },
             battery: BatteryModel::htc_one_x(),
             summary: ServiceSummary::default(),
             last_wrong: 0,
@@ -171,7 +182,11 @@ impl Default for MiddlewareService {
 }
 
 fn dummy_policy() -> NetMasterPolicy {
-    NetMasterPolicy::new(NetMasterConfig::default(), LinkModel::default(), RrcModel::wcdma_default())
+    NetMasterPolicy::new(
+        NetMasterConfig::default(),
+        LinkModel::default(),
+        RrcModel::wcdma_default(),
+    )
 }
 
 #[cfg(test)]
@@ -181,7 +196,9 @@ mod tests {
     use netmaster_trace::profile::UserProfile;
 
     fn trace(days: usize) -> netmaster_trace::trace::Trace {
-        TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(44).generate(days)
+        TraceGenerator::new(UserProfile::volunteers().remove(0))
+            .with_seed(44)
+            .generate(days)
     }
 
     #[test]
@@ -220,7 +237,10 @@ mod tests {
         let mut total_saved_points = 0.0;
         for day in &t.days[14..] {
             let r = svc.run_day(day);
-            assert!(r.energy_j <= r.stock_energy_j * 1.001, "never worse than stock");
+            assert!(
+                r.energy_j <= r.stock_energy_j * 1.001,
+                "never worse than stock"
+            );
             assert!((0.0..=1.0).contains(&r.saving()));
             total_saved_points += r.battery_points_saved;
         }

@@ -48,7 +48,11 @@ impl Solution {
         chosen.dedup();
         let profit = chosen.iter().map(|&i| items[i].profit).sum();
         let weight = chosen.iter().map(|&i| items[i].weight).sum();
-        Solution { chosen, profit, weight }
+        Solution {
+            chosen,
+            profit,
+            weight,
+        }
     }
 
     /// `true` when the solution respects `capacity`.

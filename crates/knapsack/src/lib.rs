@@ -12,6 +12,14 @@
 //! * exact (`brute_force`, `dp_by_capacity`) and greedy baselines used
 //!   as test oracles and in the `GreedyAdd` filling step.
 //!
+//! The DP solvers exist in two forms: the classic per-call-allocating
+//! signatures, and `_with` variants threading a reusable
+//! [`scratch::SolverScratch`] / [`scratch::OvScratch`] for the
+//! fleet-simulation hot path (zero DP-table allocations per solve, a
+//! bit-packed choice matrix, and an exact fast path when capacity has
+//! slack). The original implementations are preserved in [`reference`]
+//! as equivalence oracles and perf baselines.
+//!
 //! ```
 //! use netmaster_knapsack::overlapped::{solve, OvItem, OvProblem};
 //!
@@ -31,9 +39,15 @@
 pub mod bnb;
 pub mod item;
 pub mod overlapped;
+pub mod reference;
+pub mod scratch;
 pub mod solvers;
 
 pub use bnb::branch_and_bound;
 pub use item::{Item, Solution};
-pub use overlapped::{Candidate, OvItem, OvProblem, OvSolution};
-pub use solvers::{brute_force, dp_by_capacity, greedy_add, greedy_half, sin_knap};
+pub use overlapped::{solve_with, Candidate, OvItem, OvProblem, OvSolution};
+pub use scratch::{BitGrid, OvScratch, SolverScratch};
+pub use solvers::{
+    brute_force, dp_by_capacity, dp_by_capacity_with, greedy_add, greedy_add_presorted,
+    greedy_half, sin_knap, sin_knap_with,
+};

@@ -1,0 +1,181 @@
+//! Reusable solver workspaces.
+//!
+//! Every `plan_day` call used to allocate fresh `O(n · cells)` DP tables
+//! inside `sin_knap` — at fleet scale (millions of solves) allocation and
+//! zeroing dominated solve time. A [`SolverScratch`] owns those tables and
+//! is threaded through the `*_with` solver entry points so a policy
+//! allocates once and amortizes forever; [`OvScratch`] does the same for
+//! the overlapped multiple-knapsack solver's per-slot buffers.
+
+use crate::item::Item;
+
+/// A bit-packed 2-D boolean table (row-major), replacing the old
+/// `Vec<bool>` choice matrix at 1/8 the memory. Rows × cols can be
+/// resized in place; the backing words are reused across solves.
+#[derive(Debug, Clone, Default)]
+pub struct BitGrid {
+    words: Vec<u64>,
+    cols: usize,
+}
+
+impl BitGrid {
+    /// Creates an empty grid; call [`BitGrid::reset`] before use.
+    pub fn new() -> Self {
+        BitGrid::default()
+    }
+
+    /// Resizes to `rows × cols` and clears every bit, reusing the
+    /// existing allocation when large enough.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.cols = cols;
+        let words = rows * cols / 64 + 1;
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+
+    /// Sets bit `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        self.set_bit(row * self.cols + col);
+    }
+
+    /// Reads bit `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.get_bit(row * self.cols + col)
+    }
+
+    /// First bit offset of `row` — hoists the row product out of hot
+    /// loops that sweep columns (pair with [`BitGrid::set_bit`]).
+    #[inline]
+    pub fn row_base(&self, row: usize) -> usize {
+        row * self.cols
+    }
+
+    /// Sets the bit at an absolute offset from [`BitGrid::row_base`].
+    #[inline]
+    pub fn set_bit(&mut self, bit: usize) {
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Reads the bit at an absolute offset from [`BitGrid::row_base`].
+    #[inline]
+    pub fn get_bit(&self, bit: usize) -> bool {
+        self.words[bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Heap bytes currently held by the grid.
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+/// Reusable workspace for the single-knapsack solvers
+/// ([`crate::solvers::sin_knap_with`], [`crate::solvers::dp_by_capacity_with`]).
+///
+/// All fields are internal buffers: their contents are unspecified
+/// between calls, only their allocations persist.
+#[derive(Debug, Clone, Default)]
+pub struct SolverScratch {
+    /// `min_weight[q]`: least weight achieving scaled profit `q`.
+    pub(crate) min_weight: Vec<u64>,
+    /// Bit-packed `choice[j][q]` / `keep[i][c]` reconstruction table.
+    pub(crate) choice: BitGrid,
+    /// Indices of eligible items.
+    pub(crate) eligible: Vec<usize>,
+    /// Scaled per-item profits.
+    pub(crate) scaled: Vec<u64>,
+    /// `best[c]` profits for the capacity DP.
+    pub(crate) best: Vec<f64>,
+}
+
+impl SolverScratch {
+    /// Creates an empty workspace (no allocations until first solve).
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+}
+
+/// Reusable workspace for [`crate::overlapped::solve_with`]: per-slot
+/// candidate lists, the per-slot `Item` buffer, and the inner
+/// single-knapsack scratch.
+#[derive(Debug, Clone, Default)]
+pub struct OvScratch {
+    /// Inner scratch for the per-slot `SinKnap` calls.
+    pub(crate) knap: SolverScratch,
+    /// `slot_items[slot]` = (item index, per-slot profit), ratio-sorted.
+    pub(crate) slot_items: Vec<Vec<(usize, f64)>>,
+    /// Per-slot `Item` views handed to `sin_knap_with`.
+    pub(crate) items_buf: Vec<Item>,
+    /// Per-slot selected item ids from the SinKnap pass.
+    pub(crate) selected: Vec<Vec<usize>>,
+    /// `chosen_slots[item]` = slots whose SinKnap picked the item.
+    pub(crate) chosen_slots: Vec<Vec<usize>>,
+}
+
+impl OvScratch {
+    /// Creates an empty workspace (no allocations until first solve).
+    pub fn new() -> Self {
+        OvScratch::default()
+    }
+
+    /// Clears and resizes the per-slot/per-item lists, keeping their
+    /// allocations.
+    pub(crate) fn begin(&mut self, nslots: usize, nitems: usize) {
+        resize_clear(&mut self.slot_items, nslots);
+        resize_clear(&mut self.selected, nslots);
+        resize_clear(&mut self.chosen_slots, nitems);
+        self.items_buf.clear();
+    }
+}
+
+fn resize_clear<T>(lists: &mut Vec<Vec<T>>, len: usize) {
+    lists.truncate(len);
+    for l in lists.iter_mut() {
+        l.clear();
+    }
+    while lists.len() < len {
+        lists.push(Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitgrid_set_get_roundtrip() {
+        let mut g = BitGrid::new();
+        g.reset(5, 70); // spans word boundaries
+        assert!(!g.get(0, 0));
+        g.set(0, 0);
+        g.set(4, 69);
+        g.set(2, 63);
+        g.set(2, 64);
+        assert!(g.get(0, 0));
+        assert!(g.get(4, 69));
+        assert!(g.get(2, 63));
+        assert!(g.get(2, 64));
+        assert!(!g.get(2, 65));
+        // Reset clears.
+        g.reset(5, 70);
+        assert!(!g.get(0, 0) && !g.get(4, 69));
+    }
+
+    #[test]
+    fn bitgrid_is_eighth_of_bool_table() {
+        let mut g = BitGrid::new();
+        g.reset(100, 800);
+        assert!(g.capacity_bytes() <= 100 * 800 / 8 + 64);
+    }
+
+    #[test]
+    fn resize_clear_reuses_inner_vecs() {
+        let mut lists: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4]];
+        let ptr = lists[0].as_ptr();
+        resize_clear(&mut lists, 3);
+        assert_eq!(lists.len(), 3);
+        assert!(lists.iter().all(Vec::is_empty));
+        assert_eq!(lists[0].as_ptr(), ptr, "allocation retained");
+    }
+}

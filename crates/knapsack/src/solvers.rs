@@ -1,7 +1,16 @@
 //! Single 0/1-knapsack solvers: brute force, capacity DP, greedy, and
 //! the Ibarra–Kim profit-scaling FPTAS — the paper's `SinKnap` [13].
+//!
+//! The DP solvers come in two forms: the classic signature
+//! ([`sin_knap`], [`dp_by_capacity`]) which allocates a fresh workspace
+//! per call, and the `_with` variants which reuse a caller-owned
+//! [`SolverScratch`] — the form the scheduler's hot path uses so a
+//! policy performs zero DP-table allocations per planning day. The
+//! original allocating implementations are preserved verbatim in
+//! [`crate::reference`] as oracles.
 
 use crate::item::{Item, Solution};
+use crate::scratch::SolverScratch;
 
 /// Exact solver by subset enumeration. `O(2^n)`; panics above 24 items.
 /// Reference oracle for tests.
@@ -35,12 +44,26 @@ pub fn brute_force(items: &[Item], capacity: u64) -> Solution {
 
 /// Exact DP over capacity, `O(n · C)` time and space. Only sensible for
 /// small integer capacities; the scheduler uses [`sin_knap`] instead.
+///
+/// Allocates a fresh workspace; hot paths should hold a
+/// [`SolverScratch`] and call [`dp_by_capacity_with`].
 pub fn dp_by_capacity(items: &[Item], capacity: u64) -> Solution {
+    dp_by_capacity_with(items, capacity, &mut SolverScratch::new())
+}
+
+/// [`dp_by_capacity`] reusing a caller-owned workspace. Produces the
+/// same solution bit-for-bit; the only difference is where the DP
+/// tables live.
+pub fn dp_by_capacity_with(items: &[Item], capacity: u64, scratch: &mut SolverScratch) -> Solution {
     let cap = capacity as usize;
     let n = items.len();
+    let SolverScratch {
+        best, choice: keep, ..
+    } = scratch;
     // best[w] = max profit with weight exactly ≤ w; keep[i][w] for reconstruction.
-    let mut best = vec![0.0f64; cap + 1];
-    let mut keep = vec![false; n * (cap + 1)];
+    best.clear();
+    best.resize(cap + 1, 0.0f64);
+    keep.reset(n, cap + 1);
     for (i, item) in items.iter().enumerate() {
         if item.profit <= 0.0 || item.weight > capacity {
             continue;
@@ -50,7 +73,7 @@ pub fn dp_by_capacity(items: &[Item], capacity: u64) -> Solution {
             let cand = best[c - w] + item.profit;
             if cand > best[c] {
                 best[c] = cand;
-                keep[i * (cap + 1) + c] = true;
+                keep.set(i, c);
             }
         }
     }
@@ -58,7 +81,7 @@ pub fn dp_by_capacity(items: &[Item], capacity: u64) -> Solution {
     let mut chosen = Vec::new();
     let mut c = cap;
     for i in (0..n).rev() {
-        if keep[i * (cap + 1) + c] {
+        if keep.get(i, c) {
             chosen.push(i);
             c -= items[i].weight as usize;
         }
@@ -87,23 +110,48 @@ pub fn greedy_half(items: &[Item], capacity: u64) -> Solution {
         .filter(|&i| items[i].weight <= capacity && items[i].profit > 0.0)
         .max_by(|&a, &b| items[a].profit.total_cmp(&items[b].profit));
     match best_single {
-        Some(i) if items[i].profit > greedy.profit => {
-            Solution::from_indices(items, vec![i])
-        }
+        Some(i) if items[i].profit > greedy.profit => Solution::from_indices(items, vec![i]),
         _ => greedy,
     }
 }
 
 /// Greedy *filling* pass: adds any still-fitting items (by ratio) to an
 /// existing selection. The paper's `GreedyAdd` step.
+///
+/// Builds the ratio order on the fly; callers that already hold items
+/// in ratio order (like the overlapped solver's per-slot lists) should
+/// use [`greedy_add_presorted`] and skip the sort entirely. Membership
+/// in `existing` is tested by binary search over its sorted index list
+/// rather than the `HashSet` the original implementation rebuilt per
+/// call (preserved in [`crate::reference::greedy_add`]).
 pub fn greedy_add(items: &[Item], capacity: u64, existing: &mut Solution) {
-    let in_set: std::collections::HashSet<usize> = existing.chosen.iter().copied().collect();
+    existing.chosen.sort_unstable();
     let mut order: Vec<usize> = (0..items.len())
-        .filter(|i| !in_set.contains(i))
-        .filter(|&i| items[i].profit > 0.0)
+        .filter(|&i| items[i].profit > 0.0 && existing.chosen.binary_search(&i).is_err())
         .collect();
     order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
-    for &i in &order {
+    greedy_add_presorted(items, capacity, existing, &order);
+}
+
+/// [`greedy_add`] taking a precomputed fill order: `order` lists
+/// distinct candidate indices in the sequence to try (normally
+/// profit-to-weight descending). Indices already in `existing.chosen`
+/// (which must be sorted ascending, as [`Solution::from_indices`]
+/// guarantees) and non-positive-profit items are skipped.
+pub fn greedy_add_presorted(
+    items: &[Item],
+    capacity: u64,
+    existing: &mut Solution,
+    order: &[usize],
+) {
+    // `order` holds distinct indices, so only membership at entry can
+    // repeat an item; the pre-existing prefix of `chosen` stays sorted
+    // while new picks are appended, keeping the binary search valid.
+    let initial = existing.chosen.len();
+    for &i in order {
+        if items[i].profit <= 0.0 || existing.chosen[..initial].binary_search(&i).is_ok() {
+            continue;
+        }
         if existing.weight + items[i].weight <= capacity {
             existing.weight += items[i].weight;
             existing.profit += items[i].profit;
@@ -128,38 +176,88 @@ pub fn greedy_add(items: &[Item], capacity: u64, existing: &mut Solution) {
 /// assert!(sol.profit >= 0.9 * 220.0); // within (1-ε) of the optimum
 /// assert!(sol.weight <= 50);
 /// ```
+///
+/// Allocates a fresh workspace; hot paths should hold a
+/// [`SolverScratch`] and call [`sin_knap_with`].
 pub fn sin_knap(items: &[Item], capacity: u64, eps: f64) -> Solution {
+    sin_knap_with(items, capacity, eps, &mut SolverScratch::new())
+}
+
+/// [`sin_knap`] reusing a caller-owned workspace — the scheduler's hot
+/// path. Two optimizations over [`crate::reference::sin_knap`]:
+///
+/// * **Capacity-slack fast path**: when every eligible item fits
+///   together (`Σ weights ≤ capacity`) the answer is trivially *all*
+///   eligible items — the exact optimum, no DP at all. This is the
+///   common case for light screen-off workloads against a whole-slot
+///   byte budget. (The reference DP may return a subset with equal
+///   scaled but lower real profit, since items whose profit rounds to
+///   zero under scaling never set a choice flag — the fast path's
+///   answer is never worse.)
+/// * When capacity binds, the profit-scaling DP runs with `scratch`'s
+///   reused `min_weight` table and bit-packed choice matrix (1/8 the
+///   memory of the reference `Vec<bool>`), producing the same solution
+///   bit-for-bit.
+pub fn sin_knap_with(
+    items: &[Item],
+    capacity: u64,
+    eps: f64,
+    scratch: &mut SolverScratch,
+) -> Solution {
     let eps = eps.clamp(1e-6, 0.999);
+    let SolverScratch {
+        min_weight,
+        choice,
+        eligible,
+        scaled,
+        ..
+    } = scratch;
     // Eligible items only.
-    let eligible: Vec<usize> = (0..items.len())
-        .filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity)
-        .collect();
+    eligible.clear();
+    let mut total_weight: u128 = 0;
+    for (i, item) in items.iter().enumerate() {
+        if item.profit > 0.0 && item.weight <= capacity {
+            eligible.push(i);
+            total_weight += item.weight as u128;
+        }
+    }
     if eligible.is_empty() {
         return Solution::default();
     }
+    // Fast path: all eligible items fit at once — take them all.
+    if total_weight <= capacity as u128 {
+        return Solution::from_indices(items, eligible.clone());
+    }
     let n = eligible.len();
-    let p_max = eligible.iter().map(|&i| items[i].profit).fold(0.0f64, f64::max);
+    let p_max = eligible
+        .iter()
+        .map(|&i| items[i].profit)
+        .fold(0.0f64, f64::max);
     // Scale factor K = ε·P/n ⇒ every item's scaled profit ≤ n/ε.
     let k = eps * p_max / n as f64;
-    let scaled: Vec<u64> = eligible
-        .iter()
-        .map(|&i| (items[i].profit / k).floor() as u64)
-        .collect();
+    scaled.clear();
+    scaled.extend(
+        eligible
+            .iter()
+            .map(|&i| (items[i].profit / k).floor() as u64),
+    );
     let p_total: u64 = scaled.iter().sum();
 
     // min_weight[q] = least weight achieving scaled profit exactly q.
     const INF: u64 = u64::MAX;
     let cells = (p_total + 1) as usize;
-    let mut min_weight = vec![INF; cells];
-    let mut choice = vec![false; n * cells]; // choice[j][q]
+    min_weight.clear();
+    min_weight.resize(cells, INF);
+    choice.reset(n, cells); // choice[j][q]
     min_weight[0] = 0;
     for (j, &idx) in eligible.iter().enumerate() {
         let (pj, wj) = (scaled[j] as usize, items[idx].weight);
+        let base = choice.row_base(j);
         for q in (pj..cells).rev() {
             let from = min_weight[q - pj];
             if from != INF && from + wj < min_weight[q] {
                 min_weight[q] = from + wj;
-                choice[j * cells + q] = true;
+                choice.set_bit(base + q);
             }
         }
     }
@@ -172,7 +270,7 @@ pub fn sin_knap(items: &[Item], capacity: u64, eps: f64) -> Solution {
     let mut chosen = Vec::new();
     let mut q = best_q;
     for j in (0..n).rev() {
-        if choice[j * cells + q] {
+        if choice.get(j, q) {
             chosen.push(eligible[j]);
             q -= scaled[j] as usize;
         }
@@ -203,7 +301,12 @@ mod tests {
         for cap in 0..=20 {
             let a = brute_force(&it, cap);
             let b = dp_by_capacity(&it, cap);
-            assert!((a.profit - b.profit).abs() < 1e-9, "cap {cap}: {} vs {}", a.profit, b.profit);
+            assert!(
+                (a.profit - b.profit).abs() < 1e-9,
+                "cap {cap}: {} vs {}",
+                a.profit,
+                b.profit
+            );
             assert!(b.feasible(cap));
         }
     }
@@ -220,7 +323,10 @@ mod tests {
         // Adversarial case for plain greedy: one big item beats ratio-greedy.
         let it = items(&[(1.0, 1), (99.0, 100)]);
         let s = greedy_half(&it, 100);
-        assert!((s.profit - 99.0).abs() < 1e-9, "fallback to best single item");
+        assert!(
+            (s.profit - 99.0).abs() < 1e-9,
+            "fallback to best single item"
+        );
         let opt = brute_force(&it, 100);
         assert!(s.profit >= 0.5 * opt.profit);
     }
@@ -288,6 +394,82 @@ mod tests {
         let s = sin_knap(&it, 10, 0.05);
         assert!((s.profit - 15.0).abs() < 0.8); // within FPTAS slack
         assert_eq!(s.chosen.len(), 3);
+    }
+
+    #[test]
+    fn fast_path_takes_everything_under_slack_capacity() {
+        // Total eligible weight 6 ≤ capacity 100: the optimum is all
+        // positive-profit fitting items, no DP needed.
+        let it = items(&[(5.0, 1), (0.5, 2), (-1.0, 1), (3.0, 3), (2.0, 200)]);
+        let mut scratch = SolverScratch::new();
+        let s = sin_knap_with(&it, 100, 0.3, &mut scratch);
+        assert_eq!(s.chosen, vec![0, 1, 3]);
+        assert!((s.profit - 8.5).abs() < 1e-9);
+        // The fast path is exact, so it can only beat the FPTAS bound.
+        let r = crate::reference::sin_knap(&it, 100, 0.3);
+        assert!(s.profit >= r.profit - 1e-9);
+    }
+
+    #[test]
+    fn scratch_solvers_match_reference_across_reuse() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut scratch = SolverScratch::new();
+        for trial in 0..80 {
+            let n = rng.random_range(1..=15);
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(rng.random_range(-5.0..50.0), rng.random_range(1..30u64)))
+                .collect();
+            let cap = rng.random_range(1..60);
+            // Capacity DP: bit-identical regardless of path.
+            assert_eq!(
+                dp_by_capacity_with(&it, cap, &mut scratch),
+                crate::reference::dp_by_capacity(&it, cap),
+                "trial {trial}"
+            );
+            let s_new = sin_knap_with(&it, cap, 0.1, &mut scratch);
+            let s_ref = crate::reference::sin_knap(&it, cap, 0.1);
+            let eligible_w: u64 = it
+                .iter()
+                .filter(|x| x.profit > 0.0 && x.weight <= cap)
+                .map(|x| x.weight)
+                .sum();
+            if eligible_w <= cap {
+                // Fast path: exact optimum over eligible items — never
+                // worse than the reference DP, and takes everything.
+                let eligible_p: f64 = it
+                    .iter()
+                    .filter(|x| x.profit > 0.0 && x.weight <= cap)
+                    .map(|x| x.profit)
+                    .sum();
+                assert!((s_new.profit - eligible_p).abs() < 1e-9, "trial {trial}");
+                assert!(s_new.profit >= s_ref.profit - 1e-9, "trial {trial}");
+            } else {
+                // DP path: same tables, same traversal — bit-identical.
+                assert_eq!(s_new, s_ref, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_add_matches_reference_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..80 {
+            let n = rng.random_range(1..=15usize);
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(rng.random_range(-5.0..50.0), rng.random_range(0..30u64)))
+                .collect();
+            let cap = rng.random_range(1..60);
+            let seed: Vec<usize> = (0..n).filter(|_| rng.random_bool(0.3)).collect();
+            let mut a = Solution::from_indices(&it, seed.clone());
+            let mut b = Solution::from_indices(&it, seed);
+            greedy_add(&it, cap, &mut a);
+            crate::reference::greedy_add(&it, cap, &mut b);
+            assert_eq!(a, b, "trial {trial}");
+        }
     }
 
     #[test]

@@ -60,6 +60,31 @@ pub fn predict_with_confidence(
     bound: Bound,
     z: f64,
 ) -> ActiveSlotPrediction {
+    let mut successes = [[0u64; HOURS_PER_DAY]; 2];
+    let mut trials = [0u64; 2];
+    for kind in [DayKind::Weekday, DayKind::Weekend] {
+        let rows = history.rows_of_kind(kind);
+        let k = kind as usize;
+        trials[k] = rows.len() as u64;
+        for h in 0..HOURS_PER_DAY {
+            successes[k][h] = rows.iter().filter(|r| r[h] > 0).count() as u64;
+        }
+    }
+    predict_with_confidence_from_counts(&successes, trials, cfg, bound, z)
+}
+
+/// [`predict_with_confidence`] from pre-aggregated Bernoulli counts:
+/// `successes[kind][h]` days of that kind with any usage in hour `h`,
+/// out of `trials[kind]` days, indexed by `DayKind as usize`. This is
+/// the entry point for [`crate::IncrementalMiner`], which maintains
+/// those counts in O(1) per day instead of rescanning history.
+pub fn predict_with_confidence_from_counts(
+    successes: &[[u64; HOURS_PER_DAY]; 2],
+    trials: [u64; 2],
+    cfg: PredictionConfig,
+    bound: Bound,
+    z: f64,
+) -> ActiveSlotPrediction {
     let mut out = ActiveSlotPrediction {
         weekday: [false; HOURS_PER_DAY],
         weekend: [false; HOURS_PER_DAY],
@@ -67,13 +92,12 @@ pub fn predict_with_confidence(
         prob_weekend: [0.0; HOURS_PER_DAY],
     };
     for kind in [DayKind::Weekday, DayKind::Weekend] {
-        let rows = history.rows_of_kind(kind);
-        let trials = rows.len() as u64;
+        let k = kind as usize;
         let delta = cfg.delta(kind);
-        for h in 0..HOURS_PER_DAY {
-            let successes = rows.iter().filter(|r| r[h] > 0).count() as u64;
-            let point = if trials == 0 { 0.0 } else { successes as f64 / trials as f64 };
-            let (lo, hi) = wilson_interval(successes, trials, z);
+        for (h, &s) in successes[k].iter().enumerate() {
+            let n = trials[k];
+            let point = if n == 0 { 0.0 } else { s as f64 / n as f64 };
+            let (lo, hi) = wilson_interval(s, n, z);
             let stat = match bound {
                 Bound::Upper => hi,
                 Bound::Point => point,
@@ -107,7 +131,10 @@ mod tests {
         for (s, n) in [(0u64, 10u64), (3, 10), (5, 10), (10, 10), (7, 21)] {
             let p = s as f64 / n as f64;
             let (lo, hi) = wilson_interval(s, n, 1.96);
-            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{s}/{n}: [{lo},{hi}] vs {p}");
+            assert!(
+                lo <= p + 1e-12 && p <= hi + 1e-12,
+                "{s}/{n}: [{lo},{hi}] vs {p}"
+            );
             assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
         }
     }
@@ -126,16 +153,16 @@ mod tests {
 
     #[test]
     fn upper_bound_declares_more_hours_active() {
-        let trace =
-            TraceGenerator::new(UserProfile::panel().remove(1)).with_seed(8).generate(14);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(1))
+            .with_seed(8)
+            .generate(14);
         let h = HourlyHistory::from_trace(&trace);
         let cfg = PredictionConfig::default();
         let point = predict_with_confidence(&h, cfg, Bound::Point, 1.96);
         let upper = predict_with_confidence(&h, cfg, Bound::Upper, 1.96);
         let lower = predict_with_confidence(&h, cfg, Bound::Lower, 1.96);
-        let count = |p: &ActiveSlotPrediction| {
-            p.weekday.iter().chain(&p.weekend).filter(|&&b| b).count()
-        };
+        let count =
+            |p: &ActiveSlotPrediction| p.weekday.iter().chain(&p.weekend).filter(|&&b| b).count();
         assert!(count(&upper) >= count(&point), "upper is conservative");
         assert!(count(&point) >= count(&lower), "lower is aggressive");
         assert!(count(&upper) > count(&lower), "the bounds actually differ");
@@ -143,8 +170,9 @@ mod tests {
 
     #[test]
     fn point_bound_matches_the_paper_rule() {
-        let trace =
-            TraceGenerator::new(UserProfile::panel().remove(3)).with_seed(12).generate(14);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(3))
+            .with_seed(12)
+            .generate(14);
         let h = HourlyHistory::from_trace(&trace);
         let cfg = PredictionConfig::default();
         let a = predict_with_confidence(&h, cfg, Bound::Point, 1.96);
@@ -154,8 +182,9 @@ mod tests {
 
     #[test]
     fn upper_bound_never_reduces_accuracy() {
-        let trace =
-            TraceGenerator::new(UserProfile::panel().remove(6)).with_seed(20).generate(21);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(6))
+            .with_seed(20)
+            .generate(21);
         let train = trace.slice_days(0, 14);
         let test = trace.slice_days(14, 21);
         let h = HourlyHistory::from_trace(&train);

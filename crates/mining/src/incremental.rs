@@ -1,0 +1,320 @@
+//! Incrementally-updated mining state — the fleet-scale hot path.
+//!
+//! [`NetMasterPolicy`](../../netmaster_core/policies/netmaster) retrains
+//! after every simulated day. The batch pipeline re-derives everything
+//! from the full history each time: `O(D)` trace clones, `O(D · 24)`
+//! intensity scans, `O(D²·24)` habit-stability correlations and a full
+//! [`NetworkPrediction`] rebuild — per day, per fleet member. An
+//! [`IncrementalMiner`] maintains the same statistics as running
+//! aggregates so absorbing a new day is `O(24 + events_in_day)` and
+//! every query is answered from caches.
+//!
+//! **Equivalence contract** (property-tested): every query is
+//! *bit-for-bit* equal to its batch counterpart over the same days.
+//! This holds because all cached aggregates are either integer-valued
+//! (exact in `u64`, and the batch code's f64 accumulation of small
+//! integers is exact too) or f64 sums accumulated in the identical
+//! order as the batch scan.
+
+use crate::confidence::{predict_with_confidence_from_counts, Bound};
+use crate::intensity::HourlyHistory;
+use crate::pearson::pearson;
+use crate::prediction::{
+    ActiveSlotPrediction, AppNetworkPrediction, NetworkPrediction, PredictionConfig,
+};
+use crate::special::SpecialApps;
+use crate::stability::StabilityReport;
+use netmaster_trace::event::AppId;
+use netmaster_trace::time::{hour_of, DayKind, HOURS_PER_DAY};
+use netmaster_trace::trace::DayTrace;
+use std::collections::BTreeMap;
+
+/// Number of day kinds (weekday, weekend); indexed by `DayKind as usize`.
+const KINDS: usize = 2;
+
+/// Mining state that absorbs one day at a time.
+///
+/// Feed days in chronological order with [`IncrementalMiner::push_day`];
+/// query predictions, stability, and network forecasts at any point.
+/// After discarding history (habit-drift reset), build a fresh miner
+/// from the retained days.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMiner {
+    /// The raw per-day hourly rows (24 `u64`s per day — cheap to keep).
+    history: HourlyHistory,
+    /// Days recorded per kind.
+    days_of: [u64; KINDS],
+    /// `usage_days[k][h]`: days of kind `k` with any usage in hour `h`.
+    usage_days: [[u64; HOURS_PER_DAY]; KINDS],
+    /// `kind_sums[k][h]`: total interactions in hour `h` over kind-`k` days.
+    kind_sums: [[u64; HOURS_PER_DAY]; KINDS],
+    /// Habit-stability series, maintained as days arrive.
+    series: Vec<(usize, f64)>,
+    /// Running sum of the series (for the mean score).
+    score_sum: f64,
+    /// Raw screen-off activity counts per hour (pre-division totals).
+    net_count: [f64; HOURS_PER_DAY],
+    /// Raw screen-off bytes per hour (pre-division totals).
+    net_bytes: [f64; HOURS_PER_DAY],
+    /// Per-app raw (count, bytes) totals; BTreeMap for deterministic order.
+    per_app: BTreeMap<AppId, ([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])>,
+    /// Special-apps profile, folded day by day.
+    special: SpecialApps,
+}
+
+impl IncrementalMiner {
+    /// Fresh, empty miner.
+    pub fn new() -> Self {
+        IncrementalMiner::default()
+    }
+
+    /// Absorbs one day of monitoring data. `O(24 + events_in_day)`.
+    pub fn push_day(&mut self, day: &DayTrace) {
+        let mut row = [0u64; HOURS_PER_DAY];
+        for i in &day.interactions {
+            row[hour_of(i.at)] += 1;
+        }
+        let kind = DayKind::of_day(day.day);
+        let k = kind as usize;
+
+        // Stability point for today against the trailing same-kind mean
+        // — computed before today joins the aggregates, exactly like
+        // `habit_stability`'s prior-days reference (min_reference = 2).
+        let n = self.days_of[k];
+        if n >= 2 {
+            let mut reference = [0.0f64; HOURS_PER_DAY];
+            for (h, r) in reference.iter_mut().enumerate() {
+                *r = self.kind_sums[k][h] as f64 / n as f64;
+            }
+            let today: Vec<f64> = row.iter().map(|&c| c as f64).collect();
+            let r = pearson(&today, &reference);
+            self.series.push((self.history.num_days(), r));
+            self.score_sum += r;
+        }
+
+        // Intensity aggregates.
+        self.days_of[k] += 1;
+        for (h, &c) in row.iter().enumerate() {
+            self.kind_sums[k][h] += c;
+            if c > 0 {
+                self.usage_days[k][h] += 1;
+            }
+        }
+        self.history.counts.push(row);
+        self.history.kinds.push(kind);
+
+        // Network-prediction totals, accumulated in the same order the
+        // batch scan visits activities (so f64 sums match bit-for-bit).
+        for a in day.screen_off_activities() {
+            let h = hour_of(a.start);
+            self.net_count[h] += 1.0;
+            self.net_bytes[h] += a.volume() as f64;
+            let entry = self
+                .per_app
+                .entry(a.app)
+                .or_insert(([0.0; HOURS_PER_DAY], [0.0; HOURS_PER_DAY]));
+            entry.0[h] += 1.0;
+            entry.1[h] += a.volume() as f64;
+        }
+
+        self.special.observe_day(day);
+    }
+
+    /// Days absorbed so far.
+    pub fn num_days(&self) -> usize {
+        self.history.num_days()
+    }
+
+    /// The accumulated hourly rows (for code that still wants the
+    /// batch-shaped view).
+    pub fn history(&self) -> &HourlyHistory {
+        &self.history
+    }
+
+    /// The maintained Special Apps profile.
+    pub fn special_apps(&self) -> &SpecialApps {
+        &self.special
+    }
+
+    /// `Pr[u(t_i)]` per hour for a day kind — equals
+    /// [`HourlyHistory::usage_probability`] over the same days.
+    pub fn usage_probability(&self, kind: DayKind) -> [f64; HOURS_PER_DAY] {
+        let k = kind as usize;
+        let mut v = [0.0; HOURS_PER_DAY];
+        if self.days_of[k] == 0 {
+            return v;
+        }
+        for (h, x) in v.iter_mut().enumerate() {
+            *x = self.usage_days[k][h] as f64 / self.days_of[k] as f64;
+        }
+        v
+    }
+
+    /// Mean intensity per hour over all days — equals
+    /// [`HourlyHistory::mean_intensity`] over the same days.
+    pub fn mean_intensity(&self) -> [f64; HOURS_PER_DAY] {
+        let mut v = [0.0; HOURS_PER_DAY];
+        let days = self.num_days();
+        if days == 0 {
+            return v;
+        }
+        for (h, x) in v.iter_mut().enumerate() {
+            *x = (self.kind_sums[0][h] + self.kind_sums[1][h]) as f64 / days as f64;
+        }
+        v
+    }
+
+    /// Confidence-aware active-slot prediction from the cached Bernoulli
+    /// counts — equals [`crate::predict_with_confidence`] over the same
+    /// days, in O(24) instead of O(days · 24).
+    pub fn predict_confident(
+        &self,
+        cfg: PredictionConfig,
+        bound: Bound,
+        z: f64,
+    ) -> ActiveSlotPrediction {
+        predict_with_confidence_from_counts(&self.usage_days, self.days_of, cfg, bound, z)
+    }
+
+    /// The habit-stability report — equals [`crate::habit_stability`]
+    /// over the same days. The series itself is maintained per-push;
+    /// this just packages it.
+    pub fn stability(&self) -> StabilityReport {
+        let score = if self.series.is_empty() {
+            0.0
+        } else {
+            self.score_sum / self.series.len() as f64
+        };
+        StabilityReport {
+            series: self.series.clone(),
+            score,
+        }
+    }
+
+    /// Screen-off network forecast — equals
+    /// [`NetworkPrediction::from_trace`] over the same days.
+    pub fn network_prediction(&self) -> NetworkPrediction {
+        let days = self.num_days().max(1) as f64;
+        let mut count = self.net_count;
+        let mut bytes = self.net_bytes;
+        let mut active = [false; HOURS_PER_DAY];
+        for h in 0..HOURS_PER_DAY {
+            count[h] /= days;
+            bytes[h] /= days;
+            active[h] = count[h] > 0.0;
+        }
+        let mut per_app: Vec<AppNetworkPrediction> = self
+            .per_app
+            .iter()
+            .map(|(&app, &(c, b))| {
+                let mut c = c;
+                let mut b = b;
+                for h in 0..HOURS_PER_DAY {
+                    c[h] /= days;
+                    b[h] /= days;
+                }
+                AppNetworkPrediction {
+                    app,
+                    expected_count: c,
+                    expected_bytes: b,
+                }
+            })
+            .collect();
+        per_app.sort_by(|a, b| {
+            b.daily_count()
+                .total_cmp(&a.daily_count())
+                .then_with(|| a.app.cmp(&b.app))
+        });
+        NetworkPrediction {
+            expected_count: count,
+            expected_bytes: bytes,
+            active,
+            per_app,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{habit_stability, predict_with_confidence};
+    use netmaster_trace::gen::TraceGenerator;
+    use netmaster_trace::profile::UserProfile;
+    use netmaster_trace::trace::Trace;
+
+    fn trace_for(user: usize, days: usize, seed: u64) -> Trace {
+        TraceGenerator::new(UserProfile::panel().remove(user))
+            .with_seed(seed)
+            .generate(days)
+    }
+
+    /// The incremental miner must agree with the batch pipeline
+    /// *bit-for-bit* at every prefix of the history, for every panel
+    /// user — this is the contract that lets the policy switch over.
+    #[test]
+    fn matches_batch_pipeline_at_every_prefix() {
+        for user in 0..4 {
+            let trace = trace_for(user, 14, 1000 + user as u64);
+            let mut miner = IncrementalMiner::new();
+            for upto in 1..=trace.days.len() {
+                miner.push_day(&trace.days[upto - 1]);
+                let prefix = trace.slice_days(0, upto);
+                let batch = HourlyHistory::from_trace(&prefix);
+                assert_eq!(miner.history(), &batch, "user {user} upto {upto}");
+                for kind in [DayKind::Weekday, DayKind::Weekend] {
+                    assert_eq!(
+                        miner.usage_probability(kind),
+                        batch.usage_probability(kind),
+                        "user {user} upto {upto}"
+                    );
+                }
+                assert_eq!(miner.mean_intensity(), batch.mean_intensity());
+                // Stability: identical series and score.
+                assert_eq!(miner.stability(), habit_stability(&batch));
+                // Confidence prediction: identical flags and probs.
+                let cfg = PredictionConfig::default();
+                for bound in [Bound::Upper, Bound::Point, Bound::Lower] {
+                    assert_eq!(
+                        miner.predict_confident(cfg, bound, 1.96),
+                        predict_with_confidence(&batch, cfg, bound, 1.96),
+                        "user {user} upto {upto} {bound:?}"
+                    );
+                }
+                // Network forecast: identical aggregates AND per-app order.
+                assert_eq!(
+                    miner.network_prediction(),
+                    NetworkPrediction::from_trace(&prefix)
+                );
+                // Special apps: identical profile.
+                assert_eq!(miner.special_apps(), &SpecialApps::from_trace(&prefix));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_miner_is_all_zero() {
+        let m = IncrementalMiner::new();
+        assert_eq!(m.num_days(), 0);
+        assert_eq!(m.mean_intensity(), [0.0; 24]);
+        assert_eq!(m.usage_probability(DayKind::Weekday), [0.0; 24]);
+        assert_eq!(m.stability().series.len(), 0);
+        assert_eq!(m.network_prediction().daily_count(), 0.0);
+    }
+
+    #[test]
+    fn push_is_constant_work_per_day() {
+        // Not a timing test — a structural one: absorbing day d must
+        // not rescan history, so the per-app totals and series grow
+        // monotonically without recomputation artifacts.
+        let trace = trace_for(3, 21, 9);
+        let mut m = IncrementalMiner::new();
+        let mut prev_series_len = 0;
+        for d in &trace.days {
+            m.push_day(d);
+            let len = m.stability().series.len();
+            assert!(len >= prev_series_len && len <= prev_series_len + 1);
+            prev_series_len = len;
+        }
+        assert_eq!(m.num_days(), 21);
+    }
+}

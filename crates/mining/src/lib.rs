@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod confidence;
+pub mod incremental;
 pub mod intensity;
 pub mod pearson;
 pub mod prediction;
@@ -30,7 +31,10 @@ pub mod predictors;
 pub mod special;
 pub mod stability;
 
-pub use confidence::{predict_with_confidence, wilson_interval, Bound};
+pub use confidence::{
+    predict_with_confidence, predict_with_confidence_from_counts, wilson_interval, Bound,
+};
+pub use incremental::IncrementalMiner;
 pub use intensity::HourlyHistory;
 pub use pearson::{cross_day_matrix, cross_user_matrix, pearson, CorrelationMatrix};
 pub use prediction::{

@@ -52,7 +52,11 @@ impl CorrelationMatrix {
         let mut values = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in 0..n {
-                values[i][j] = if i == j { 1.0 } else { pearson(&vectors[i], &vectors[j]) };
+                values[i][j] = if i == j {
+                    1.0
+                } else {
+                    pearson(&vectors[i], &vectors[j])
+                };
             }
         }
         CorrelationMatrix { values }

@@ -20,7 +20,10 @@ pub struct PredictionConfig {
 
 impl Default for PredictionConfig {
     fn default() -> Self {
-        PredictionConfig { delta_weekday: 0.2, delta_weekend: 0.1 }
+        PredictionConfig {
+            delta_weekday: 0.2,
+            delta_weekend: 0.1,
+        }
     }
 }
 
@@ -35,7 +38,10 @@ impl PredictionConfig {
 
     /// A single δ for both day kinds (used in the Fig. 10(c) sweep).
     pub fn uniform(delta: f64) -> Self {
-        PredictionConfig { delta_weekday: delta, delta_weekend: delta }
+        PredictionConfig {
+            delta_weekday: delta,
+            delta_weekend: delta,
+        }
     }
 }
 
@@ -99,7 +105,8 @@ impl ActiveSlotPrediction {
                 }
                 out.push(Interval::new(
                     netmaster_trace::time::at_hour(day, start),
-                    netmaster_trace::time::at_hour(day, h - 1) + netmaster_trace::time::SECS_PER_HOUR,
+                    netmaster_trace::time::at_hour(day, h - 1)
+                        + netmaster_trace::time::SECS_PER_HOUR,
                 ));
             } else {
                 h += 1;
@@ -127,7 +134,10 @@ impl ActiveSlotPrediction {
 
 /// Predicts user active slots from history with the given thresholds
 /// (Eq. 2 with thr(u) = δ per day kind).
-pub fn predict_active_slots(history: &HourlyHistory, cfg: PredictionConfig) -> ActiveSlotPrediction {
+pub fn predict_active_slots(
+    history: &HourlyHistory,
+    cfg: PredictionConfig,
+) -> ActiveSlotPrediction {
     let prob_weekday = history.usage_probability(DayKind::Weekday);
     let prob_weekend = history.usage_probability(DayKind::Weekend);
     let mut weekday = [false; HOURS_PER_DAY];
@@ -136,7 +146,12 @@ pub fn predict_active_slots(history: &HourlyHistory, cfg: PredictionConfig) -> A
         weekday[h] = prob_weekday[h] > cfg.delta_weekday;
         weekend[h] = prob_weekend[h] > cfg.delta_weekend;
     }
-    ActiveSlotPrediction { weekday, weekend, prob_weekday, prob_weekend }
+    ActiveSlotPrediction {
+        weekday,
+        weekend,
+        prob_weekday,
+        prob_weekend,
+    }
 }
 
 /// One app's predicted screen-off activity per hour — the `n(p_m, t_i)`
@@ -181,15 +196,19 @@ impl NetworkPrediction {
         use std::collections::HashMap;
         let mut count = [0.0; HOURS_PER_DAY];
         let mut bytes = [0.0; HOURS_PER_DAY];
-        let mut apps: HashMap<netmaster_trace::event::AppId, ([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])> =
-            HashMap::new();
+        let mut apps: HashMap<
+            netmaster_trace::event::AppId,
+            ([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY]),
+        > = HashMap::new();
         let days = trace.num_days().max(1) as f64;
         for day in &trace.days {
             for a in day.screen_off_activities() {
                 let h = netmaster_trace::time::hour_of(a.start);
                 count[h] += 1.0;
                 bytes[h] += a.volume() as f64;
-                let entry = apps.entry(a.app).or_insert(([0.0; HOURS_PER_DAY], [0.0; HOURS_PER_DAY]));
+                let entry = apps
+                    .entry(a.app)
+                    .or_insert(([0.0; HOURS_PER_DAY], [0.0; HOURS_PER_DAY]));
                 entry.0[h] += 1.0;
                 entry.1[h] += a.volume() as f64;
             }
@@ -207,11 +226,27 @@ impl NetworkPrediction {
                     c[h] /= days;
                     b[h] /= days;
                 }
-                AppNetworkPrediction { app, expected_count: c, expected_bytes: b }
+                AppNetworkPrediction {
+                    app,
+                    expected_count: c,
+                    expected_bytes: b,
+                }
             })
             .collect();
-        per_app.sort_by(|a, b| b.daily_count().total_cmp(&a.daily_count()));
-        NetworkPrediction { expected_count: count, expected_bytes: bytes, active, per_app }
+        // Tie-break by app id so the ordering (and everything downstream,
+        // e.g. knapsack item order) is deterministic — HashMap iteration
+        // order is not.
+        per_app.sort_by(|a, b| {
+            b.daily_count()
+                .total_cmp(&a.daily_count())
+                .then_with(|| a.app.cmp(&b.app))
+        });
+        NetworkPrediction {
+            expected_count: count,
+            expected_bytes: bytes,
+            active,
+            per_app,
+        }
     }
 
     /// Total expected screen-off activities per day.
@@ -256,7 +291,7 @@ mod tests {
     use netmaster_trace::profile::UserProfile;
     use netmaster_trace::time::SECS_PER_HOUR;
 
-    fn history(rows: &[( DayKind, [u64; 24])]) -> HourlyHistory {
+    fn history(rows: &[(DayKind, [u64; 24])]) -> HourlyHistory {
         HourlyHistory {
             counts: rows.iter().map(|r| r.1).collect(),
             kinds: rows.iter().map(|r| r.0).collect(),
@@ -316,7 +351,10 @@ mod tests {
         // Pr = 0.5 in each used hour of its kind.
         let pred = predict_active_slots(
             &h,
-            PredictionConfig { delta_weekday: 0.6, delta_weekend: 0.3 },
+            PredictionConfig {
+                delta_weekday: 0.6,
+                delta_weekend: 0.3,
+            },
         );
         assert!(!pred.weekday[8], "0.5 < 0.6 on weekdays");
         assert!(pred.weekend[11], "0.5 > 0.3 on weekends");
@@ -360,13 +398,19 @@ mod tests {
         // Night hours must show background traffic.
         assert!(np.active[3] || np.active[4] || np.active[2]);
         // Counts are per-day averages: can't exceed total/num_days.
-        let total_off: usize =
-            trace.days.iter().map(|d| d.screen_off_activities().count()).sum();
+        let total_off: usize = trace
+            .days
+            .iter()
+            .map(|d| d.screen_off_activities().count())
+            .sum();
         assert!((np.daily_count() - total_off as f64 / 7.0).abs() < 1e-9);
         // Per-app breakdown sums back to the aggregate.
         assert!(np.app_count() >= 2, "several apps sync in the background");
         let app_sum: f64 = np.per_app.iter().map(|a| a.daily_count()).sum();
-        assert!((app_sum - np.daily_count()).abs() < 1e-9, "per-app partition");
+        assert!(
+            (app_sum - np.daily_count()).abs() < 1e-9,
+            "per-app partition"
+        );
         // Sorted by descending daily count.
         for w in np.per_app.windows(2) {
             assert!(w[0].daily_count() >= w[1].daily_count());
@@ -392,9 +436,18 @@ mod tests {
         let train = trace.slice_days(0, 14);
         let test = trace.slice_days(14, 21);
         let h = HourlyHistory::from_trace(&train);
-        let lo = prediction_accuracy(&predict_active_slots(&h, PredictionConfig::uniform(0.05)), &test);
-        let hi = prediction_accuracy(&predict_active_slots(&h, PredictionConfig::uniform(0.9)), &test);
-        assert!(lo >= hi, "accuracy should not increase with δ: {lo} vs {hi}");
+        let lo = prediction_accuracy(
+            &predict_active_slots(&h, PredictionConfig::uniform(0.05)),
+            &test,
+        );
+        let hi = prediction_accuracy(
+            &predict_active_slots(&h, PredictionConfig::uniform(0.9)),
+            &test,
+        );
+        assert!(
+            lo >= hi,
+            "accuracy should not increase with δ: {lo} vs {hi}"
+        );
     }
 
     #[test]

@@ -137,7 +137,12 @@ pub fn predict_with(
         weekday[h] = prob_weekday[h] > cfg.delta_weekday;
         weekend[h] = prob_weekend[h] > cfg.delta_weekend;
     }
-    ActiveSlotPrediction { weekday, weekend, prob_weekday, prob_weekend }
+    ActiveSlotPrediction {
+        weekday,
+        weekend,
+        prob_weekday,
+        prob_weekend,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +192,11 @@ mod tests {
         assert!(ewma[8] < 0.2, "ewma[8] = {}", ewma[8]);
         assert!(freq[8] > freq[20]);
         // With the paper's δ = 0.2, EWMA drops the stale hour.
-        let pred = predict_with(&EwmaModel { alpha: 0.5 }, &h, PredictionConfig::uniform(0.2));
+        let pred = predict_with(
+            &EwmaModel { alpha: 0.5 },
+            &h,
+            PredictionConfig::uniform(0.2),
+        );
         assert!(pred.weekday[20]);
         assert!(!pred.weekday[8]);
     }
@@ -210,7 +219,10 @@ mod tests {
         for hh in 0..HOURS_PER_DAY {
             assert!(smooth[hh] >= base[hh] - 1e-12, "never reduces: hour {hh}");
         }
-        assert!(smooth[7] > 0.0 && smooth[9] > 0.0, "shoulders of hour 8 lift");
+        assert!(
+            smooth[7] > 0.0 && smooth[9] > 0.0,
+            "shoulders of hour 8 lift"
+        );
         assert!((smooth[7] - 0.5 * base[8]).abs() < 1e-12);
         // Wrap-around: hour 23 gets spill from hour 0 usage.
         let mut hh = HourlyHistory::default();
@@ -226,7 +238,9 @@ mod tests {
     fn models_agree_on_steady_habits() {
         // On a regular user with no drift, all three models predict
         // nearly identical slots at the deployment δ.
-        let trace = TraceGenerator::new(UserProfile::panel().remove(3)).with_seed(4).generate(14);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(3))
+            .with_seed(4)
+            .generate(14);
         let h = HourlyHistory::from_trace(&trace);
         let cfg = PredictionConfig::default();
         let freq = predict_with(&FrequencyModel, &h, cfg);
@@ -239,13 +253,18 @@ mod tests {
 
     #[test]
     fn accuracy_comparable_across_models_on_test_week() {
-        let trace = TraceGenerator::new(UserProfile::panel().remove(0)).with_seed(6).generate(21);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(0))
+            .with_seed(6)
+            .generate(21);
         let train = trace.slice_days(0, 14);
         let test = trace.slice_days(14, 21);
         let h = HourlyHistory::from_trace(&train);
         let cfg = PredictionConfig::default();
-        let models: [&dyn UsageModel; 3] =
-            [&FrequencyModel, &EwmaModel::default(), &SmoothedModel::default()];
+        let models: [&dyn UsageModel; 3] = [
+            &FrequencyModel,
+            &EwmaModel::default(),
+            &SmoothedModel::default(),
+        ];
         for m in models {
             let acc = prediction_accuracy(&predict_with(m, &h, cfg), &test);
             assert!(acc > 0.8, "{}: accuracy {acc}", m.name());
@@ -255,7 +274,10 @@ mod tests {
     #[test]
     fn empty_history_is_safe() {
         let h = HourlyHistory::default();
-        for m in [&EwmaModel::default() as &dyn UsageModel, &SmoothedModel::default()] {
+        for m in [
+            &EwmaModel::default() as &dyn UsageModel,
+            &SmoothedModel::default(),
+        ] {
             let p = m.usage_probability(&h, DayKind::Weekend);
             assert_eq!(p, [0.0; HOURS_PER_DAY], "{}", m.name());
         }

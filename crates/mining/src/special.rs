@@ -8,7 +8,7 @@
 //! until profiled, to avoid false denials.
 
 use netmaster_trace::event::AppId;
-use netmaster_trace::trace::Trace;
+use netmaster_trace::trace::{DayTrace, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -20,31 +20,41 @@ pub struct SpecialApps {
     known: HashSet<AppId>,
     /// Interaction counts per app (Fig. 5's usage totals).
     usage: HashMap<AppId, u64>,
+    /// Apps with at least one network activity.
+    networked: HashSet<AppId>,
 }
 
 impl SpecialApps {
     /// Profiles a training trace: an app is Special when it was used at
     /// least once *and* produced at least one network activity.
     pub fn from_trace(trace: &Trace) -> Self {
-        let mut usage: HashMap<AppId, u64> = HashMap::new();
-        let mut networked: HashSet<AppId> = HashSet::new();
-        let mut known: HashSet<AppId> = HashSet::new();
+        let mut s = SpecialApps::default();
         for day in &trace.days {
-            for i in &day.interactions {
-                *usage.entry(i.app).or_insert(0) += 1;
-                known.insert(i.app);
-            }
-            for a in &day.activities {
-                networked.insert(a.app);
-                known.insert(a.app);
+            s.observe_day(day);
+        }
+        s
+    }
+
+    /// Folds one day into the profile — the incremental equivalent of
+    /// re-running [`SpecialApps::from_trace`] over the grown history.
+    /// The Special set is maintained on the fly: an app enters it the
+    /// moment it has both an interaction and a network activity on
+    /// record.
+    pub fn observe_day(&mut self, day: &DayTrace) {
+        for i in &day.interactions {
+            *self.usage.entry(i.app).or_insert(0) += 1;
+            self.known.insert(i.app);
+            if self.networked.contains(&i.app) {
+                self.special.insert(i.app);
             }
         }
-        let special = usage
-            .keys()
-            .filter(|app| networked.contains(app))
-            .copied()
-            .collect();
-        SpecialApps { special, known, usage }
+        for a in &day.activities {
+            self.networked.insert(a.app);
+            self.known.insert(a.app);
+            if self.usage.contains_key(&a.app) {
+                self.special.insert(a.app);
+            }
+        }
     }
 
     /// Is this app Special? Unknown (newly installed) apps are treated
@@ -106,7 +116,9 @@ mod tests {
     use netmaster_trace::profile::UserProfile;
 
     fn user3_trace() -> Trace {
-        TraceGenerator::new(UserProfile::panel().remove(2)).with_seed(35).generate(7)
+        TraceGenerator::new(UserProfile::panel().remove(2))
+            .with_seed(35)
+            .generate(7)
     }
 
     #[test]
@@ -122,7 +134,11 @@ mod tests {
         // The messenger is both used and networked.
         let mm = t.apps.lookup("com.tencent.mm").unwrap();
         assert!(s.is_special(mm));
-        assert!(s.count() >= 3, "expect several special apps, got {}", s.count());
+        assert!(
+            s.count() >= 3,
+            "expect several special apps, got {}",
+            s.count()
+        );
         assert!(s.count() < s.known_count(), "special must filter something");
     }
 

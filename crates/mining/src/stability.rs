@@ -109,7 +109,12 @@ pub fn habit_stability_for(history: &HourlyHistory, kind: DayKind) -> StabilityR
             .filter(|(_, k)| **k == kind)
             .map(|(c, _)| *c)
             .collect(),
-        kinds: history.kinds.iter().filter(|k| **k == kind).copied().collect(),
+        kinds: history
+            .kinds
+            .iter()
+            .filter(|k| **k == kind)
+            .copied()
+            .collect(),
     };
     habit_stability(&filtered)
 }
@@ -122,8 +127,9 @@ mod tests {
     use netmaster_trace::scenario;
 
     fn history_for(user: usize, days: usize, seed: u64) -> HourlyHistory {
-        let trace =
-            TraceGenerator::new(UserProfile::panel().remove(user)).with_seed(seed).generate(days);
+        let trace = TraceGenerator::new(UserProfile::panel().remove(user))
+            .with_seed(seed)
+            .generate(days);
         HourlyHistory::from_trace(&trace)
     }
 

@@ -136,7 +136,11 @@ pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<A
         e.promo_j += cfg.promo_energy_j();
         e.wakeups += 1;
 
-        let last_app = inside.iter().max_by_key(|(_, s)| s.end).map(|(a, _)| *a).unwrap();
+        let last_app = inside
+            .iter()
+            .max_by_key(|(_, s)| s.end)
+            .map(|(a, _)| *a)
+            .unwrap();
         out.entry(last_app).or_default().tail_j += model.tail_policy.tail_energy_j(cfg);
 
         // Internal elapsed-tail gaps: walk the merged bursts of this
@@ -162,8 +166,7 @@ pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<A
 
 /// Ranks apps by total charged energy, descending.
 pub fn ranked(attribution: &HashMap<AppId, AppEnergy>) -> Vec<(AppId, AppEnergy)> {
-    let mut v: Vec<(AppId, AppEnergy)> =
-        attribution.iter().map(|(&a, &e)| (a, e)).collect();
+    let mut v: Vec<(AppId, AppEnergy)> = attribution.iter().map(|(&a, &e)| (a, e)).collect();
     v.sort_by(|a, b| b.1.total_j().total_cmp(&a.1.total_j()));
     v
 }
@@ -179,8 +182,10 @@ mod tests {
     fn conservation_check(model: &RrcModel, transfers: &[(AppId, Interval)]) {
         let spans: Vec<Interval> = transfers.iter().map(|&(_, s)| s).collect();
         let total = model.account(&spans).total_j();
-        let attributed: f64 =
-            attribute(model, transfers).values().map(AppEnergy::total_j).sum();
+        let attributed: f64 = attribute(model, transfers)
+            .values()
+            .map(AppEnergy::total_j)
+            .sum();
         assert!(
             (total - attributed).abs() < 1e-6,
             "conservation violated: account {total} vs attributed {attributed}"
@@ -206,9 +211,15 @@ mod tests {
         // App 1 wakes the radio; app 2's transfer ends last.
         let t = [(AppId(1), iv(0, 10)), (AppId(2), iv(10, 30))];
         let a = attribute(&m, &t);
-        assert!((a[&AppId(1)].promo_j - 1.1).abs() < 1e-9, "initiator pays promo");
+        assert!(
+            (a[&AppId(1)].promo_j - 1.1).abs() < 1e-9,
+            "initiator pays promo"
+        );
         assert_eq!(a[&AppId(1)].tail_j, 0.0);
-        assert!((a[&AppId(2)].tail_j - 9.52).abs() < 1e-9, "last app pays tail");
+        assert!(
+            (a[&AppId(2)].tail_j - 9.52).abs() < 1e-9,
+            "last app pays tail"
+        );
         assert_eq!(a[&AppId(2)].promo_j, 0.0);
         assert_eq!(a[&AppId(1)].wakeups, 1);
         assert_eq!(a[&AppId(2)].wakeups, 0);
@@ -253,7 +264,10 @@ mod tests {
             let t: Vec<(AppId, Interval)> = (0..n)
                 .map(|_| {
                     let s = rng.random_range(0..20_000u64);
-                    (AppId(rng.random_range(0..5)), iv(s, s + rng.random_range(1..60)))
+                    (
+                        AppId(rng.random_range(0..5)),
+                        iv(s, s + rng.random_range(1..60u64)),
+                    )
                 })
                 .collect();
             conservation_check(&m, &t);
@@ -264,7 +278,7 @@ mod tests {
     fn ranking_orders_by_total() {
         let m = RrcModel::wcdma_default();
         let t = [
-            (AppId(1), iv(0, 100)),      // heavy
+            (AppId(1), iv(0, 100)),       // heavy
             (AppId(2), iv(5_000, 5_002)), // light
         ];
         let r = ranked(&attribute(&m, &t));

@@ -25,7 +25,10 @@ pub struct BatteryModel {
 impl BatteryModel {
     /// A 2013-era handset battery (the HTC One X ships 1800 mAh @ 3.8 V).
     pub fn htc_one_x() -> Self {
-        BatteryModel { capacity_mah: 1_800.0, voltage: 3.8 }
+        BatteryModel {
+            capacity_mah: 1_800.0,
+            voltage: 3.8,
+        }
     }
 
     /// Total energy content in joules.
@@ -109,7 +112,17 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonsense() {
-        assert!(BatteryModel { capacity_mah: 0.0, voltage: 3.8 }.validate().is_err());
-        assert!(BatteryModel { capacity_mah: 1000.0, voltage: -1.0 }.validate().is_err());
+        assert!(BatteryModel {
+            capacity_mah: 0.0,
+            voltage: 3.8
+        }
+        .validate()
+        .is_err());
+        assert!(BatteryModel {
+            capacity_mah: 1000.0,
+            voltage: -1.0
+        }
+        .validate()
+        .is_err());
     }
 }

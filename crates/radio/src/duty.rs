@@ -19,7 +19,10 @@ pub struct DutyCycleCost {
 
 impl Default for DutyCycleCost {
     fn default() -> Self {
-        DutyCycleCost { listen_secs: 2.0, listen_mw: 460.0 }
+        DutyCycleCost {
+            listen_secs: 2.0,
+            listen_mw: 460.0,
+        }
     }
 }
 

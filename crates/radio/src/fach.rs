@@ -64,7 +64,10 @@ pub struct SizeAwareRrc {
 impl SizeAwareRrc {
     /// WCDMA with published constants on both paths.
     pub fn wcdma() -> Self {
-        SizeAwareRrc { dch: RrcConfig::wcdma(), fach: FachConfig::default() }
+        SizeAwareRrc {
+            dch: RrcConfig::wcdma(),
+            fach: FachConfig::default(),
+        }
     }
 
     /// Accounts a timeline of `(span, bytes)` transfers.
@@ -109,8 +112,18 @@ impl SizeAwareRrc {
                 // energy-equivalent mean power so the breakdown stays
                 // one-dimensional.
                 let t = self.dch.tail_secs();
-                let mw = if t > 0.0 { 1_000.0 * self.dch.tail_energy_j() / t } else { 0.0 };
-                (self.dch.active_mw, self.dch.promo_secs, self.dch.promo_mw, t, mw)
+                let mw = if t > 0.0 {
+                    1_000.0 * self.dch.tail_energy_j() / t
+                } else {
+                    0.0
+                };
+                (
+                    self.dch.active_mw,
+                    self.dch.promo_secs,
+                    self.dch.promo_mw,
+                    t,
+                    mw,
+                )
             };
             let (s, e) = (span.start as f64, span.end as f64);
             match tail_until {
@@ -195,7 +208,10 @@ mod tests {
         let m = SizeAwareRrc::wcdma();
         // Two 300 B transfers overlapping: pooled 600 B > 512 ⇒ DCH.
         let b = m.account_sized(&[(iv(0, 3), 300), (iv(2, 5), 300)]);
-        assert!((b.active_j - 5.0 * 0.8).abs() < 1e-9, "DCH active power applies");
+        assert!(
+            (b.active_j - 5.0 * 0.8).abs() < 1e-9,
+            "DCH active power applies"
+        );
     }
 
     #[test]
@@ -214,8 +230,10 @@ mod tests {
         use netmaster_trace::gen::generate_volunteers;
         let trace = generate_volunteers(7, 5).remove(0);
         let m = SizeAwareRrc::wcdma();
-        let sized_input: Vec<(Interval, u64)> =
-            trace.all_activities().map(|a| (a.span(), a.volume())).collect();
+        let sized_input: Vec<(Interval, u64)> = trace
+            .all_activities()
+            .map(|a| (a.span(), a.volume()))
+            .collect();
         let spans: Vec<Interval> = sized_input.iter().map(|&(s, _)| s).collect();
         let sized = m.account_sized(&sized_input);
         let plain = RrcModel::wcdma_default().account(&spans);

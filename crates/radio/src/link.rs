@@ -98,9 +98,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_inverted_rates() {
-        let l = LinkModel { peak_down_bps: 10.0, ..Default::default() };
+        let l = LinkModel {
+            peak_down_bps: 10.0,
+            ..Default::default()
+        };
         assert!(l.validate().is_err());
-        let l = LinkModel { avg_up_bps: 0.0, ..Default::default() };
+        let l = LinkModel {
+            avg_up_bps: 0.0,
+            ..Default::default()
+        };
         assert!(l.validate().is_err());
     }
 }

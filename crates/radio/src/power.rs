@@ -54,8 +54,14 @@ impl RrcConfig {
             promo_mw: 550.0,
             active_mw: 800.0,
             tail_phases: vec![
-                TailPhase { secs: 5.0, mw: 800.0 },  // DCH tail
-                TailPhase { secs: 12.0, mw: 460.0 }, // FACH tail
+                TailPhase {
+                    secs: 5.0,
+                    mw: 800.0,
+                }, // DCH tail
+                TailPhase {
+                    secs: 12.0,
+                    mw: 460.0,
+                }, // FACH tail
             ],
             idle_mw: 0.0,
         }
@@ -70,7 +76,10 @@ impl RrcConfig {
             promo_secs: 0.26,
             promo_mw: 1210.0,
             active_mw: 1210.0,
-            tail_phases: vec![TailPhase { secs: 11.6, mw: 1060.0 }],
+            tail_phases: vec![TailPhase {
+                secs: 11.6,
+                mw: 1060.0,
+            }],
             idle_mw: 0.0,
         }
     }
@@ -82,7 +91,10 @@ impl RrcConfig {
 
     /// Energy (J) of the full tail.
     pub fn tail_energy_j(&self) -> f64 {
-        self.tail_phases.iter().map(|p| p.secs * p.mw / 1_000.0).sum()
+        self.tail_phases
+            .iter()
+            .map(|p| p.secs * p.mw / 1_000.0)
+            .sum()
     }
 
     /// Energy (J) of the first `dt` seconds of tail (prefix), saturating

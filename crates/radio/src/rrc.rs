@@ -70,18 +70,27 @@ pub struct RrcModel {
 impl RrcModel {
     /// Stock 3G device: WCDMA with full inactivity timers.
     pub fn wcdma_default() -> Self {
-        RrcModel { config: RrcConfig::wcdma(), tail_policy: TailPolicy::Full }
+        RrcModel {
+            config: RrcConfig::wcdma(),
+            tail_policy: TailPolicy::Full,
+        }
     }
 
     /// WCDMA with the radio forced off after each transfer, as
     /// NetMaster's scheduling component does via `svc data disable`.
     pub fn wcdma_immediate_off() -> Self {
-        RrcModel { config: RrcConfig::wcdma(), tail_policy: TailPolicy::Immediate }
+        RrcModel {
+            config: RrcConfig::wcdma(),
+            tail_policy: TailPolicy::Immediate,
+        }
     }
 
     /// Stock LTE device.
     pub fn lte_default() -> Self {
-        RrcModel { config: RrcConfig::lte(), tail_policy: TailPolicy::Full }
+        RrcModel {
+            config: RrcConfig::lte(),
+            tail_policy: TailPolicy::Full,
+        }
     }
 
     /// Effective tail length under the bound policy.
@@ -293,7 +302,7 @@ mod tests {
         let m = RrcModel::wcdma_default();
         let spans = m.radio_on_spans(&[iv(100, 110)]);
         assert_eq!(spans, vec![iv(98, 127)]); // 2 s promo + 17 s tail
-        // Two bursts whose widened spans touch merge into one.
+                                              // Two bursts whose widened spans touch merge into one.
         let spans = m.radio_on_spans(&[iv(100, 110), iv(120, 130)]);
         assert_eq!(spans, vec![iv(98, 147)]);
         // Immediate-off policy drops the tail.

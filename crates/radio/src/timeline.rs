@@ -88,7 +88,10 @@ impl Timeline {
                     break;
                 }
                 let take = p.secs.min(remaining);
-                v.push(TailPhase { secs: take, mw: p.mw });
+                v.push(TailPhase {
+                    secs: take,
+                    mw: p.mw,
+                });
                 remaining -= take;
             }
             v
@@ -143,7 +146,12 @@ impl Timeline {
                     }
                 }
             }
-            segments.push(Segment { start: s, end: e, state: RadioState::Active, mw: cfg.active_mw });
+            segments.push(Segment {
+                start: s,
+                end: e,
+                state: RadioState::Active,
+                mw: cfg.active_mw,
+            });
             let _ = i;
             tail_until = Some(e + tail_len);
         }
@@ -199,7 +207,8 @@ impl Timeline {
                 continue;
             }
             let a = ((from - window.start as f64) / secs_per_char as f64) as usize;
-            let b = (((to - window.start as f64) / secs_per_char as f64).ceil() as usize).min(cells);
+            let b =
+                (((to - window.start as f64) / secs_per_char as f64).ceil() as usize).min(cells);
             for cell in chars.iter_mut().take(b).skip(a) {
                 // Priority: active > promoting > tail.
                 let rank = |ch: char| match ch {
@@ -247,8 +256,8 @@ mod tests {
         let m = RrcModel::wcdma_default();
         for transfers in [
             vec![iv(0, 10)],
-            vec![iv(0, 10), iv(15, 25)],       // tail-riding
-            vec![iv(0, 10), iv(1_000, 1_005)], // two cold bursts
+            vec![iv(0, 10), iv(15, 25)],             // tail-riding
+            vec![iv(0, 10), iv(1_000, 1_005)],       // two cold bursts
             vec![iv(0, 20), iv(10, 30), iv(28, 29)], // overlaps
         ] {
             let b = m.account(&transfers);
@@ -268,7 +277,10 @@ mod tests {
     fn immediate_off_has_no_tail_segments() {
         let m = RrcModel::wcdma_immediate_off();
         let t = Timeline::build(&m, &[iv(0, 10)]);
-        assert!(t.segments.iter().all(|s| !matches!(s.state, RadioState::Tail(_))));
+        assert!(t
+            .segments
+            .iter()
+            .all(|s| !matches!(s.state, RadioState::Tail(_))));
         let b = m.account(&[iv(0, 10)]);
         assert!((t.total_j() - b.total_j()).abs() < 1e-9);
     }
@@ -279,8 +291,11 @@ mod tests {
         // Second transfer 6 s after the first ends: 5 s DCH tail + 1 s
         // of the FACH tail elapse, then re-activation.
         let t = Timeline::build(&m, &[iv(0, 10), iv(16, 20)]);
-        let tails: Vec<&Segment> =
-            t.segments.iter().filter(|s| matches!(s.state, RadioState::Tail(_))).collect();
+        let tails: Vec<&Segment> = t
+            .segments
+            .iter()
+            .filter(|s| matches!(s.state, RadioState::Tail(_)))
+            .collect();
         // Elapsed: Tail(0) 5 s + Tail(1) 1 s; trailing: Tail(0) 5 s + Tail(1) 12 s.
         assert_eq!(tails.len(), 4);
         assert!((tails[0].secs() - 5.0).abs() < 1e-9);

@@ -5,7 +5,7 @@
 //! "small number of volunteers" limitation).
 
 use crate::metrics::RunMetrics;
-use crate::par::par_map;
+use crate::par::{par_map, par_map_indexed};
 use crate::plan::Policy;
 use crate::runner::{simulate, SimConfig};
 use netmaster_trace::stats::Summary;
@@ -46,12 +46,35 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// Summarizes per-member outcomes into a report.
+    pub fn from_members(members: Vec<FleetMember>) -> Self {
+        let savings: Vec<f64> = members.iter().map(FleetMember::saving).collect();
+        let affected: Vec<f64> = members
+            .iter()
+            .map(|m| m.candidate.affected_fraction())
+            .collect();
+        let radio: Vec<f64> = members
+            .iter()
+            .map(|m| m.candidate.radio_time_saving_vs(&m.baseline))
+            .collect();
+        FleetReport {
+            saving: Summary::of(&savings).unwrap_or_else(empty_summary),
+            affected: Summary::of(&affected).unwrap_or_else(empty_summary),
+            radio_saving: Summary::of(&radio).unwrap_or_else(empty_summary),
+            members,
+        }
+    }
+
     /// Fraction of members whose saving exceeds `threshold`.
     pub fn fraction_above(&self, threshold: f64) -> f64 {
         if self.members.is_empty() {
             return 0.0;
         }
-        let n = self.members.iter().filter(|m| m.saving() > threshold).count();
+        let n = self
+            .members
+            .iter()
+            .filter(|m| m.saving() > threshold)
+            .count();
         n as f64 / self.members.len() as f64
     }
 
@@ -77,24 +100,58 @@ where
     F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
 {
     let members: Vec<FleetMember> = par_map(traces, |(seed, trace)| {
-        let test = &trace.days[test_from.min(trace.days.len().saturating_sub(1))..];
-        let baseline = simulate(test, &mut crate::plan::DefaultPolicy, cfg);
-        let mut policy = make_policy(trace);
-        let candidate = simulate(test, policy.as_mut(), cfg);
-        FleetMember { user_id: trace.user_id, seed: *seed, baseline, candidate }
+        simulate_member(*seed, trace, test_from, cfg, &make_policy)
     });
-    let savings: Vec<f64> = members.iter().map(FleetMember::saving).collect();
-    let affected: Vec<f64> =
-        members.iter().map(|m| m.candidate.affected_fraction()).collect();
-    let radio: Vec<f64> = members
-        .iter()
-        .map(|m| m.candidate.radio_time_saving_vs(&m.baseline))
-        .collect();
-    FleetReport {
-        saving: Summary::of(&savings).unwrap_or_else(empty_summary),
-        affected: Summary::of(&affected).unwrap_or_else(empty_summary),
-        radio_saving: Summary::of(&radio).unwrap_or_else(empty_summary),
-        members,
+    FleetReport::from_members(members)
+}
+
+/// Streaming fleet run for fleets too large to materialize: instead of
+/// a pre-built `&[(seed, Trace)]`, takes `make_trace` and synthesizes
+/// each member's trace *inside* the worker that simulates it. At any
+/// moment at most one trace per worker thread is alive, so peak memory
+/// is bounded by core count, not fleet size — 10k+ members run in the
+/// footprint of a dozen. The report is identical to [`run_fleet`] over
+/// the same `(seed, Trace)` pairs.
+pub fn run_fleet_streaming<G, F>(
+    n_members: usize,
+    test_from: usize,
+    cfg: &SimConfig,
+    make_trace: G,
+    make_policy: F,
+) -> FleetReport
+where
+    G: Fn(usize) -> (u64, Trace) + Sync,
+    F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
+{
+    let members = par_map_indexed(n_members, |i| {
+        let (seed, trace) = make_trace(i);
+        simulate_member(seed, &trace, test_from, cfg, &make_policy)
+        // `trace` drops here, before the worker claims the next member.
+    });
+    FleetReport::from_members(members)
+}
+
+/// Simulates one member: stock baseline vs a freshly built candidate
+/// policy over the test range.
+fn simulate_member<F>(
+    seed: u64,
+    trace: &Trace,
+    test_from: usize,
+    cfg: &SimConfig,
+    make_policy: &F,
+) -> FleetMember
+where
+    F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
+{
+    let test = &trace.days[test_from.min(trace.days.len().saturating_sub(1))..];
+    let baseline = simulate(test, &mut crate::plan::DefaultPolicy, cfg);
+    let mut policy = make_policy(trace);
+    let candidate = simulate(test, policy.as_mut(), cfg);
+    FleetMember {
+        user_id: trace.user_id,
+        seed,
+        baseline,
+        candidate,
     }
 }
 
@@ -137,7 +194,10 @@ mod tests {
         let mut fleet = Vec::new();
         for seed in 0..4u64 {
             let profile = UserProfile::panel().remove((seed % 8) as usize);
-            fleet.push((seed, TraceGenerator::new(profile).with_seed(seed).generate(5)));
+            fleet.push((
+                seed,
+                TraceGenerator::new(profile).with_seed(seed).generate(5),
+            ));
         }
         fleet
     }
@@ -150,7 +210,11 @@ mod tests {
         assert_eq!(report.members.len(), 4);
         assert_eq!(report.saving.count, 4);
         // Killing tails always saves something.
-        assert!(report.saving.min > 0.0, "worst member {:?}", report.worst().map(|m| m.saving()));
+        assert!(
+            report.saving.min > 0.0,
+            "worst member {:?}",
+            report.worst().map(|m| m.saving())
+        );
         assert!(report.saving.max <= 1.0);
         assert_eq!(report.fraction_above(0.0), 1.0);
         assert_eq!(report.fraction_above(1.0), 0.0);
@@ -167,6 +231,39 @@ mod tests {
             assert!(m.saving().abs() < 1e-9, "identity must not save");
         }
         assert!(report.worst().is_some());
+    }
+
+    #[test]
+    fn streaming_fleet_matches_materialized_fleet() {
+        // Same seeds, same generator ⇒ identical members and identical
+        // distributions, whether traces were pre-built or synthesized
+        // inside the workers.
+        let gen_trace = |i: usize| {
+            let seed = 100 + i as u64;
+            let profile = UserProfile::panel().remove(i % 8);
+            (
+                seed,
+                TraceGenerator::new(profile).with_seed(seed).generate(5),
+            )
+        };
+        let fleet: Vec<(u64, Trace)> = (0..6).map(gen_trace).collect();
+        let cfg = SimConfig::default();
+        let eager = run_fleet(&fleet, 3, &cfg, |_| Box::new(TailKiller));
+        let streaming = run_fleet_streaming(6, 3, &cfg, gen_trace, |_| Box::new(TailKiller));
+        assert_eq!(eager, streaming);
+    }
+
+    #[test]
+    fn streaming_fleet_handles_zero_members() {
+        let cfg = SimConfig::default();
+        let report = run_fleet_streaming(
+            0,
+            0,
+            &cfg,
+            |_| unreachable!("no members to generate"),
+            |_| Box::new(DefaultPolicy),
+        );
+        assert_eq!(report.members.len(), 0);
     }
 
     #[test]

@@ -1,26 +1,95 @@
-//! Parallel parameter sweeps over crossbeam scoped threads.
+//! Parallel parameter sweeps over std scoped threads.
 //!
 //! The benchmark harness sweeps delay intervals, batch sizes, duty
 //! periods, and prediction thresholds; each point is an independent
 //! deterministic simulation, so sweeps fan out across cores. Scoped
 //! threads keep borrows simple (no `'static` bound on inputs) and the
 //! result order matches the input order regardless of scheduling.
+//!
+//! Work is claimed in contiguous *chunks* from a shared atomic cursor
+//! rather than item-by-item through a channel: for large fleets of cheap
+//! items (10k+ members) per-item channel traffic dominated the old
+//! implementation, while chunked claiming costs one atomic RMW per chunk
+//! and still balances heterogeneous workloads because chunks are small
+//! relative to the input.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::thread;
 
 /// Number of worker threads used by [`par_map`].
 pub fn default_parallelism() -> usize {
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Chunks per worker: enough slack for load balancing without paying an
+/// atomic claim per item on fleets of cheap members.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Applies `f` to every index in `0..n` on a pool of scoped worker
+/// threads, returning results in index order.
+///
+/// This is the primitive under [`par_map`]; it exists so callers can
+/// generate their per-index input *inside* the worker (e.g. synthesizing
+/// a fleet member's trace on demand) instead of materializing a slice of
+/// inputs up front.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = default_parallelism().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<R>)>();
+
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let res_tx = res_tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let results: Vec<R> = (start..end).map(f).collect();
+                if res_tx.send((start, results)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        while let Ok((start, results)) = res_rx.recv() {
+            for (offset, r) in results.into_iter().enumerate() {
+                out[start + offset] = Some(r);
+            }
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("all chunks completed"))
+        .collect()
 }
 
 /// Applies `f` to every item on a pool of scoped worker threads,
 /// returning results in input order.
 ///
-/// Items are distributed dynamically (work stealing via a shared
-/// channel), so heterogeneous per-item costs — a 600 s delay sweep
-/// point simulates more events than a 1 s point — still balance.
+/// Items are distributed dynamically (chunked claims off a shared atomic
+/// cursor), so heterogeneous per-item costs — a 600 s delay sweep point
+/// simulates more events than a 1 s point — still balance.
 ///
 /// ```
 /// use netmaster_sim::par_map;
@@ -35,45 +104,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = default_parallelism().min(n);
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let (task_tx, task_rx) = channel::unbounded::<usize>();
-    for i in 0..n {
-        task_tx.send(i).expect("queue open");
-    }
-    drop(task_tx);
-
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                while let Ok(i) = task_rx.recv() {
-                    let r = f(&items[i]);
-                    if res_tx.send((i, r)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
-        }
-    });
-
-    out.into_iter().map(|r| r.expect("all tasks completed")).collect()
+    par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
 /// Parallel sweep helper: pairs each parameter with its result.
@@ -126,7 +157,9 @@ mod tests {
     #[test]
     fn uneven_workloads_balance() {
         // Mixed heavy/light items must all complete.
-        let items: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 200_000 } else { 10 }).collect();
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i % 8 == 0 { 200_000 } else { 10 })
+            .collect();
         let out = par_map(&items, |&n| (0..n).fold(0u64, |a, b| a.wrapping_add(b)));
         assert_eq!(out.len(), 64);
     }
@@ -143,5 +176,14 @@ mod tests {
         let items: Vec<u64> = (0..32).collect();
         let out = par_map(&items, |&x| x + offset);
         assert_eq!(out[31], 131);
+    }
+
+    #[test]
+    fn indexed_variant_generates_input_in_worker() {
+        // par_map_indexed must cover sizes around chunk boundaries.
+        for n in [1usize, 2, 7, 63, 64, 65, 1000] {
+            let out = par_map_indexed(n, |i| i * 3);
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>(), "n={n}");
+        }
     }
 }

@@ -86,7 +86,9 @@ impl DayPlan {
 
     /// Total bytes (down, up) in the plan.
     pub fn total_bytes(&self) -> (u64, u64) {
-        self.executions.iter().fold((0, 0), |(d, u), e| (d + e.bytes_down, u + e.bytes_up))
+        self.executions
+            .iter()
+            .fold((0, 0), |(d, u), e| (d + e.bytes_down, u + e.bytes_up))
     }
 
     /// Number of moved transfers.
@@ -181,7 +183,10 @@ mod tests {
         let mut day = DayTrace::new(3);
         day.activities = vec![demand(netmaster_trace::time::day_start(3) + 5)];
         let plan = p.plan_day(&day);
-        assert_eq!(plan.executions[0].start, netmaster_trace::time::day_start(3) + 5);
+        assert_eq!(
+            plan.executions[0].start,
+            netmaster_trace::time::day_start(3) + 5
+        );
         assert_eq!(p.tail_policy(), TailPolicy::Full);
         assert_eq!(p.name(), "default");
     }

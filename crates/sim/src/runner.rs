@@ -59,7 +59,10 @@ pub fn simulate(days: &[DayTrace], policy: &mut dyn Policy, cfg: &SimConfig) -> 
         m.power_on_secs += netmaster_trace::time::SECS_PER_DAY;
     }
 
-    let radio = RrcModel { config: cfg.radio.clone(), tail_policy: policy.tail_policy() };
+    let radio = RrcModel {
+        config: cfg.radio.clone(),
+        tail_policy: policy.tail_policy(),
+    };
     let rrc = radio.account(&spans);
     m.rrc = rrc;
     m.wakeups = rrc.wakeups + m.empty_wakeups;
@@ -77,7 +80,10 @@ pub fn compare(
     policies: &mut [Box<dyn Policy + Send>],
     cfg: &SimConfig,
 ) -> Vec<RunMetrics> {
-    policies.iter_mut().map(|p| simulate(days, p.as_mut(), cfg)).collect()
+    policies
+        .iter_mut()
+        .map(|p| simulate(days, p.as_mut(), cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -146,10 +152,9 @@ mod tests {
                 let mut day = day_with_demands(&[]);
                 day.day = d;
                 let base = netmaster_trace::time::day_start(d);
-                day.activities = day_with_demands(
-                    &[base + 100, base + 10_000, base + 30_000, base + 60_000],
-                )
-                .activities;
+                day.activities =
+                    day_with_demands(&[base + 100, base + 10_000, base + 30_000, base + 60_000])
+                        .activities;
                 day
             })
             .collect();
@@ -175,7 +180,10 @@ mod tests {
                 TailPolicy::Immediate
             }
             fn plan_day(&mut self, _day: &DayTrace) -> DayPlan {
-                DayPlan { empty_wakeups: 5, ..Default::default() }
+                DayPlan {
+                    empty_wakeups: 5,
+                    ..Default::default()
+                }
             }
         }
         let cfg = SimConfig::default();

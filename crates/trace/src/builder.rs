@@ -73,13 +73,15 @@ impl ProfileBuilder {
     /// Adds a weekday usage peak: Gaussian bump at `center_hour` with
     /// the given width (hours) and height (interactions/hour).
     pub fn usage_peak(mut self, center_hour: f64, width: f64, height: f64) -> Self {
-        self.peaks.push((center_hour, width.max(0.1), height.max(0.0)));
+        self.peaks
+            .push((center_hour, width.max(0.1), height.max(0.0)));
         self
     }
 
     /// Adds a weekend usage peak.
     pub fn weekend_peak(mut self, center_hour: f64, width: f64, height: f64) -> Self {
-        self.weekend_peaks.push((center_hour, width.max(0.1), height.max(0.0)));
+        self.weekend_peaks
+            .push((center_hour, width.max(0.1), height.max(0.0)));
         self
     }
 
@@ -118,7 +120,8 @@ impl ProfileBuilder {
 
     /// Adds an offline app (no network) with a usage share.
     pub fn app(mut self, name: &str, popularity: f64) -> Self {
-        self.apps.push(AppProfile::interactive(name, popularity, 0.0, 0.0));
+        self.apps
+            .push(AppProfile::interactive(name, popularity, 0.0, 0.0));
         self
     }
 
@@ -144,8 +147,9 @@ impl ProfileBuilder {
 
     /// Adds a pure background service (push relay, telemetry).
     pub fn background_service(mut self, name: &str, period_secs: f64, bytes: f64) -> Self {
-        self.apps
-            .push(AppProfile::interactive(name, 0.01, 0.0, 0.0).with_background(period_secs, bytes));
+        self.apps.push(
+            AppProfile::interactive(name, 0.01, 0.0, 0.0).with_background(period_secs, bytes),
+        );
         self
     }
 
@@ -159,7 +163,9 @@ impl ProfileBuilder {
     /// messaging + dialer portfolio so generation always works.
     pub fn build(mut self) -> UserProfile {
         if self.apps.is_empty() {
-            self = self.messaging_app("com.example.chat", 0.5).app("com.android.phone", 0.2);
+            self = self
+                .messaging_app("com.example.chat", 0.5)
+                .app("com.android.phone", 0.2);
         }
         let mut weekday = diurnal(self.base_intensity, &self.peaks);
         if let Some((f, t)) = self.sleep {
@@ -217,7 +223,10 @@ mod tests {
 
     #[test]
     fn no_sleep_keeps_all_hours_live() {
-        let p = ProfileBuilder::new(1, "insomniac").base_intensity(3.0).no_sleep().build();
+        let p = ProfileBuilder::new(1, "insomniac")
+            .base_intensity(3.0)
+            .no_sleep()
+            .build();
         assert!(p.weekday_intensity.iter().all(|&v| v >= 3.0));
         assert!(p.weekend_intensity.iter().all(|&v| v > 0.0));
     }
@@ -259,7 +268,19 @@ mod tests {
 
     #[test]
     fn regularity_is_clamped() {
-        assert_eq!(ProfileBuilder::new(1, "x").regularity(7.0).build().regularity, 1.0);
-        assert_eq!(ProfileBuilder::new(1, "x").regularity(-2.0).build().regularity, 0.0);
+        assert_eq!(
+            ProfileBuilder::new(1, "x")
+                .regularity(7.0)
+                .build()
+                .regularity,
+            1.0
+        );
+        assert_eq!(
+            ProfileBuilder::new(1, "x")
+                .regularity(-2.0)
+                .build()
+                .regularity,
+            0.0
+        );
     }
 }

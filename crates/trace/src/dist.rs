@@ -143,7 +143,9 @@ mod tests {
     #[test]
     fn log_normal_median() {
         let mut r = rng();
-        let mut xs: Vec<f64> = (0..20_001).map(|_| log_normal(&mut r, 100.0, 0.8)).collect();
+        let mut xs: Vec<f64> = (0..20_001)
+            .map(|_| log_normal(&mut r, 100.0, 0.8))
+            .collect();
         xs.sort_by(f64::total_cmp);
         let median = xs[xs.len() / 2];
         assert!((median / 100.0 - 1.0).abs() < 0.1, "median {median}");
@@ -189,7 +191,9 @@ mod tests {
     #[test]
     fn bounded_pareto_is_heavy_tailed() {
         let mut r = rng();
-        let xs: Vec<f64> = (0..20_000).map(|_| bounded_pareto(&mut r, 1.2, 1e3, 1e7)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| bounded_pareto(&mut r, 1.2, 1e3, 1e7))
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let mut sorted = xs.clone();
         sorted.sort_by(f64::total_cmp);

@@ -224,7 +224,11 @@ mod tests {
     #[test]
     fn event_ordering_keys() {
         let on = Event::ScreenOn(10);
-        let tap = Event::Interaction(Interaction { at: 10, app: AppId(1), needs_network: false });
+        let tap = Event::Interaction(Interaction {
+            at: 10,
+            app: AppId(1),
+            needs_network: false,
+        });
         let net = Event::Network(act(10, 1, 1, 1));
         let off = Event::ScreenOff(10);
         let mut v = [off, net, tap, on];
@@ -235,7 +239,10 @@ mod tests {
 
     #[test]
     fn screen_session_span() {
-        let s = ScreenSession { start: 50, end: 170 };
+        let s = ScreenSession {
+            start: 50,
+            end: 170,
+        };
         assert_eq!(s.len(), 120);
         assert!(!s.is_empty());
         assert!(s.span().contains(50));

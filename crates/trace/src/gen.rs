@@ -30,7 +30,11 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { bg_period_scale: 1.0, fg_prob_scale: 1.0, intensity_scale: 1.0 }
+        GenOptions {
+            bg_period_scale: 1.0,
+            fg_prob_scale: 1.0,
+            intensity_scale: 1.0,
+        }
     }
 }
 
@@ -52,7 +56,11 @@ const SECS_PER_INTERACTION: u64 = 3;
 impl TraceGenerator {
     /// Generator with the default seed.
     pub fn new(profile: UserProfile) -> Self {
-        TraceGenerator { profile, seed: 0, options: GenOptions::default() }
+        TraceGenerator {
+            profile,
+            seed: 0,
+            options: GenOptions::default(),
+        }
     }
 
     /// Sets the seed.
@@ -75,8 +83,12 @@ impl TraceGenerator {
     /// Generates `days` consecutive days starting at day 0 (a Monday).
     pub fn generate(&self, days: usize) -> Trace {
         let mut trace = Trace::new(self.profile.user_id);
-        let app_ids: Vec<AppId> =
-            self.profile.apps.iter().map(|a| trace.apps.register(&a.name)).collect();
+        let app_ids: Vec<AppId> = self
+            .profile
+            .apps
+            .iter()
+            .map(|a| trace.apps.register(&a.name))
+            .collect();
         // Independent stream per user so panels are order-insensitive.
         let mut rng = StdRng::seed_from_u64(
             self.seed ^ (self.profile.user_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -99,7 +111,11 @@ impl TraceGenerator {
         // days whose shape is shifted and damped.
         let day_factor = dist::log_normal(rng, 1.0, noise * 0.45);
         let scattered = dist::coin(rng, noise * 0.3);
-        let shift: i64 = if scattered { rng.random_range(-3..=3) } else { 0 };
+        let shift: i64 = if scattered {
+            rng.random_range(-3..=3)
+        } else {
+            0
+        };
         let scatter_damp = if scattered { 0.6 } else { 1.0 };
 
         // Hour-by-hour expected interaction counts.
@@ -121,15 +137,15 @@ impl TraceGenerator {
         for (h, &n) in hour_counts.iter().enumerate() {
             let mut remaining = n;
             while remaining > 0 {
-                let k = (1 + dist::poisson(rng, (p.session.interactions_per_session - 1.0).max(0.0)))
-                    .min(remaining);
+                let k =
+                    (1 + dist::poisson(rng, (p.session.interactions_per_session - 1.0).max(0.0)))
+                        .min(remaining);
                 remaining -= k;
                 let start =
                     day_start + h as u64 * SECS_PER_HOUR + rng.random_range(0..SECS_PER_HOUR);
                 let len = dist::log_normal(rng, p.session.duration_median, p.session.duration_sigma)
                     .round()
-                    .max((k * SECS_PER_INTERACTION) as f64)
-                    as u64;
+                    .max((k * SECS_PER_INTERACTION) as f64) as u64;
                 let len = len.clamp(MIN_SESSION_SECS, MAX_SESSION_SECS);
                 raw_sessions.push((start, len, k));
             }
@@ -158,14 +174,23 @@ impl TraceGenerator {
         let mut activities: Vec<NetworkActivity> = Vec::new();
         for (s, &k) in sessions.iter().zip(&session_k) {
             let hour = crate::time::hour_of(s.start);
-            let weights: Vec<f64> =
-                p.apps.iter().map(|a| a.popularity * a.hourly_affinity[hour]).collect();
+            let weights: Vec<f64> = p
+                .apps
+                .iter()
+                .map(|a| a.popularity * a.hourly_affinity[hour])
+                .collect();
             for _ in 0..k {
-                let Some(app_idx) = dist::weighted_index(rng, &weights) else { continue };
+                let Some(app_idx) = dist::weighted_index(rng, &weights) else {
+                    continue;
+                };
                 let app = &p.apps[app_idx];
                 let at = rng.random_range(s.start..s.end);
                 let fires = dist::coin(rng, app.fg_network_prob * self.options.fg_prob_scale);
-                interactions.push(Interaction { at, app: app_ids[app_idx], needs_network: fires });
+                interactions.push(Interaction {
+                    at,
+                    app: app_ids[app_idx],
+                    needs_network: fires,
+                });
                 if fires {
                     activities.push(self.foreground_activity(rng, at, app_idx, app_ids));
                 }
@@ -181,8 +206,7 @@ impl TraceGenerator {
             let mut t = day_start as f64 + rng.random::<f64>() * period;
             while (t as Timestamp) < day_end {
                 let n_sub = 1 + dist::poisson(rng, (bg.burst_mean - 1.0).max(0.0));
-                let total_bytes =
-                    dist::log_normal(rng, bg.bytes_median, bg.bytes_sigma).max(64.0);
+                let total_bytes = dist::log_normal(rng, bg.bytes_median, bg.bytes_sigma).max(64.0);
                 let mut sub_t = t;
                 for _ in 0..n_sub {
                     let at = sub_t as Timestamp;
@@ -207,7 +231,12 @@ impl TraceGenerator {
             }
         }
 
-        let mut d = DayTrace { day, sessions, interactions, activities };
+        let mut d = DayTrace {
+            day,
+            sessions,
+            interactions,
+            activities,
+        };
         d.normalize();
         d
     }
@@ -222,8 +251,8 @@ impl TraceGenerator {
     ) -> NetworkActivity {
         let p = &self.profile;
         let app = &p.apps[app_idx];
-        let bytes = dist::log_normal(rng, app.fg_bytes_median.max(256.0), app.fg_bytes_sigma)
-            .max(128.0);
+        let bytes =
+            dist::log_normal(rng, app.fg_bytes_median.max(256.0), app.fg_bytes_sigma).max(128.0);
         let rate = dist::log_normal(rng, p.session.fg_rate_median, 0.5).max(256.0);
         let duration = (bytes / rate).round().clamp(1.0, 90.0) as u64;
         let up = (bytes * app.fg_uplink_fraction) as u64;
@@ -291,8 +320,14 @@ mod tests {
     #[test]
     fn trace_has_both_activity_causes() {
         let t = small_trace();
-        let fg = t.all_activities().filter(|a| a.cause == ActivityCause::Foreground).count();
-        let bg = t.all_activities().filter(|a| a.cause == ActivityCause::Background).count();
+        let fg = t
+            .all_activities()
+            .filter(|a| a.cause == ActivityCause::Foreground)
+            .count();
+        let bg = t
+            .all_activities()
+            .filter(|a| a.cause == ActivityCause::Background)
+            .count();
         assert!(fg > 10, "only {fg} foreground activities in a week");
         assert!(bg > 10, "only {bg} background activities in a week");
     }
@@ -302,7 +337,11 @@ mod tests {
         let t = small_trace();
         for d in &t.days {
             for i in &d.interactions {
-                assert!(d.screen_on_at(i.at), "interaction at {} outside sessions", i.at);
+                assert!(
+                    d.screen_on_at(i.at),
+                    "interaction at {} outside sessions",
+                    i.at
+                );
             }
         }
     }
@@ -311,7 +350,11 @@ mod tests {
     fn foreground_activities_start_screen_on() {
         let t = small_trace();
         for d in &t.days {
-            for a in d.activities.iter().filter(|a| a.cause == ActivityCause::Foreground) {
+            for a in d
+                .activities
+                .iter()
+                .filter(|a| a.cause == ActivityCause::Foreground)
+            {
                 assert!(d.screen_on_at(a.start));
             }
         }
@@ -341,7 +384,10 @@ mod tests {
             .filter(|a| a.cause == ActivityCause::Background)
             .filter(|a| (2..5).contains(&crate::time::hour_of(a.start)))
             .count();
-        assert!(night_bg > 5, "only {night_bg} background syncs between 02–05 h");
+        assert!(
+            night_bg > 5,
+            "only {night_bg} background syncs between 02–05 h"
+        );
     }
 
     #[test]
@@ -349,14 +395,22 @@ mod tests {
         let p = UserProfile::panel().remove(0);
         let dense = TraceGenerator::new(p.clone())
             .with_seed(3)
-            .with_options(GenOptions { bg_period_scale: 0.5, ..Default::default() })
+            .with_options(GenOptions {
+                bg_period_scale: 0.5,
+                ..Default::default()
+            })
             .generate(5);
         let sparse = TraceGenerator::new(p)
             .with_seed(3)
-            .with_options(GenOptions { bg_period_scale: 2.0, ..Default::default() })
+            .with_options(GenOptions {
+                bg_period_scale: 2.0,
+                ..Default::default()
+            })
             .generate(5);
         let count = |t: &Trace| {
-            t.all_activities().filter(|a| a.cause == ActivityCause::Background).count()
+            t.all_activities()
+                .filter(|a| a.cause == ActivityCause::Background)
+                .count()
         };
         assert!(count(&dense) > 2 * count(&sparse));
     }
@@ -367,7 +421,10 @@ mod tests {
         let base = TraceGenerator::new(p.clone()).with_seed(6).generate(5);
         let quiet = TraceGenerator::new(p.clone())
             .with_seed(6)
-            .with_options(GenOptions { intensity_scale: 0.3, ..Default::default() })
+            .with_options(GenOptions {
+                intensity_scale: 0.3,
+                ..Default::default()
+            })
             .generate(5);
         assert!(
             quiet.all_interactions().count() * 2 < base.all_interactions().count(),
@@ -375,7 +432,10 @@ mod tests {
         );
         let offline = TraceGenerator::new(p)
             .with_seed(6)
-            .with_options(GenOptions { fg_prob_scale: 0.0, ..Default::default() })
+            .with_options(GenOptions {
+                fg_prob_scale: 0.0,
+                ..Default::default()
+            })
             .generate(5);
         let fg = offline
             .all_activities()

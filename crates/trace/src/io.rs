@@ -33,7 +33,11 @@ pub fn to_event_log(trace: &Trace) -> String {
     let mut out = String::new();
     out.push_str("day,daykind,time,event,app,detail\n");
     for day in &trace.days {
-        let kind = if DayKind::of_day(day.day).is_weekend() { "weekend" } else { "weekday" };
+        let kind = if DayKind::of_day(day.day).is_weekend() {
+            "weekend"
+        } else {
+            "weekday"
+        };
         for ev in day.events() {
             use crate::event::Event::*;
             match ev {
@@ -71,7 +75,9 @@ mod tests {
 
     #[test]
     fn json_round_trip_preserves_trace() {
-        let t = TraceGenerator::new(UserProfile::panel().remove(5)).with_seed(8).generate(3);
+        let t = TraceGenerator::new(UserProfile::panel().remove(5))
+            .with_seed(8)
+            .generate(3);
         let json = to_json(&t);
         let back = from_json(&json).unwrap();
         assert_eq!(t, back);

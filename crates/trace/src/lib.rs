@@ -41,9 +41,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{ActivityCause, AppId, Direction, Event, Interaction, NetworkActivity, ScreenSession};
-pub use gen::{generate_panel, generate_volunteers, GenOptions, TraceGenerator};
 pub use builder::ProfileBuilder;
+pub use event::{
+    ActivityCause, AppId, Direction, Event, Interaction, NetworkActivity, ScreenSession,
+};
+pub use gen::{generate_panel, generate_volunteers, GenOptions, TraceGenerator};
 pub use profile::{AppProfile, SessionModel, UserProfile};
 pub use time::{DayKind, Interval, Seconds, Timestamp};
 pub use trace::{AppRegistry, DayTrace, Trace};

@@ -20,8 +20,7 @@ use crate::trace::{AppRegistry, Trace};
 /// assert_eq!(only_chat.validate(), Ok(()));
 /// ```
 pub fn filter_apps(trace: &Trace, keep: &[&str]) -> Trace {
-    let keep_ids: Vec<AppId> =
-        keep.iter().filter_map(|n| trace.apps.lookup(n)).collect();
+    let keep_ids: Vec<AppId> = keep.iter().filter_map(|n| trace.apps.lookup(n)).collect();
     let mut out = trace.clone();
     for day in &mut out.days {
         day.interactions.retain(|i| keep_ids.contains(&i.app));
@@ -33,8 +32,7 @@ pub fn filter_apps(trace: &Trace, keep: &[&str]) -> Trace {
 /// Drops the named apps' traffic (e.g. to ask "what if we uninstalled
 /// the messenger?").
 pub fn without_apps(trace: &Trace, drop: &[&str]) -> Trace {
-    let drop_ids: Vec<AppId> =
-        drop.iter().filter_map(|n| trace.apps.lookup(n)).collect();
+    let drop_ids: Vec<AppId> = drop.iter().filter_map(|n| trace.apps.lookup(n)).collect();
     let mut out = trace.clone();
     for day in &mut out.days {
         day.interactions.retain(|i| !drop_ids.contains(&i.app));
@@ -108,7 +106,9 @@ mod tests {
     use crate::profile::UserProfile;
 
     fn base() -> Trace {
-        TraceGenerator::new(UserProfile::panel().remove(2)).with_seed(4).generate(7)
+        TraceGenerator::new(UserProfile::panel().remove(2))
+            .with_seed(4)
+            .generate(7)
     }
 
     #[test]
@@ -131,7 +131,10 @@ mod tests {
         let f = without_apps(&t, &["com.tencent.mm"]);
         let removed = before - f.all_activities().count();
         assert!(removed > before / 3, "the messenger dominates traffic");
-        assert!(f.apps.lookup("com.tencent.mm").is_some(), "registry unchanged");
+        assert!(
+            f.apps.lookup("com.tencent.mm").is_some(),
+            "registry unchanged"
+        );
         let mm = f.apps.lookup("com.tencent.mm").unwrap();
         assert!(f.all_activities().all(|a| a.app != mm));
     }

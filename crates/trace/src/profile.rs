@@ -208,14 +208,22 @@ impl UserProfile {
 
     /// Total expected interactions per weekday.
     pub fn daily_intensity(&self, weekend: bool) -> f64 {
-        let v = if weekend { &self.weekend_intensity } else { &self.weekday_intensity };
+        let v = if weekend {
+            &self.weekend_intensity
+        } else {
+            &self.weekday_intensity
+        };
         v.iter().sum()
     }
 
     /// Names of apps that use the network (the ground-truth
     /// "Special Apps" candidates).
     pub fn network_app_names(&self) -> Vec<&str> {
-        self.apps.iter().filter(|a| a.uses_network()).map(|a| a.name.as_str()).collect()
+        self.apps
+            .iter()
+            .filter(|a| a.uses_network())
+            .map(|a| a.name.as_str())
+            .collect()
     }
 
     /// The 8-user study panel of §III (Figs. 1–5). Eight distinct
@@ -237,7 +245,11 @@ impl UserProfile {
     /// panel only in id; the paper likewise reused human subjects with
     /// unrestricted usage.
     pub fn volunteers() -> Vec<UserProfile> {
-        let mut v = vec![regular_commuter(1), heavy_messenger(2), night_owl_student(3)];
+        let mut v = vec![
+            regular_commuter(1),
+            heavy_messenger(2),
+            night_owl_student(3),
+        ];
         for (i, p) in v.iter_mut().enumerate() {
             p.label = format!("volunteer-{}", i + 1);
         }
@@ -356,18 +368,36 @@ fn common_tail() -> Vec<AppProfile> {
 
 fn office_worker(user_id: u32) -> UserProfile {
     let weekday = with_sleep(
-        diurnal(0.5, &[(7.8, 0.7, 18.0), (12.5, 0.8, 22.0), (18.3, 0.9, 20.0), (21.5, 1.2, 14.0)]),
+        diurnal(
+            0.5,
+            &[
+                (7.8, 0.7, 18.0),
+                (12.5, 0.8, 22.0),
+                (18.3, 0.9, 20.0),
+                (21.5, 1.2, 14.0),
+            ],
+        ),
         1,
         6,
         0.05,
     );
     let weekend = with_sleep(
-        diurnal(0.8, &[(10.5, 1.5, 12.0), (15.0, 2.0, 9.0), (21.0, 1.5, 12.0)]),
+        diurnal(
+            0.8,
+            &[(10.5, 1.5, 12.0), (15.0, 2.0, 9.0), (21.0, 1.5, 12.0)],
+        ),
         2,
         8,
         0.05,
     );
-    let mut apps = vec![messenger(0.30), email(0.14), browser(0.12), news(0.10), maps(0.06), docs(0.05)];
+    let mut apps = vec![
+        messenger(0.30),
+        email(0.14),
+        browser(0.12),
+        news(0.10),
+        maps(0.06),
+        docs(0.05),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -382,7 +412,10 @@ fn office_worker(user_id: u32) -> UserProfile {
 
 fn night_owl_student(user_id: u32) -> UserProfile {
     let weekday = with_sleep(
-        diurnal(0.8, &[(11.0, 1.0, 13.0), (15.5, 1.0, 12.0), (23.0, 1.5, 24.0)]),
+        diurnal(
+            0.8,
+            &[(11.0, 1.0, 13.0), (15.5, 1.0, 12.0), (23.0, 1.5, 24.0)],
+        ),
         3,
         9,
         0.05,
@@ -393,7 +426,14 @@ fn night_owl_student(user_id: u32) -> UserProfile {
         11,
         0.05,
     );
-    let mut apps = vec![social(0.22), video(0.14), game(0.14), messenger(0.18), browser(0.10), music(0.06)];
+    let mut apps = vec![
+        social(0.22),
+        video(0.14),
+        game(0.14),
+        messenger(0.18),
+        browser(0.10),
+        music(0.06),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -401,7 +441,10 @@ fn night_owl_student(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.55,
-        session: SessionModel { duration_median: 19.0, ..SessionModel::default() },
+        session: SessionModel {
+            duration_median: 19.0,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
@@ -410,7 +453,10 @@ fn night_owl_student(user_id: u32) -> UserProfile {
 /// and only 8 of 23 installed apps are used with network activity.
 fn heavy_messenger(user_id: u32) -> UserProfile {
     let weekday = with_sleep(
-        diurnal(1.5, &[(8.0, 1.0, 18.0), (12.5, 1.0, 20.0), (19.0, 2.0, 24.0)]),
+        diurnal(
+            1.5,
+            &[(8.0, 1.0, 18.0), (12.5, 1.0, 20.0), (19.0, 2.0, 24.0)],
+        ),
         1,
         7,
         0.05,
@@ -432,7 +478,12 @@ fn heavy_messenger(user_id: u32) -> UserProfile {
     // Pad the portfolio with installed-but-unused apps so the Special
     // Apps filter has something to exclude (paper: 8 of 23 used).
     for i in 0..8 {
-        apps.push(AppProfile::interactive(&format!("com.unused.app{i}"), 0.0, 0.0, 0.0));
+        apps.push(AppProfile::interactive(
+            &format!("com.unused.app{i}"),
+            0.0,
+            0.0,
+            0.0,
+        ));
     }
     UserProfile {
         user_id,
@@ -440,7 +491,11 @@ fn heavy_messenger(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.68,
-        session: SessionModel { interactions_per_session: 2.8, duration_median: 12.0, ..SessionModel::default() },
+        session: SessionModel {
+            interactions_per_session: 2.8,
+            duration_median: 12.0,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
@@ -448,7 +503,15 @@ fn heavy_messenger(user_id: u32) -> UserProfile {
 /// User 4 of Fig. 4: near-metronomic commuter (intra-day Pearson ≈0.82).
 fn regular_commuter(user_id: u32) -> UserProfile {
     let weekday = with_sleep(
-        diurnal(0.3, &[(7.2, 0.5, 32.0), (12.4, 0.6, 22.0), (17.7, 0.5, 32.0), (21.3, 0.8, 22.0)]),
+        diurnal(
+            0.3,
+            &[
+                (7.2, 0.5, 32.0),
+                (12.4, 0.6, 22.0),
+                (17.7, 0.5, 32.0),
+                (21.3, 0.8, 22.0),
+            ],
+        ),
         0,
         6,
         0.03,
@@ -457,12 +520,27 @@ fn regular_commuter(user_id: u32) -> UserProfile {
     // same hours as weekdays (slightly later, slightly lower), which is
     // what gives Fig. 4 its 0.82 day-to-day average.
     let weekend = with_sleep(
-        diurnal(0.3, &[(8.4, 0.6, 24.0), (12.6, 0.7, 18.0), (17.9, 0.6, 24.0), (21.4, 0.9, 18.0)]),
+        diurnal(
+            0.3,
+            &[
+                (8.4, 0.6, 24.0),
+                (12.6, 0.7, 18.0),
+                (17.9, 0.6, 24.0),
+                (21.4, 0.9, 18.0),
+            ],
+        ),
         0,
         7,
         0.03,
     );
-    let mut apps = vec![news(0.18), messenger(0.26), email(0.12), maps(0.10), music(0.08), browser(0.08)];
+    let mut apps = vec![
+        news(0.18),
+        messenger(0.26),
+        email(0.12),
+        maps(0.10),
+        music(0.08),
+        browser(0.08),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -478,7 +556,10 @@ fn regular_commuter(user_id: u32) -> UserProfile {
 fn shift_worker(user_id: u32) -> UserProfile {
     // Works nights: active 20:00–04:00, sleeps 08:00–15:00.
     let weekday = with_sleep(
-        diurnal(0.6, &[(1.5, 1.5, 18.0), (17.5, 1.0, 12.0), (22.0, 1.0, 18.0)]),
+        diurnal(
+            0.6,
+            &[(1.5, 1.5, 18.0), (17.5, 1.0, 12.0), (22.0, 1.0, 18.0)],
+        ),
         8,
         15,
         0.05,
@@ -489,7 +570,13 @@ fn shift_worker(user_id: u32) -> UserProfile {
         16,
         0.05,
     );
-    let mut apps = vec![messenger(0.25), video(0.14), browser(0.12), social(0.10), game(0.08)];
+    let mut apps = vec![
+        messenger(0.25),
+        video(0.14),
+        browser(0.12),
+        social(0.10),
+        game(0.08),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -497,7 +584,10 @@ fn shift_worker(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.62,
-        session: SessionModel { duration_median: 17.0, ..SessionModel::default() },
+        session: SessionModel {
+            duration_median: 17.0,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
@@ -523,16 +613,39 @@ fn light_user(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.48,
-        session: SessionModel { duration_median: 9.0, interactions_per_session: 1.6, ..SessionModel::default() },
+        session: SessionModel {
+            duration_median: 9.0,
+            interactions_per_session: 1.6,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
 
 fn social_grazer(user_id: u32) -> UserProfile {
     // Near-uniform high usage through all waking hours.
-    let weekday = with_sleep(diurnal(3.0, &[(10.2, 1.0, 14.0), (16.3, 1.0, 13.0), (21.8, 1.3, 16.0)]), 1, 7, 0.05);
-    let weekend = with_sleep(diurnal(3.5, &[(13.0, 1.5, 12.0), (22.3, 1.8, 16.0)]), 2, 9, 0.05);
-    let mut apps = vec![social(0.30), messenger(0.22), video(0.10), news(0.08), browser(0.08)];
+    let weekday = with_sleep(
+        diurnal(
+            3.0,
+            &[(10.2, 1.0, 14.0), (16.3, 1.0, 13.0), (21.8, 1.3, 16.0)],
+        ),
+        1,
+        7,
+        0.05,
+    );
+    let weekend = with_sleep(
+        diurnal(3.5, &[(13.0, 1.5, 12.0), (22.3, 1.8, 16.0)]),
+        2,
+        9,
+        0.05,
+    );
+    let mut apps = vec![
+        social(0.30),
+        messenger(0.22),
+        video(0.10),
+        news(0.08),
+        browser(0.08),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -540,7 +653,11 @@ fn social_grazer(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.58,
-        session: SessionModel { interactions_per_session: 3.0, duration_median: 22.0, ..SessionModel::default() },
+        session: SessionModel {
+            interactions_per_session: 3.0,
+            duration_median: 22.0,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
@@ -553,12 +670,21 @@ fn weekend_warrior(user_id: u32) -> UserProfile {
         0.03,
     );
     let weekend = with_sleep(
-        diurnal(1.5, &[(10.5, 1.3, 16.0), (15.0, 1.8, 16.0), (21.0, 1.3, 18.0)]),
+        diurnal(
+            1.5,
+            &[(10.5, 1.3, 16.0), (15.0, 1.8, 16.0), (21.0, 1.3, 18.0)],
+        ),
         1,
         9,
         0.03,
     );
-    let mut apps = vec![video(0.18), game(0.16), social(0.14), messenger(0.18), maps(0.06)];
+    let mut apps = vec![
+        video(0.18),
+        game(0.16),
+        social(0.14),
+        messenger(0.18),
+        maps(0.06),
+    ];
     apps.extend(common_tail());
     UserProfile {
         user_id,
@@ -566,7 +692,10 @@ fn weekend_warrior(user_id: u32) -> UserProfile {
         weekday_intensity: weekday,
         weekend_intensity: weekend,
         regularity: 0.52,
-        session: SessionModel { duration_median: 25.0, ..SessionModel::default() },
+        session: SessionModel {
+            duration_median: 25.0,
+            ..SessionModel::default()
+        },
         apps,
     }
 }
@@ -618,7 +747,10 @@ mod tests {
     #[test]
     fn user4_is_most_regular() {
         let panel = UserProfile::panel();
-        let best = panel.iter().max_by(|a, b| a.regularity.total_cmp(&b.regularity)).unwrap();
+        let best = panel
+            .iter()
+            .max_by(|a, b| a.regularity.total_cmp(&b.regularity))
+            .unwrap();
         assert_eq!(best.user_id, 4);
         assert!(best.regularity >= 0.85);
     }

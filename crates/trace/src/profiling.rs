@@ -218,7 +218,10 @@ pub fn app_hourly_intensity(trace: &Trace) -> AppHourlyIntensity {
             has_net[a.app.index()] = true;
         }
     }
-    let mut out = AppHourlyIntensity { apps: Vec::new(), counts: Vec::new() };
+    let mut out = AppHourlyIntensity {
+        apps: Vec::new(),
+        counts: Vec::new(),
+    };
     for (id, name) in trace.apps.iter() {
         let used: u64 = counts[id.index()].iter().sum();
         if used > 0 && has_net[id.index()] {
@@ -248,8 +251,7 @@ pub fn delay_affected_interactions(trace: &Trace, delay_secs: u64) -> f64 {
     let mut affected = 0usize;
     let mut total = 0usize;
     for day in &trace.days {
-        let off_starts: Vec<u64> =
-            day.screen_off_activities().map(|a| a.start).collect();
+        let off_starts: Vec<u64> = day.screen_off_activities().map(|a| a.start).collect();
         for i in &day.interactions {
             total += 1;
             // Binary search: any screen-off start in [at - delay, at]?
@@ -279,10 +281,21 @@ mod tests {
         let app = t.apps.register("a");
         let quiet = t.apps.register("quiet");
         let mut d = DayTrace::new(0);
-        d.sessions = vec![crate::event::ScreenSession { start: 100, end: 200 }];
+        d.sessions = vec![crate::event::ScreenSession {
+            start: 100,
+            end: 200,
+        }];
         d.interactions = vec![
-            Interaction { at: 120, app, needs_network: true },
-            Interaction { at: 150, app: quiet, needs_network: false },
+            Interaction {
+                at: 120,
+                app,
+                needs_network: true,
+            },
+            Interaction {
+                at: 150,
+                app: quiet,
+                needs_network: false,
+            },
         ];
         d.activities = vec![
             NetworkActivity {
@@ -368,8 +381,10 @@ mod tests {
     fn panel_screen_off_fraction_is_substantial() {
         // The paper's headline motivation: ≈41% of activities screen-off.
         let traces = generate_panel(14, 1234);
-        let fractions: Vec<f64> =
-            traces.iter().map(|t| traffic_split(t).screen_off_fraction()).collect();
+        let fractions: Vec<f64> = traces
+            .iter()
+            .map(|t| traffic_split(t).screen_off_fraction())
+            .collect();
         let avg = fractions.iter().sum::<f64>() / fractions.len() as f64;
         assert!(
             (0.2..=0.7).contains(&avg),
@@ -402,10 +417,17 @@ mod tests {
         // Panel-wide, a 600 s window must catch noticeably more
         // interactions than a 100 s window (the paper's Fig. 8(c) trend).
         let avg = |d: u64| {
-            traces.iter().map(|t| delay_affected_interactions(t, d)).sum::<f64>() / 8.0
+            traces
+                .iter()
+                .map(|t| delay_affected_interactions(t, d))
+                .sum::<f64>()
+                / 8.0
         };
         assert!(avg(600) > avg(100));
-        assert!(avg(100) > 0.0, "some interactions are at risk even at 100 s");
+        assert!(
+            avg(100) > 0.0,
+            "some interactions are at risk even at 100 s"
+        );
     }
 
     #[test]
@@ -415,14 +437,35 @@ mod tests {
         let app = t.apps.register("a");
         let mut d = DayTrace::new(0);
         d.sessions = vec![
-            crate::event::ScreenSession { start: 240, end: 260 },
-            crate::event::ScreenSession { start: 340, end: 360 },
-            crate::event::ScreenSession { start: 990, end: 1_010 },
+            crate::event::ScreenSession {
+                start: 240,
+                end: 260,
+            },
+            crate::event::ScreenSession {
+                start: 340,
+                end: 360,
+            },
+            crate::event::ScreenSession {
+                start: 990,
+                end: 1_010,
+            },
         ];
         d.interactions = vec![
-            Interaction { at: 250, app, needs_network: false },
-            Interaction { at: 350, app, needs_network: false },
-            Interaction { at: 1_000, app, needs_network: false },
+            Interaction {
+                at: 250,
+                app,
+                needs_network: false,
+            },
+            Interaction {
+                at: 350,
+                app,
+                needs_network: false,
+            },
+            Interaction {
+                at: 1_000,
+                app,
+                needs_network: false,
+            },
         ];
         d.activities = vec![NetworkActivity {
             start: 300,

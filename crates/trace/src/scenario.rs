@@ -14,7 +14,9 @@ use crate::trace::{DayTrace, Trace};
 
 /// A base trace to build scenarios from.
 fn base(days: usize, seed: u64) -> Trace {
-    TraceGenerator::new(UserProfile::volunteers().remove(0)).with_seed(seed).generate(days)
+    TraceGenerator::new(UserProfile::volunteers().remove(0))
+        .with_seed(seed)
+        .generate(days)
 }
 
 /// Replaces days `[from, to)` with completely empty days (phone in a

@@ -102,7 +102,11 @@ impl Histogram {
     /// New histogram with `bins` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(hi > lo && bins > 0, "bad histogram bounds");
-        Histogram { lo, hi, bins: vec![0; bins] }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+        }
     }
 
     /// Adds one observation (clamped into the edge bins).
@@ -153,7 +157,12 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.bins.iter().enumerate() {
             let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
-            out.push_str(&format!("{:>10.1} | {:<width$} {}\n", self.bin_lo(i), bar, c));
+            out.push_str(&format!(
+                "{:>10.1} | {:<width$} {}\n",
+                self.bin_lo(i),
+                bar,
+                c
+            ));
         }
         out
     }
@@ -234,8 +243,7 @@ mod tests {
         // Smoke: summarize real generated transfer durations.
         use crate::gen::generate_panel;
         let t = &generate_panel(3, 8)[0];
-        let durations: Vec<f64> =
-            t.all_activities().map(|a| a.duration as f64).collect();
+        let durations: Vec<f64> = t.all_activities().map(|a| a.duration as f64).collect();
         let s = Summary::of(&durations).unwrap();
         assert!(s.count > 50);
         assert!(s.min >= 1.0);

@@ -203,7 +203,10 @@ pub fn merge_intervals(mut spans: Vec<Interval>) -> Vec<Interval> {
 
 /// Total covered seconds of a set of (possibly overlapping) intervals.
 pub fn covered_seconds(spans: &[Interval]) -> Seconds {
-    merge_intervals(spans.to_vec()).iter().map(Interval::len).sum()
+    merge_intervals(spans.to_vec())
+        .iter()
+        .map(Interval::len)
+        .sum()
 }
 
 /// Sum of overlap between `spans` (assumed disjoint & sorted) and `window`.
@@ -288,7 +291,11 @@ mod tests {
 
     #[test]
     fn coverage_and_overlap() {
-        let spans = vec![Interval::new(0, 10), Interval::new(5, 15), Interval::new(20, 25)];
+        let spans = vec![
+            Interval::new(0, 10),
+            Interval::new(5, 15),
+            Interval::new(20, 25),
+        ];
         assert_eq!(covered_seconds(&spans), 20);
         let disjoint = merge_intervals(spans);
         assert_eq!(overlap_with(&disjoint, &Interval::new(8, 22)), 9);

@@ -37,7 +37,10 @@ impl AppRegistry {
 
     /// Id for a name, if registered.
     pub fn lookup(&self, name: &str) -> Option<AppId> {
-        self.names.iter().position(|n| n == name).map(|p| AppId(p as u16))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|p| AppId(p as u16))
     }
 
     /// Number of registered apps.
@@ -52,7 +55,10 @@ impl AppRegistry {
 
     /// Iterate `(AppId, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (AppId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (AppId(i as u16), n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AppId(i as u16), n.as_str()))
     }
 }
 
@@ -73,7 +79,10 @@ pub struct DayTrace {
 impl DayTrace {
     /// New empty day.
     pub fn new(day: DayIndex) -> Self {
-        DayTrace { day, ..Default::default() }
+        DayTrace {
+            day,
+            ..Default::default()
+        }
     }
 
     /// Full span of the day.
@@ -98,12 +107,16 @@ impl DayTrace {
 
     /// Splits activities into (screen-on, screen-off) by their start time.
     pub fn split_activities_by_screen(&self) -> (Vec<&NetworkActivity>, Vec<&NetworkActivity>) {
-        self.activities.iter().partition(|a| self.screen_on_at(a.start))
+        self.activities
+            .iter()
+            .partition(|a| self.screen_on_at(a.start))
     }
 
     /// Network activities that start while the screen is off.
     pub fn screen_off_activities(&self) -> impl Iterator<Item = &NetworkActivity> {
-        self.activities.iter().filter(|a| !self.screen_on_at(a.start))
+        self.activities
+            .iter()
+            .filter(|a| !self.screen_on_at(a.start))
     }
 
     /// Seconds of screen-on time overlapped by at least one transfer —
@@ -141,10 +154,16 @@ impl DayTrace {
         let mut prev_end = span.start;
         for s in &self.sessions {
             if s.start < prev_end {
-                return Err(format!("session at {} overlaps previous (prev end {prev_end})", s.start));
+                return Err(format!(
+                    "session at {} overlaps previous (prev end {prev_end})",
+                    s.start
+                ));
             }
             if s.end > span.end {
-                return Err(format!("session ending {} spills past day end {}", s.end, span.end));
+                return Err(format!(
+                    "session ending {} spills past day end {}",
+                    s.end, span.end
+                ));
             }
             if s.is_empty() {
                 return Err(format!("empty session at {}", s.start));
@@ -192,7 +211,10 @@ pub struct Trace {
 impl Trace {
     /// New empty trace for a user.
     pub fn new(user_id: u32) -> Self {
-        Trace { user_id, ..Default::default() }
+        Trace {
+            user_id,
+            ..Default::default()
+        }
     }
 
     /// Number of recorded days.
@@ -247,9 +269,14 @@ impl Trace {
     pub fn validate(&self) -> Result<(), String> {
         for (i, d) in self.days.iter().enumerate() {
             if self.days[0].day + i != d.day {
-                return Err(format!("day {i} has index {} (expected {})", d.day, self.days[0].day + i));
+                return Err(format!(
+                    "day {i} has index {} (expected {})",
+                    d.day,
+                    self.days[0].day + i
+                ));
             }
-            d.validate().map_err(|e| format!("user {} day {}: {e}", self.user_id, d.day))?;
+            d.validate()
+                .map_err(|e| format!("user {} day {}: {e}", self.user_id, d.day))?;
         }
         Ok(())
     }
@@ -330,8 +357,16 @@ mod tests {
         assert!(d.validate().is_err());
         d.sessions = vec![session(100, 200)];
         d.interactions = vec![
-            Interaction { at: 50, app: AppId(0), needs_network: false },
-            Interaction { at: 20, app: AppId(0), needs_network: false },
+            Interaction {
+                at: 50,
+                app: AppId(0),
+                needs_network: false,
+            },
+            Interaction {
+                at: 20,
+                app: AppId(0),
+                needs_network: false,
+            },
         ];
         assert!(d.validate().unwrap_err().contains("unsorted"));
         d.normalize();
@@ -359,7 +394,11 @@ mod tests {
     fn day_events_are_ordered() {
         let mut d = DayTrace::new(0);
         d.sessions = vec![session(100, 200)];
-        d.interactions = vec![Interaction { at: 100, app: AppId(0), needs_network: true }];
+        d.interactions = vec![Interaction {
+            at: 100,
+            app: AppId(0),
+            needs_network: true,
+        }];
         d.activities = vec![activity(100, 5, 10)];
         let ev = d.events();
         assert!(matches!(ev[0], Event::ScreenOn(100)));

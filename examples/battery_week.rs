@@ -15,8 +15,7 @@ fn main() {
         .generate(21);
 
     // Who devours the battery on the stock device?
-    let transfers: Vec<_> = trace
-        .days[14..]
+    let transfers: Vec<_> = trace.days[14..]
         .iter()
         .flat_map(|d| d.activities.iter())
         .map(|a| (a.app, a.span()))
@@ -41,7 +40,10 @@ fn main() {
         .import_history(&trace.days[..14]);
 
     println!("\nday-by-day under NetMaster:");
-    println!("{:>4} {:>9} {:>11} {:>8} {:>10} {:>7}", "day", "stock J", "netmaster J", "saving", "moved", "batt pts");
+    println!(
+        "{:>4} {:>9} {:>11} {:>8} {:>10} {:>7}",
+        "day", "stock J", "netmaster J", "saving", "moved", "batt pts"
+    );
     for day in &trace.days[14..] {
         let r = service.run_day(day);
         println!(

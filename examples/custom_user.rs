@@ -20,9 +20,9 @@ fn main() {
         .base_intensity(0.4)
         .sleep(9, 16)
         .usage_peak(19.5, 0.8, 14.0) // pre-shift
-        .usage_peak(2.5, 1.2, 12.0)  // mid-shift break
-        .usage_peak(7.5, 0.7, 10.0)  // post-shift wind-down
-        .weekend_like_weekday()      // hospitals don't do weekends
+        .usage_peak(2.5, 1.2, 12.0) // mid-shift break
+        .usage_peak(7.5, 0.7, 10.0) // post-shift wind-down
+        .weekend_like_weekday() // hospitals don't do weekends
         .messaging_app("org.hospital.pager", 0.35)
         .messaging_app("com.tencent.mm", 0.25)
         .content_app("com.netease.news", 0.12, 12_000.0)
@@ -39,11 +39,22 @@ fn main() {
     println!(
         "night-nurse stability {:.3} ({})",
         stability.score,
-        if stability.is_predictable() { "predictable" } else { "irregular" }
+        if stability.is_predictable() {
+            "predictable"
+        } else {
+            "irregular"
+        }
     );
     let pred = predict_with_confidence(&history, PredictionConfig::default(), Bound::Upper, 1.96);
-    let bars: String =
-        (0..24).map(|h| if pred.hours(DayKind::Weekday)[h] { '#' } else { '·' }).collect();
+    let bars: String = (0..24)
+        .map(|h| {
+            if pred.hours(DayKind::Weekday)[h] {
+                '#'
+            } else {
+                '·'
+            }
+        })
+        .collect();
     println!("predicted active hours (Wilson upper bound): 0h |{bars}| 23h");
 
     // The middleware with every extension on.

@@ -45,8 +45,11 @@ fn main() {
     for h in 0..HOURS_PER_DAY {
         let hour_start = netmaster::trace::time::at_hour(day.day, h);
         let in_slot = routing.in_active_slot(hour_start);
-        let interactions =
-            day.interactions.iter().filter(|i| hour_of(i.at) == h).count();
+        let interactions = day
+            .interactions
+            .iter()
+            .filter(|i| hour_of(i.at) == h)
+            .count();
         let demands: Vec<_> = day
             .activities
             .iter()

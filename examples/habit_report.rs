@@ -63,7 +63,10 @@ fn main() {
                 }
             })
             .collect();
-        println!("{kind:?} active hours  0h |{bars}| 23h   ({} active)", pred.active_hour_count(kind));
+        println!(
+            "{kind:?} active hours  0h |{bars}| 23h   ({} active)",
+            pred.active_hour_count(kind)
+        );
     }
     println!(
         "prediction accuracy on held-out week: {:.1}%  residual interrupt risk: {:.2} (≤ δ)",
@@ -76,7 +79,11 @@ fn main() {
     println!(
         "habit stability score: {:.3} ({})",
         stability.score,
-        if stability.is_predictable() { "predictable — NetMaster applies" } else { "too irregular for hour-level prediction" }
+        if stability.is_predictable() {
+            "predictable — NetMaster applies"
+        } else {
+            "too irregular for hour-level prediction"
+        }
     );
     let drift = stability.drift_days(0.3);
     if !drift.is_empty() {

@@ -12,7 +12,10 @@ fn main() {
     // A synthetic "regular commuter" — the most habit-driven profile in
     // the panel (the paper's user 4).
     let profile = UserProfile::panel().remove(3);
-    println!("user: {} (regularity {:.2})", profile.label, profile.regularity);
+    println!(
+        "user: {} (regularity {:.2})",
+        profile.label, profile.regularity
+    );
 
     let trace = TraceGenerator::new(profile).with_seed(42).generate(21);
     let (train, test) = (&trace.days[..14], &trace.days[14..]);

@@ -63,10 +63,11 @@ pub use netmaster_trace as trace;
 /// One-stop imports for the common workflow: generate → train → simulate.
 pub mod prelude {
     pub use netmaster_core::policies::{
-        BatchPolicy, DefaultPolicy, DelayPolicy, FastDormancyPolicy, NetMasterPolicy,
-        OraclePolicy,
+        BatchPolicy, DefaultPolicy, DelayPolicy, FastDormancyPolicy, NetMasterPolicy, OraclePolicy,
     };
-    pub use netmaster_core::{DayReport, MiddlewareService, NetMasterConfig, ServiceSummary, SleepScheme};
+    pub use netmaster_core::{
+        DayReport, MiddlewareService, NetMasterConfig, ServiceSummary, SleepScheme,
+    };
     pub use netmaster_mining::{
         predict_active_slots, prediction_accuracy, HourlyHistory, PredictionConfig, SpecialApps,
     };

@@ -53,7 +53,11 @@ fn every_policy_conserves_bytes_and_transfer_count() {
             "{} lost or invented bytes",
             m.policy
         );
-        assert_eq!(m.executed_transfers, expected_count, "{} dropped transfers", m.policy);
+        assert_eq!(
+            m.executed_transfers, expected_count,
+            "{} dropped transfers",
+            m.policy
+        );
     }
 }
 
@@ -76,10 +80,26 @@ fn policy_ordering_matches_the_paper() {
             oracle.energy_j,
             master.energy_j
         );
-        assert!(master.energy_j < delay.energy_j, "volunteer {}", trace.user_id);
-        assert!(master.energy_j < batch.energy_j, "volunteer {}", trace.user_id);
-        assert!(delay.energy_j <= base.energy_j * 1.01, "volunteer {}", trace.user_id);
-        assert!(batch.energy_j < base.energy_j, "volunteer {}", trace.user_id);
+        assert!(
+            master.energy_j < delay.energy_j,
+            "volunteer {}",
+            trace.user_id
+        );
+        assert!(
+            master.energy_j < batch.energy_j,
+            "volunteer {}",
+            trace.user_id
+        );
+        assert!(
+            delay.energy_j <= base.energy_j * 1.01,
+            "volunteer {}",
+            trace.user_id
+        );
+        assert!(
+            batch.energy_j < base.energy_j,
+            "volunteer {}",
+            trace.user_id
+        );
     }
 }
 

@@ -107,7 +107,10 @@ fn claim_delay_tradeoff_shape() {
     let last = f.points.last().unwrap();
     assert_eq!(first.delay, 0);
     assert_eq!(last.delay, 600);
-    assert!(last.radio_saving > 0.05, "600 s delay should cut radio time");
+    assert!(
+        last.radio_saving > 0.05,
+        "600 s delay should cut radio time"
+    );
     assert!(last.affected > 10.0 * first.affected.max(1e-6) || last.affected > 0.03);
     // Monotone-ish growth of affected interactions along the sweep.
     let mid = f.points.iter().find(|p| p.delay == 60).unwrap();
@@ -153,5 +156,8 @@ fn claim_threshold_trades_accuracy() {
     let first = f.points.first().unwrap();
     let last = f.points.last().unwrap();
     assert!(first.accuracy >= last.accuracy);
-    assert!(last.energy_saving > 0.5, "NetMaster stays effective at all δ");
+    assert!(
+        last.energy_saving > 0.5,
+        "NetMaster stays effective at all δ"
+    );
 }

@@ -25,7 +25,11 @@ fn check_sane(trace: &Trace, train_days: usize) -> (RunMetrics, RunMetrics) {
         "bytes conserved"
     );
     assert!(master.energy_j >= 0.0 && master.energy_j.is_finite());
-    assert!(master.affected_fraction() < 0.02, "{:.4}", master.affected_fraction());
+    assert!(
+        master.affected_fraction() < 0.02,
+        "{:.4}",
+        master.affected_fraction()
+    );
     (base, master)
 }
 
@@ -68,8 +72,14 @@ fn airplane_mode_days_are_harmless() {
     let cfg = SimConfig::default();
     let mut nm = netmaster_for(&trace, 14);
     let m = simulate(&trace.days[14..], &mut nm, &cfg);
-    assert_eq!(m.executed_transfers, 0, "no network demands in airplane mode");
-    assert_eq!(m.affected_interactions, 0, "offline interactions need no radio");
+    assert_eq!(
+        m.executed_transfers, 0,
+        "no network demands in airplane mode"
+    );
+    assert_eq!(
+        m.affected_interactions, 0,
+        "offline interactions need no radio"
+    );
     assert!(m.interactions > 0, "the user still used the phone");
 }
 
@@ -108,8 +118,7 @@ fn schedule_change_is_survivable_and_ewma_adapts_faster() {
     let h = HourlyHistory::from_trace(&train);
     let cfg = PredictionConfig::default();
     let freq_acc = prediction_accuracy(&predict_with(&FrequencyModel, &h, cfg), &test);
-    let ewma_acc =
-        prediction_accuracy(&predict_with(&EwmaModel { alpha: 0.4 }, &h, cfg), &test);
+    let ewma_acc = prediction_accuracy(&predict_with(&EwmaModel { alpha: 0.4 }, &h, cfg), &test);
     assert!(
         ewma_acc >= freq_acc,
         "EWMA should adapt at least as fast: {ewma_acc:.3} vs {freq_acc:.3}"
@@ -125,12 +134,11 @@ fn drift_reset_relearns_a_new_schedule() {
     let cfg = SimConfig::default();
 
     let run = |drift_reset: bool| {
-        let nm_cfg = NetMasterConfig { drift_reset, ..Default::default() };
-        let mut nm = NetMasterPolicy::new(
-            nm_cfg,
-            LinkModel::default(),
-            RrcModel::wcdma_default(),
-        );
+        let nm_cfg = NetMasterConfig {
+            drift_reset,
+            ..Default::default()
+        };
+        let mut nm = NetMasterPolicy::new(nm_cfg, LinkModel::default(), RrcModel::wcdma_default());
         // Run the whole three weeks online.
         let m = simulate(&trace.days, &mut nm, &cfg);
         (m, nm.stats())

@@ -23,7 +23,13 @@ fn run_metrics_round_trip() {
     assert_eq!(m, back);
     // Key fields present under stable names in the JSON.
     let v: serde_json::Value = serde_json::to_value(&m).unwrap();
-    for key in ["policy", "energy_j", "radio_on_secs", "affected_interactions", "rrc"] {
+    for key in [
+        "policy",
+        "energy_j",
+        "radio_on_secs",
+        "affected_interactions",
+        "rrc",
+    ] {
         assert!(v.get(key).is_some(), "missing key {key}");
     }
 }
@@ -60,9 +66,13 @@ fn day_routing_round_trip() {
 
 #[test]
 fn fleet_report_round_trip() {
-    let traces: Vec<(u64, Trace)> =
-        vec![(1, generate_volunteers(4, 1).remove(0)), (2, generate_volunteers(4, 2).remove(1))];
-    let report = run_fleet(&traces, 3, &SimConfig::default(), |_| Box::new(DefaultPolicy));
+    let traces: Vec<(u64, Trace)> = vec![
+        (1, generate_volunteers(4, 1).remove(0)),
+        (2, generate_volunteers(4, 2).remove(1)),
+    ];
+    let report = run_fleet(&traces, 3, &SimConfig::default(), |_| {
+        Box::new(DefaultPolicy)
+    });
     let back: FleetReport = round_trip(&report);
     assert_eq!(report, back);
 }

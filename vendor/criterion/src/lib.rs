@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock sampler: warm up for the configured
+//! duration, then time `sample_size` batches and report the best and mean
+//! nanoseconds per iteration. No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark runner configuration plus result printer.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of related benchmarks (prefixes the reported names).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.c.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement = d;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(self.c, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(self.c, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark name of the form `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to benchmark closures; records timing for the `iter` body.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, f: &mut F) {
+    // Warm-up: also estimates how many iterations fit in one sample.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut one = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+    };
+    while warm_start.elapsed() < c.warm_up {
+        f(&mut one);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+    let sample_ns = (c.measurement.as_nanos() / c.sample_size.max(1) as u128).max(1);
+    let iters_per_sample = u64::try_from((sample_ns / per_iter.max(1)).max(1)).unwrap_or(1);
+
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(c.sample_size),
+    };
+    let deadline = Instant::now() + c.measurement;
+    for _ in 0..c.sample_size {
+        f(&mut b);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    // The closure may call `iter` zero times (degenerate); guard the math.
+    let per_sample: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample as f64)
+        .collect();
+    if per_sample.is_empty() {
+        println!("bench {label}: no samples");
+        return;
+    }
+    let best = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
+    println!(
+        "bench {label}: best {:>12.1} ns/iter, mean {:>12.1} ns/iter",
+        best, mean
+    );
+}
+
+/// Mirrors criterion's `criterion_group!`: defines a function running each
+/// target against one configured `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`: a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

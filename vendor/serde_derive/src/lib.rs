@@ -1,0 +1,423 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` working
+//! from the raw `proc_macro::TokenStream` (no syn/quote — the build has no
+//! registry access). Supports exactly the shapes this workspace derives on:
+//! non-generic named/tuple/unit structs and enums with unit, tuple, and
+//! struct variants, externally tagged like real serde. `#[serde(...)]`
+//! attributes are not supported (none exist in the workspace).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(t) if is_punct(t, '#') => {
+                *i += 1; // '#'
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // '(crate)' etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type (or discriminant) up to a top-level `,`, which is
+/// consumed. Tracks `<...>` nesting; bracketed groups are single trees.
+fn skip_to_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected field name");
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "expected ':' after field `{name}`");
+        i += 1;
+        skip_to_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_to_comma(&toks, &mut i);
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i]).expect("expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected type name");
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        panic!("the vendored serde derive does not support generic types (deriving on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct { name },
+            _ => panic!("unsupported struct body for `{name}`"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            _ => panic!("expected enum body for `{name}`"),
+        },
+        other => panic!("cannot derive on `{other}`"),
+    }
+}
+
+const V: &str = "::serde::json::Value";
+const MAP: &str = "::serde::json::Map";
+const ERR: &str = "::serde::json::Error";
+const SER: &str = "::serde::Serialize::serialize_value";
+const DE: &str = "::serde::Deserialize::deserialize_value";
+
+fn impl_header(trait_name: &str, ty: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_mut, unused_variables)]\n\
+         impl ::serde::{trait_name} for {ty} {{\n{body}\n}}\n"
+    )
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { fields, .. } => {
+            let mut b = String::from("fn serialize_value(&self) -> V_ {\n");
+            if fields.is_empty() {
+                b.push_str("V_::Object(MAP_::new())\n}");
+            } else {
+                b.push_str("let mut m = MAP_::new();\n");
+                for f in fields {
+                    b.push_str(&format!(
+                        "m.insert(\"{f}\".to_string(), SER_(&self.{f}));\n"
+                    ));
+                }
+                b.push_str("V_::Object(m)\n}");
+            }
+            b
+        }
+        Shape::TupleStruct { arity: 1, .. } => {
+            "fn serialize_value(&self) -> V_ { SER_(&self.0) }".to_string()
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity).map(|k| format!("SER_(&self.{k})")).collect();
+            format!(
+                "fn serialize_value(&self) -> V_ {{ V_::Array(vec![{}]) }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { .. } => "fn serialize_value(&self) -> V_ { V_::Null }".to_string(),
+        Shape::Enum { name, variants } => {
+            let mut b = String::from("fn serialize_value(&self) -> V_ {\nmatch self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vn} => V_::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vn}(f0) => {{ let mut m = MAP_::new(); \
+                         m.insert(\"{vn}\".to_string(), SER_(f0)); V_::Object(m) }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let sers: Vec<String> = (0..*n).map(|k| format!("SER_(f{k})")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = MAP_::new(); \
+                             m.insert(\"{vn}\".to_string(), V_::Array(vec![{}])); \
+                             V_::Object(m) }}\n",
+                            pats.join(", "),
+                            sers.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inner = String::from("let mut inner = MAP_::new(); ");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), SER_({f})); "
+                            ));
+                        }
+                        b.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => {{ {inner}\
+                             let mut m = MAP_::new(); \
+                             m.insert(\"{vn}\".to_string(), V_::Object(inner)); \
+                             V_::Object(m) }}\n"
+                        ));
+                    }
+                }
+            }
+            b.push_str("}\n}");
+            b
+        }
+    };
+    let name = shape_name(shape);
+    expand_aliases(&impl_header("Serialize", name, &body))
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let sig = format!("fn deserialize_value(_v: &V_) -> ::std::result::Result<Self, {ERR}> {{\n");
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut b = sig;
+            b.push_str(&format!(
+                "let _obj = match _v {{ V_::Object(m) => m, \
+                 other => return ::std::result::Result::Err({ERR}::unexpected(\"object for {name}\", other)) }};\n"
+            ));
+            b.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                b.push_str(&format!("{f}: DE_(::serde::field(_obj, \"{f}\"))?,\n"));
+            }
+            b.push_str("})\n}");
+            b
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("{sig}::std::result::Result::Ok({name}(DE_(_v)?))\n}}")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity).map(|k| format!("DE_(&_arr[{k}])?")).collect();
+            format!(
+                "{sig}let _arr = match _v {{ V_::Array(a) if a.len() == {arity} => a, \
+                 other => return ::std::result::Result::Err({ERR}::unexpected(\"{arity}-element array for {name}\", other)) }};\n\
+                 ::std::result::Result::Ok({name}({}))\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => {
+            format!("{sig}::std::result::Result::Ok({name})\n}}")
+        }
+        Shape::Enum { name, variants } => {
+            let mut b = sig;
+            b.push_str("if let V_::String(_s) = _v {\nreturn match _s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    b.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            b.push_str(&format!(
+                "_other => ::std::result::Result::Err({ERR}::custom(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", _other))),\n}};\n}}\n"
+            ));
+            b.push_str(&format!(
+                "let _obj = match _v {{ V_::Object(m) => m, \
+                 other => return ::std::result::Result::Err({ERR}::unexpected(\"string or object for {name}\", other)) }};\n\
+                 let (_tag, _inner) = match _obj.iter().next() {{ \
+                 ::std::option::Option::Some(kv) => kv, \
+                 ::std::option::Option::None => return ::std::result::Result::Err({ERR}::custom(\"empty object for enum {name}\")) }};\n\
+                 match _tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(DE_(_inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> =
+                            (0..*n).map(|k| format!("DE_(&_arr[{k}])?")).collect();
+                        b.push_str(&format!(
+                            "\"{vn}\" => {{ let _arr = match _inner {{ \
+                             V_::Array(a) if a.len() == {n} => a, \
+                             other => return ::std::result::Result::Err({ERR}::unexpected(\"{n}-element array for variant {vn}\", other)) }};\n\
+                             ::std::result::Result::Ok({name}::{vn}({})) }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            init.push_str(&format!("{f}: DE_(::serde::field(_m, \"{f}\"))?, "));
+                        }
+                        b.push_str(&format!(
+                            "\"{vn}\" => {{ let _m = match _inner {{ \
+                             V_::Object(m) => m, \
+                             other => return ::std::result::Result::Err({ERR}::unexpected(\"object for variant {vn}\", other)) }};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {init} }}) }}\n"
+                        ));
+                    }
+                }
+            }
+            b.push_str(&format!(
+                "_other => ::std::result::Result::Err({ERR}::custom(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", _other))),\n}}\n}}"
+            ));
+            b
+        }
+    };
+    let name = shape_name(shape);
+    expand_aliases(&impl_header("Deserialize", name, &body))
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+/// The generators use short aliases to stay readable; expand them to full
+/// paths before handing the source to the compiler.
+fn expand_aliases(src: &str) -> String {
+    src.replace("V_", V)
+        .replace("MAP_", MAP)
+        .replace("SER_", SER)
+        .replace("DE_", DE)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

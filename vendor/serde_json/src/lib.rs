@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde_json`: re-exports the JSON model and entry
+//! points implemented in the vendored `serde` crate (one crate owns both
+//! the traits and `Value`, sidestepping coherence issues).
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{from_str, to_string, to_string_pretty, to_value, Error, Map, Number, Value};
