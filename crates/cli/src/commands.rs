@@ -52,6 +52,13 @@ COMMANDS:
   fleet                   Simulate N synthetic users, report the saving distribution
       --users N             fleet size (default 20)
       --seed N              base seed (default 2014)
+  obs                     Run a small simulated fleet and print its telemetry
+      --users N             simulated users (default 3)
+      --days N              days per user, most training (default 16)
+      --seed N              base seed (default 2014)
+      --json                JSON metrics snapshot instead of the table
+      --prom                Prometheus text exposition instead of the table
+      --journal FILE        also drain the decision-audit journal to JSONL
   timeline <trace.json>   ASCII radio-state strip of one simulated day
       --day N               which day to render (default last)
       --policy NAME         policy to render under (default netmaster)
@@ -72,6 +79,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "timeline" => timeline_cmd(args, out),
         "devourers" => devourers_cmd(args, out),
         "fleet" => fleet_cmd(args, out),
+        "obs" => obs_cmd(args, out),
         "anonymize" => anonymize_cmd(args, out),
         "filter" => filter_cmd(args, out),
         "" | "help" => {
@@ -124,7 +132,8 @@ fn generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let seed: u64 = args.num("seed", 2014)?;
     let label = profile.label.clone();
     let trace = TraceGenerator::new(profile).with_seed(seed).generate(days);
-    let json = netmaster_trace::io::to_json(&trace);
+    let json =
+        netmaster_trace::io::to_json(&trace).map_err(|e| format!("cannot encode trace: {e}"))?;
     let path = args.opt("out", "trace.json");
     if path == "-" {
         writeln!(out, "{json}").map_err(io_err)?;
@@ -415,8 +424,9 @@ fn devourers_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn write_trace(trace: &Trace, path: &str, out: &mut dyn Write) -> Result<(), String> {
-    fs::write(path, netmaster_trace::io::to_json(trace))
-        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let json =
+        netmaster_trace::io::to_json(trace).map_err(|e| format!("cannot encode trace: {e}"))?;
+    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     writeln!(
         out,
         "wrote {path}: {} days, {} activities",
@@ -483,6 +493,67 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         report.affected.max
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+/// Runs a few users through the [`netmaster_core::MiddlewareService`]
+/// and dumps the telemetry the run produced: the metrics registry (as a
+/// table, JSON, or Prometheus text) and optionally the decision-audit
+/// journal as JSONL. With observability compiled out
+/// (`--no-default-features`) the command still runs and reports an
+/// empty snapshot.
+fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_core::MiddlewareService;
+
+    let users: usize = args.num("users", 3)?;
+    let days: usize = args.num("days", 16)?;
+    let seed: u64 = args.num("seed", 2014)?;
+    if users == 0 || days < 2 {
+        return Err("obs needs --users ≥ 1 and --days ≥ 2".into());
+    }
+    // Train on everything but the last two days (capped at the paper's
+    // two weeks) so the executed days exercise the trained pipeline.
+    let train = days.saturating_sub(2).min(14);
+
+    netmaster_obs::reset();
+    let mut journal = Vec::new();
+    for u in 0..users as u64 {
+        let member_seed = seed.wrapping_add(u * 7919);
+        let profile = UserProfile::panel().remove((member_seed % 8) as usize);
+        let trace = TraceGenerator::new(profile)
+            .with_seed(member_seed)
+            .generate(days);
+        let mut svc = MiddlewareService::new().import_history(&trace.days[..train]);
+        for day in &trace.days[train..] {
+            let _ = svc.run_day(day);
+        }
+        journal.extend(svc.drain_journal());
+    }
+
+    let snap = netmaster_obs::snapshot();
+    if let Some(path) = args.options.get("journal") {
+        let jsonl = netmaster_obs::to_jsonl(&journal).map_err(|e| e.to_string())?;
+        fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote {} journal entries to {path}", journal.len()).map_err(io_err)?;
+    }
+    if args.flag("prom") {
+        write!(out, "{}", snap.to_prometheus()).map_err(io_err)?;
+    } else if args.flag("json") {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        )
+        .map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "telemetry of {users} users × {days} days ({train} training):\n"
+        )
+        .map_err(io_err)?;
+        write!(out, "{}", snap.render_table()).map_err(io_err)?;
+        writeln!(out, "\njournal: {} entries this run", journal.len()).map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -702,6 +773,50 @@ mod tests {
             "filter {path} --apps com.absent.app --out {filt_path}"
         )))
         .is_err());
+    }
+
+    /// One test drives every `obs` output mode so the process-global
+    /// registry is never reset by a concurrently running sibling.
+    #[test]
+    fn obs_command_reports_telemetry() {
+        let table = run_to_string(&args("obs --users 2 --days 16 --seed 7")).unwrap();
+        if netmaster_obs::compiled() {
+            assert!(table.contains("service_days_total"), "{table}");
+            assert!(table.contains("stage_run_day_seconds"), "{table}");
+            assert!(table.contains("sched_deferred_total"), "{table}");
+        } else {
+            assert!(table.contains("no metrics"), "{table}");
+        }
+
+        let json = run_to_string(&args("obs --users 1 --days 16 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["counters"].is_array());
+
+        let prom = run_to_string(&args("obs --users 1 --days 16 --prom")).unwrap();
+        if netmaster_obs::compiled() {
+            assert!(
+                prom.contains("# TYPE netmaster_service_days_total counter"),
+                "{prom}"
+            );
+            assert!(prom.contains("_bucket{le=\"+Inf\"}"), "{prom}");
+        }
+
+        let jp = tmp("obs.jsonl");
+        let msg = run_to_string(&args(&format!("obs --users 1 --days 16 --journal {jp}"))).unwrap();
+        assert!(msg.contains("journal entries"));
+        let raw = fs::read_to_string(&jp).unwrap();
+        let entries = netmaster_obs::parse_jsonl(&raw).unwrap();
+        if netmaster_obs::compiled() {
+            assert!(!entries.is_empty(), "trained days must journal decisions");
+            // JSONL round-trips byte-for-byte.
+            assert_eq!(netmaster_obs::to_jsonl(&entries).unwrap(), raw);
+            assert!(entries.iter().any(|e| e.event.kind() == "DayExecuted"));
+        } else {
+            assert!(entries.is_empty());
+        }
+
+        assert!(run_to_string(&args("obs --users 0")).is_err());
+        assert!(run_to_string(&args("obs --days 1")).is_err());
     }
 
     #[test]

@@ -172,6 +172,7 @@ impl DecisionMaker {
         network: &NetworkPrediction,
         scratch: &mut OvScratch,
     ) -> DayRouting {
+        let _solve_span = netmaster_obs::span!("solve");
         let slots = active.slots_for_day(day);
         if slots.is_empty() {
             return DayRouting::duty_only(day);
@@ -255,6 +256,8 @@ impl DecisionMaker {
             .iter()
             .map(|s| self.link.slot_capacity_bytes(s.len()))
             .collect();
+        netmaster_obs::counter!("planner_slots_total", slots.len() as u64);
+        netmaster_obs::counter!("planner_items_total", items.len() as u64);
         let problem = OvProblem { capacities, items };
         let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 

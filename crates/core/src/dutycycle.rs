@@ -163,6 +163,8 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
         }
         next_arrival += 1;
     }
+    netmaster_obs::counter!("duty_wakeups_total", out.wakeups.len() as u64);
+    netmaster_obs::counter!("duty_empty_wakeups_total", out.empty_wakeups);
     out
 }
 

@@ -9,6 +9,7 @@ use crate::dutycycle::{run_window, SleepScheme};
 use crate::monitoring::Monitor;
 use netmaster_knapsack::OvScratch;
 use netmaster_mining::IncrementalMiner;
+use netmaster_obs::{self as obs, DecisionEvent, Journal, JournalEntry};
 use netmaster_radio::{LinkModel, RrcModel, TailPolicy};
 use netmaster_sim::{DayPlan, Execution, Policy};
 #[cfg(test)]
@@ -56,6 +57,8 @@ pub struct NetMasterPolicy {
     scratch: OvScratch,
     monitor: Monitor,
     stats: NetMasterStats,
+    /// Decision-audit journal (bounded ring; see [`netmaster_obs`]).
+    journal: Journal,
 }
 
 impl NetMasterPolicy {
@@ -69,6 +72,7 @@ impl NetMasterPolicy {
             scratch: OvScratch::new(),
             monitor: Monitor::new(),
             stats: NetMasterStats::default(),
+            journal: Journal::new(),
         }
     }
 
@@ -91,12 +95,29 @@ impl NetMasterPolicy {
         &self.monitor
     }
 
+    /// The decision-audit journal (typed why-events per day).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Mutable journal access, for layers above the policy (the
+    /// middleware service stamps day-completion events here).
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Takes every buffered journal entry, oldest first.
+    pub fn drain_journal(&mut self) -> Vec<JournalEntry> {
+        self.journal.drain()
+    }
+
     /// Whether enough history exists to trust predictions.
     pub fn trained(&self) -> bool {
         self.miner.num_days() >= self.cfg.min_training_days
     }
 
     fn learn(&mut self, day: &DayTrace) {
+        let _mine_span = obs::span!("mine");
         self.monitor.observe_day(day);
         self.miner.push_day(day);
         self.recent.push_back(day.clone());
@@ -120,6 +141,7 @@ impl NetMasterPolicy {
                     self.miner.push_day(d);
                 }
                 self.stats.drift_resets += 1;
+                obs::counter!("mining_drift_resets_total");
             }
         }
     }
@@ -128,10 +150,14 @@ impl NetMasterPolicy {
         if !self.trained() {
             return DayRouting::duty_only(day);
         }
-        let active =
-            self.miner
-                .predict_confident(self.cfg.prediction, self.cfg.prediction_bound, 1.96);
-        let network = self.miner.network_prediction();
+        let (active, network) = {
+            let _predict_span = obs::span!("predict");
+            (
+                self.miner
+                    .predict_confident(self.cfg.prediction, self.cfg.prediction_bound, 1.96),
+                self.miner.network_prediction(),
+            )
+        };
         self.decision
             .plan_day_with(day, &active, &network, &mut self.scratch)
     }
@@ -166,12 +192,27 @@ impl Policy for NetMasterPolicy {
     }
 
     fn plan_day(&mut self, day: &DayTrace) -> DayPlan {
+        let _plan_span = obs::span!("plan_day");
+        let stats_before = self.stats;
         let routing = self.build_routing(day.day);
-        if self.trained() {
+        let trained = self.trained();
+        if trained {
             self.stats.trained_days += 1;
         } else {
             self.stats.untrained_days += 1;
         }
+        for (si, s) in routing.slots.iter().enumerate() {
+            let (start, end) = (s.start, s.end);
+            self.journal.emit(|| DecisionEvent::SlotPredicted {
+                day: day.day,
+                slot: si,
+                start,
+                end,
+            });
+        }
+        // Trained-prediction misses: demands that still fell to the
+        // duty-cycle layer despite a usable routing.
+        let mut misses: u64 = 0;
 
         let mut plan = DayPlan::default();
         // Per-slot placement cursors: forward from slot start for
@@ -200,6 +241,13 @@ impl Policy for NetMasterPolicy {
                     // next screen-on or duty wake-up — which is imminent,
                     // since the user is predicted to be around.
                     duty_pending.push((a.start, idx));
+                    if trained {
+                        misses += 1;
+                        self.journal.emit(|| DecisionEvent::PredictionMiss {
+                            day: day.day,
+                            hour: h,
+                        });
+                    }
                 }
                 Disposition::DeferTo { slot } => {
                     let s = routing.slots[slot];
@@ -208,6 +256,21 @@ impl Policy for NetMasterPolicy {
                     *off += a.duration.max(1);
                     plan.executions.push(Execution::moved(a, at));
                     self.stats.deferred += 1;
+                    let from = a.start;
+                    let latency_secs = at.abs_diff(from);
+                    self.journal.emit(|| DecisionEvent::ActivityScheduled {
+                        day: day.day,
+                        hour: h,
+                        slot,
+                        prefetch: false,
+                    });
+                    self.journal.emit(|| DecisionEvent::DeferralExecuted {
+                        day: day.day,
+                        from,
+                        to: at,
+                        latency_secs,
+                    });
+                    obs::observe!("deferral_latency_seconds", latency_secs as f64);
                 }
                 Disposition::PrefetchIn { slot } => {
                     let s = routing.slots[slot];
@@ -217,9 +280,31 @@ impl Policy for NetMasterPolicy {
                     *off += dur;
                     plan.executions.push(Execution::moved(a, at));
                     self.stats.prefetched += 1;
+                    let from = a.start;
+                    let latency_secs = at.abs_diff(from);
+                    self.journal.emit(|| DecisionEvent::ActivityScheduled {
+                        day: day.day,
+                        hour: h,
+                        slot,
+                        prefetch: true,
+                    });
+                    self.journal.emit(|| DecisionEvent::DeferralExecuted {
+                        day: day.day,
+                        from,
+                        to: at,
+                        latency_secs,
+                    });
+                    obs::observe!("deferral_latency_seconds", latency_secs as f64);
                 }
                 Disposition::DutyCycle => {
                     duty_pending.push((a.start, idx));
+                    if trained {
+                        misses += 1;
+                        self.journal.emit(|| DecisionEvent::PredictionMiss {
+                            day: day.day,
+                            hour: h,
+                        });
+                    }
                 }
             }
         }
@@ -235,6 +320,7 @@ impl Policy for NetMasterPolicy {
             initial: self.cfg.duty_initial_sleep,
             reset_on_serve: false,
         };
+        let _duty_span = obs::span!("dutycycle");
         for window in Self::screen_off_windows(day) {
             let in_window: Vec<(Timestamp, usize)> = duty_pending
                 .iter()
@@ -252,6 +338,22 @@ impl Policy for NetMasterPolicy {
                 run_window(scheme, window, &arrivals)
             };
             plan.empty_wakeups += outcome.empty_wakeups;
+            if !arrivals.is_empty() || !outcome.wakeups.is_empty() {
+                let (n_arrivals, n_wakeups, n_empty, n_served) = (
+                    arrivals.len() as u64,
+                    outcome.wakeups.len() as u64,
+                    outcome.empty_wakeups,
+                    outcome.served.len() as u64,
+                );
+                self.journal.emit(|| DecisionEvent::DutyCycleFallback {
+                    day: day.day,
+                    window_start: window.start,
+                    arrivals: n_arrivals,
+                    wakeups: n_wakeups,
+                    empty_wakeups: n_empty,
+                    served: n_served,
+                });
+            }
             // Demands served at the same instant run back-to-back, not
             // in parallel — stagger so active time is counted honestly.
             let mut stagger: HashMap<Timestamp, u64> = HashMap::new();
@@ -265,9 +367,14 @@ impl Policy for NetMasterPolicy {
                 } else {
                     plan.executions.push(Execution::moved(demand, at));
                 }
+                obs::observe!(
+                    "duty_service_latency_seconds",
+                    at.abs_diff(demand.start) as f64
+                );
                 self.stats.duty_served += 1;
             }
         }
+        drop(_duty_span);
 
         // User-experience accounting: an interaction that needs the
         // network while the radio is blocked is a wrong decision unless
@@ -275,17 +382,56 @@ impl Policy for NetMasterPolicy {
         // powers the radio preemptively) or the hour is a predicted
         // active slot (radio planned-on).
         for i in &day.interactions {
-            let special =
-                self.cfg.track_special_apps && self.miner.special_apps().is_special(i.app);
-            if i.needs_network && !routing.in_active_slot(i.at) && !special {
+            if !i.needs_network || routing.in_active_slot(i.at) {
+                continue;
+            }
+            if self.cfg.track_special_apps && self.miner.special_apps().is_special(i.app) {
+                obs::counter!("special_passthrough_total");
+                let (app, at) = (i.app.0, i.at);
+                self.journal.emit(|| DecisionEvent::SpecialAppPassthrough {
+                    day: day.day,
+                    app,
+                    at,
+                });
+            } else {
                 plan.affected_interactions += 1;
                 self.stats.wrong_decisions += 1;
+                let at = i.at;
+                self.journal
+                    .emit(|| DecisionEvent::WrongDecision { day: day.day, at });
             }
         }
 
         // The monitoring component records today for tomorrow's mining.
         self.learn(day);
         plan.executions.sort_by_key(|e| e.start);
+
+        // Batched telemetry: one relaxed atomic add per counter per day
+        // (the per-demand hot loop above only touches the journal).
+        let d = self.stats;
+        obs::counter!("sched_deferred_total", d.deferred - stats_before.deferred);
+        obs::counter!(
+            "sched_prefetched_total",
+            d.prefetched - stats_before.prefetched
+        );
+        obs::counter!(
+            "sched_duty_served_total",
+            d.duty_served - stats_before.duty_served
+        );
+        obs::counter!(
+            "sched_wrong_decisions_total",
+            d.wrong_decisions - stats_before.wrong_decisions
+        );
+        obs::counter!(
+            "prediction_hits_total",
+            (d.deferred - stats_before.deferred) + (d.prefetched - stats_before.prefetched)
+        );
+        obs::counter!("prediction_misses_total", misses);
+        if trained {
+            obs::counter!("policy_days_trained_total");
+        } else {
+            obs::counter!("policy_days_untrained_total");
+        }
         plan
     }
 }
@@ -425,6 +571,68 @@ mod tests {
         assert!(
             p.monitor().db.len() > 100,
             "monitoring component must record"
+        );
+    }
+
+    /// Golden decision-event sequence: a fixed seed must always
+    /// produce the same journal, event for event. Catches silent
+    /// changes to when/what the policy journals.
+    #[test]
+    fn journal_golden_sequence_is_stable() {
+        let trace = volunteer_trace(16);
+        let mut p = policy().with_training(&trace.days[..14]);
+        for d in &trace.days[14..] {
+            let _ = p.plan_day(d);
+        }
+        let entries = p.drain_journal();
+        if !netmaster_obs::compiled() {
+            assert!(entries.is_empty(), "journal must be empty when obs is off");
+            return;
+        }
+        assert_eq!(entries.len(), 200, "golden event count");
+        // Sequence numbers are contiguous from zero.
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "seq numbers must be contiguous");
+        }
+        // Golden per-kind totals for seed 99, days 14..16.
+        let count = |k: &str| entries.iter().filter(|e| e.event.kind() == k).count();
+        assert_eq!(count("SlotPredicted"), 4, "2 slots per planned day");
+        assert_eq!(count("ActivityScheduled"), 38);
+        assert_eq!(count("DeferralExecuted"), 38);
+        assert_eq!(count("PredictionMiss"), 85);
+        assert_eq!(count("DutyCycleFallback"), 34);
+        assert_eq!(count("SpecialAppPassthrough"), 1);
+        assert_eq!(count("WrongDecision"), 0);
+        // Shape invariants: each day opens with its slot predictions,
+        // and every deferral execution directly follows its schedule.
+        assert_eq!(entries[0].event.kind(), "SlotPredicted");
+        assert_eq!(entries[1].event.kind(), "SlotPredicted");
+        assert_eq!(entries[2].event.kind(), "ActivityScheduled");
+        for (i, e) in entries.iter().enumerate() {
+            if e.event.kind() == "DeferralExecuted" {
+                assert_eq!(
+                    entries[i - 1].event.kind(),
+                    "ActivityScheduled",
+                    "deferral at seq {i} must follow its scheduling event"
+                );
+            }
+        }
+        assert_eq!(entries.last().unwrap().event.kind(), "DutyCycleFallback");
+        // Re-running the same seed reproduces the identical journal.
+        let mut q = policy().with_training(&trace.days[..14]);
+        for d in &trace.days[14..] {
+            let _ = q.plan_day(d);
+        }
+        let again = q.drain_journal();
+        let kinds = |es: &[JournalEntry]| {
+            es.iter()
+                .map(|e| e.event.kind().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            kinds(&entries),
+            kinds(&again),
+            "journal must be deterministic"
         );
     }
 }

@@ -133,6 +133,8 @@ impl MiddlewareService {
 
     /// Executes one observed day under the middleware and reports.
     pub fn run_day(&mut self, day: &DayTrace) -> DayReport {
+        let _run_span = netmaster_obs::span!("run_day");
+        netmaster_obs::counter!("service_days_total");
         let trained = self.policy.trained();
         let stock = simulate(std::slice::from_ref(day), &mut DefaultPolicy, &self.sim);
         let m = simulate(std::slice::from_ref(day), &mut self.policy, &self.sim);
@@ -156,7 +158,20 @@ impl MiddlewareService {
         self.summary.battery_points_saved += report.battery_points_saved;
         self.summary.moved_transfers += moved_today;
         self.summary.wrong_decisions += wrong_today;
+        self.policy
+            .journal_mut()
+            .emit(|| netmaster_obs::DecisionEvent::DayExecuted {
+                day: day.day,
+                trained,
+                moved_transfers: moved_today,
+                wrong_decisions: wrong_today,
+            });
         report
+    }
+
+    /// Takes every buffered decision-audit entry, oldest first.
+    pub fn drain_journal(&mut self) -> Vec<netmaster_obs::JournalEntry> {
+        self.policy.drain_journal()
     }
 
     /// Lifetime summary.

@@ -226,8 +226,10 @@ pub fn sin_knap_with(
     }
     // Fast path: all eligible items fit at once — take them all.
     if total_weight <= capacity as u128 {
+        netmaster_obs::counter!("knapsack_fastpath_total");
         return Solution::from_indices(items, eligible.clone());
     }
+    netmaster_obs::counter!("knapsack_dp_total");
     let n = eligible.len();
     let p_max = eligible
         .iter()
@@ -246,6 +248,8 @@ pub fn sin_knap_with(
     // min_weight[q] = least weight achieving scaled profit exactly q.
     const INF: u64 = u64::MAX;
     let cells = (p_total + 1) as usize;
+    netmaster_obs::gauge_max("knapsack_dp_cells_highwater", cells as f64);
+    netmaster_obs::gauge_max("knapsack_choice_bits_highwater", (n * cells) as f64);
     min_weight.clear();
     min_weight.resize(cells, INF);
     choice.reset(n, cells); // choice[j][q]

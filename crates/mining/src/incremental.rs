@@ -70,6 +70,7 @@ impl IncrementalMiner {
 
     /// Absorbs one day of monitoring data. `O(24 + events_in_day)`.
     pub fn push_day(&mut self, day: &DayTrace) {
+        netmaster_obs::counter!("mining_days_absorbed_total");
         let mut row = [0u64; HOURS_PER_DAY];
         for i in &day.interactions {
             row[hour_of(i.at)] += 1;

@@ -1,0 +1,225 @@
+//! Snapshot renderers: Prometheus text exposition and a human table.
+
+use crate::registry::{HistSnap, Snapshot};
+use std::fmt::Write as _;
+
+/// Prefix applied to every exported metric name.
+const PREFIX: &str = "netmaster_";
+
+/// Lowercases and maps anything outside `[a-z0-9_]` to `_` (metric
+/// names are compile-time literals already in that alphabet; this
+/// guards exports against future drift).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` lines, cumulative `_bucket{le=...}`
+    /// series, `_sum` and `_count` per histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = format!("{PREFIX}{}", sanitize(&c.name));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for g in &self.gauges {
+            let name = format!("{PREFIX}{}", sanitize(&g.name));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.value);
+        }
+        for h in &self.histograms {
+            let name = format!("{PREFIX}{}", sanitize(&h.name));
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", b.le_secs);
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_secs);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders a fixed-width summary table for terminals.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<36} {:>14}", "counter", "value");
+            for c in &self.counters {
+                let _ = writeln!(out, "{:<36} {:>14}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\n{:<36} {:>14}", "gauge", "value");
+            for g in &self.gauges {
+                let _ = writeln!(out, "{:<36} {:>14.0}", g.name, g.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<36} {:>10} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "p50", "p99"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>10} {:>12} {:>12} {:>12}",
+                    h.name,
+                    h.count,
+                    fmt_secs(h.mean_secs()),
+                    fmt_secs(h.quantile_secs(0.5)),
+                    fmt_secs(h.quantile_secs(0.99)),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Human-scaled seconds: `1.2µs`, `3.4ms`, `5.6s`, `2.1h`.
+fn fmt_secs(s: f64) -> String {
+    if s <= 0.0 {
+        "0".into()
+    } else if s < 1e-6 {
+        format!("{:.0}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else if s < 3600.0 {
+        format!("{:.1}s", s)
+    } else {
+        format!("{:.1}h", s / 3600.0)
+    }
+}
+
+/// The summary of a [`HistSnap`] as one line (for perf reports).
+impl HistSnap {
+    /// `count / mean / p50 / p99`, human-scaled.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "count {} mean {} p50 {} p99 {}",
+            self.count,
+            fmt_secs(self.mean_secs()),
+            fmt_secs(self.quantile_secs(0.5)),
+            fmt_secs(self.quantile_secs(0.99)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{BucketSnap, CounterSnap, GaugeSnap, HistSnap, Snapshot};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnap {
+                name: "sched_deferred_total".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeSnap {
+                name: "knapsack_dp_cells_highwater".into(),
+                value: 1234.0,
+            }],
+            histograms: vec![HistSnap {
+                name: "stage_plan_day_seconds".into(),
+                count: 10,
+                sum_secs: 0.011,
+                buckets: vec![
+                    BucketSnap {
+                        le_secs: 0.001048576,
+                        count: 9,
+                    },
+                    BucketSnap {
+                        le_secs: 0.002097152,
+                        count: 1,
+                    },
+                ],
+            }],
+        }
+    }
+
+    /// A minimal structural check of the Prometheus text format: every
+    /// non-comment line is `name{labels}? value`, histogram buckets are
+    /// cumulative and end at `+Inf == count`.
+    fn assert_parses_as_prometheus(text: &str) {
+        let mut bucket_cum: Option<u64> = None;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!series.is_empty() && !value.is_empty());
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "bad metric name {name:?}"
+            );
+            if series.contains("_bucket{le=\"") {
+                let v: u64 = value.parse().expect("bucket count");
+                if let Some(prev) = bucket_cum {
+                    if !series.contains("+Inf") {
+                        assert!(v >= prev, "buckets must be cumulative: {line}");
+                    }
+                }
+                bucket_cum = Some(v);
+            } else {
+                bucket_cum = None;
+                let _: f64 = value.parse().expect("sample value");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = sample().to_prometheus();
+        assert_parses_as_prometheus(&text);
+        assert!(text.contains("# TYPE netmaster_sched_deferred_total counter"));
+        assert!(text.contains("netmaster_sched_deferred_total 42"));
+        assert!(text.contains("# TYPE netmaster_stage_plan_day_seconds histogram"));
+        assert!(text.contains("netmaster_stage_plan_day_seconds_bucket{le=\"+Inf\"} 10"));
+        assert!(text.contains("netmaster_stage_plan_day_seconds_count 10"));
+        // Cumulative: second bucket includes the first's 9.
+        assert!(text.contains("le=\"0.002097152\"} 10"));
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let table = sample().render_table();
+        assert!(table.contains("sched_deferred_total"));
+        assert!(table.contains("42"));
+        assert!(table.contains("knapsack_dp_cells_highwater"));
+        assert!(table.contains("stage_plan_day_seconds"));
+        assert!(table.contains("p99"));
+        let empty = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+        }
+        .render_table();
+        assert!(empty.contains("no metrics"));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = sample();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,334 @@
+//! The decision-audit journal: a bounded ring buffer of typed events
+//! explaining *why* a day's plan looks the way it does — which slots
+//! the miner predicted, where each screen-off demand was routed, which
+//! predictions missed and fell to the duty-cycle layer, and where the
+//! Special-App guard overrode a block.
+//!
+//! Journals are per-policy (one middleware instance, one journal), so a
+//! fleet of policies never interleaves events. `emit` takes a closure:
+//! when observability is compiled out or switched off at run time, the
+//! event is never even constructed.
+
+use crate::runtime_enabled;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default ring capacity: a few weeks of single-user days.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// A typed scheduling decision, in simulated time (seconds since the
+/// trace epoch; `day` indexes the trace).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DecisionEvent {
+    /// The miner predicted a user-active slot for the day.
+    SlotPredicted {
+        /// Day being planned.
+        day: usize,
+        /// Index into the day's slot list.
+        slot: usize,
+        /// Slot start (simulated seconds).
+        start: u64,
+        /// Slot end (simulated seconds).
+        end: u64,
+    },
+    /// The planner routed a screen-off demand into a predicted slot.
+    ActivityScheduled {
+        /// Day being planned.
+        day: usize,
+        /// Hour-of-day the demand arrived in.
+        hour: usize,
+        /// Destination slot index.
+        slot: usize,
+        /// `true` when pre-served in an earlier slot (prefetch),
+        /// `false` when deferred to a later one.
+        prefetch: bool,
+    },
+    /// A scheduled demand was actually moved at execution time.
+    DeferralExecuted {
+        /// Day being planned.
+        day: usize,
+        /// Natural start of the demand.
+        from: u64,
+        /// When it actually ran.
+        to: u64,
+        /// `|to − from|` in simulated seconds.
+        latency_secs: u64,
+    },
+    /// A trained prediction missed: the demand fell through to the
+    /// duty-cycle layer (or arrived screen-off inside a predicted
+    /// active slot).
+    PredictionMiss {
+        /// Day being planned.
+        day: usize,
+        /// Hour-of-day of the missed demand.
+        hour: usize,
+    },
+    /// The duty-cycle layer covered a screen-off window.
+    DutyCycleFallback {
+        /// Day being planned.
+        day: usize,
+        /// Window start (simulated seconds).
+        window_start: u64,
+        /// Pending demands handed to the window.
+        arrivals: u64,
+        /// Wake-ups performed.
+        wakeups: u64,
+        /// Wake-ups that found nothing pending.
+        empty_wakeups: u64,
+        /// Demands served inside the window.
+        served: u64,
+    },
+    /// A Special App needed the network while the radio was planned
+    /// off; the real-time layer powered it preemptively instead of
+    /// counting a wrong decision.
+    SpecialAppPassthrough {
+        /// Day being planned.
+        day: usize,
+        /// Numeric app id from the trace.
+        app: u16,
+        /// Interaction instant.
+        at: u64,
+    },
+    /// A needs-network interaction hit a blocked radio: a wrong
+    /// decision charged against user experience.
+    WrongDecision {
+        /// Day being planned.
+        day: usize,
+        /// Interaction instant.
+        at: u64,
+    },
+    /// The middleware service finished executing a day.
+    DayExecuted {
+        /// Day index.
+        day: usize,
+        /// Whether the miner was trained for this day.
+        trained: bool,
+        /// Transfers rescheduled today.
+        moved_transfers: u64,
+        /// Wrong decisions today.
+        wrong_decisions: u64,
+    },
+}
+
+impl DecisionEvent {
+    /// The variant name, for compact summaries and golden tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecisionEvent::SlotPredicted { .. } => "SlotPredicted",
+            DecisionEvent::ActivityScheduled { .. } => "ActivityScheduled",
+            DecisionEvent::DeferralExecuted { .. } => "DeferralExecuted",
+            DecisionEvent::PredictionMiss { .. } => "PredictionMiss",
+            DecisionEvent::DutyCycleFallback { .. } => "DutyCycleFallback",
+            DecisionEvent::SpecialAppPassthrough { .. } => "SpecialAppPassthrough",
+            DecisionEvent::WrongDecision { .. } => "WrongDecision",
+            DecisionEvent::DayExecuted { .. } => "DayExecuted",
+        }
+    }
+}
+
+/// A journaled event with its monotonic sequence number (assigned at
+/// emit time; gaps reveal ring-buffer drops).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Monotonic per-journal sequence number.
+    pub seq: u64,
+    /// The decision event.
+    pub event: DecisionEvent,
+}
+
+/// Bounded ring buffer of [`JournalEntry`]s. When full, the oldest
+/// entry is dropped and counted.
+#[derive(Debug, Default)]
+pub struct Journal {
+    buf: VecDeque<JournalEntry>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Journal {
+    /// Journal with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Journal holding at most `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Journal {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends the event produced by `f`. When observability is
+    /// compiled out (or switched off at run time) `f` never runs.
+    #[inline]
+    pub fn emit(&mut self, f: impl FnOnce() -> DecisionEvent) {
+        if !runtime_enabled() {
+            return;
+        }
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.push_back(JournalEntry { seq, event: f() });
+    }
+
+    /// Buffered entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted by the ring bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Takes every buffered entry, oldest first.
+    pub fn drain(&mut self) -> Vec<JournalEntry> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Encodes entries as JSONL: one `serde_json` object per line.
+pub fn to_jsonl(entries: &[JournalEntry]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&serde_json::to_string(e)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses JSONL produced by [`to_jsonl`] (blank lines ignored).
+pub fn parse_jsonl(s: &str) -> Result<Vec<JournalEntry>, serde_json::Error> {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(day: usize) -> DecisionEvent {
+        DecisionEvent::PredictionMiss { day, hour: 3 }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        let mut j = Journal::with_capacity(3);
+        for day in 0..5 {
+            j.emit(|| sample(day));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let entries = j.drain();
+        assert!(j.is_empty());
+        // Oldest two were evicted; seq numbers reveal the gap.
+        assert_eq!(
+            entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(entries[0].event, sample(2));
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let all = vec![
+            DecisionEvent::SlotPredicted {
+                day: 14,
+                slot: 0,
+                start: 1_209_600,
+                end: 1_216_800,
+            },
+            DecisionEvent::ActivityScheduled {
+                day: 14,
+                hour: 3,
+                slot: 0,
+                prefetch: false,
+            },
+            DecisionEvent::DeferralExecuted {
+                day: 14,
+                from: 1_220_000,
+                to: 1_230_000,
+                latency_secs: 10_000,
+            },
+            DecisionEvent::PredictionMiss { day: 14, hour: 5 },
+            DecisionEvent::DutyCycleFallback {
+                day: 14,
+                window_start: 1_240_000,
+                arrivals: 2,
+                wakeups: 5,
+                empty_wakeups: 3,
+                served: 2,
+            },
+            DecisionEvent::SpecialAppPassthrough {
+                day: 14,
+                app: 7,
+                at: 1_250_000,
+            },
+            DecisionEvent::WrongDecision {
+                day: 14,
+                at: 1_260_000,
+            },
+            DecisionEvent::DayExecuted {
+                day: 14,
+                trained: true,
+                moved_transfers: 12,
+                wrong_decisions: 0,
+            },
+        ];
+        let entries: Vec<JournalEntry> = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| JournalEntry {
+                seq: i as u64,
+                event,
+            })
+            .collect();
+        let jsonl = to_jsonl(&entries).unwrap();
+        assert_eq!(jsonl.lines().count(), entries.len());
+        let back = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn kinds_name_every_variant() {
+        assert_eq!(sample(0).kind(), "PredictionMiss");
+        assert_eq!(
+            DecisionEvent::DayExecuted {
+                day: 0,
+                trained: false,
+                moved_transfers: 0,
+                wrong_decisions: 0
+            }
+            .kind(),
+            "DayExecuted"
+        );
+    }
+
+    #[test]
+    fn disabled_journal_stays_empty() {
+        if crate::ENABLED {
+            return;
+        }
+        let mut j = Journal::new();
+        j.emit(|| unreachable!("event must not be constructed when disabled"));
+        assert!(j.is_empty());
+    }
+}

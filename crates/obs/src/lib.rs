@@ -1,0 +1,254 @@
+//! # netmaster-obs
+//!
+//! Zero-dependency observability for the NetMaster stack:
+//!
+//! * a lock-cheap **metrics registry** — [`counter!`], [`observe!`],
+//!   [`gauge_set`]/[`gauge_max`] — with per-thread shards merged on
+//!   scrape ([`snapshot`]), exportable as JSON (serde) and Prometheus
+//!   text ([`Snapshot::to_prometheus`]);
+//! * **span timers** — [`span!`]`("plan_day")` returns a guard whose
+//!   drop records wall-clock latency into the
+//!   `stage_plan_day_seconds` histogram;
+//! * a bounded **decision-audit journal** — [`Journal`] of typed
+//!   [`DecisionEvent`]s, drainable to JSONL ([`to_jsonl`]).
+//!
+//! ## Feature gating
+//!
+//! Everything is erased at compile time when the `enabled` feature is
+//! off. Consumer crates depend on this crate unconditionally (with
+//! `default-features = false`) and forward their own `obs` feature to
+//! `netmaster-obs/enabled`; with the feature off every macro expands to
+//! a no-op, [`ENABLED`] is `false`, and the remaining API calls
+//! const-fold away — no `#[cfg]` at call sites. A runtime kill switch
+//! ([`set_runtime_enabled`]) additionally lets one binary A/B its own
+//! instrumentation overhead (the perf harness's <2% guard).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod export;
+mod journal;
+mod registry;
+
+pub use journal::{
+    parse_jsonl, to_jsonl, DecisionEvent, Journal, JournalEntry, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use registry::{
+    counter_handle, gauge_max, gauge_set, hist_handle, reset, snapshot, BucketSnap, Counter,
+    CounterSnap, GaugeSnap, Hist, HistSnap, Snapshot, FINITE_BUCKETS, HIST_BUCKETS,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// `true` when instrumentation is compiled in (the `enabled` feature).
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// [`ENABLED`] as a function, for callers that prefer not to name the
+/// const (e.g. guarding golden tests).
+#[inline]
+pub const fn compiled() -> bool {
+    ENABLED
+}
+
+static RUNTIME: AtomicBool = AtomicBool::new(true);
+
+/// Switches recording on or off at run time (on by default). Used by
+/// the perf harness to measure instrumentation overhead inside one
+/// binary; compiled-out builds ignore it.
+pub fn set_runtime_enabled(on: bool) {
+    RUNTIME.store(on, Ordering::Relaxed);
+}
+
+/// `true` when instrumentation is compiled in *and* runtime-enabled.
+/// With the feature off this is `const false` and recording paths fold
+/// away entirely.
+#[inline]
+pub fn runtime_enabled() -> bool {
+    ENABLED && RUNTIME.load(Ordering::Relaxed)
+}
+
+/// An in-flight timer; records elapsed wall-clock seconds into its
+/// histogram when dropped. Construct via [`span!`] or [`timer!`].
+#[must_use = "a span records on drop; bind it with `let _span = ...`"]
+pub struct Span(Option<(Instant, Hist)>);
+
+impl Span {
+    /// Starts a span over `hist` (skips the clock read when recording
+    /// is off).
+    #[inline]
+    pub fn new(hist: Option<Hist>) -> Span {
+        match hist {
+            Some(h) if runtime_enabled() => Span(Some((Instant::now(), h))),
+            _ => Span(None),
+        }
+    }
+
+    /// A span that records nothing.
+    #[inline]
+    pub const fn disabled() -> Span {
+        Span(None)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.0.take() {
+            hist.observe_secs(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Adds to a named counter: `counter!("sched_deferred_total")` adds 1,
+/// `counter!("sched_deferred_total", n)` adds `n: u64`. The handle is
+/// registered once per thread and cached; an increment is one relaxed
+/// atomic RMW. Expands to a no-op when the `enabled` feature is off.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+    ($name:expr, $n:expr) => {{
+        let n: u64 = $n;
+        if n != 0 {
+            ::std::thread_local! {
+                static __OBS_COUNTER: $crate::Counter = $crate::counter_handle($name);
+            }
+            let _ = __OBS_COUNTER.try_with(|c| c.add(n));
+        }
+    }};
+}
+
+/// Disabled-build `counter!`: evaluates the amount (for side-effect
+/// parity) and discards it.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{}};
+    ($name:expr, $n:expr) => {{
+        let _: u64 = $n;
+    }};
+}
+
+/// Records a value (in seconds, wall-clock or simulated) into a named
+/// histogram: `observe!("deferral_latency_seconds", secs)`.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $secs:expr) => {{
+        ::std::thread_local! {
+            static __OBS_HIST: $crate::Hist = $crate::hist_handle($name);
+        }
+        let _ = __OBS_HIST.try_with(|h| h.observe_secs($secs));
+    }};
+}
+
+/// Disabled-build `observe!`.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $secs:expr) => {{
+        let _: f64 = $secs;
+    }};
+}
+
+/// Times a pipeline stage: `let _span = obs::span!("plan_day");`
+/// records into the `stage_plan_day_seconds` histogram when the guard
+/// drops.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        ::std::thread_local! {
+            static __OBS_SPAN_HIST: $crate::Hist =
+                $crate::hist_handle(concat!("stage_", $name, "_seconds"));
+        }
+        $crate::Span::new(__OBS_SPAN_HIST.try_with(::std::clone::Clone::clone).ok())
+    }};
+}
+
+/// Disabled-build `span!`.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::Span::disabled()
+    };
+}
+
+/// Like [`span!`] but records under the literal histogram name
+/// (`timer!("fleet_member_seconds")`), for timings that are not
+/// pipeline stages.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! timer {
+    ($name:literal) => {{
+        ::std::thread_local! {
+            static __OBS_TIMER_HIST: $crate::Hist = $crate::hist_handle($name);
+        }
+        $crate::Span::new(__OBS_TIMER_HIST.try_with(::std::clone::Clone::clone).ok())
+    }};
+}
+
+/// Disabled-build `timer!`.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! timer {
+    ($name:literal) => {
+        $crate::Span::disabled()
+    };
+}
+
+/// Serializes tests that touch the process-global registry or the
+/// runtime toggle.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_record_through_the_registry() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        for _ in 0..3 {
+            crate::counter!("lib_macro_total");
+        }
+        crate::counter!("lib_macro_total", 7);
+        crate::counter!("lib_macro_zero_total", 0);
+        crate::observe!("lib_macro_seconds", 0.25);
+        {
+            let _span = crate::span!("lib_macro");
+        }
+        {
+            let _t = crate::timer!("lib_timer_seconds");
+        }
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("lib_macro_total"), 10);
+        // Zero adds register nothing.
+        assert_eq!(snap.counter("lib_macro_zero_total"), 0);
+        assert_eq!(snap.histogram("lib_macro_seconds").unwrap().count, 1);
+        assert_eq!(snap.histogram("stage_lib_macro_seconds").unwrap().count, 1);
+        assert_eq!(snap.histogram("lib_timer_seconds").unwrap().count, 1);
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_build_is_inert() {
+        if crate::ENABLED {
+            return;
+        }
+        crate::counter!("never_total", 5);
+        crate::observe!("never_seconds", 1.0);
+        let _span = crate::span!("never");
+        assert!(crate::snapshot().is_empty());
+        assert!(!crate::compiled());
+        assert!(!crate::runtime_enabled());
+    }
+}

@@ -1,0 +1,453 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Recording never takes the registry lock on the hot path. Each call
+//! site (via the [`counter!`](crate::counter)/[`observe!`](crate::observe)
+//! macros) caches a per-thread [`Counter`]/[`Hist`] handle — an `Arc`
+//! around a plain atomic cell — registered once per `(thread, site)`.
+//! Increments are relaxed atomic RMWs on a shard nothing else touches;
+//! [`snapshot`] merges shards by name under the lock, so contention is
+//! confined to handle creation and scrapes. Gauges are rare writes
+//! (high-water marks per DP run) and live behind a single mutex.
+
+use crate::runtime_enabled;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Total histogram buckets; the last one is the overflow bucket,
+/// surfaced only through `+Inf` in the Prometheus exposition.
+pub const HIST_BUCKETS: usize = 42;
+/// Finite buckets: upper bounds `2^7 ns … 2^47 ns` (128 ns … ≈39 h),
+/// doubling per bucket — wide enough for wall-clock stage timings *and*
+/// simulated-time latencies (deferrals span hours).
+pub const FINITE_BUCKETS: usize = HIST_BUCKETS - 1;
+const MIN_EXP: u32 = 7;
+
+/// Upper bound of finite bucket `i`, in seconds.
+fn bucket_le_secs(i: usize) -> f64 {
+    (1u64 << (MIN_EXP + i as u32)) as f64 / 1e9
+}
+
+/// First bucket whose upper bound is ≥ `ns` (overflow bucket past 2^47).
+fn bucket_of(ns: u64) -> usize {
+    if ns <= (1 << MIN_EXP) {
+        return 0;
+    }
+    let ceil_log = 64 - (ns - 1).leading_zeros();
+    ((ceil_log - MIN_EXP) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// One histogram shard: per-bucket counts plus count/sum.
+pub(crate) struct HistCell {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A counter handle: a private per-thread shard of a named counter.
+/// Cloning shares the shard; the registry keeps one `Arc` so values
+/// survive thread exit.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` (no-op when observability is disabled at run time).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 && runtime_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// A histogram handle: a private per-thread shard of a named histogram.
+#[derive(Clone)]
+pub struct Hist(Arc<HistCell>);
+
+impl Hist {
+    /// Records a value in seconds (wall-clock or simulated).
+    #[inline]
+    pub fn observe_secs(&self, secs: f64) {
+        if !runtime_enabled() {
+            return;
+        }
+        let ns = if secs <= 0.0 {
+            0
+        } else {
+            (secs * 1e9).min(u64::MAX as f64) as u64
+        };
+        let cell = &self.0;
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        cell.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Registry {
+    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
+    hists: Mutex<Vec<(&'static str, Arc<HistCell>)>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        hists: Mutex::new(Vec::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Registers a new per-thread shard of the named counter. Call once per
+/// call site per thread (the macros cache the handle in a
+/// `thread_local!`); shards with the same name merge on scrape.
+pub fn counter_handle(name: &'static str) -> Counter {
+    let cell = Arc::new(AtomicU64::new(0));
+    registry()
+        .counters
+        .lock()
+        .expect("obs counter registry")
+        .push((name, cell.clone()));
+    Counter(cell)
+}
+
+/// Registers a new per-thread shard of the named histogram.
+pub fn hist_handle(name: &'static str) -> Hist {
+    let cell = Arc::new(HistCell::new());
+    registry()
+        .hists
+        .lock()
+        .expect("obs hist registry")
+        .push((name, cell.clone()));
+    Hist(cell)
+}
+
+/// Sets a gauge to `value`.
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !runtime_enabled() {
+        return;
+    }
+    registry()
+        .gauges
+        .lock()
+        .expect("obs gauge registry")
+        .insert(name, value);
+}
+
+/// Raises a gauge to `value` if it is higher (high-water mark).
+pub fn gauge_max(name: &'static str, value: f64) {
+    if !runtime_enabled() {
+        return;
+    }
+    let mut g = registry().gauges.lock().expect("obs gauge registry");
+    let slot = g.entry(name).or_insert(value);
+    if value > *slot {
+        *slot = value;
+    }
+}
+
+/// Zeroes every metric in place. Cached thread-local handles stay valid
+/// (shards are zeroed, not dropped), so call sites keep recording into
+/// the same cells after a reset.
+pub fn reset() {
+    let r = registry();
+    for (_, c) in r.counters.lock().expect("obs counter registry").iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for (_, h) in r.hists.lock().expect("obs hist registry").iter() {
+        h.zero();
+    }
+    r.gauges.lock().expect("obs gauge registry").clear();
+}
+
+/// A scraped counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Merged value across all shards.
+    pub value: u64,
+}
+
+/// A scraped gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// One non-empty finite histogram bucket (per-bucket count, not
+/// cumulative; overflow lives only in [`HistSnap::count`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnap {
+    /// Upper bound of the bucket, in seconds.
+    pub le_secs: f64,
+    /// Observations in this bucket alone.
+    pub count: u64,
+}
+
+/// A scraped histogram, merged across shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistSnap {
+    /// Metric name.
+    pub name: String,
+    /// Total observations (including overflow past the last bucket).
+    pub count: u64,
+    /// Sum of observed values, in seconds.
+    pub sum_secs: f64,
+    /// Non-empty finite buckets, ascending by bound.
+    pub buckets: Vec<BucketSnap>,
+}
+
+impl HistSnap {
+    /// Mean observed value in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_secs / self.count as f64
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// where the cumulative count crosses `q · count`. Observations past
+    /// the last finite bucket report that bucket's bound.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        let mut last = 0.0;
+        for b in &self.buckets {
+            cum += b.count;
+            last = b.le_secs;
+            if cum >= target {
+                return b.le_secs;
+            }
+        }
+        last
+    }
+}
+
+/// A point-in-time scrape of the whole registry, each section sorted by
+/// name. Serializes to JSON via serde; see [`Snapshot::to_prometheus`]
+/// for the text exposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counters, merged across shards.
+    pub counters: Vec<CounterSnap>,
+    /// Gauges.
+    pub gauges: Vec<GaugeSnap>,
+    /// Histograms, merged across shards.
+    pub histograms: Vec<HistSnap>,
+}
+
+impl Snapshot {
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Value of a gauge, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A histogram by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Merges every shard into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (name, c) in r.counters.lock().expect("obs counter registry").iter() {
+        *counters.entry(name).or_insert(0) += c.load(Ordering::Relaxed);
+    }
+
+    let mut hists: BTreeMap<&'static str, (u64, u64, [u64; HIST_BUCKETS])> = BTreeMap::new();
+    for (name, h) in r.hists.lock().expect("obs hist registry").iter() {
+        let entry = hists.entry(name).or_insert((0, 0, [0; HIST_BUCKETS]));
+        entry.0 += h.count.load(Ordering::Relaxed);
+        entry.1 += h.sum_ns.load(Ordering::Relaxed);
+        for (acc, b) in entry.2.iter_mut().zip(&h.buckets) {
+            *acc += b.load(Ordering::Relaxed);
+        }
+    }
+
+    Snapshot {
+        counters: counters
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(name, value)| CounterSnap {
+                name: name.to_owned(),
+                value,
+            })
+            .collect(),
+        gauges: r
+            .gauges
+            .lock()
+            .expect("obs gauge registry")
+            .iter()
+            .map(|(&name, &value)| GaugeSnap {
+                name: name.to_owned(),
+                value,
+            })
+            .collect(),
+        histograms: hists
+            .into_iter()
+            .filter(|&(_, (count, _, _))| count > 0)
+            .map(|(name, (count, sum_ns, buckets))| HistSnap {
+                name: name.to_owned(),
+                count,
+                sum_secs: sum_ns as f64 / 1e9,
+                buckets: buckets
+                    .iter()
+                    .take(FINITE_BUCKETS)
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| BucketSnap {
+                        le_secs: bucket_le_secs(i),
+                        count: c,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(128), 0);
+        assert_eq!(bucket_of(129), 1);
+        assert_eq!(bucket_of(256), 1);
+        assert_eq!(bucket_of(257), 2);
+        // Overflow clamps to the last bucket.
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Bounds double.
+        assert!((bucket_le_secs(1) / bucket_le_secs(0) - 2.0).abs() < 1e-12);
+        // Last finite bound covers multi-hour simulated latencies.
+        assert!(bucket_le_secs(FINITE_BUCKETS - 1) > 24.0 * 3600.0);
+    }
+
+    #[test]
+    fn counters_merge_across_shards() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        reset();
+        let a = counter_handle("test_merge_total");
+        let b = counter_handle("test_merge_total");
+        a.add(3);
+        b.add(4);
+        b.inc();
+        assert_eq!(snapshot().counter("test_merge_total"), 8);
+        reset();
+        assert_eq!(snapshot().counter("test_merge_total"), 0);
+        // Handles stay live across a reset.
+        a.inc();
+        assert_eq!(snapshot().counter("test_merge_total"), 1);
+        reset();
+    }
+
+    #[test]
+    fn histogram_records_counts_sum_and_quantiles() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        reset();
+        let h = hist_handle("test_hist_seconds");
+        for _ in 0..90 {
+            h.observe_secs(0.001);
+        }
+        for _ in 0..10 {
+            h.observe_secs(1.0);
+        }
+        let snap = snapshot();
+        let hs = snap.histogram("test_hist_seconds").unwrap();
+        assert_eq!(hs.count, 100);
+        assert!((hs.sum_secs - 10.09).abs() < 1e-6);
+        assert!((hs.mean_secs() - 0.1009).abs() < 1e-6);
+        // p50 lands near 1 ms, p99 near 1 s (bucket upper bounds).
+        assert!(hs.quantile_secs(0.5) < 0.01);
+        assert!(hs.quantile_secs(0.99) > 0.5);
+        reset();
+    }
+
+    #[test]
+    fn gauges_set_and_high_water() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        reset();
+        gauge_set("test_gauge", 5.0);
+        gauge_max("test_gauge", 3.0);
+        assert_eq!(snapshot().gauge("test_gauge"), Some(5.0));
+        gauge_max("test_gauge", 9.0);
+        assert_eq!(snapshot().gauge("test_gauge"), Some(9.0));
+        reset();
+        assert_eq!(snapshot().gauge("test_gauge"), None);
+    }
+
+    #[test]
+    fn runtime_toggle_suppresses_recording() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        reset();
+        let c = counter_handle("test_toggle_total");
+        crate::set_runtime_enabled(false);
+        c.add(100);
+        crate::set_runtime_enabled(true);
+        c.add(1);
+        assert_eq!(snapshot().counter("test_toggle_total"), 1);
+        reset();
+    }
+}

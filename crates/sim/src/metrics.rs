@@ -193,5 +193,42 @@ mod tests {
         let zero = RunMetrics::default();
         assert_eq!(m.energy_saving_vs(&zero), 0.0);
         assert_eq!(m.down_rate_ratio_vs(&zero), 0.0);
+        assert_eq!(m.radio_time_saving_vs(&zero), 0.0);
+        assert_eq!(m.up_rate_ratio_vs(&zero), 0.0);
+        // Negative baselines (impossible, but don't divide by them).
+        let negative = RunMetrics {
+            energy_j: -5.0,
+            radio_on_secs: -1.0,
+            ..Default::default()
+        };
+        assert_eq!(m.energy_saving_vs(&negative), 0.0);
+        assert_eq!(m.radio_time_saving_vs(&negative), 0.0);
+    }
+
+    #[test]
+    fn zero_rate_baselines_return_zero_ratios() {
+        // A baseline with radio time but no bytes has zero rates; the
+        // ratio must not blow up to infinity.
+        let base = RunMetrics {
+            radio_on_secs: 100.0,
+            ..Default::default()
+        };
+        let m = metrics(10.0, 10.0, 1_000);
+        assert_eq!(m.down_rate_ratio_vs(&base), 0.0);
+        assert_eq!(m.up_rate_ratio_vs(&base), 0.0);
+        // And both directions degenerate at once.
+        assert_eq!(base.down_rate_ratio_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn zero_radio_time_rates_and_up_rate() {
+        let m = RunMetrics {
+            bytes_up: 500,
+            bytes_down: 500,
+            ..Default::default()
+        };
+        assert_eq!(m.avg_up_rate(), 0.0);
+        assert_eq!(m.avg_down_rate(), 0.0);
+        assert_eq!(m.radio_efficiency(), 0.0);
     }
 }

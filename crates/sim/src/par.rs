@@ -14,6 +14,7 @@
 //! relative to the input.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
@@ -51,9 +52,13 @@ where
     let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
 
     let cursor = AtomicUsize::new(0);
-    let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<R>)>();
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<Result<R, String>>)>();
 
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // A panicking item must not take the whole scope down with an opaque
+    // "a scoped thread panicked": catch it per item, ship it back like a
+    // result, and re-panic on the caller's thread naming the item.
+    let mut first_failure: Option<(usize, String)> = None;
     thread::scope(|scope| {
         for _ in 0..workers {
             let res_tx = res_tx.clone();
@@ -65,7 +70,9 @@ where
                     break;
                 }
                 let end = (start + chunk).min(n);
-                let results: Vec<R> = (start..end).map(f).collect();
+                let results: Vec<Result<R, String>> = (start..end)
+                    .map(|i| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message))
+                    .collect();
                 if res_tx.send((start, results)).is_err() {
                     break;
                 }
@@ -74,14 +81,37 @@ where
         drop(res_tx);
         while let Ok((start, results)) = res_rx.recv() {
             for (offset, r) in results.into_iter().enumerate() {
-                out[start + offset] = Some(r);
+                let i = start + offset;
+                match r {
+                    Ok(r) => out[i] = Some(r),
+                    Err(msg) => {
+                        if first_failure.as_ref().is_none_or(|(j, _)| i < *j) {
+                            first_failure = Some((i, msg));
+                        }
+                    }
+                }
             }
         }
     });
+    if let Some((i, msg)) = first_failure {
+        panic!("worker panicked on item {i}: {msg}");
+    }
 
     out.into_iter()
-        .map(|r| r.expect("all chunks completed"))
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("no worker produced a result for item {i}")))
         .collect()
+}
+
+/// Renders a caught panic payload (usually `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Applies `f` to every item on a pool of scoped worker threads,
@@ -176,6 +206,20 @@ mod tests {
         let items: Vec<u64> = (0..32).collect();
         let out = par_map(&items, |&x| x + offset);
         assert_eq!(out[31], 131);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at item 5")]
+    fn worker_panic_names_the_failing_item() {
+        // Regardless of worker count (the 1-core path runs inline), the
+        // panic that surfaces must carry the failing item's message.
+        let items: Vec<usize> = (0..64).collect();
+        let _ = par_map(&items, |&x| {
+            if x == 5 {
+                panic!("boom at item 5");
+            }
+            x
+        });
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::trace::Trace;
 use std::io::{self, Read, Write};
 
 /// Serializes a trace to pretty JSON.
-pub fn to_json(trace: &Trace) -> String {
-    serde_json::to_string_pretty(trace).expect("trace serialization cannot fail")
+pub fn to_json(trace: &Trace) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(trace)
 }
 
 /// Parses a trace from JSON.
@@ -17,7 +17,8 @@ pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
 
 /// Writes a trace as JSON to a writer.
 pub fn write_json<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
-    w.write_all(to_json(trace).as_bytes())
+    let json = to_json(trace).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    w.write_all(json.as_bytes())
 }
 
 /// Reads a trace from a JSON reader.
@@ -78,7 +79,7 @@ mod tests {
         let t = TraceGenerator::new(UserProfile::panel().remove(5))
             .with_seed(8)
             .generate(3);
-        let json = to_json(&t);
+        let json = to_json(&t).unwrap();
         let back = from_json(&json).unwrap();
         assert_eq!(t, back);
     }

@@ -170,7 +170,7 @@ fn trace_serialization_survives_the_simulator() {
     // Round-trip a trace through JSON and verify the simulation result
     // is bit-identical.
     let trace = generate_volunteers(16, 11)[1].clone();
-    let json = netmaster::trace::io::to_json(&trace);
+    let json = netmaster::trace::io::to_json(&trace).expect("trace encodes");
     let back = netmaster::trace::io::from_json(&json).unwrap();
     assert_eq!(trace, back);
     let cfg = SimConfig::default();
