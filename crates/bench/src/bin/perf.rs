@@ -4,12 +4,17 @@
 //! in review diffs.
 //!
 //! ```text
-//! cargo run -p netmaster-bench --bin perf --release -- [FLEET_N] [--out FILE] [--smoke]
+//! cargo run -p netmaster-bench --bin perf --release -- [FLEET_N] [--out FILE] [--smoke] [--baseline FILE]
 //! ```
 //!
 //! `--smoke` shrinks every workload for CI (seconds, not minutes) and
 //! relaxes the observability-overhead bound to a noise-tolerant sanity
 //! check; the full run enforces it at <2%.
+//!
+//! `--baseline FILE` compares this run's fleet numbers against a
+//! previously committed `BENCH_fleet.json` and exits nonzero when
+//! throughput drops >10% (>60% in smoke mode, where CI noise dominates)
+//! or the mean saving drops >2pp — the perf-regression gate.
 //!
 //! Covered paths:
 //!
@@ -26,6 +31,7 @@
 //!   at run time, asserting the instrumentation costs <2% throughput.
 
 use netmaster_bench::harness::{self, TEST_DAYS, TRAIN_DAYS};
+use netmaster_bench::regression::{self, FleetNumbers, GateThresholds};
 use netmaster_core::decision::DecisionMaker;
 use netmaster_core::NetMasterConfig;
 use netmaster_knapsack::overlapped::OvProblem;
@@ -77,6 +83,11 @@ struct PredictionStats {
     hits: u64,
     misses: u64,
     hit_rate: f64,
+    /// Fraction of predicted slot hours that saw real activity
+    /// (hour-granular; see `NetMasterStats` for the two metric families).
+    slot_precision: f64,
+    /// Fraction of actually-active hours the predicted slots covered.
+    slot_recall: f64,
     deferral_latency_mean_secs: f64,
     deferral_latency_p99_secs: f64,
 }
@@ -299,19 +310,27 @@ fn scrape_stages(snap: &netmaster_obs::Snapshot) -> (Vec<StageStat>, PredictionS
         .collect();
     let hits = snap.counter("prediction_hits_total");
     let misses = snap.counter("prediction_misses_total");
+    let slot_predicted = snap.counter("slot_hours_predicted_total");
+    let slot_active = snap.counter("slot_hours_active_total");
+    let slot_overlap = snap.counter("slot_hours_overlap_total");
     let deferral = snap.histogram("deferral_latency_seconds");
     let prediction = PredictionStats {
         hits,
         misses,
         hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+        slot_precision: slot_overlap as f64 / (slot_predicted as f64).max(1.0),
+        slot_recall: slot_overlap as f64 / (slot_active as f64).max(1.0),
         deferral_latency_mean_secs: deferral.map(|h| h.mean_secs()).unwrap_or(0.0),
         deferral_latency_p99_secs: deferral.map(|h| h.quantile_secs(0.99)).unwrap_or(0.0),
     };
     println!(
-        "prediction: {} hits / {} misses (rate {:.3}); deferral latency mean {:.0} s (simulated)",
+        "prediction: {} hits / {} misses (rate {:.3}); slot precision {:.3} recall {:.3}; \
+         deferral latency mean {:.0} s (simulated)",
         prediction.hits,
         prediction.misses,
         prediction.hit_rate,
+        prediction.slot_precision,
+        prediction.slot_recall,
         prediction.deferral_latency_mean_secs
     );
     (stages, prediction)
@@ -357,15 +376,17 @@ fn measure_obs_overhead(n: usize, first_enabled_secs: f64, max_attempts: usize) 
     }
 }
 
-fn parse_args() -> Result<(usize, String, bool), String> {
+fn parse_args() -> Result<(usize, String, bool, Option<String>), String> {
     let mut n: Option<usize> = None;
     let mut out_path = "BENCH_fleet.json".to_string();
     let mut smoke = false;
+    let mut baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().ok_or("--out needs a file path")?,
             "--smoke" => smoke = true,
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a file path")?),
             s => {
                 n = Some(
                     s.parse()
@@ -375,15 +396,15 @@ fn parse_args() -> Result<(usize, String, bool), String> {
         }
     }
     let n = n.unwrap_or(if smoke { 64 } else { 1_000 });
-    Ok((n, out_path, smoke))
+    Ok((n, out_path, smoke, baseline))
 }
 
 fn main() -> ExitCode {
-    let (n, out_path, smoke) = match parse_args() {
+    let (n, out_path, smoke, baseline) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("perf: {e}");
-            eprintln!("usage: perf [FLEET_N] [--out FILE] [--smoke]");
+            eprintln!("usage: perf [FLEET_N] [--out FILE] [--smoke] [--baseline FILE]");
             return ExitCode::FAILURE;
         }
     };
@@ -452,6 +473,39 @@ fn main() -> ExitCode {
             100.0 * report.obs_overhead.overhead,
             100.0 * budget
         );
+    }
+
+    // Perf-regression gate: compare this run against a committed
+    // baseline and fail the process on a real regression.
+    if let Some(path) = baseline {
+        let doc = match std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|json| regression::parse_baseline(&json))
+        {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("perf: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let thresholds = if smoke {
+            GateThresholds::smoke()
+        } else {
+            GateThresholds::full()
+        };
+        let current = FleetNumbers {
+            members_per_sec: report.fleet.members_per_sec,
+            saving_mean: report.fleet.saving_mean,
+        };
+        let violations = regression::check(current, &doc, &thresholds);
+        if violations.is_empty() {
+            println!("regression gate vs {path}: pass");
+        } else {
+            for v in &violations {
+                eprintln!("perf: regression gate vs {path}: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -14,3 +14,4 @@ pub mod ablations;
 pub mod figures_eval;
 pub mod figures_profiling;
 pub mod harness;
+pub mod regression;

@@ -1,0 +1,205 @@
+//! Perf-regression gating against a committed baseline.
+//!
+//! The `perf` binary writes `BENCH_fleet.json`; this module reads a
+//! previously committed copy back and compares the current run's fleet
+//! numbers against it. The gate fails (returns a non-empty list of
+//! violations) when fleet throughput drops by more than the configured
+//! fraction or the mean energy saving drops by more than the configured
+//! number of points — the two regressions that would silently erode the
+//! paper's headline results.
+//!
+//! Baseline parsing is deliberately lenient: only the fields the gate
+//! compares are required, so older baselines keep working as the
+//! report schema grows.
+
+use serde::Deserialize;
+
+/// Regression thresholds for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct GateThresholds {
+    /// Maximum tolerated fractional drop in fleet throughput
+    /// (members/sec) before the gate fails, e.g. `0.10` for 10%.
+    pub max_throughput_drop: f64,
+    /// Maximum tolerated absolute drop in the mean saving ratio,
+    /// e.g. `0.02` for two percentage points.
+    pub max_saving_drop: f64,
+}
+
+impl GateThresholds {
+    /// The defaults for full perf runs: >10% throughput or >2pp saving
+    /// regressions fail.
+    pub fn full() -> Self {
+        GateThresholds {
+            max_throughput_drop: 0.10,
+            max_saving_drop: 0.02,
+        }
+    }
+
+    /// Smoke-mode thresholds: CI machines are noisy and smoke fleets
+    /// are tiny, so the throughput bound is only a sanity check; the
+    /// saving bound stays tight because savings are deterministic.
+    pub fn smoke() -> Self {
+        GateThresholds {
+            max_throughput_drop: 0.60,
+            max_saving_drop: 0.02,
+        }
+    }
+}
+
+/// The fleet numbers the gate compares (current-run side).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetNumbers {
+    /// Fleet throughput in members per second.
+    pub members_per_sec: f64,
+    /// Mean energy-saving ratio across the fleet.
+    pub saving_mean: f64,
+}
+
+/// The `fleet` object of a `BENCH_fleet.json` baseline; extra fields
+/// are ignored.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct BaselineFleet {
+    /// Baseline throughput in members per second.
+    pub members_per_sec: f64,
+    /// Baseline mean saving ratio.
+    pub saving_mean: f64,
+}
+
+/// A `BENCH_fleet.json` document, reduced to what the gate needs.
+#[derive(Debug, Clone, Copy, Deserialize)]
+pub struct BaselineDoc {
+    /// The fleet throughput/saving block.
+    pub fleet: BaselineFleet,
+}
+
+/// Parses a baseline report, tolerating unknown fields.
+pub fn parse_baseline(json: &str) -> Result<BaselineDoc, String> {
+    serde_json::from_str(json).map_err(|e| format!("bad baseline: {e}"))
+}
+
+/// Compares the current run against the baseline. Returns one message
+/// per violated threshold; empty means the gate passes. Improvements
+/// never fail the gate.
+pub fn check(current: FleetNumbers, baseline: &BaselineDoc, thr: &GateThresholds) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = baseline.fleet;
+    if base.members_per_sec > 0.0 {
+        let drop = (base.members_per_sec - current.members_per_sec) / base.members_per_sec;
+        if drop > thr.max_throughput_drop {
+            violations.push(format!(
+                "fleet throughput regressed {:.1}% ({:.1} -> {:.1} members/sec; budget {:.0}%)",
+                100.0 * drop,
+                base.members_per_sec,
+                current.members_per_sec,
+                100.0 * thr.max_throughput_drop
+            ));
+        }
+    }
+    let saving_drop = base.saving_mean - current.saving_mean;
+    if saving_drop > thr.max_saving_drop {
+        violations.push(format!(
+            "mean saving regressed {:.2}pp ({:.4} -> {:.4}; budget {:.0}pp)",
+            100.0 * saving_drop,
+            base.saving_mean,
+            current.saving_mean,
+            100.0 * thr.max_saving_drop
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "schema": "future-field-is-ignored",
+        "fleet": {
+            "members": 64,
+            "elapsed_secs": 0.5,
+            "members_per_sec": 400.0,
+            "saving_mean": 0.62,
+            "saving_min": 0.31,
+            "affected_max": 0.002
+        }
+    }"#;
+
+    #[test]
+    fn baseline_parses_leniently() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        assert_eq!(doc.fleet.members_per_sec, 400.0);
+        assert_eq!(doc.fleet.saving_mean, 0.62);
+        assert!(parse_baseline("{\"fleet\": {}}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        let current = FleetNumbers {
+            members_per_sec: 400.0,
+            saving_mean: 0.62,
+        };
+        assert!(check(current, &doc, &GateThresholds::full()).is_empty());
+        assert!(check(current, &doc, &GateThresholds::smoke()).is_empty());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        let current = FleetNumbers {
+            members_per_sec: 900.0,
+            saving_mean: 0.70,
+        };
+        assert!(check(current, &doc, &GateThresholds::full()).is_empty());
+    }
+
+    #[test]
+    fn throughput_regression_fails_the_gate() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        // 20% slower: past the 10% full budget, within the smoke one.
+        let current = FleetNumbers {
+            members_per_sec: 320.0,
+            saving_mean: 0.62,
+        };
+        let violations = check(current, &doc, &GateThresholds::full());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("throughput"), "{violations:?}");
+        assert!(check(current, &doc, &GateThresholds::smoke()).is_empty());
+    }
+
+    #[test]
+    fn saving_regression_fails_both_modes() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        // 3pp saving drop: past the 2pp budget in full and smoke alike.
+        let current = FleetNumbers {
+            members_per_sec: 400.0,
+            saving_mean: 0.59,
+        };
+        for thr in [GateThresholds::full(), GateThresholds::smoke()] {
+            let violations = check(current, &doc, &thr);
+            assert_eq!(violations.len(), 1, "{violations:?}");
+            assert!(violations[0].contains("saving"), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn both_regressions_report_both() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        let current = FleetNumbers {
+            members_per_sec: 100.0,
+            saving_mean: 0.50,
+        };
+        assert_eq!(check(current, &doc, &GateThresholds::full()).len(), 2);
+    }
+
+    #[test]
+    fn small_drops_within_budget_pass() {
+        let doc = parse_baseline(BASELINE).unwrap();
+        let current = FleetNumbers {
+            members_per_sec: 370.0, // -7.5%
+            saving_mean: 0.605,     // -1.5pp
+        };
+        assert!(check(current, &doc, &GateThresholds::full()).is_empty());
+    }
+}

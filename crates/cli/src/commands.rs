@@ -59,6 +59,15 @@ COMMANDS:
       --json                JSON metrics snapshot instead of the table
       --prom                Prometheus text exposition instead of the table
       --journal FILE        also drain the decision-audit journal to JSONL
+  watch                   Watch a simulated fleet for habit drift, report per-user health
+      --users N             fleet size (default 8)
+      --days N              days per member (default 21)
+      --seed N              base seed (default 2014)
+      --shift-user I        inject a 12-hour rhythm shift into member I
+      --shift-day N         first shifted day (default 2/3 into the run)
+      --worst K             worst members detailed in the report (default 3)
+      --json                machine-readable fleet health report
+      --journal FILE        drain the fleet's decision journals to JSONL
   timeline <trace.json>   ASCII radio-state strip of one simulated day
       --day N               which day to render (default last)
       --policy NAME         policy to render under (default netmaster)
@@ -80,6 +89,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "devourers" => devourers_cmd(args, out),
         "fleet" => fleet_cmd(args, out),
         "obs" => obs_cmd(args, out),
+        "watch" => watch_cmd(args, out),
         "anonymize" => anonymize_cmd(args, out),
         "filter" => filter_cmd(args, out),
         "" | "help" => {
@@ -557,6 +567,158 @@ fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the fleet health watchtower: every member lives `--days` under
+/// the middleware with per-day drift monitors, optionally with a
+/// habit shift injected into one member, and the per-user scorecards
+/// roll up into a fleet health report (healthy/degraded/critical
+/// counts plus the worst-K members with reasons).
+#[cfg(feature = "obs")]
+fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_core::watchtower::{run_watch, HabitShift, WatchSpec};
+    use netmaster_obs::health::{HealthStatus, Scorecard};
+    use netmaster_sim::FleetHealth;
+
+    let users: usize = args.num("users", 8)?;
+    let days: usize = args.num("days", 21)?;
+    let seed: u64 = args.num("seed", 2014)?;
+    let worst: usize = args.num("worst", 3)?;
+    if users == 0 || days < 8 {
+        return Err("watch needs --users ≥ 1 and --days ≥ 8".into());
+    }
+    let shift = match args.options.get("shift-user") {
+        Some(_) => {
+            let user_index: usize = args.num("shift-user", 0)?;
+            if user_index >= users {
+                return Err(format!("--shift-user {user_index} out of range 0..{users}"));
+            }
+            let at_day: usize = args.num("shift-day", days * 2 / 3)?;
+            if at_day >= days {
+                return Err(format!("--shift-day {at_day} out of range 0..{days}"));
+            }
+            Some(HabitShift { user_index, at_day })
+        }
+        None if args.options.contains_key("shift-day") => {
+            return Err("--shift-day needs --shift-user".into());
+        }
+        None => None,
+    };
+
+    let spec = WatchSpec {
+        users,
+        days,
+        seed,
+        shift,
+        ..WatchSpec::default()
+    };
+    let outcomes = run_watch(&spec);
+    let cards: Vec<Scorecard> = outcomes.iter().map(|o| o.scorecard.clone()).collect();
+    let health = FleetHealth::from_scorecards(&cards, worst);
+
+    if let Some(path) = args.options.get("journal") {
+        let entries: Vec<_> = outcomes.into_iter().flat_map(|o| o.journal).collect();
+        let jsonl = netmaster_obs::to_jsonl(&entries).map_err(|e| e.to_string())?;
+        fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    if args.flag("json") {
+        let mut root = serde_json::Map::new();
+        root.insert(
+            "fleet".to_owned(),
+            serde_json::to_value(&health).map_err(|e| e.to_string())?,
+        );
+        root.insert(
+            "users".to_owned(),
+            serde_json::to_value(&cards).map_err(|e| e.to_string())?,
+        );
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(root))
+                .map_err(|e| e.to_string())?
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "fleet health: {users} members × {days} days (seed {seed}){}",
+        match shift {
+            Some(s) => format!(
+                ", rhythm shift into member {} at day {}",
+                s.user_index, s.at_day
+            ),
+            None => String::new(),
+        }
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  healthy {} · degraded {} · critical {}\n",
+        health.healthy, health.degraded, health.critical
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "{:>4}  {:<8} {:>5} {:>7} {:>7} {:>9} {:>6} {:>6} {:>7}",
+        "user", "status", "hit", "recall", "saving", "p99-defer", "alarms", "first", "remines"
+    )
+    .map_err(io_err)?;
+    let frac = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_owned(),
+    };
+    for c in &cards {
+        writeln!(
+            out,
+            "{:>4}  {:<8} {:>5} {:>7} {:>7} {:>8.1}h {:>6} {:>6} {:>7}",
+            c.user,
+            c.status.name(),
+            frac(c.hit_rate),
+            frac(c.slot_recall),
+            frac(c.saving),
+            c.deferral_p99_secs / 3600.0,
+            c.drift_alarms,
+            c.first_alarm_day
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            c.remines,
+        )
+        .map_err(io_err)?;
+    }
+    let flagged: Vec<_> = health
+        .worst
+        .iter()
+        .filter(|c| c.status != HealthStatus::Healthy)
+        .collect();
+    if !flagged.is_empty() {
+        writeln!(out, "\nneeds attention:").map_err(io_err)?;
+        for c in flagged {
+            writeln!(
+                out,
+                "  user {} ({}): {}",
+                c.user,
+                c.status.name(),
+                c.reasons.join("; ")
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// With observability compiled out there are no drift monitors, no
+/// journal, and no scorecards — fail loudly rather than print an empty
+/// report.
+#[cfg(not(feature = "obs"))]
+fn watch_cmd(_args: &Args, _out: &mut dyn Write) -> Result<(), String> {
+    Err(
+        "the watch command needs observability, but this build has obs disabled \
+         (compiled with --no-default-features); rebuild with the default `obs` feature"
+            .into(),
+    )
+}
+
 fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     use netmaster_radio::Timeline;
     use netmaster_trace::time::{Interval, SECS_PER_HOUR};
@@ -817,6 +979,62 @@ mod tests {
 
         assert!(run_to_string(&args("obs --users 0")).is_err());
         assert!(run_to_string(&args("obs --days 1")).is_err());
+    }
+
+    /// The Prometheus exposition must satisfy the line-format
+    /// validator: well-formed names, cumulative buckets, `+Inf` ==
+    /// `_count`.
+    #[test]
+    fn obs_prometheus_exposition_is_valid() {
+        let prom = run_to_string(&args("obs --users 1 --days 16 --seed 3 --prom")).unwrap();
+        if netmaster_obs::compiled() {
+            netmaster_obs::validate_prometheus(&prom).unwrap();
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn watch_command_reports_fleet_health() {
+        // Quiet fleet: table lists every member as healthy.
+        let out = run_to_string(&args("watch --users 3 --days 12 --seed 7 --worst 2")).unwrap();
+        assert!(out.contains("fleet health: 3 members × 12 days"), "{out}");
+        assert!(out.contains("healthy 3 · degraded 0 · critical 0"), "{out}");
+
+        // Shifted fleet as JSON: the report carries fleet counts and one
+        // scorecard per member; the journal drains to JSONL on request.
+        let jp = tmp("watch.jsonl");
+        let out = run_to_string(&args(&format!(
+            "watch --users 8 --days 21 --seed 2014 --shift-user 2 --shift-day 14 \
+             --json --journal {jp}"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let fleet = &v["fleet"];
+        let total = fleet["healthy"].as_u64().unwrap()
+            + fleet["degraded"].as_u64().unwrap()
+            + fleet["critical"].as_u64().unwrap();
+        assert_eq!(total, 8);
+        assert!(fleet["healthy"].as_u64().unwrap() < 8, "shift undetected");
+        assert_eq!(v["users"].as_array().unwrap().len(), 8);
+        let raw = fs::read_to_string(&jp).unwrap();
+        let entries = netmaster_obs::parse_jsonl(&raw).unwrap();
+        assert!(entries.iter().any(|e| e.event.kind() == "DriftDetected"));
+
+        // Bad arguments are rejected.
+        assert!(run_to_string(&args("watch --users 0")).is_err());
+        assert!(run_to_string(&args("watch --days 2")).is_err());
+        assert!(run_to_string(&args("watch --users 4 --shift-user 9")).is_err());
+        assert!(run_to_string(&args("watch --users 4 --shift-day 3")).is_err());
+    }
+
+    /// Without the `obs` feature the watchtower does not exist; the
+    /// command must say so rather than print an empty report.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn watch_command_degrades_without_obs() {
+        let err = run_to_string(&args("watch")).unwrap_err();
+        assert!(err.contains("observability"), "{err}");
+        assert!(err.contains("obs disabled"), "{err}");
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub mod events;
 pub mod monitoring;
 pub mod policies;
 pub mod service;
+#[cfg(feature = "obs")]
+pub mod watchtower;
 
 pub use config::NetMasterConfig;
 pub use decision::{DayRouting, DecisionMaker, Disposition};

@@ -36,6 +36,23 @@ pub struct NetMasterStats {
     pub wrong_decisions: u64,
     /// History resets triggered by habit-drift detection.
     pub drift_resets: u64,
+    /// Trained-prediction misses: screen-off demands that fell through
+    /// to the duty-cycle layer (or arrived screen-off inside a
+    /// predicted active slot) despite a usable routing. The *hit/miss*
+    /// metric is therefore **per-activity** (per screen-off network
+    /// demand), not per-slot: hits = `deferred + prefetched`.
+    pub prediction_misses: u64,
+    /// Total simulated seconds that deferred/prefetched demands were
+    /// moved by (`Σ |scheduled − natural|`).
+    pub deferral_latency_secs: u64,
+    /// Hour-granular slot accounting on trained days: hours covered by
+    /// a predicted active slot.
+    pub slot_hours_predicted: u64,
+    /// Hours with actual screen-on activity (ground truth).
+    pub slot_hours_active: u64,
+    /// Hours both predicted and actually active (true positives);
+    /// slot-precision = overlap/predicted, slot-recall = overlap/active.
+    pub slot_hours_overlap: u64,
 }
 
 /// The NetMaster middleware as a policy.
@@ -135,15 +152,21 @@ impl NetMasterPolicy {
             // Two consecutive drift days ending today ⇒ a real break,
             // not one scattered day.
             if drifts.contains(&last_day_index) && drifts.contains(&(last_day_index - 1)) {
-                // Restart mining from the two retained days.
-                self.miner = IncrementalMiner::new();
-                for d in &self.recent {
-                    self.miner.push_day(d);
-                }
-                self.stats.drift_resets += 1;
-                obs::counter!("mining_drift_resets_total");
+                self.remine_from_recent();
             }
         }
+    }
+
+    /// Discards the learned aggregate and re-mines from the retained
+    /// fresh days — the drift-reaction hook. Called internally when the
+    /// stability-based reset trips, and externally by the watchtower
+    /// when an online drift detector fires on a watched metric. The
+    /// policy becomes untrained until enough new days accumulate (it
+    /// duty-cycles meanwhile), then predicts from the new life only.
+    pub fn remine_from_recent(&mut self) {
+        self.miner = IncrementalMiner::rebuilt_from(&self.recent);
+        self.stats.drift_resets += 1;
+        obs::counter!("mining_drift_resets_total");
     }
 
     fn build_routing(&mut self, day: usize) -> DayRouting {
@@ -210,6 +233,33 @@ impl Policy for NetMasterPolicy {
                 end,
             });
         }
+        // Hour-granular slot accounting (trained days): how well the
+        // predicted active slots cover the hours the user actually
+        // shows up in. Precision/recall here are the *per-slot* view of
+        // prediction quality; the hit/miss counters below are the
+        // *per-activity* view (see [`NetMasterStats`]).
+        if trained {
+            let mut predicted = [false; 24];
+            for s in &routing.slots {
+                let (h0, h1) = (hour_of(s.start), hour_of(s.end.saturating_sub(1)));
+                for p in predicted.iter_mut().take(h1 + 1).skip(h0) {
+                    *p = true;
+                }
+            }
+            let mut active = [false; 24];
+            for sess in &day.sessions {
+                let (h0, h1) = (hour_of(sess.start), hour_of(sess.end.saturating_sub(1)));
+                for a in active.iter_mut().take(h1 + 1).skip(h0) {
+                    *a = true;
+                }
+            }
+            for h in 0..24 {
+                self.stats.slot_hours_predicted += predicted[h] as u64;
+                self.stats.slot_hours_active += active[h] as u64;
+                self.stats.slot_hours_overlap += (predicted[h] && active[h]) as u64;
+            }
+        }
+
         // Trained-prediction misses: demands that still fell to the
         // duty-cycle layer despite a usable routing.
         let mut misses: u64 = 0;
@@ -258,6 +308,7 @@ impl Policy for NetMasterPolicy {
                     self.stats.deferred += 1;
                     let from = a.start;
                     let latency_secs = at.abs_diff(from);
+                    self.stats.deferral_latency_secs += latency_secs;
                     self.journal.emit(|| DecisionEvent::ActivityScheduled {
                         day: day.day,
                         hour: h,
@@ -282,6 +333,7 @@ impl Policy for NetMasterPolicy {
                     self.stats.prefetched += 1;
                     let from = a.start;
                     let latency_secs = at.abs_diff(from);
+                    self.stats.deferral_latency_secs += latency_secs;
                     self.journal.emit(|| DecisionEvent::ActivityScheduled {
                         day: day.day,
                         hour: h,
@@ -403,6 +455,7 @@ impl Policy for NetMasterPolicy {
         }
 
         // The monitoring component records today for tomorrow's mining.
+        self.stats.prediction_misses += misses;
         self.learn(day);
         plan.executions.sort_by_key(|e| e.start);
 
@@ -427,6 +480,18 @@ impl Policy for NetMasterPolicy {
             (d.deferred - stats_before.deferred) + (d.prefetched - stats_before.prefetched)
         );
         obs::counter!("prediction_misses_total", misses);
+        obs::counter!(
+            "slot_hours_predicted_total",
+            d.slot_hours_predicted - stats_before.slot_hours_predicted
+        );
+        obs::counter!(
+            "slot_hours_active_total",
+            d.slot_hours_active - stats_before.slot_hours_active
+        );
+        obs::counter!(
+            "slot_hours_overlap_total",
+            d.slot_hours_overlap - stats_before.slot_hours_overlap
+        );
         if trained {
             obs::counter!("policy_days_trained_total");
         } else {

@@ -28,6 +28,22 @@ pub struct DayReport {
     pub wrong_decisions: u64,
     /// Whether the miner was trained when planning this day.
     pub trained: bool,
+    /// Prediction hits today: screen-off demands routed into a
+    /// predicted slot (deferred + prefetched).
+    pub prediction_hits: u64,
+    /// Prediction misses today: trained demands that fell through to
+    /// the duty-cycle layer (per-activity metric; see
+    /// [`NetMasterStats`](crate::NetMasterStats)).
+    pub prediction_misses: u64,
+    /// Total simulated seconds today's deferred/prefetched demands were
+    /// moved by.
+    pub deferral_latency_secs: u64,
+    /// Hours of today covered by the predicted active slots.
+    pub slot_hours_predicted: u64,
+    /// Hours of today with actual session activity.
+    pub slot_hours_active: u64,
+    /// Hours both predicted and active (slot true positives).
+    pub slot_hours_overlap: u64,
 }
 
 impl DayReport {
@@ -37,6 +53,50 @@ impl DayReport {
             return 0.0;
         }
         1.0 - self.energy_j / self.stock_energy_j
+    }
+
+    /// Per-activity hit-rate for the day; `None` on days with no
+    /// planned screen-off demands (untrained or idle days), so callers
+    /// can skip rather than score them as 0.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.prediction_hits + self.prediction_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.prediction_hits as f64 / total as f64)
+        }
+    }
+
+    /// Mean deferral latency across today's hits, in simulated seconds.
+    pub fn deferral_latency_mean_secs(&self) -> f64 {
+        if self.prediction_hits == 0 {
+            0.0
+        } else {
+            self.deferral_latency_secs as f64 / self.prediction_hits as f64
+        }
+    }
+
+    /// Slot-recall for the day: the fraction of actually-active hours
+    /// the predicted slots covered. `None` on untrained or idle days.
+    /// This is the hour-granular habit-fidelity signal — it reacts the
+    /// moment a user's daily rhythm moves out from under the mined
+    /// slots, before the per-activity hit-rate statistics catch up.
+    pub fn slot_recall(&self) -> Option<f64> {
+        if self.slot_hours_active == 0 {
+            None
+        } else {
+            Some(self.slot_hours_overlap as f64 / self.slot_hours_active as f64)
+        }
+    }
+
+    /// Slot-precision for the day: the fraction of predicted slot hours
+    /// that saw real activity. `None` on days with no predicted slots.
+    pub fn slot_precision(&self) -> Option<f64> {
+        if self.slot_hours_predicted == 0 {
+            None
+        } else {
+            Some(self.slot_hours_overlap as f64 / self.slot_hours_predicted as f64)
+        }
     }
 }
 
@@ -86,7 +146,6 @@ pub struct MiddlewareService {
     sim: SimConfig,
     battery: BatteryModel,
     summary: ServiceSummary,
-    last_wrong: u64,
 }
 
 impl MiddlewareService {
@@ -114,7 +173,6 @@ impl MiddlewareService {
             },
             battery: BatteryModel::htc_one_x(),
             summary: ServiceSummary::default(),
-            last_wrong: 0,
         }
     }
 
@@ -137,10 +195,14 @@ impl MiddlewareService {
         netmaster_obs::counter!("service_days_total");
         let trained = self.policy.trained();
         let stock = simulate(std::slice::from_ref(day), &mut DefaultPolicy, &self.sim);
+        let before = self.policy.stats();
         let m = simulate(std::slice::from_ref(day), &mut self.policy, &self.sim);
         let stats = self.policy.stats();
-        let wrong_today = stats.wrong_decisions - self.last_wrong;
-        self.last_wrong = stats.wrong_decisions;
+        let wrong_today = stats.wrong_decisions - before.wrong_decisions;
+        let hits_today =
+            (stats.deferred - before.deferred) + (stats.prefetched - before.prefetched);
+        let misses_today = stats.prediction_misses - before.prediction_misses;
+        let latency_today = stats.deferral_latency_secs - before.deferral_latency_secs;
         let moved_today = m.moved_transfers;
         let saved_j = (stock.energy_j - m.energy_j).max(0.0);
         let report = DayReport {
@@ -151,6 +213,12 @@ impl MiddlewareService {
             moved_transfers: moved_today,
             wrong_decisions: wrong_today,
             trained,
+            prediction_hits: hits_today,
+            prediction_misses: misses_today,
+            deferral_latency_secs: latency_today,
+            slot_hours_predicted: stats.slot_hours_predicted - before.slot_hours_predicted,
+            slot_hours_active: stats.slot_hours_active - before.slot_hours_active,
+            slot_hours_overlap: stats.slot_hours_overlap - before.slot_hours_overlap,
         };
         self.summary.days += 1;
         self.summary.stock_energy_j += stock.energy_j;
@@ -182,6 +250,20 @@ impl MiddlewareService {
     /// The underlying policy (predictions, stats, monitor).
     pub fn policy(&self) -> &NetMasterPolicy {
         &self.policy
+    }
+
+    /// Mutable access to the decision-audit journal, so layers above
+    /// the service (the watchtower) can interleave their events with
+    /// the policy's in one ordered stream.
+    pub fn journal_mut(&mut self) -> &mut netmaster_obs::Journal {
+        self.policy.journal_mut()
+    }
+
+    /// Drift response: discard the learned habit and re-mine from the
+    /// freshest retained days (see
+    /// [`NetMasterPolicy::remine_from_recent`]).
+    pub fn trigger_remine(&mut self) {
+        self.policy.remine_from_recent();
     }
 
     /// Last-run metrics detail for one day, stock-device counterfactual.
@@ -261,6 +343,31 @@ mod tests {
         }
         assert!((svc.summary().battery_points_saved - total_saved_points).abs() < 1e-9);
         assert_eq!(svc.summary().days, 3);
+    }
+
+    #[test]
+    fn day_reports_carry_prediction_outcomes() {
+        let t = trace(17);
+        let mut svc = MiddlewareService::new().import_history(&t.days[..14]);
+        for day in &t.days[14..] {
+            let r = svc.run_day(day);
+            assert!(r.trained);
+            assert!(
+                r.prediction_hits + r.prediction_misses > 0,
+                "trained volunteer days have screen-off demands"
+            );
+            let hr = r.hit_rate().unwrap();
+            assert!((0.0..=1.0).contains(&hr));
+            if r.prediction_hits == 0 {
+                assert_eq!(r.deferral_latency_mean_secs(), 0.0);
+            }
+        }
+        // Untrained first day: nothing planned, hit-rate undefined.
+        let mut cold = MiddlewareService::new();
+        let r = cold.run_day(&t.days[0]);
+        assert!(!r.trained);
+        assert_eq!(r.hit_rate(), None);
+        assert_eq!(r.deferral_latency_mean_secs(), 0.0);
     }
 
     #[test]

@@ -68,6 +68,20 @@ impl IncrementalMiner {
         IncrementalMiner::default()
     }
 
+    /// Re-mines from scratch over `days` — the drift-reaction hook:
+    /// when a detector decides the learned habit no longer matches
+    /// reality, the stale aggregate is discarded and the model restarts
+    /// from only the retained fresh days. Bit-for-bit identical to
+    /// pushing the same days into [`IncrementalMiner::new`].
+    pub fn rebuilt_from<'a>(days: impl IntoIterator<Item = &'a DayTrace>) -> Self {
+        netmaster_obs::counter!("mining_remine_total");
+        let mut m = IncrementalMiner::new();
+        for d in days {
+            m.push_day(d);
+        }
+        m
+    }
+
     /// Absorbs one day of monitoring data. `O(24 + events_in_day)`.
     pub fn push_day(&mut self, day: &DayTrace) {
         netmaster_obs::counter!("mining_days_absorbed_total");
@@ -290,6 +304,23 @@ mod tests {
                 assert_eq!(miner.special_apps(), &SpecialApps::from_trace(&prefix));
             }
         }
+    }
+
+    /// The drift-reaction rebuild is exactly a fresh miner fed the same
+    /// days — no hidden carry-over from the discarded aggregate.
+    #[test]
+    fn rebuilt_from_equals_fresh_pushes() {
+        let trace = trace_for(2, 9, 77);
+        let rebuilt = IncrementalMiner::rebuilt_from(&trace.days[7..]);
+        let mut fresh = IncrementalMiner::new();
+        for d in &trace.days[7..] {
+            fresh.push_day(d);
+        }
+        assert_eq!(rebuilt.num_days(), 2);
+        assert_eq!(rebuilt.history(), fresh.history());
+        assert_eq!(rebuilt.stability(), fresh.stability());
+        assert_eq!(rebuilt.network_prediction(), fresh.network_prediction());
+        assert_eq!(rebuilt.special_apps(), fresh.special_apps());
     }
 
     #[test]

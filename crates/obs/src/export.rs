@@ -89,6 +89,73 @@ impl Snapshot {
     }
 }
 
+/// A minimal structural validator for the Prometheus text exposition
+/// format (version 0.0.4): every non-comment line must be
+/// `name{labels}? value` with a metric name in `[a-z_][a-z0-9_]*`,
+/// histogram `_bucket` series must be cumulative (monotone
+/// non-decreasing within one histogram), and each histogram must close
+/// with a `+Inf` bucket whose count equals its `_count` sample.
+/// Returns the first violation found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut bucket_cum: Option<(String, u64)> = None;
+    let mut inf_count: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if !line.starts_with("# TYPE ") && !line.starts_with("# HELP ") {
+                return Err(format!("bad comment line: {line}"));
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("expected `name value`: {line}"))?;
+        if series.is_empty() || value.is_empty() {
+            return Err(format!("empty series or value: {line}"));
+        }
+        let name = series.split('{').next().unwrap_or_default();
+        let valid_name = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !valid_name {
+            return Err(format!("bad metric name {name:?} in line: {line}"));
+        }
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let v: u64 = value
+                .parse()
+                .map_err(|_| format!("bucket count not a u64: {line}"))?;
+            if let Some((prev_base, prev)) = &bucket_cum {
+                if prev_base == base && v < *prev {
+                    return Err(format!("buckets must be cumulative: {line}"));
+                }
+            }
+            bucket_cum = Some((base.to_owned(), v));
+            if series.contains("le=\"+Inf\"") {
+                inf_count = Some((base.to_owned(), v));
+            }
+        } else {
+            bucket_cum = None;
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("sample value not a number: {line}"))?;
+            if let Some(base) = name.strip_suffix("_count") {
+                if let Some((inf_base, inf)) = &inf_count {
+                    if inf_base == base && value != inf.to_string() {
+                        return Err(format!(
+                            "histogram {base}: +Inf bucket {inf} != _count {value}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Human-scaled seconds: `1.2µs`, `3.4ms`, `5.6s`, `2.1h`.
 fn fmt_secs(s: f64) -> String {
     if s <= 0.0 {
@@ -152,43 +219,12 @@ mod tests {
         }
     }
 
-    /// A minimal structural check of the Prometheus text format: every
-    /// non-comment line is `name{labels}? value`, histogram buckets are
-    /// cumulative and end at `+Inf == count`.
-    fn assert_parses_as_prometheus(text: &str) {
-        let mut bucket_cum: Option<u64> = None;
-        for line in text.lines() {
-            if line.starts_with('#') {
-                assert!(line.starts_with("# TYPE "), "bad comment: {line}");
-                continue;
-            }
-            let (series, value) = line.rsplit_once(' ').expect("name value");
-            assert!(!series.is_empty() && !value.is_empty());
-            let name = series.split('{').next().unwrap();
-            assert!(
-                name.chars()
-                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
-                "bad metric name {name:?}"
-            );
-            if series.contains("_bucket{le=\"") {
-                let v: u64 = value.parse().expect("bucket count");
-                if let Some(prev) = bucket_cum {
-                    if !series.contains("+Inf") {
-                        assert!(v >= prev, "buckets must be cumulative: {line}");
-                    }
-                }
-                bucket_cum = Some(v);
-            } else {
-                bucket_cum = None;
-                let _: f64 = value.parse().expect("sample value");
-            }
-        }
-    }
+    use crate::validate_prometheus;
 
     #[test]
     fn prometheus_exposition_is_well_formed() {
         let text = sample().to_prometheus();
-        assert_parses_as_prometheus(&text);
+        validate_prometheus(&text).unwrap();
         assert!(text.contains("# TYPE netmaster_sched_deferred_total counter"));
         assert!(text.contains("netmaster_sched_deferred_total 42"));
         assert!(text.contains("# TYPE netmaster_stage_plan_day_seconds histogram"));
@@ -196,6 +232,55 @@ mod tests {
         assert!(text.contains("netmaster_stage_plan_day_seconds_count 10"));
         // Cumulative: second bucket includes the first's 9.
         assert!(text.contains("le=\"0.002097152\"} 10"));
+    }
+
+    #[test]
+    fn exposition_escapes_hostile_metric_names() {
+        let snap = Snapshot {
+            counters: vec![CounterSnap {
+                name: "Weird.Name-with spaces/and#symbols".into(),
+                value: 1,
+            }],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let text = snap.to_prometheus();
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("netmaster_weird_name_with_spaces_and_symbols 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        // Non-cumulative buckets.
+        let bad = "netmaster_x_seconds_bucket{le=\"0.001\"} 5\n\
+                   netmaster_x_seconds_bucket{le=\"0.002\"} 3\n";
+        assert!(validate_prometheus(bad).unwrap_err().contains("cumulative"));
+        // +Inf bucket disagrees with _count.
+        let bad = "netmaster_x_seconds_bucket{le=\"+Inf\"} 5\n\
+                   netmaster_x_seconds_sum 1.0\n\
+                   netmaster_x_seconds_count 7\n";
+        assert!(validate_prometheus(bad).unwrap_err().contains("+Inf"));
+        // Invalid metric name.
+        assert!(validate_prometheus("BadName 1\n").is_err());
+        assert!(validate_prometheus("1leading_digit 1\n").is_err());
+        // Missing value.
+        assert!(validate_prometheus("netmaster_lonely\n").is_err());
+        // Non-numeric sample.
+        assert!(validate_prometheus("netmaster_x abc\n").is_err());
+        // Stray comment style.
+        assert!(validate_prometheus("# COMMENT nope\n").is_err());
+        // A well-formed multi-histogram document passes.
+        let good = "# TYPE netmaster_a_seconds histogram\n\
+                    netmaster_a_seconds_bucket{le=\"0.001\"} 2\n\
+                    netmaster_a_seconds_bucket{le=\"+Inf\"} 4\n\
+                    netmaster_a_seconds_sum 0.5\n\
+                    netmaster_a_seconds_count 4\n\
+                    # TYPE netmaster_b_seconds histogram\n\
+                    netmaster_b_seconds_bucket{le=\"0.001\"} 1\n\
+                    netmaster_b_seconds_bucket{le=\"+Inf\"} 1\n\
+                    netmaster_b_seconds_sum 0.1\n\
+                    netmaster_b_seconds_count 1\n";
+        validate_prometheus(good).unwrap();
     }
 
     #[test]

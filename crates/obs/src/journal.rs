@@ -108,6 +108,35 @@ pub enum DecisionEvent {
         /// Wrong decisions today.
         wrong_decisions: u64,
     },
+    /// A watchtower drift detector fired on a watched per-user metric:
+    /// the habit the miner learned no longer matches observed behaviour.
+    DriftDetected {
+        /// Day the alarm fired.
+        day: usize,
+        /// Fleet member id.
+        user: u32,
+        /// Watched metric name (`hit_rate` / `saving_ratio` /
+        /// `deferral_latency`).
+        metric: String,
+        /// Detector name (`page_hinkley` / `windowed_cusum`).
+        detector: String,
+        /// The detector statistic at the moment of the alarm.
+        statistic: f64,
+        /// The threshold it crossed.
+        threshold: f64,
+    },
+    /// A user's health scorecard worsened (healthy → degraded or
+    /// degraded → critical).
+    HealthDegraded {
+        /// Day the transition was observed.
+        day: usize,
+        /// Fleet member id.
+        user: u32,
+        /// New status (`degraded` / `critical`).
+        status: String,
+        /// Why (first triggering reason).
+        reason: String,
+    },
 }
 
 impl DecisionEvent {
@@ -122,6 +151,8 @@ impl DecisionEvent {
             DecisionEvent::SpecialAppPassthrough { .. } => "SpecialAppPassthrough",
             DecisionEvent::WrongDecision { .. } => "WrongDecision",
             DecisionEvent::DayExecuted { .. } => "DayExecuted",
+            DecisionEvent::DriftDetected { .. } => "DriftDetected",
+            DecisionEvent::HealthDegraded { .. } => "HealthDegraded",
         }
     }
 }
@@ -291,6 +322,20 @@ mod tests {
                 trained: true,
                 moved_transfers: 12,
                 wrong_decisions: 0,
+            },
+            DecisionEvent::DriftDetected {
+                day: 15,
+                user: 3,
+                metric: "hit_rate".to_owned(),
+                detector: "page_hinkley".to_owned(),
+                statistic: 0.42,
+                threshold: 0.3,
+            },
+            DecisionEvent::HealthDegraded {
+                day: 15,
+                user: 3,
+                status: "degraded".to_owned(),
+                reason: "hit_rate drift on day 15".to_owned(),
             },
         ];
         let entries: Vec<JournalEntry> = all

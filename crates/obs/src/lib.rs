@@ -10,7 +10,12 @@
 //!   drop records wall-clock latency into the
 //!   `stage_plan_day_seconds` histogram;
 //! * a bounded **decision-audit journal** — [`Journal`] of typed
-//!   [`DecisionEvent`]s, drainable to JSONL ([`to_jsonl`]).
+//!   [`DecisionEvent`]s, drainable to JSONL ([`to_jsonl`]);
+//! * **watchtower primitives** — [`timeseries`] (Welford, EWMA,
+//!   mergeable quantile sketch, per-day rings), [`drift`]
+//!   (Page–Hinkley + windowed-CUSUM change detectors), and [`health`]
+//!   (per-user scorecards) — assembled into the fleet health
+//!   watchtower by `netmaster-core`.
 //!
 //! ## Feature gating
 //!
@@ -26,10 +31,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drift;
 mod export;
+pub mod health;
 mod journal;
 mod registry;
+pub mod timeseries;
 
+pub use export::validate_prometheus;
 pub use journal::{
     parse_jsonl, to_jsonl, DecisionEvent, Journal, JournalEntry, DEFAULT_JOURNAL_CAPACITY,
 };

@@ -235,21 +235,32 @@ impl HistSnap {
         self.sum_secs / self.count as f64
     }
 
-    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
-    /// where the cumulative count crosses `q · count`. Observations past
-    /// the last finite bucket report that bucket's bound.
+    /// Approximate quantile (`0.0..=1.0`), interpolated linearly inside
+    /// the bucket where the cumulative count crosses `q · count`. The
+    /// bucket's lower bound is half its upper bound (bounds double),
+    /// except the first finite bucket which starts at zero — so a rank
+    /// landing `f` of the way through a bucket's mass reports
+    /// `lo + f · (le − lo)` rather than snapping to `le`. Observations
+    /// past the last finite bucket report that bucket's bound.
     pub fn quantile_secs(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         let mut last = 0.0;
         for b in &self.buckets {
+            let before = cum;
             cum += b.count;
             last = b.le_secs;
             if cum >= target {
-                return b.le_secs;
+                let lo = if b.le_secs <= bucket_le_secs(0) {
+                    0.0
+                } else {
+                    b.le_secs / 2.0
+                };
+                let frac = (target - before) as f64 / b.count as f64;
+                return lo + frac * (b.le_secs - lo);
             }
         }
         last
@@ -413,9 +424,47 @@ mod tests {
         assert_eq!(hs.count, 100);
         assert!((hs.sum_secs - 10.09).abs() < 1e-6);
         assert!((hs.mean_secs() - 0.1009).abs() < 1e-6);
-        // p50 lands near 1 ms, p99 near 1 s (bucket upper bounds).
+        // p50 lands near 1 ms, p99 near 1 s (within-bucket interpolation).
         assert!(hs.quantile_secs(0.5) < 0.01);
         assert!(hs.quantile_secs(0.99) > 0.5);
+        reset();
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_one_bucket_width_of_truth() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        reset();
+        let h = hist_handle("test_quantile_seconds");
+        // Uniform over 0.01 s ..= 1.00 s: true p50 = 0.50 s, p99 = 0.99 s.
+        for i in 1..=100 {
+            h.observe_secs(i as f64 / 100.0);
+        }
+        let snap = snapshot();
+        let hs = snap.histogram("test_quantile_seconds").unwrap();
+        // One bucket width at value v: bounds double, so width = le − le/2.
+        let width_at = |v: f64| {
+            let ns = (v * 1e9) as u64;
+            let le = bucket_le_secs(bucket_of(ns));
+            le / 2.0
+        };
+        let p50 = hs.quantile_secs(0.5);
+        let p99 = hs.quantile_secs(0.99);
+        assert!(
+            (p50 - 0.50).abs() <= width_at(0.50),
+            "p50 {p50} further than one bucket width from 0.50"
+        );
+        assert!(
+            (p99 - 0.99).abs() <= width_at(0.99),
+            "p99 {p99} further than one bucket width from 0.99"
+        );
+        // The old snapping bug returned the raw bucket bound exactly; the
+        // interpolated estimate must not sit on a power-of-two bound when
+        // the rank lands mid-bucket.
+        let le50 = bucket_le_secs(bucket_of((p50 * 1e9) as u64));
+        assert!(p50 < le50, "p50 snapped to its bucket upper bound");
         reset();
     }
 

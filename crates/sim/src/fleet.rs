@@ -8,6 +8,7 @@ use crate::metrics::RunMetrics;
 use crate::par::{par_map, par_map_indexed};
 use crate::plan::Policy;
 use crate::runner::{simulate, SimConfig};
+use netmaster_obs::health::{HealthStatus, Scorecard};
 use netmaster_trace::stats::Summary;
 use netmaster_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -83,6 +84,49 @@ impl FleetReport {
         self.members
             .iter()
             .min_by(|a, b| a.saving().total_cmp(&b.saving()))
+    }
+}
+
+/// Fleet-wide health report: per-status counts plus the worst-K
+/// members with their reasons — what an operator pages on. Rolled up
+/// from the watchtower's per-user [`Scorecard`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Members with no unresolved drift and levels at expectation.
+    pub healthy: usize,
+    /// Members with detected drift or a watched level below its floor.
+    pub degraded: usize,
+    /// Members with repeated drift or collapsed savings.
+    pub critical: usize,
+    /// The `worst_k` members, worst first (severity, then alarm count,
+    /// then lowest smoothed saving).
+    pub worst: Vec<Scorecard>,
+}
+
+impl FleetHealth {
+    /// Rolls scorecards up into a fleet report, keeping the `worst_k`
+    /// worst members.
+    pub fn from_scorecards(cards: &[Scorecard], worst_k: usize) -> Self {
+        let count = |s: HealthStatus| -> usize { cards.iter().filter(|c| c.status == s).count() };
+        let mut worst: Vec<Scorecard> = cards.to_vec();
+        worst.sort_by(|a, b| {
+            b.badness()
+                .partial_cmp(&a.badness())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.user.cmp(&b.user))
+        });
+        worst.truncate(worst_k);
+        FleetHealth {
+            healthy: count(HealthStatus::Healthy),
+            degraded: count(HealthStatus::Degraded),
+            critical: count(HealthStatus::Critical),
+            worst,
+        }
+    }
+
+    /// Total members represented.
+    pub fn members(&self) -> usize {
+        self.healthy + self.degraded + self.critical
     }
 }
 
@@ -269,6 +313,51 @@ mod tests {
             |_| Box::new(DefaultPolicy),
         );
         assert_eq!(report.members.len(), 0);
+    }
+
+    #[test]
+    fn fleet_health_rolls_up_scorecards() {
+        let card = |user: u32, status: HealthStatus, alarms: u64| Scorecard {
+            user,
+            days: 21,
+            status,
+            reasons: vec![],
+            hit_rate: Some(0.3),
+            hit_rate_mean: 0.3,
+            slot_recall: Some(0.9),
+            slot_recall_mean: 0.9,
+            saving: Some(0.5),
+            saving_mean: 0.5,
+            deferral_p99_secs: 1000.0,
+            drift_alarms: alarms,
+            first_alarm_day: None,
+            remines: 0,
+        };
+        let cards = vec![
+            card(0, HealthStatus::Healthy, 0),
+            card(1, HealthStatus::Critical, 4),
+            card(2, HealthStatus::Degraded, 1),
+            card(3, HealthStatus::Healthy, 0),
+            card(4, HealthStatus::Degraded, 2),
+        ];
+        let health = FleetHealth::from_scorecards(&cards, 3);
+        assert_eq!(health.healthy, 2);
+        assert_eq!(health.degraded, 2);
+        assert_eq!(health.critical, 1);
+        assert_eq!(health.members(), 5);
+        // Worst-first: critical, then the degraded user with more alarms.
+        assert_eq!(health.worst.len(), 3);
+        assert_eq!(health.worst[0].user, 1);
+        assert_eq!(health.worst[1].user, 4);
+        assert_eq!(health.worst[2].user, 2);
+        // Round-trips through JSON for the CLI's --json mode.
+        let json = serde_json::to_string(&health).unwrap();
+        let back: FleetHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, health);
+        // Empty roll-up is benign.
+        let empty = FleetHealth::from_scorecards(&[], 5);
+        assert_eq!(empty.members(), 0);
+        assert!(empty.worst.is_empty());
     }
 
     #[test]

@@ -161,3 +161,47 @@ fn claim_threshold_trades_accuracy() {
         "NetMaster stays effective at all δ"
     );
 }
+
+#[test]
+fn claim_slot_prediction_accuracy_band() {
+    // §V mines per-hour habits into active slots with high day-to-day
+    // accuracy (the paper's Fig. 10(c) reports ~90% at the default δ).
+    // We pin that at the hour grain: across a trained panel member's
+    // test days the predicted slots must recover most actually-active
+    // hours (recall) and mostly point at real activity (precision).
+    //
+    // This is deliberately a *different* bound from the per-activity
+    // hit-rate (~27% on this panel): hit-rate counts every planned
+    // screen-off demand, and background syncs fire around the clock —
+    // including hours no habit model should (or does) predict — so most
+    // "misses" are off-slot background periods, not mispredicted hours.
+    // The hour-granular precision/recall below is the metric that
+    // actually tests §V's claim; the hit-rate documents scheduling
+    // yield. See NetMasterStats for the two metric families.
+    use netmaster_core::MiddlewareService;
+
+    let trace = &netmaster_bench::harness::volunteers()[0];
+    let train = 14.min(trace.num_days().saturating_sub(1));
+    let mut svc = MiddlewareService::new().import_history(&trace.days[..train]);
+    let (mut predicted, mut active, mut overlap) = (0u64, 0u64, 0u64);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for day in &trace.days[train..] {
+        let r = svc.run_day(day);
+        predicted += r.slot_hours_predicted;
+        active += r.slot_hours_active;
+        overlap += r.slot_hours_overlap;
+        hits += r.prediction_hits;
+        misses += r.prediction_misses;
+    }
+    assert!(active > 0 && predicted > 0, "test days must have activity");
+    let recall = overlap as f64 / active as f64;
+    let precision = overlap as f64 / predicted as f64;
+    assert!(recall > 0.75, "slot recall {recall:.3} (paper band ~0.9)");
+    assert!(precision > 0.6, "slot precision {precision:.3}");
+    // And the per-activity hit-rate really is the stricter statistic.
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    assert!(
+        hit_rate < recall,
+        "hit-rate {hit_rate:.3} should sit below slot recall {recall:.3}"
+    );
+}
