@@ -68,6 +68,13 @@ COMMANDS:
       --worst K             worst members detailed in the report (default 3)
       --json                machine-readable fleet health report
       --journal FILE        drain the fleet's decision journals to JSONL
+  lint                    Run the project's static-analysis rules over the workspace
+      --root DIR            workspace root (default: walk up from cwd)
+      --config FILE         lint.toml (default: <root>/lint.toml)
+      --allow RULES         comma-separated rules to skip
+      --deny RULES          comma-separated rules to force on
+      --index-guard         enable panic-hygiene's slice-index sub-check
+      --json                machine-readable report
   timeline <trace.json>   ASCII radio-state strip of one simulated day
       --day N               which day to render (default last)
       --policy NAME         policy to render under (default netmaster)
@@ -92,6 +99,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "watch" => watch_cmd(args, out),
         "anonymize" => anonymize_cmd(args, out),
         "filter" => filter_cmd(args, out),
+        "lint" => lint_cmd(args, out),
         "" | "help" => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -463,6 +471,50 @@ fn filter_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         ));
     }
     write_trace(&filtered, args.opt("out", "filtered.json"), out)
+}
+
+/// `netmaster lint` — thin wrapper over the `netmaster-lint` engine
+/// (the standalone binary shares the exact same rule set and config).
+fn lint_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_lint::{find_root, run_lint, Level, LintConfig};
+    use std::path::PathBuf;
+
+    let root = match args.options.get("root") {
+        Some(r) => PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd).ok_or("no workspace root found above the current directory")?
+        }
+    };
+    let config_path = match args.options.get("config") {
+        Some(c) => PathBuf::from(c),
+        None => root.join("lint.toml"),
+    };
+    let mut cfg = LintConfig::load(&config_path)?;
+    if args.flag("index-guard") {
+        cfg.index_guard = true;
+    }
+    for (key, level) in [("allow", Level::Allow), ("deny", Level::Deny)] {
+        if let Some(list) = args.options.get(key) {
+            for rule in list.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                cfg.set_level(rule, level)?;
+            }
+        }
+    }
+    let report = run_lint(&root, &cfg).map_err(|e| e.to_string())?;
+    if args.flag("json") {
+        write!(out, "{}", report.render_json()).map_err(io_err)?;
+    } else {
+        write!(out, "{}", report.render_text()).map_err(io_err)?;
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint: {} finding(s) — see the report above",
+            report.findings.len()
+        ))
+    }
 }
 
 fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {

@@ -256,8 +256,14 @@ impl DecisionMaker {
             .iter()
             .map(|s| self.link.slot_capacity_bytes(s.len()))
             .collect();
-        netmaster_obs::counter!("planner_slots_total", slots.len() as u64);
-        netmaster_obs::counter!("planner_items_total", items.len() as u64);
+        netmaster_obs::counter!(
+            netmaster_obs::names::PLANNER_SLOTS_TOTAL,
+            slots.len() as u64
+        );
+        netmaster_obs::counter!(
+            netmaster_obs::names::PLANNER_ITEMS_TOTAL,
+            items.len() as u64
+        );
         let problem = OvProblem { capacities, items };
         let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 

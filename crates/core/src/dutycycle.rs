@@ -131,6 +131,7 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
             SleepScheme::Random { min, max, .. } => {
                 let (lo, hi) = (min.max(1), max.max(min.max(1)));
                 rng.as_mut()
+                    // lint:allow(panic-hygiene) rng is Some iff the scheme is Random (set above); None here is a construction bug, not an input
                     .expect("rng for random scheme")
                     .random_range(lo..=hi)
             }
@@ -163,8 +164,14 @@ pub fn run_window(scheme: SleepScheme, window: Interval, arrivals: &[Timestamp])
         }
         next_arrival += 1;
     }
-    netmaster_obs::counter!("duty_wakeups_total", out.wakeups.len() as u64);
-    netmaster_obs::counter!("duty_empty_wakeups_total", out.empty_wakeups);
+    netmaster_obs::counter!(
+        netmaster_obs::names::DUTY_WAKEUPS_TOTAL,
+        out.wakeups.len() as u64
+    );
+    netmaster_obs::counter!(
+        netmaster_obs::names::DUTY_EMPTY_WAKEUPS_TOTAL,
+        out.empty_wakeups
+    );
     out
 }
 

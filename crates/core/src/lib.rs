@@ -56,3 +56,7 @@ pub use events::{
 };
 pub use monitoring::{Database, Monitor, MonitorConfig, Record};
 pub use service::{DayReport, MiddlewareService, ServiceSummary};
+
+/// `true` when this build compiles the `strict-invariants` runtime
+/// oracles (solver floors, watchtower monotonicity) into the stack.
+pub const STRICT_INVARIANTS: bool = cfg!(feature = "strict-invariants");

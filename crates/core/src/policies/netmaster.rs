@@ -166,7 +166,7 @@ impl NetMasterPolicy {
     pub fn remine_from_recent(&mut self) {
         self.miner = IncrementalMiner::rebuilt_from(&self.recent);
         self.stats.drift_resets += 1;
-        obs::counter!("mining_drift_resets_total");
+        obs::counter!(obs::names::MINING_DRIFT_RESETS_TOTAL);
     }
 
     fn build_routing(&mut self, day: usize) -> DayRouting {
@@ -321,7 +321,7 @@ impl Policy for NetMasterPolicy {
                         to: at,
                         latency_secs,
                     });
-                    obs::observe!("deferral_latency_seconds", latency_secs as f64);
+                    obs::observe!(obs::names::DEFERRAL_LATENCY_SECONDS, latency_secs as f64);
                 }
                 Disposition::PrefetchIn { slot } => {
                     let s = routing.slots[slot];
@@ -346,7 +346,7 @@ impl Policy for NetMasterPolicy {
                         to: at,
                         latency_secs,
                     });
-                    obs::observe!("deferral_latency_seconds", latency_secs as f64);
+                    obs::observe!(obs::names::DEFERRAL_LATENCY_SECONDS, latency_secs as f64);
                 }
                 Disposition::DutyCycle => {
                     duty_pending.push((a.start, idx));
@@ -420,7 +420,7 @@ impl Policy for NetMasterPolicy {
                     plan.executions.push(Execution::moved(demand, at));
                 }
                 obs::observe!(
-                    "duty_service_latency_seconds",
+                    obs::names::DUTY_SERVICE_LATENCY_SECONDS,
                     at.abs_diff(demand.start) as f64
                 );
                 self.stats.duty_served += 1;
@@ -438,7 +438,7 @@ impl Policy for NetMasterPolicy {
                 continue;
             }
             if self.cfg.track_special_apps && self.miner.special_apps().is_special(i.app) {
-                obs::counter!("special_passthrough_total");
+                obs::counter!(obs::names::SPECIAL_PASSTHROUGH_TOTAL);
                 let (app, at) = (i.app.0, i.at);
                 self.journal.emit(|| DecisionEvent::SpecialAppPassthrough {
                     day: day.day,
@@ -462,40 +462,43 @@ impl Policy for NetMasterPolicy {
         // Batched telemetry: one relaxed atomic add per counter per day
         // (the per-demand hot loop above only touches the journal).
         let d = self.stats;
-        obs::counter!("sched_deferred_total", d.deferred - stats_before.deferred);
         obs::counter!(
-            "sched_prefetched_total",
+            obs::names::SCHED_DEFERRED_TOTAL,
+            d.deferred - stats_before.deferred
+        );
+        obs::counter!(
+            obs::names::SCHED_PREFETCHED_TOTAL,
             d.prefetched - stats_before.prefetched
         );
         obs::counter!(
-            "sched_duty_served_total",
+            obs::names::SCHED_DUTY_SERVED_TOTAL,
             d.duty_served - stats_before.duty_served
         );
         obs::counter!(
-            "sched_wrong_decisions_total",
+            obs::names::SCHED_WRONG_DECISIONS_TOTAL,
             d.wrong_decisions - stats_before.wrong_decisions
         );
         obs::counter!(
-            "prediction_hits_total",
+            obs::names::PREDICTION_HITS_TOTAL,
             (d.deferred - stats_before.deferred) + (d.prefetched - stats_before.prefetched)
         );
-        obs::counter!("prediction_misses_total", misses);
+        obs::counter!(obs::names::PREDICTION_MISSES_TOTAL, misses);
         obs::counter!(
-            "slot_hours_predicted_total",
+            obs::names::SLOT_HOURS_PREDICTED_TOTAL,
             d.slot_hours_predicted - stats_before.slot_hours_predicted
         );
         obs::counter!(
-            "slot_hours_active_total",
+            obs::names::SLOT_HOURS_ACTIVE_TOTAL,
             d.slot_hours_active - stats_before.slot_hours_active
         );
         obs::counter!(
-            "slot_hours_overlap_total",
+            obs::names::SLOT_HOURS_OVERLAP_TOTAL,
             d.slot_hours_overlap - stats_before.slot_hours_overlap
         );
         if trained {
-            obs::counter!("policy_days_trained_total");
+            obs::counter!(obs::names::POLICY_DAYS_TRAINED_TOTAL);
         } else {
-            obs::counter!("policy_days_untrained_total");
+            obs::counter!(obs::names::POLICY_DAYS_UNTRAINED_TOTAL);
         }
         plan
     }

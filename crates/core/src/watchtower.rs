@@ -137,6 +137,8 @@ impl UserWatch {
     /// alarm and health transition, and returns `true` when a detector
     /// fired today (the caller decides whether to re-mine).
     pub fn observe_day(&mut self, report: &DayReport, journal: &mut Journal) -> bool {
+        #[cfg(feature = "strict-invariants")]
+        let before = (self.days_seen, self.alarms, self.status);
         self.days_seen += 1;
         let day = report.day;
         let mut fired = false;
@@ -182,6 +184,22 @@ impl UserWatch {
                 status,
                 reason,
             });
+        }
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!(
+                self.days_seen,
+                before.0 + 1,
+                "strict-invariants: observe_day must advance days_seen by exactly one"
+            );
+            assert!(
+                self.alarms >= before.1,
+                "strict-invariants: alarm count went backwards"
+            );
+            assert!(
+                self.status >= before.2,
+                "strict-invariants: health status must be monotone within a mining epoch"
+            );
         }
         fired
     }

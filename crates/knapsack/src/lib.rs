@@ -51,3 +51,8 @@ pub use solvers::{
     brute_force, dp_by_capacity, dp_by_capacity_with, greedy_add, greedy_add_presorted,
     greedy_half, sin_knap, sin_knap_with,
 };
+
+/// `true` when this build compiles the `strict-invariants` runtime
+/// oracles into the solvers; tests assert on it so a feature-gated CI
+/// run provably exercised the checked configuration.
+pub const STRICT_INVARIANTS: bool = cfg!(feature = "strict-invariants");

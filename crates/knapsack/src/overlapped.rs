@@ -156,6 +156,7 @@ pub fn solve(problem: &OvProblem, eps: f64) -> OvSolution {
 /// The `GreedyAdd` step runs directly over the already-ratio-sorted
 /// slot lists instead of re-sorting through
 /// [`crate::solvers::greedy_add`].
+// lint:hot-path
 pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvSolution {
     debug_assert_eq!(problem.validate(), Ok(()));
     let nslots = problem.capacities.len();
@@ -206,7 +207,9 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
             chosen_slots[j].push(slot);
         }
     }
+    // lint:allow(hot-path-alloc) OvSolution::assignment is the caller-owned result value, not reusable scratch
     let mut assignment: Vec<Option<usize>> = vec![None; nitems];
+    // lint:allow(hot-path-alloc) OvSolution::used is the caller-owned result value, not reusable scratch
     let mut used = vec![0u64; nslots];
     let profit_of = |j: usize, slot: usize| -> f64 {
         problem.items[j]
@@ -271,6 +274,7 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
     }
 
     // Assemble.
+    // lint:allow(hot-path-alloc) OvSolution::per_slot is the caller-owned result value, not reusable scratch
     let mut per_slot: Vec<Vec<usize>> = vec![Vec::new(); nslots];
     let mut profit = 0.0;
     for (j, a) in assignment.iter().enumerate() {
@@ -279,12 +283,26 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
             profit += profit_of(j, *slot);
         }
     }
-    OvSolution {
+    let out = OvSolution {
         assignment,
         per_slot,
         profit,
         used,
+    };
+    #[cfg(feature = "strict-invariants")]
+    {
+        assert!(
+            out.feasible(problem),
+            "strict-invariants: overlapped solve produced an infeasible assignment"
+        );
+        let placed: usize = out.per_slot.iter().map(Vec::len).sum();
+        assert_eq!(
+            placed,
+            out.scheduled_count(),
+            "strict-invariants: per_slot and assignment disagree on scheduled items"
+        );
     }
+    out
 }
 
 /// Exact solver by exhaustive assignment enumeration, for instances of

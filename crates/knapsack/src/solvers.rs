@@ -42,6 +42,27 @@ pub fn brute_force(items: &[Item], capacity: u64) -> Solution {
     Solution::from_indices(items, chosen)
 }
 
+/// Strict-mode solution oracle, compiled only under the
+/// `strict-invariants` feature: every solution must fit its capacity,
+/// and its profit must clear `floor` (the caller states the guarantee
+/// being checked — exactness for the DP, the `(1 − ε)`-scaled
+/// [`greedy_half`] bound for the FPTAS, both valid because
+/// `OPT ≥ greedy_half`).
+#[cfg(feature = "strict-invariants")]
+fn assert_solution_invariants(capacity: u64, floor: f64, sol: &Solution, what: &str) {
+    assert!(
+        sol.weight <= capacity,
+        "strict-invariants: {what} overpacked: weight {} > capacity {capacity}",
+        sol.weight
+    );
+    let tolerance = 1e-9 * floor.abs().max(1.0);
+    assert!(
+        sol.profit >= floor - tolerance,
+        "strict-invariants: {what} profit {} below its guaranteed floor {floor}",
+        sol.profit
+    );
+}
+
 /// Exact DP over capacity, `O(n · C)` time and space. Only sensible for
 /// small integer capacities; the scheduler uses [`sin_knap`] instead.
 ///
@@ -54,6 +75,7 @@ pub fn dp_by_capacity(items: &[Item], capacity: u64) -> Solution {
 /// [`dp_by_capacity`] reusing a caller-owned workspace. Produces the
 /// same solution bit-for-bit; the only difference is where the DP
 /// tables live.
+// lint:hot-path
 pub fn dp_by_capacity_with(items: &[Item], capacity: u64, scratch: &mut SolverScratch) -> Solution {
     let cap = capacity as usize;
     let n = items.len();
@@ -78,6 +100,7 @@ pub fn dp_by_capacity_with(items: &[Item], capacity: u64, scratch: &mut SolverSc
         }
     }
     // Reconstruct.
+    // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
     let mut chosen = Vec::new();
     let mut c = cap;
     for i in (0..n).rev() {
@@ -86,7 +109,16 @@ pub fn dp_by_capacity_with(items: &[Item], capacity: u64, scratch: &mut SolverSc
             c -= items[i].weight as usize;
         }
     }
-    Solution::from_indices(items, chosen)
+    let sol = Solution::from_indices(items, chosen);
+    // The exact DP dominates any feasible solution, greedy included.
+    #[cfg(feature = "strict-invariants")]
+    assert_solution_invariants(
+        capacity,
+        greedy_half(items, capacity).profit,
+        &sol,
+        "dp_by_capacity",
+    );
+    sol
 }
 
 /// Greedy by profit-to-weight ratio with the classic "best single item"
@@ -198,6 +230,7 @@ pub fn sin_knap(items: &[Item], capacity: u64, eps: f64) -> Solution {
 ///   reused `min_weight` table and bit-packed choice matrix (1/8 the
 ///   memory of the reference `Vec<bool>`), producing the same solution
 ///   bit-for-bit.
+// lint:hot-path
 pub fn sin_knap_with(
     items: &[Item],
     capacity: u64,
@@ -226,10 +259,20 @@ pub fn sin_knap_with(
     }
     // Fast path: all eligible items fit at once — take them all.
     if total_weight <= capacity as u128 {
-        netmaster_obs::counter!("knapsack_fastpath_total");
-        return Solution::from_indices(items, eligible.clone());
+        netmaster_obs::counter!(netmaster_obs::names::KNAPSACK_FASTPATH_TOTAL);
+        // lint:allow(hot-path-alloc) the result takes ownership of the index list; cloning keeps scratch reusable
+        let sol = Solution::from_indices(items, eligible.clone());
+        // Taking every eligible item dominates any feasible subset.
+        #[cfg(feature = "strict-invariants")]
+        assert_solution_invariants(
+            capacity,
+            greedy_half(items, capacity).profit,
+            &sol,
+            "sin_knap fast path",
+        );
+        return sol;
     }
-    netmaster_obs::counter!("knapsack_dp_total");
+    netmaster_obs::counter!(netmaster_obs::names::KNAPSACK_DP_TOTAL);
     let n = eligible.len();
     let p_max = eligible
         .iter()
@@ -248,8 +291,14 @@ pub fn sin_knap_with(
     // min_weight[q] = least weight achieving scaled profit exactly q.
     const INF: u64 = u64::MAX;
     let cells = (p_total + 1) as usize;
-    netmaster_obs::gauge_max("knapsack_dp_cells_highwater", cells as f64);
-    netmaster_obs::gauge_max("knapsack_choice_bits_highwater", (n * cells) as f64);
+    netmaster_obs::gauge_max(
+        netmaster_obs::names::KNAPSACK_DP_CELLS_HIGHWATER,
+        cells as f64,
+    );
+    netmaster_obs::gauge_max(
+        netmaster_obs::names::KNAPSACK_CHOICE_BITS_HIGHWATER,
+        (n * cells) as f64,
+    );
     min_weight.clear();
     min_weight.resize(cells, INF);
     choice.reset(n, cells); // choice[j][q]
@@ -271,6 +320,7 @@ pub fn sin_knap_with(
         .find(|&q| min_weight[q] <= capacity)
         .unwrap_or(0);
     // Reconstruct.
+    // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
     let mut chosen = Vec::new();
     let mut q = best_q;
     for j in (0..n).rev() {
@@ -280,7 +330,17 @@ pub fn sin_knap_with(
         }
     }
     debug_assert_eq!(q, 0, "reconstruction must land at profit 0");
-    Solution::from_indices(items, chosen)
+    let sol = Solution::from_indices(items, chosen);
+    // FPTAS bound: profit ≥ (1 − ε)·OPT and OPT ≥ greedy_half, so the
+    // scaled greedy profit is a sound runtime floor.
+    #[cfg(feature = "strict-invariants")]
+    assert_solution_invariants(
+        capacity,
+        (1.0 - eps) * greedy_half(items, capacity).profit,
+        &sol,
+        "sin_knap DP path",
+    );
+    sol
 }
 
 #[cfg(test)]
@@ -289,6 +349,16 @@ mod tests {
 
     fn items(v: &[(f64, u64)]) -> Vec<Item> {
         v.iter().map(|&(p, w)| Item::new(p, w)).collect()
+    }
+
+    /// Every oracle test in this module doubles as a strict-invariants
+    /// exercise when CI compiles the feature in; this pins that the
+    /// feature run was not vacuous.
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[allow(clippy::assertions_on_constants)]
+    fn strict_invariants_are_compiled_in() {
+        assert!(crate::STRICT_INVARIANTS);
     }
 
     #[test]

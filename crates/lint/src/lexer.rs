@@ -1,0 +1,389 @@
+//! A hand-rolled Rust lexer: just enough tokenization for lexical
+//! lint rules — comments, all string/char literal forms, lifetimes,
+//! identifiers, numbers, and single-character punctuation — with line
+//! numbers on every token. No parse tree; the rule engine works on
+//! token sequences plus the region analysis in [`crate::source`].
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`s, stored unprefixed).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String literal of any form (`"…"`, `r"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`), stored without the quote.
+    Lifetime,
+    /// Numeric literal (integers, floats, with suffixes).
+    Num,
+    /// `// …` comment, stored without the slashes, trimmed.
+    LineComment,
+    /// `/* … */` comment (possibly nested), stored without delimiters.
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Class of the token.
+    pub kind: TokKind,
+    /// Token text. Strings keep their quotes; comments are stripped.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// The inner value of a plain/raw string literal (no escape
+    /// processing — registry names and rule literals never use escapes).
+    pub fn str_value(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let s = self.text.trim_start_matches(['b', 'r']);
+        let s = s.trim_matches('#');
+        s.strip_prefix('"').and_then(|s| s.strip_suffix('"'))
+    }
+}
+
+/// Tokenizes `src`. Invalid UTF-8 never reaches here (callers read
+/// files as strings); lexically broken input degrades to punctuation
+/// tokens rather than failing — a linter should never crash on source
+/// it does not fully understand.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let ident_start = |c: char| c == '_' || c.is_alphabetic();
+    let ident_cont = |c: char| c == '_' || c.is_alphanumeric();
+
+    while i < n {
+        let c = chars[i];
+        let start_line = line;
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[i + 2..j].iter().collect();
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: text.trim().to_owned(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(i + 2);
+            let text: String = chars[i + 2..end.min(n)].iter().collect();
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: text.trim().to_owned(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i + 1;
+            let mut saw_r = c == 'r';
+            if c == 'b' && j < n && chars[j] == 'r' {
+                saw_r = true;
+                j += 1;
+            }
+            if c == 'r' && j < n && chars[j] == '#' && j + 1 < n && ident_start(chars[j + 1]) {
+                // Raw identifier r#ident.
+                let mut k = j + 1;
+                while k < n && ident_cont(chars[k]) {
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[j + 1..k].iter().collect(),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            let mut hashes = 0usize;
+            while saw_r && j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' && (saw_r || c == 'b') {
+                // (b)r#*"..."#* or b"..." string.
+                let mut k = j + 1;
+                let text_end;
+                loop {
+                    if k >= n {
+                        text_end = n;
+                        break;
+                    }
+                    let ch = chars[k];
+                    if ch == '\n' {
+                        line += 1;
+                    }
+                    if ch == '\\' && !saw_r {
+                        k += 2;
+                        continue;
+                    }
+                    if ch == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            text_end = k + 1 + hashes;
+                            k = text_end;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: chars[i..text_end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            if c == 'b' && j < n && chars[j] == '\'' {
+                // Byte char literal b'…'.
+                let (k, nl) = scan_char_literal(&chars, j);
+                line += nl;
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[i..k.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Plain strings.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < n {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: chars[i..j.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by another quote.
+            if i + 1 < n && ident_start(chars[i + 1]) {
+                let mut k = i + 2;
+                while k < n && ident_cont(chars[k]) {
+                    k += 1;
+                }
+                if k >= n || chars[k] != '\'' {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i + 1..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            let (k, nl) = scan_char_literal(&chars, i);
+            line += nl;
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: chars[i..k.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = k;
+            continue;
+        }
+        // Identifiers / keywords.
+        if ident_start(c) {
+            let mut j = i + 1;
+            while j < n && ident_cont(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (loose: digits then any ident/dot continuation that
+        // is not a method call — `1.max(2)` keeps `.max` separate).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n
+                && (ident_cont(chars[j])
+                    || (chars[j] == '.'
+                        && j + 1 < n
+                        && chars[j + 1].is_ascii_digit()
+                        && chars[j - 1] != '.'))
+            {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Scans a char/byte literal starting at the opening quote index;
+/// returns (index past the closing quote, newlines crossed).
+fn scan_char_literal(chars: &[char], open: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = open + 1;
+    let newlines = 0u32;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return (j + 1, newlines),
+            '\n' => {
+                // Broken literal: stop at the line end.
+                return (j, newlines);
+            }
+            _ => j += 1,
+        }
+    }
+    (n, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_strings() {
+        let toks = kinds(r#"counter!("sched_total", 3);"#);
+        assert_eq!(toks[0], (TokKind::Ident, "counter".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "!".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "(".into()));
+        assert_eq!(toks[3], (TokKind::Str, "\"sched_total\"".into()));
+        assert_eq!(lex(r#""a_b""#)[0].str_value(), Some("a_b"));
+    }
+
+    #[test]
+    fn comments_do_not_hide_line_numbers() {
+        let src = "// one\nlet x = 1; /* two\nlines */ fn f() {}\n";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[0].text, "one");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3, "block comment newlines must count");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; let c = 'x'; let nl = '\\n';");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let s = r#"no "escape" here"#; let b = b"bytes";"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("no \"escape\" here")));
+        assert!(toks.contains(&(TokKind::Str, "b\"bytes\"".into())));
+        // r-prefixed identifiers still lex as identifiers.
+        let toks = kinds("let ready = radio;");
+        assert!(toks.contains(&(TokKind::Ident, "ready".into())));
+        assert!(toks.contains(&(TokKind::Ident, "radio".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn strings_hide_braces_and_comment_markers() {
+        let toks = lex(r#"let s = "{ // not a comment }"; fn g() {}"#);
+        assert_eq!(toks.iter().filter(|t| t.is_punct('{')).count(), 1);
+        assert!(!toks.iter().any(|t| t.kind == TokKind::LineComment));
+    }
+}

@@ -1,0 +1,107 @@
+//! Standalone linter binary. Exit codes: 0 clean, 1 findings, 2 usage
+//! or load error. The `netmaster lint` subcommand is a thin wrapper
+//! over the same engine.
+
+use netmaster_lint::{find_root, run_lint, Level, LintConfig, RULE_IDS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "netmaster-lint — project-rule static analysis
+
+USAGE:
+    netmaster-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>      workspace root (default: walk up from cwd)
+    --config <FILE>   lint.toml (default: <root>/lint.toml)
+    --json            machine-readable report on stdout
+    --allow <RULES>   comma-separated rules to skip
+    --deny <RULES>    comma-separated rules to force on
+    --index-guard     enable panic-hygiene's slice-index sub-check
+    --list-rules      print the rule catalogue and exit
+    --help            this text
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("netmaster-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut json = false;
+    let mut index_guard = false;
+    let mut overrides: Vec<(String, Level)> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--list-rules" => {
+                for r in RULE_IDS {
+                    println!("{r}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--json" => json = true,
+            "--index-guard" => index_guard = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--config" => {
+                config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--allow" | "--deny" => {
+                let level = if arg == "--allow" {
+                    Level::Allow
+                } else {
+                    Level::Deny
+                };
+                let list = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a rule list"))?;
+                for rule in list.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                    overrides.push((rule.to_owned(), level));
+                }
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_root(&cwd).ok_or("no workspace root found above the current directory")?
+        }
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let mut cfg = LintConfig::load(&config_path)?;
+    if index_guard {
+        cfg.index_guard = true;
+    }
+    for (rule, level) in overrides {
+        cfg.set_level(&rule, level)?;
+    }
+
+    let report = run_lint(&root, &cfg).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,71 @@
+//! L5 `determinism`: simulation and solver crates must stay
+//! reproducible — no wall-clock or entropy sources outside the obs
+//! timing layer and the bench harness. Seeded RNG (`StdRng::seed_from_u64`)
+//! is the only sanctioned randomness.
+
+use super::{emit, seq_at, WaiverLedger};
+use crate::config::LintConfig;
+use crate::report::Report;
+use crate::source::FileRole;
+use crate::workspace::Workspace;
+
+const RULE: &str = "determinism";
+
+/// Crates allowed to read clocks/entropy: the obs layer owns timers,
+/// and the bench harness measures wall time by definition.
+const EXEMPT_CRATES: &[&str] = &["netmaster-obs", "netmaster-bench"];
+
+const BANNED: &[(&[&str], &str)] = &[
+    (
+        &["SystemTime", ":", ":", "now"],
+        "`SystemTime::now` makes runs time-dependent",
+    ),
+    (
+        &["Instant", ":", ":", "now"],
+        "`Instant::now` belongs in the obs timers / bench harness",
+    ),
+    (
+        &["thread_rng"],
+        "`thread_rng` is unseeded; use `StdRng::seed_from_u64`",
+    ),
+    (
+        &["from_entropy"],
+        "`from_entropy` is unseeded; use `StdRng::seed_from_u64`",
+    ),
+    (
+        &["rand", ":", ":", "random"],
+        "`rand::random` is unseeded; use `StdRng::seed_from_u64`",
+    ),
+];
+
+/// Runs L5 over non-test library source of non-exempt crates.
+pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+    for krate in &ws.crates {
+        if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            if file.role != FileRole::Src {
+                continue;
+            }
+            for i in 0..file.code.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                for (needle, why) in BANNED {
+                    if seq_at(&file.code, i, needle) {
+                        emit(
+                            report,
+                            ledger,
+                            file,
+                            RULE,
+                            file.code[i].line,
+                            format!("{} (crate `{}`)", why, krate.name),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

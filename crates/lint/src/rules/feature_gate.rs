@@ -1,0 +1,217 @@
+//! L2 `feature-gate`: obs feature hygiene, in two halves.
+//!
+//! Manifest half — the workspace's no-op observability story only
+//! works if every crate wires the `obs` feature the same way:
+//! consumers depend on obs-forwarding crates with
+//! `default-features = false` and forward `obs = ["netmaster-obs/enabled",
+//! "<dep>/obs", …]`; a crate whose *source* gates on
+//! `#[cfg(feature = "obs")]` must declare that feature.
+//!
+//! Source half — the macro layer (`counter!`, `span!`, …) is
+//! deliberately safe to call ungated (it expands to no-ops when obs is
+//! compiled out), but the *scrape/control* API
+//! (`snapshot`/`reset`/`set_runtime_enabled`/…) and obs-only modules
+//! (`watchtower`) are not: library crates must gate those behind
+//! `#[cfg(feature = "obs")]` or tests. Binaries (cli, bench) own their
+//! empty-snapshot behavior and are exempt from the scrape check.
+
+use super::{emit, emit_unwaivable, WaiverLedger};
+use crate::config::LintConfig;
+use crate::report::Report;
+use crate::source::FileRole;
+use crate::workspace::Workspace;
+use std::collections::BTreeSet;
+
+const RULE: &str = "feature-gate";
+
+/// Registry scrape/control APIs that must never run ungated in library
+/// crates (they touch or render global obs state).
+const SCRAPE_APIS: &[&str] = &[
+    "snapshot",
+    "reset",
+    "set_runtime_enabled",
+    "to_jsonl",
+    "parse_jsonl",
+    "to_prometheus",
+    "validate_prometheus",
+];
+
+/// Modules that only exist under the obs feature.
+const OBS_ONLY_MODULES: &[&str] = &["watchtower"];
+
+/// Crates exempt from the source-side scrape check: obs defines the
+/// APIs; cli/bench are binaries whose ungated scrape calls are the
+/// documented empty-snapshot behavior.
+const SCRAPE_EXEMPT: &[&str] = &["netmaster-obs", "netmaster-cli", "netmaster-bench"];
+
+/// Runs L2 over manifests and library source.
+pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+    // Crates that expose an `obs` feature (forwarders) — depending on
+    // one of these without default-features = false force-enables obs.
+    let forwarders: BTreeSet<&str> = ws
+        .crates
+        .iter()
+        .filter(|c| c.manifest.features.contains_key("obs"))
+        .map(|c| c.name.as_str())
+        .collect();
+
+    for krate in &ws.crates {
+        let manifest_path = if krate.rel_dir.is_empty() {
+            "Cargo.toml".to_owned()
+        } else {
+            format!("{}/Cargo.toml", krate.rel_dir)
+        };
+        let obs_feature = krate.manifest.features.get("obs");
+
+        if krate.name != "netmaster-obs" {
+            // Dep hygiene + forwarding completeness.
+            for (dep, entry) in &krate.manifest.deps {
+                let is_obs_dep = dep == "netmaster-obs" || forwarders.contains(dep.as_str());
+                if !is_obs_dep {
+                    continue;
+                }
+                if !entry.default_features_off {
+                    emit_unwaivable(
+                        report,
+                        RULE,
+                        &manifest_path,
+                        0,
+                        format!(
+                            "dependency `{dep}` needs `default-features = false` — its default \
+                             features would force obs on in no-obs builds"
+                        ),
+                    );
+                }
+                let forwarded = match obs_feature {
+                    Some(list) => {
+                        let want = if dep == "netmaster-obs" {
+                            format!("{dep}/enabled")
+                        } else {
+                            format!("{dep}/obs")
+                        };
+                        list.contains(&want)
+                    }
+                    None => false,
+                };
+                if !forwarded {
+                    let want = if dep == "netmaster-obs" {
+                        "enabled"
+                    } else {
+                        "obs"
+                    };
+                    emit_unwaivable(
+                        report,
+                        RULE,
+                        &manifest_path,
+                        0,
+                        format!(
+                            "crate depends on `{dep}` but its `obs` feature does not forward \
+                             `{dep}/{want}`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Source gating on a feature the manifest never declares.
+        let uses_obs_cfg = krate.files.iter().any(|f| {
+            f.file_obs_gated
+                || f.mod_decls.iter().any(|(_, _, obs)| *obs)
+                || (0..f.code.len()).any(|i| f.is_obs_gated(i))
+        });
+        if uses_obs_cfg && obs_feature.is_none() && krate.name != "netmaster-obs" {
+            emit_unwaivable(
+                report,
+                RULE,
+                &manifest_path,
+                0,
+                "source gates on `feature = \"obs\"` but Cargo.toml declares no `obs` feature"
+                    .to_owned(),
+            );
+        }
+
+        check_sources(krate, report, ledger);
+    }
+}
+
+fn check_sources(
+    krate: &crate::workspace::CrateInfo,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
+    let scrape_checked = !SCRAPE_EXEMPT.contains(&krate.name.as_str());
+    for file in &krate.files {
+        if file.role != FileRole::Src && file.role != FileRole::ExampleDir {
+            continue;
+        }
+        // The obs-only module's own source is allowed to say its name.
+        let defines_obs_module = OBS_ONLY_MODULES.iter().any(|m| {
+            file.rel_path.ends_with(&format!("{m}.rs")) || file.rel_path.contains(&format!("/{m}/"))
+        });
+
+        for i in 0..file.code.len() {
+            if file.is_test(i) || file.is_obs_gated(i) {
+                continue;
+            }
+            let t = &file.code[i];
+            // `netmaster_obs::<scrape_api>` in library code.
+            if scrape_checked
+                && file.role == FileRole::Src
+                && i >= 3
+                && SCRAPE_APIS.iter().any(|a| t.is_ident(a))
+                && file.code[i - 1].is_punct(':')
+                && file.code[i - 2].is_punct(':')
+                && file.code[i - 3].is_ident("netmaster_obs")
+            {
+                emit(
+                    report,
+                    ledger,
+                    file,
+                    RULE,
+                    t.line,
+                    format!(
+                        "`netmaster_obs::{}` touches global obs state — gate it behind \
+                         `#[cfg(feature = \"obs\")]` or a test",
+                        t.text
+                    ),
+                );
+            }
+            // Obs-only module referenced without gating.
+            if !defines_obs_module
+                && OBS_ONLY_MODULES.iter().any(|m| t.is_ident(m))
+                && i >= 1
+                && file.code[i - 1].is_punct(':')
+            {
+                emit(
+                    report,
+                    ledger,
+                    file,
+                    RULE,
+                    t.line,
+                    format!(
+                        "`{}` only exists with the obs feature — gate this reference behind \
+                         `#[cfg(feature = \"obs\")]`",
+                        t.text
+                    ),
+                );
+            }
+        }
+        // The defining crate must keep the module declaration gated.
+        if file.role == FileRole::Src {
+            for (name, _test, obs) in &file.mod_decls {
+                if OBS_ONLY_MODULES.contains(&name.as_str()) && !obs {
+                    emit(
+                        report,
+                        ledger,
+                        file,
+                        RULE,
+                        0,
+                        format!(
+                            "`mod {name};` must be declared behind `#[cfg(feature = \"obs\")]`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! L1 `hot-path-alloc`: no allocation inside functions marked
+//! `// lint:hot-path`. These are the scratch-threaded solver paths the
+//! perf harness budgets at zero steady-state allocations; a stray
+//! `collect()` or `clone()` silently regresses the fleet-scale story.
+
+use super::{emit, seq_at, WaiverLedger};
+use crate::config::LintConfig;
+use crate::report::Report;
+use crate::workspace::Workspace;
+
+const RULE: &str = "hot-path-alloc";
+
+/// (token sequence, what to say about it)
+const BANNED: &[(&[&str], &str)] = &[
+    (
+        &["Vec", ":", ":", "new"],
+        "`Vec::new` allocates on first push",
+    ),
+    (
+        &["Vec", ":", ":", "with_capacity"],
+        "`Vec::with_capacity` allocates",
+    ),
+    (&["vec", "!"], "`vec![…]` allocates"),
+    (
+        &["String", ":", ":", "new"],
+        "`String::new` allocates on first push",
+    ),
+    (&["String", ":", ":", "from"], "`String::from` allocates"),
+    (&["Box", ":", ":", "new"], "`Box::new` allocates"),
+    (&["format", "!"], "`format!` allocates a fresh String"),
+    (&[".", "to_vec", "("], "`.to_vec()` copies into a fresh Vec"),
+    (&[".", "to_owned", "("], "`.to_owned()` allocates"),
+    (&[".", "to_string", "("], "`.to_string()` allocates"),
+    (&[".", "clone", "(", ")"], "`.clone()` deep-copies"),
+    (
+        &[".", "collect", "("],
+        "`.collect()` builds a fresh container",
+    ),
+];
+
+/// Runs L1 over every hot-path-marked function in the workspace.
+pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+    let mut marked = 0usize;
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for f in file.fns.iter().filter(|f| f.hot_path) {
+                marked += 1;
+                let (start, end) = f.body;
+                let mut i = start;
+                while i < end.min(file.code.len()) {
+                    for (needle, why) in BANNED {
+                        if seq_at(&file.code, i, needle) {
+                            emit(
+                                report,
+                                ledger,
+                                file,
+                                RULE,
+                                file.code[i].line,
+                                format!("{} inside hot-path fn `{}`", why, f.name),
+                            );
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    // The markers themselves are load-bearing: if a refactor drops them
+    // all, the rule must not silently pass an unmarked workspace.
+    if marked == 0 {
+        super::emit_unwaivable(
+            report,
+            RULE,
+            "(workspace)",
+            0,
+            "no `// lint:hot-path` markers found — the solver hot paths must stay marked"
+                .to_owned(),
+        );
+    }
+}

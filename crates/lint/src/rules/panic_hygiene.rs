@@ -1,0 +1,103 @@
+//! L4 `panic-hygiene`: library crates must not panic on degenerate
+//! fleet inputs — no `unwrap`/`expect`/`panic!`/`todo!` outside tests.
+//! Sites with a genuine invariant argument carry a
+//! `// lint:allow(panic-hygiene) <reason>` waiver instead.
+//!
+//! The slice-index sub-check (`xs[i]` without `.get`) is behind the
+//! `index-guard` option, off by default: the codebase indexes fixed
+//! `[f64; 24]` hourly arrays pervasively and a lexical ban would drown
+//! the signal. Fixtures and stricter configs turn it on.
+
+use super::{emit, seq_at, WaiverLedger};
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::report::Report;
+use crate::source::FileRole;
+use crate::workspace::Workspace;
+
+const RULE: &str = "panic-hygiene";
+
+/// The bench harness is exempt: it is a measurement binary whose error
+/// strategy is to abort loudly on IO/setup failure.
+const EXEMPT_CRATES: &[&str] = &["netmaster-bench"];
+
+const BANNED: &[(&[&str], &str)] = &[
+    (&[".", "unwrap", "("], "`unwrap()` panics on the error path"),
+    (&[".", "expect", "("], "`expect()` panics on the error path"),
+    (&["panic", "!"], "`panic!` in library code"),
+    (&["todo", "!"], "`todo!` must not ship"),
+    (&["unimplemented", "!"], "`unimplemented!` must not ship"),
+];
+
+/// Runs L4 over non-test library source.
+pub fn check(ws: &Workspace, cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+    for krate in &ws.crates {
+        if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            if file.role != FileRole::Src {
+                continue;
+            }
+            for i in 0..file.code.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                for (needle, why) in BANNED {
+                    if seq_at(&file.code, i, needle) {
+                        emit(
+                            report,
+                            ledger,
+                            file,
+                            RULE,
+                            file.code[i].line,
+                            format!("{} (crate `{}`)", why, krate.name),
+                        );
+                        break;
+                    }
+                }
+                if cfg.index_guard && is_index_expr(file, i) {
+                    emit(
+                        report,
+                        ledger,
+                        file,
+                        RULE,
+                        file.code[i].line,
+                        "slice index without `.get` can panic out of bounds".to_owned(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `xs[…]` / `f()[…]`: a `[` whose previous code token could be an
+/// indexable expression. Type positions (`: [f64; 24]`), slices
+/// (`&[…]`), attributes (`#[…]`), and macros (`vec![…]`) all have a
+/// non-expression token before the bracket and are not flagged.
+fn is_index_expr(file: &crate::source::SourceFile, i: usize) -> bool {
+    if !file.code[i].is_punct('[') || i == 0 {
+        return false;
+    }
+    let prev = &file.code[i - 1];
+    match prev.kind {
+        TokKind::Ident => !matches!(
+            prev.text.as_str(),
+            "in" | "mut"
+                | "return"
+                | "if"
+                | "else"
+                | "match"
+                | "let"
+                | "as"
+                | "ref"
+                | "move"
+                | "break"
+                | "where"
+                | "dyn"
+                | "impl"
+        ),
+        TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean fixture: every rule passes.
+
+mod registry_names;
+
+// lint:hot-path
+pub fn hot_sum(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,2 @@
+/// The fixture's one registered metric.
+pub const DEMO_TOTAL: &str = "demo_total";

@@ -1,0 +1,4 @@
+// lint:hot-path
+pub fn hot_collect(xs: &[u64]) -> Vec<u64> {
+    xs.iter().map(|x| x + 1).collect()
+}

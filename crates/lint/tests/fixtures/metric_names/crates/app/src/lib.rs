@@ -1,0 +1,5 @@
+mod registry_names;
+
+pub fn record() {
+    counter!("rogue_total");
+}

@@ -1,0 +1,1 @@
+pub const DEMO_TOTAL: &str = "demo_total";

@@ -1,0 +1,7 @@
+pub fn timed() -> (std::time::Instant, std::time::Instant) {
+    // lint:allow(determinism) fixture exercises a reasoned waiver
+    let a = std::time::Instant::now();
+    // lint:allow(determinism)
+    let b = std::time::Instant::now();
+    (a, b)
+}

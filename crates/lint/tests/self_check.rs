@@ -1,0 +1,32 @@
+//! The linter's strongest test: the real workspace at HEAD must be
+//! clean under its own committed configuration. Any rule regression —
+//! a new ungated scrape call, an undocumented metric, an allocation in
+//! a hot path — fails this test before CI even reaches the lint job.
+
+use netmaster_lint::{run_lint, LintConfig};
+use std::path::PathBuf;
+
+#[test]
+fn real_workspace_is_lint_clean_at_head() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = run_lint(&root, &cfg).expect("workspace loads");
+    assert!(
+        report.clean(),
+        "workspace must be lint-clean at HEAD; findings:\n{}",
+        report.render_text()
+    );
+    // All five rules ran — the committed config must not quietly
+    // disable one.
+    assert_eq!(report.rule_counts.len(), 5, "{:?}", report.rule_counts);
+    // The waiver budget is explicit: new waivers are a reviewed,
+    // deliberate act, not background noise.
+    assert!(
+        report.waived.len() <= 16,
+        "waiver count {} crossed the review threshold — prune or justify",
+        report.waived.len()
+    );
+}

@@ -74,7 +74,7 @@ impl IncrementalMiner {
     /// from only the retained fresh days. Bit-for-bit identical to
     /// pushing the same days into [`IncrementalMiner::new`].
     pub fn rebuilt_from<'a>(days: impl IntoIterator<Item = &'a DayTrace>) -> Self {
-        netmaster_obs::counter!("mining_remine_total");
+        netmaster_obs::counter!(netmaster_obs::names::MINING_REMINE_TOTAL);
         let mut m = IncrementalMiner::new();
         for d in days {
             m.push_day(d);
@@ -83,8 +83,9 @@ impl IncrementalMiner {
     }
 
     /// Absorbs one day of monitoring data. `O(24 + events_in_day)`.
+    // lint:hot-path
     pub fn push_day(&mut self, day: &DayTrace) {
-        netmaster_obs::counter!("mining_days_absorbed_total");
+        netmaster_obs::counter!(netmaster_obs::names::MINING_DAYS_ABSORBED_TOTAL);
         let mut row = [0u64; HOURS_PER_DAY];
         for i in &day.interactions {
             row[hour_of(i.at)] += 1;
@@ -101,7 +102,10 @@ impl IncrementalMiner {
             for (h, r) in reference.iter_mut().enumerate() {
                 *r = self.kind_sums[k][h] as f64 / n as f64;
             }
-            let today: Vec<f64> = row.iter().map(|&c| c as f64).collect();
+            let mut today = [0.0f64; HOURS_PER_DAY];
+            for (t, &c) in today.iter_mut().zip(row.iter()) {
+                *t = c as f64;
+            }
             let r = pearson(&today, &reference);
             self.series.push((self.history.num_days(), r));
             self.score_sum += r;

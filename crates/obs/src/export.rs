@@ -192,17 +192,19 @@ mod tests {
     use crate::registry::{BucketSnap, CounterSnap, GaugeSnap, HistSnap, Snapshot};
 
     fn sample() -> Snapshot {
+        // Real names from the registry, so these tests track renames.
+        use crate::names;
         Snapshot {
             counters: vec![CounterSnap {
-                name: "sched_deferred_total".into(),
+                name: names::SCHED_DEFERRED_TOTAL.into(),
                 value: 42,
             }],
             gauges: vec![GaugeSnap {
-                name: "knapsack_dp_cells_highwater".into(),
+                name: names::KNAPSACK_DP_CELLS_HIGHWATER.into(),
                 value: 1234.0,
             }],
             histograms: vec![HistSnap {
-                name: "stage_plan_day_seconds".into(),
+                name: names::STAGE_PLAN_DAY_SECONDS.into(),
                 count: 10,
                 sum_secs: 0.011,
                 buckets: vec![

@@ -142,17 +142,18 @@ pub enum DecisionEvent {
 impl DecisionEvent {
     /// The variant name, for compact summaries and golden tests.
     pub fn kind(&self) -> &'static str {
+        use crate::names;
         match self {
-            DecisionEvent::SlotPredicted { .. } => "SlotPredicted",
-            DecisionEvent::ActivityScheduled { .. } => "ActivityScheduled",
-            DecisionEvent::DeferralExecuted { .. } => "DeferralExecuted",
-            DecisionEvent::PredictionMiss { .. } => "PredictionMiss",
-            DecisionEvent::DutyCycleFallback { .. } => "DutyCycleFallback",
-            DecisionEvent::SpecialAppPassthrough { .. } => "SpecialAppPassthrough",
-            DecisionEvent::WrongDecision { .. } => "WrongDecision",
-            DecisionEvent::DayExecuted { .. } => "DayExecuted",
-            DecisionEvent::DriftDetected { .. } => "DriftDetected",
-            DecisionEvent::HealthDegraded { .. } => "HealthDegraded",
+            DecisionEvent::SlotPredicted { .. } => names::KIND_SLOT_PREDICTED,
+            DecisionEvent::ActivityScheduled { .. } => names::KIND_ACTIVITY_SCHEDULED,
+            DecisionEvent::DeferralExecuted { .. } => names::KIND_DEFERRAL_EXECUTED,
+            DecisionEvent::PredictionMiss { .. } => names::KIND_PREDICTION_MISS,
+            DecisionEvent::DutyCycleFallback { .. } => names::KIND_DUTY_CYCLE_FALLBACK,
+            DecisionEvent::SpecialAppPassthrough { .. } => names::KIND_SPECIAL_APP_PASSTHROUGH,
+            DecisionEvent::WrongDecision { .. } => names::KIND_WRONG_DECISION,
+            DecisionEvent::DayExecuted { .. } => names::KIND_DAY_EXECUTED,
+            DecisionEvent::DriftDetected { .. } => names::KIND_DRIFT_DETECTED,
+            DecisionEvent::HealthDegraded { .. } => names::KIND_HEALTH_DEGRADED,
         }
     }
 }

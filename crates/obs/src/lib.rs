@@ -35,6 +35,8 @@ pub mod drift;
 mod export;
 pub mod health;
 mod journal;
+#[path = "registry_names.rs"]
+pub mod names;
 mod registry;
 pub mod timeseries;
 

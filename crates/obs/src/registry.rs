@@ -131,7 +131,7 @@ pub fn counter_handle(name: &'static str) -> Counter {
     registry()
         .counters
         .lock()
-        .expect("obs counter registry")
+        .unwrap_or_else(|e| e.into_inner())
         .push((name, cell.clone()));
     Counter(cell)
 }
@@ -142,7 +142,7 @@ pub fn hist_handle(name: &'static str) -> Hist {
     registry()
         .hists
         .lock()
-        .expect("obs hist registry")
+        .unwrap_or_else(|e| e.into_inner())
         .push((name, cell.clone()));
     Hist(cell)
 }
@@ -155,7 +155,7 @@ pub fn gauge_set(name: &'static str, value: f64) {
     registry()
         .gauges
         .lock()
-        .expect("obs gauge registry")
+        .unwrap_or_else(|e| e.into_inner())
         .insert(name, value);
 }
 
@@ -164,7 +164,7 @@ pub fn gauge_max(name: &'static str, value: f64) {
     if !runtime_enabled() {
         return;
     }
-    let mut g = registry().gauges.lock().expect("obs gauge registry");
+    let mut g = registry().gauges.lock().unwrap_or_else(|e| e.into_inner());
     let slot = g.entry(name).or_insert(value);
     if value > *slot {
         *slot = value;
@@ -176,13 +176,13 @@ pub fn gauge_max(name: &'static str, value: f64) {
 /// the same cells after a reset.
 pub fn reset() {
     let r = registry();
-    for (_, c) in r.counters.lock().expect("obs counter registry").iter() {
+    for (_, c) in r.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         c.store(0, Ordering::Relaxed);
     }
-    for (_, h) in r.hists.lock().expect("obs hist registry").iter() {
+    for (_, h) in r.hists.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         h.zero();
     }
-    r.gauges.lock().expect("obs gauge registry").clear();
+    r.gauges.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 /// A scraped counter.
@@ -309,12 +309,12 @@ impl Snapshot {
 pub fn snapshot() -> Snapshot {
     let r = registry();
     let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
-    for (name, c) in r.counters.lock().expect("obs counter registry").iter() {
+    for (name, c) in r.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         *counters.entry(name).or_insert(0) += c.load(Ordering::Relaxed);
     }
 
     let mut hists: BTreeMap<&'static str, (u64, u64, [u64; HIST_BUCKETS])> = BTreeMap::new();
-    for (name, h) in r.hists.lock().expect("obs hist registry").iter() {
+    for (name, h) in r.hists.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         let entry = hists.entry(name).or_insert((0, 0, [0; HIST_BUCKETS]));
         entry.0 += h.count.load(Ordering::Relaxed);
         entry.1 += h.sum_ns.load(Ordering::Relaxed);
@@ -335,7 +335,7 @@ pub fn snapshot() -> Snapshot {
         gauges: r
             .gauges
             .lock()
-            .expect("obs gauge registry")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(&name, &value)| GaugeSnap {
                 name: name.to_owned(),

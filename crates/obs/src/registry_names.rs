@@ -1,0 +1,193 @@
+//! The metric-name and journal-kind registry: the single source of
+//! truth for every observability name in the workspace.
+//!
+//! `netmaster lint` (rule `metric-names`) machine-checks this file
+//! three ways: every *literal* name at an instrumentation site must be
+//! declared here, every [`DecisionEvent`](crate::DecisionEvent)
+//! variant must have a matching `KIND_*` const (and vice versa), and
+//! every name must appear in DESIGN.md/EXPERIMENTS.md so the docs
+//! cannot drift from the code. Adding a metric starts here.
+//!
+//! Naming: counters end in `_total`, histograms in `_seconds`, gauges
+//! that track maxima in `_highwater`; stage spans are
+//! `stage_<stage>_seconds` (what `span!("<stage>")` expands to). The
+//! exporter prepends `netmaster_` at render time.
+
+// --- Scheduler / policy counters -----------------------------------
+
+/// Activities the planner deferred out of their requested slot.
+pub const SCHED_DEFERRED_TOTAL: &str = "sched_deferred_total";
+/// Activities prefetched into an earlier active slot.
+pub const SCHED_PREFETCHED_TOTAL: &str = "sched_prefetched_total";
+/// Activities the duty-cycle fallback served.
+pub const SCHED_DUTY_SERVED_TOTAL: &str = "sched_duty_served_total";
+/// Interactions hurt by a blocked radio (wrong decisions).
+pub const SCHED_WRONG_DECISIONS_TOTAL: &str = "sched_wrong_decisions_total";
+/// Activities served inside a correctly-predicted slot.
+pub const PREDICTION_HITS_TOTAL: &str = "prediction_hits_total";
+/// Slots where the usage prediction disagreed with the trace.
+pub const PREDICTION_MISSES_TOTAL: &str = "prediction_misses_total";
+/// Slot-hours the habit model predicted active.
+pub const SLOT_HOURS_PREDICTED_TOTAL: &str = "slot_hours_predicted_total";
+/// Slot-hours that actually saw user activity.
+pub const SLOT_HOURS_ACTIVE_TOTAL: &str = "slot_hours_active_total";
+/// Slot-hours predicted active that really were active.
+pub const SLOT_HOURS_OVERLAP_TOTAL: &str = "slot_hours_overlap_total";
+/// Days executed with a trained habit model.
+pub const POLICY_DAYS_TRAINED_TOTAL: &str = "policy_days_trained_total";
+/// Days executed before the habit model had enough history.
+pub const POLICY_DAYS_UNTRAINED_TOTAL: &str = "policy_days_untrained_total";
+/// Days run through the middleware service.
+pub const SERVICE_DAYS_TOTAL: &str = "service_days_total";
+/// Activities passed through untouched as special apps.
+pub const SPECIAL_PASSTHROUGH_TOTAL: &str = "special_passthrough_total";
+
+// --- Planner / solver ----------------------------------------------
+
+/// Slots handed to the day planner.
+pub const PLANNER_SLOTS_TOTAL: &str = "planner_slots_total";
+/// Items handed to the day planner.
+pub const PLANNER_ITEMS_TOTAL: &str = "planner_items_total";
+/// SIN-KNAP calls answered by the greedy fast path.
+pub const KNAPSACK_FASTPATH_TOTAL: &str = "knapsack_fastpath_total";
+/// SIN-KNAP calls that ran the full DP.
+pub const KNAPSACK_DP_TOTAL: &str = "knapsack_dp_total";
+/// Largest DP table (cells) any call touched.
+pub const KNAPSACK_DP_CELLS_HIGHWATER: &str = "knapsack_dp_cells_highwater";
+/// Largest choice-bitset (bits) any call touched.
+pub const KNAPSACK_CHOICE_BITS_HIGHWATER: &str = "knapsack_choice_bits_highwater";
+
+// --- Duty cycle ------------------------------------------------------
+
+/// Wakeups the duty-cycle fallback scheduled.
+pub const DUTY_WAKEUPS_TOTAL: &str = "duty_wakeups_total";
+/// Wakeups that found nothing to do.
+pub const DUTY_EMPTY_WAKEUPS_TOTAL: &str = "duty_empty_wakeups_total";
+
+// --- Mining ----------------------------------------------------------
+
+/// Full re-mines triggered by the incremental miner.
+pub const MINING_REMINE_TOTAL: &str = "mining_remine_total";
+/// Days absorbed incrementally without a re-mine.
+pub const MINING_DAYS_ABSORBED_TOTAL: &str = "mining_days_absorbed_total";
+/// Miner resets forced by detected habit drift.
+pub const MINING_DRIFT_RESETS_TOTAL: &str = "mining_drift_resets_total";
+
+// --- Fleet -----------------------------------------------------------
+
+/// Members simulated across all fleet runs.
+pub const FLEET_MEMBERS_TOTAL: &str = "fleet_members_total";
+/// Wall-clock seconds per simulated member (histogram).
+pub const FLEET_MEMBER_SECONDS: &str = "fleet_member_seconds";
+
+// --- Latency histograms ----------------------------------------------
+
+/// Slots of delay each deferred activity experienced.
+pub const DEFERRAL_LATENCY_SECONDS: &str = "deferral_latency_seconds";
+/// Delay between a demand's request and its duty-cycle service.
+pub const DUTY_SERVICE_LATENCY_SECONDS: &str = "duty_service_latency_seconds";
+
+// --- Stage spans (`span!("<stage>")` → `stage_<stage>_seconds`) ------
+
+/// Habit mining stage.
+pub const STAGE_MINE_SECONDS: &str = "stage_mine_seconds";
+/// Usage prediction stage.
+pub const STAGE_PREDICT_SECONDS: &str = "stage_predict_seconds";
+/// Day planning stage.
+pub const STAGE_PLAN_DAY_SECONDS: &str = "stage_plan_day_seconds";
+/// Knapsack solve stage.
+pub const STAGE_SOLVE_SECONDS: &str = "stage_solve_seconds";
+/// Duty-cycle fallback stage.
+pub const STAGE_DUTYCYCLE_SECONDS: &str = "stage_dutycycle_seconds";
+/// Whole-day execution stage.
+pub const STAGE_RUN_DAY_SECONDS: &str = "stage_run_day_seconds";
+
+// --- Journal event kinds (DecisionEvent variant names) ---------------
+
+/// A slot's usage was predicted.
+pub const KIND_SLOT_PREDICTED: &str = "SlotPredicted";
+/// An activity was placed in a slot.
+pub const KIND_ACTIVITY_SCHEDULED: &str = "ActivityScheduled";
+/// A deferral actually executed.
+pub const KIND_DEFERRAL_EXECUTED: &str = "DeferralExecuted";
+/// Prediction contradicted the trace.
+pub const KIND_PREDICTION_MISS: &str = "PredictionMiss";
+/// The duty-cycle fallback took over a slot.
+pub const KIND_DUTY_CYCLE_FALLBACK: &str = "DutyCycleFallback";
+/// A special app bypassed scheduling.
+pub const KIND_SPECIAL_APP_PASSTHROUGH: &str = "SpecialAppPassthrough";
+/// A scheduling decision was retrospectively wrong.
+pub const KIND_WRONG_DECISION: &str = "WrongDecision";
+/// A full day finished executing.
+pub const KIND_DAY_EXECUTED: &str = "DayExecuted";
+/// A drift monitor fired.
+pub const KIND_DRIFT_DETECTED: &str = "DriftDetected";
+/// A member's health scorecard degraded.
+pub const KIND_HEALTH_DEGRADED: &str = "HealthDegraded";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_prometheus_shaped() {
+        for name in [
+            SCHED_DEFERRED_TOTAL,
+            SCHED_PREFETCHED_TOTAL,
+            SCHED_DUTY_SERVED_TOTAL,
+            SCHED_WRONG_DECISIONS_TOTAL,
+            PREDICTION_HITS_TOTAL,
+            PREDICTION_MISSES_TOTAL,
+            SLOT_HOURS_PREDICTED_TOTAL,
+            SLOT_HOURS_ACTIVE_TOTAL,
+            SLOT_HOURS_OVERLAP_TOTAL,
+            DUTY_SERVICE_LATENCY_SECONDS,
+            POLICY_DAYS_TRAINED_TOTAL,
+            POLICY_DAYS_UNTRAINED_TOTAL,
+            SERVICE_DAYS_TOTAL,
+            SPECIAL_PASSTHROUGH_TOTAL,
+            PLANNER_SLOTS_TOTAL,
+            PLANNER_ITEMS_TOTAL,
+            KNAPSACK_FASTPATH_TOTAL,
+            KNAPSACK_DP_TOTAL,
+            KNAPSACK_DP_CELLS_HIGHWATER,
+            KNAPSACK_CHOICE_BITS_HIGHWATER,
+            DUTY_WAKEUPS_TOTAL,
+            DUTY_EMPTY_WAKEUPS_TOTAL,
+            MINING_REMINE_TOTAL,
+            MINING_DAYS_ABSORBED_TOTAL,
+            MINING_DRIFT_RESETS_TOTAL,
+            FLEET_MEMBERS_TOTAL,
+            FLEET_MEMBER_SECONDS,
+            DEFERRAL_LATENCY_SECONDS,
+            STAGE_MINE_SECONDS,
+            STAGE_PREDICT_SECONDS,
+            STAGE_PLAN_DAY_SECONDS,
+            STAGE_SOLVE_SECONDS,
+            STAGE_DUTYCYCLE_SECONDS,
+            STAGE_RUN_DAY_SECONDS,
+        ] {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name} breaks the Prometheus charset"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_consts_match_span_expansion() {
+        // span!("solve") expands to "stage_solve_seconds"; the consts
+        // must stay consistent with that shape.
+        for (stage, full) in [
+            ("mine", STAGE_MINE_SECONDS),
+            ("predict", STAGE_PREDICT_SECONDS),
+            ("plan_day", STAGE_PLAN_DAY_SECONDS),
+            ("solve", STAGE_SOLVE_SECONDS),
+            ("dutycycle", STAGE_DUTYCYCLE_SECONDS),
+            ("run_day", STAGE_RUN_DAY_SECONDS),
+        ] {
+            assert_eq!(full, format!("stage_{stage}_seconds"));
+        }
+    }
+}

@@ -140,7 +140,7 @@ pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<A
             .iter()
             .max_by_key(|(_, s)| s.end)
             .map(|(a, _)| *a)
-            .unwrap();
+            .unwrap_or(first_app);
         out.entry(last_app).or_default().tail_j += model.tail_policy.tail_energy_j(cfg);
 
         // Internal elapsed-tail gaps: walk the merged bursts of this

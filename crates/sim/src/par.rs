@@ -94,11 +94,13 @@ where
         }
     });
     if let Some((i, msg)) = first_failure {
+        // lint:allow(panic-hygiene) deliberate panic propagation: a worker panic must not be swallowed into a partial result
         panic!("worker panicked on item {i}: {msg}");
     }
 
     out.into_iter()
         .enumerate()
+        // lint:allow(panic-hygiene) every index is written unless a worker panicked, which re-panics above; this is the same propagation path
         .map(|(i, r)| r.unwrap_or_else(|| panic!("no worker produced a result for item {i}")))
         .collect()
 }

@@ -77,3 +77,8 @@ pub mod prelude {
     pub use netmaster_trace::profile::UserProfile;
     pub use netmaster_trace::{Trace, TraceGenerator};
 }
+
+/// `true` when this build compiles the `strict-invariants` runtime
+/// oracles into the solver and scheduler layers (see the
+/// `strict-invariants` cargo feature).
+pub const STRICT_INVARIANTS: bool = cfg!(feature = "strict-invariants");

@@ -133,3 +133,16 @@ fn quiet_fleet_is_uniformly_healthy() {
     assert_eq!(health.healthy, 8);
     assert_eq!(health.degraded + health.critical, 0);
 }
+
+/// When CI runs this suite with `--features strict-invariants`, the
+/// watchtower monotonicity oracles inside `observe_day` fire on every
+/// simulated day above; this test pins that the checked configuration
+/// was actually compiled in (a feature-plumbing regression would
+/// silently turn the run into a vacuous one).
+#[test]
+#[cfg(feature = "strict-invariants")]
+#[allow(clippy::assertions_on_constants)]
+fn strict_invariants_are_compiled_in() {
+    assert!(netmaster::STRICT_INVARIANTS);
+    assert!(netmaster_core::STRICT_INVARIANTS);
+}
