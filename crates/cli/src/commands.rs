@@ -68,6 +68,17 @@ COMMANDS:
       --worst K             worst members detailed in the report (default 3)
       --json                machine-readable fleet health report
       --journal FILE        drain the fleet's decision journals to JSONL
+  explain                 Reconstruct causal chains and energy bills from the flight recorder
+      --users N             simulated users (default 2)
+      --days N              days per user, most training (default 16)
+      --seed N              base seed (default 2014)
+      --user I              only member I
+      --day N               only records of day N
+      --app ID              only records of numeric app ID
+      --activity ID         one activity's full causal chain (trace id, e.g. d14-a3)
+      --worst K             worst exemplars listed (default 3)
+      --json                machine-readable report
+      --ledger FILE         export the (filtered) lifecycle records to JSONL
   lint                    Run the project's static-analysis rules over the workspace
       --root DIR            workspace root (default: walk up from cwd)
       --config FILE         lint.toml (default: <root>/lint.toml)
@@ -97,6 +108,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "fleet" => fleet_cmd(args, out),
         "obs" => obs_cmd(args, out),
         "watch" => watch_cmd(args, out),
+        "explain" => explain_cmd(args, out),
         "anonymize" => anonymize_cmd(args, out),
         "filter" => filter_cmd(args, out),
         "lint" => lint_cmd(args, out),
@@ -771,6 +783,372 @@ fn watch_cmd(_args: &Args, _out: &mut dyn Write) -> Result<(), String> {
     )
 }
 
+/// Reconstructs the flight recorder's view of a simulated fleet: every
+/// activity's causal chain (generation → classification → knapsack →
+/// execution → radio bill), per-app energy bills, and worst-offender
+/// exemplars that link the latency/energy tails back to concrete trace
+/// ids. `--user/--day/--app/--activity` narrow the records before
+/// rollup, JSON output, and JSONL export.
+#[cfg(feature = "obs")]
+fn explain_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_core::MiddlewareService;
+    use netmaster_obs::{ledger, ActivityTrace};
+    use netmaster_sim::FleetLedger;
+    use netmaster_trace::event::{AppId, TraceId};
+    use std::collections::HashMap;
+
+    let users: usize = args.num("users", 2)?;
+    let days: usize = args.num("days", 16)?;
+    let seed: u64 = args.num("seed", 2014)?;
+    let worst: usize = args.num("worst", 3)?;
+    if users == 0 || days < 2 {
+        return Err("explain needs --users ≥ 1 and --days ≥ 2".into());
+    }
+    let train = days.saturating_sub(2).min(14);
+
+    let only_user = match args.options.get("user") {
+        Some(_) => {
+            let u: usize = args.num("user", 0)?;
+            if u >= users {
+                return Err(format!("--user {u} out of range 0..{users}"));
+            }
+            Some(u)
+        }
+        None => None,
+    };
+    let only_day: Option<usize> = match args.options.get("day") {
+        Some(_) => Some(args.num("day", 0)?),
+        None => None,
+    };
+    let only_app: Option<u16> = match args.options.get("app") {
+        Some(_) => Some(args.num("app", 0)?),
+        None => None,
+    };
+    let only_activity: Option<TraceId> = match args.options.get("activity") {
+        Some(s) => Some(s.parse()?),
+        None => None,
+    };
+
+    // Live the executed days under the middleware and drain each
+    // member's flight recorder (same member seeding as `obs`/`fleet`).
+    let mut per_user: Vec<(u32, Vec<ActivityTrace>)> = Vec::new();
+    // App ids are per-user registries, so names key on (user, app id).
+    let mut app_names: HashMap<(u32, u16), String> = HashMap::new();
+    for u in 0..users {
+        if only_user.is_some() && only_user != Some(u) {
+            continue;
+        }
+        let member_seed = seed.wrapping_add(u as u64 * 7919);
+        let profile = UserProfile::panel().remove((member_seed % 8) as usize);
+        let trace = TraceGenerator::new(profile)
+            .with_seed(member_seed)
+            .generate(days);
+        let mut svc = MiddlewareService::new().import_history(&trace.days[..train]);
+        for day in &trace.days[train..] {
+            let _ = svc.run_day(day);
+        }
+        let mut records = svc.drain_ledger();
+        records.retain(|r| {
+            only_day.is_none_or(|d| r.day == d)
+                && only_app.is_none_or(|a| r.app == a)
+                && only_activity.is_none_or(|id| r.trace_id == id.raw())
+        });
+        for r in &records {
+            if let Some(name) = trace.apps.name(AppId(r.app)) {
+                app_names
+                    .entry((u as u32, r.app))
+                    .or_insert_with(|| name.to_owned());
+            }
+        }
+        per_user.push((u as u32, records));
+    }
+
+    let fleet = FleetLedger::from_user_records(&per_user, worst);
+    let all: Vec<ActivityTrace> = per_user
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().copied())
+        .collect();
+
+    if let Some(path) = args.options.get("ledger") {
+        let jsonl = netmaster_obs::trace_to_jsonl(&all).map_err(|e| e.to_string())?;
+        fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+        writeln!(out, "wrote {} lifecycle records to {path}", all.len()).map_err(io_err)?;
+    }
+
+    if args.flag("json") {
+        let mut root = serde_json::Map::new();
+        root.insert(
+            "fleet".to_owned(),
+            serde_json::to_value(&fleet).map_err(|e| e.to_string())?,
+        );
+        if only_activity.is_some() {
+            root.insert(
+                "records".to_owned(),
+                serde_json::to_value(&all).map_err(|e| e.to_string())?,
+            );
+        }
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Object(root))
+                .map_err(|e| e.to_string())?
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+
+    if let Some(id) = only_activity {
+        if all.is_empty() {
+            return Err(format!(
+                "no lifecycle record for activity {id} (out of range, or \
+                 filtered away by --user/--day/--app?)"
+            ));
+        }
+        for (u, records) in &per_user {
+            for r in records {
+                write_causal_chain(out, *u, r, &app_names)?;
+            }
+        }
+        return Ok(());
+    }
+
+    let share = ledger::screen_off_share(&all);
+    writeln!(
+        out,
+        "flight recorder: {users} users × {days} days ({train} training), {} lifecycle records",
+        all.len()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "screen-off share: {:.1}% of activities, {:.1}% of bytes, {:.1}% of baseline energy\n",
+        share.activity_fraction * 100.0,
+        share.byte_fraction * 100.0,
+        share.baseline_energy_fraction * 100.0
+    )
+    .map_err(io_err)?;
+
+    writeln!(
+        out,
+        "{:>4} {:>6} {:>8} {:>7} {:>11} {:>12} {:>7}",
+        "user", "acts", "scr-off", "misses", "baseline J", "netmaster J", "saved"
+    )
+    .map_err(io_err)?;
+    for u in &fleet.users {
+        writeln!(
+            out,
+            "{:>4} {:>6} {:>8} {:>7} {:>11.1} {:>12.1} {:>6.1}%",
+            u.user,
+            u.activities,
+            u.screen_off,
+            u.prediction_misses,
+            u.baseline_j,
+            u.netmaster_j,
+            u.saving() * 100.0
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "fleet: {:.1} J baseline → {:.1} J under NetMaster (saving {:.1}%)\n",
+        fleet.baseline_j,
+        fleet.netmaster_j,
+        fleet.saving_total() * 100.0
+    )
+    .map_err(io_err)?;
+
+    // Bill each user against its own app registry, then merge fleet-wide
+    // by resolved name (app ids are only unique within one user).
+    let mut by_name: HashMap<String, (u64, u64, f64, f64)> = HashMap::new();
+    for (u, records) in &per_user {
+        for b in ledger::bill(records) {
+            let name = app_names
+                .get(&(*u, b.app))
+                .cloned()
+                .unwrap_or_else(|| format!("app-{}", b.app));
+            let row = by_name.entry(name).or_insert((0, 0, 0.0, 0.0));
+            row.0 += b.activities;
+            row.1 += b.bytes;
+            row.2 += b.baseline_j;
+            row.3 += b.netmaster_j;
+        }
+    }
+    let mut bills: Vec<(String, u64, u64, f64, f64)> = by_name
+        .into_iter()
+        .map(|(n, (acts, bytes, base, net))| (n, acts, bytes, base, net))
+        .collect();
+    bills.sort_by(|x, y| y.3.total_cmp(&x.3).then_with(|| x.0.cmp(&y.0)));
+    writeln!(out, "top apps by baseline energy:").map_err(io_err)?;
+    writeln!(
+        out,
+        "  {:<24} {:>6} {:>10} {:>11} {:>12} {:>9}",
+        "app", "acts", "bytes", "baseline J", "netmaster J", "saved J"
+    )
+    .map_err(io_err)?;
+    for (name, acts, bytes, base, net) in bills.iter().take(10) {
+        writeln!(
+            out,
+            "  {:<24} {:>6} {:>10} {:>11.1} {:>12.1} {:>9.1}",
+            name,
+            acts,
+            bytes,
+            base,
+            net,
+            base - net
+        )
+        .map_err(io_err)?;
+    }
+
+    if !fleet.worst_latency.is_empty() {
+        writeln!(out, "\nworst deferral latency (drill in with --activity):").map_err(io_err)?;
+        for (u, r) in &fleet.worst_latency {
+            writeln!(
+                out,
+                "  {} user {u}: {} after {} s, {} B",
+                TraceId::new(r.day, r.index()),
+                r.outcome_kind(),
+                r.latency_secs,
+                r.bytes
+            )
+            .map_err(io_err)?;
+        }
+    }
+    if !fleet.worst_energy.is_empty() {
+        writeln!(out, "worst residual energy:").map_err(io_err)?;
+        for (u, r) in &fleet.worst_energy {
+            let e = r.energy.unwrap_or_default();
+            writeln!(
+                out,
+                "  {} user {u}: {:.2} J billed vs {:.2} J stock baseline",
+                TraceId::new(r.day, r.index()),
+                e.actual_j,
+                e.baseline_j
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders one lifecycle record as its full causal chain: generation →
+/// plan decision (with the knapsack's "why") → execution outcome →
+/// radio energy bill.
+#[cfg(feature = "obs")]
+fn write_causal_chain(
+    out: &mut dyn Write,
+    user: u32,
+    r: &netmaster_obs::ActivityTrace,
+    names: &std::collections::HashMap<(u32, u16), String>,
+) -> Result<(), String> {
+    use netmaster_obs::{Outcome, PlanReason, RejectReason};
+    use netmaster_trace::event::TraceId;
+    use netmaster_trace::time::SECS_PER_HOUR;
+
+    let id = TraceId::new(r.day, r.index());
+    let name = names
+        .get(&(user, r.app))
+        .cloned()
+        .unwrap_or_else(|| format!("app-{}", r.app));
+    writeln!(out, "{id}  user {user}  {name}").map_err(io_err)?;
+    writeln!(
+        out,
+        "  generated: day {}, natural start +{} s (hour {} of day), {} s long, {} B, screen {}",
+        r.day,
+        r.natural_start,
+        (r.natural_start / SECS_PER_HOUR) % 24,
+        r.duration,
+        r.bytes,
+        if r.screen_on { "on" } else { "off" }
+    )
+    .map_err(io_err)?;
+    let plan = match r.plan {
+        PlanReason::ScreenOn => {
+            "screen-on arrival: the radio is already up with the user, nothing to schedule"
+                .to_owned()
+        }
+        PlanReason::Untrained => {
+            "untrained day: the miner has no habit model yet, duty-cycle only".to_owned()
+        }
+        PlanReason::InActiveSlot => {
+            "arrived inside a predicted active slot: held for the imminent wake-up".to_owned()
+        }
+        PlanReason::Assigned {
+            slot,
+            profit,
+            weight,
+            runner_up_slot,
+            runner_up_profit,
+            prefetch,
+            fastpath,
+        } => format!(
+            "knapsack {} slot {slot}: profit {profit:.2} J for {weight} B via {}{}",
+            if prefetch {
+                "prefetches into"
+            } else {
+                "defers to"
+            },
+            if fastpath {
+                "the capacity-slack fast path"
+            } else {
+                "the FPTAS DP"
+            },
+            match runner_up_slot {
+                Some(s) => format!(" (beat slot {s} at {runner_up_profit:.2} J)"),
+                None => String::new(),
+            }
+        ),
+        PlanReason::Rejected { reason } => format!(
+            "knapsack rejected ({}): fell to the duty-cycle fallback",
+            match reason {
+                RejectReason::NoCandidate => "no slot candidate",
+                RejectReason::NoPositiveProfit => "no positive-profit slot",
+                RejectReason::CapacityFull => "every profitable slot was full",
+            }
+        ),
+    };
+    writeln!(out, "  plan: {plan}").map_err(io_err)?;
+    let outcome = match r.outcome {
+        Outcome::Natural => format!("executed at its natural start (+{} s)", r.executed_at),
+        Outcome::Deferred { slot } => format!(
+            "deferred into slot {slot}, executed +{} s ({} s late)",
+            r.executed_at, r.latency_secs
+        ),
+        Outcome::Prefetched { slot } => format!(
+            "prefetched in slot {slot}, executed +{} s ({} s early)",
+            r.executed_at, r.latency_secs
+        ),
+        Outcome::DutyServed => format!(
+            "served by a duty-cycle wake-up +{} s ({} s late)",
+            r.executed_at, r.latency_secs
+        ),
+    };
+    writeln!(out, "  outcome: {outcome}").map_err(io_err)?;
+    match r.energy {
+        Some(e) => writeln!(
+            out,
+            "  energy: {:.2} J billed vs {:.2} J stock baseline (saved {:.2} J)",
+            e.actual_j,
+            e.baseline_j,
+            e.saved_j()
+        ),
+        None => writeln!(out, "  energy: not billed (day still open)"),
+    }
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// With observability compiled out the policy records no lifecycle
+/// traces, so there are no causal chains to reconstruct — fail loudly
+/// rather than print an empty ledger.
+#[cfg(not(feature = "obs"))]
+fn explain_cmd(_args: &Args, _out: &mut dyn Write) -> Result<(), String> {
+    Err(
+        "the explain command needs observability, but this build has obs disabled \
+         (compiled with --no-default-features); rebuild with the default `obs` feature"
+            .into(),
+    )
+}
+
 fn timeline_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     use netmaster_radio::Timeline;
     use netmaster_trace::time::{Interval, SECS_PER_HOUR};
@@ -998,6 +1376,9 @@ mod tests {
             assert!(table.contains("service_days_total"), "{table}");
             assert!(table.contains("stage_run_day_seconds"), "{table}");
             assert!(table.contains("sched_deferred_total"), "{table}");
+            // The flight recorder's ledger counters flow through the
+            // same snapshot.
+            assert!(table.contains("ledger_records_total"), "{table}");
         } else {
             assert!(table.contains("no metrics"), "{table}");
         }
@@ -1085,6 +1466,88 @@ mod tests {
     #[test]
     fn watch_command_degrades_without_obs() {
         let err = run_to_string(&args("watch")).unwrap_err();
+        assert!(err.contains("observability"), "{err}");
+        assert!(err.contains("obs disabled"), "{err}");
+    }
+
+    /// One test drives every `explain` mode: summary table, drill-down
+    /// into a worst-offender exemplar's causal chain, JSON rollup, and
+    /// JSONL lifecycle export.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn explain_command_reconstructs_causal_chains() {
+        let out =
+            run_to_string(&args("explain --users 2 --days 16 --seed 2014 --worst 2")).unwrap();
+        assert!(
+            out.contains("flight recorder: 2 users × 16 days (14 training)"),
+            "{out}"
+        );
+        assert!(out.contains("screen-off share"), "{out}");
+        assert!(out.contains("top apps by baseline energy"), "{out}");
+        assert!(out.contains("worst deferral latency"), "{out}");
+
+        // The exemplar table links the latency tail to a trace id;
+        // drilling into it reconstructs the full causal chain.
+        let line = out
+            .lines()
+            .skip_while(|l| !l.contains("worst deferral latency"))
+            .nth(1)
+            .unwrap();
+        let id = line.trim().split_whitespace().next().unwrap().to_owned();
+        let user = line
+            .split("user ")
+            .nth(1)
+            .unwrap()
+            .split(':')
+            .next()
+            .unwrap();
+        let chain = run_to_string(&args(&format!(
+            "explain --users 2 --days 16 --seed 2014 --user {user} --activity {id}"
+        )))
+        .unwrap();
+        assert!(chain.contains(&id), "{chain}");
+        assert!(chain.contains("generated:"), "{chain}");
+        assert!(chain.contains("plan:"), "{chain}");
+        assert!(chain.contains("outcome:"), "{chain}");
+        assert!(chain.contains("energy:"), "{chain}");
+
+        // JSON mode parses; the fleet rollup conserves the user sums.
+        let json = run_to_string(&args("explain --users 2 --days 16 --seed 2014 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let members = v["fleet"]["users"].as_array().unwrap();
+        assert_eq!(members.len(), 2);
+        let sum: f64 = members
+            .iter()
+            .map(|u| u["baseline_j"].as_f64().unwrap())
+            .sum();
+        assert!((sum - v["fleet"]["baseline_j"].as_f64().unwrap()).abs() < 1e-6);
+
+        // JSONL export round-trips byte-for-byte through the obs codec.
+        let lp = tmp("explain.jsonl");
+        let msg =
+            run_to_string(&args(&format!("explain --users 1 --days 16 --ledger {lp}"))).unwrap();
+        assert!(msg.contains("lifecycle records"), "{msg}");
+        let raw = fs::read_to_string(&lp).unwrap();
+        let recs = netmaster_obs::trace_from_jsonl(&raw).unwrap();
+        assert!(!recs.is_empty());
+        assert_eq!(netmaster_obs::trace_to_jsonl(&recs).unwrap(), raw);
+
+        // Filters narrow the record set; bad arguments are rejected.
+        let day = run_to_string(&args("explain --users 1 --days 16 --day 14")).unwrap();
+        assert!(day.contains("lifecycle records"), "{day}");
+        assert!(run_to_string(&args("explain --users 0")).is_err());
+        assert!(run_to_string(&args("explain --days 1")).is_err());
+        assert!(run_to_string(&args("explain --users 2 --user 5")).is_err());
+        assert!(run_to_string(&args("explain --activity bogus")).is_err());
+        assert!(run_to_string(&args("explain --users 1 --days 16 --activity d99-a0")).is_err());
+    }
+
+    /// Without the `obs` feature the policy records no lifecycle
+    /// traces; the command must say so rather than print empty bills.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn explain_command_degrades_without_obs() {
+        let err = run_to_string(&args("explain")).unwrap_err();
         assert!(err.contains("observability"), "{err}");
         assert!(err.contains("obs disabled"), "{err}");
     }

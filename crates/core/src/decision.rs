@@ -39,6 +39,40 @@ pub enum Disposition {
     DutyCycle,
 }
 
+/// Why the duty-cycle layer got a demand the planner saw (mirrors
+/// [`netmaster_knapsack::overlapped::OvRejectReason`] on a serde
+/// surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteReject {
+    /// The predicted item had no adjacent active slot.
+    NoCandidate,
+    /// The deferral penalty beat the energy saving in every slot.
+    NoPositiveProfit,
+    /// Profitable slots existed but their capacity ran out.
+    CapacityFull,
+}
+
+/// The planner's causal explanation for one routing-table entry — the
+/// flight-recorder record of *why* a disposition was chosen, captured
+/// from [`netmaster_knapsack::overlapped::OvSolution::why`] at plan
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanWhy {
+    /// Predicted item weight (payload bytes).
+    pub weight: u64,
+    /// Profit (ΔE − ΔP, joules) of the chosen slot; `0` when rejected.
+    pub profit: f64,
+    /// The competing adjacent slot the item did *not* go to.
+    pub runner_up_slot: Option<usize>,
+    /// That competitor's profit.
+    pub runner_up_profit: f64,
+    /// `true` when the winning slot's `SinKnap` was answered by the
+    /// capacity-slack fast path rather than the full DP.
+    pub fastpath: bool,
+    /// Why the item fell through to duty cycle, when it did.
+    pub reject: Option<RouteReject>,
+}
+
 /// The compiled plan for one day.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DayRouting {
@@ -50,6 +84,10 @@ pub struct DayRouting {
     /// hour `h` takes `route[h][k mod len]`; an empty list means duty
     /// cycle.
     pub route: Vec<Vec<Disposition>>,
+    /// Parallel to `route`: the causal explanation behind each
+    /// disposition (`None` for `Immediate` placeholders). Populated
+    /// only while observability is runtime-enabled; empty otherwise.
+    pub why: Vec<Vec<Option<PlanWhy>>>,
     /// Total planner profit (ΔE − ΔP over scheduled predicted items).
     pub planned_profit: f64,
 }
@@ -61,6 +99,7 @@ impl DayRouting {
             day,
             slots: Vec::new(),
             route: vec![Vec::new(); HOURS_PER_DAY],
+            why: Vec::new(),
             planned_profit: 0.0,
         }
     }
@@ -73,6 +112,18 @@ impl DayRouting {
         } else {
             list[k % list.len()]
         }
+    }
+
+    /// Causal explanation for the `k`-th screen-off arrival in hour
+    /// `h`, cycled exactly like [`DayRouting::disposition`]. `None`
+    /// when why-tracking was off at plan time, the hour routes to duty
+    /// cycle by default, or the entry is an `Immediate` placeholder.
+    pub fn why_for(&self, hour: usize, k: usize) -> Option<PlanWhy> {
+        let list = self.why.get(hour)?;
+        if list.is_empty() {
+            return None;
+        }
+        list[k % list.len()]
     }
 
     /// `true` when `t` falls inside a predicted active slot.
@@ -267,14 +318,25 @@ impl DecisionMaker {
         let problem = OvProblem { capacities, items };
         let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 
-        // Flatten into the per-hour routing table.
+        // Flatten into the per-hour routing table. While observability
+        // is live, build the parallel `why` table in lockstep so every
+        // disposition carries its causal explanation.
+        let record_why = netmaster_obs::runtime_enabled();
         let mut route: Vec<Vec<Disposition>> = vec![Vec::new(); HOURS_PER_DAY];
+        let mut why: Vec<Vec<Option<PlanWhy>>> = if record_why {
+            vec![Vec::new(); HOURS_PER_DAY]
+        } else {
+            Vec::new()
+        };
         for (hour, dispositions) in route.iter_mut().enumerate() {
             if slots
                 .iter()
                 .any(|s| s.contains(Interval::hour(day, hour).start))
             {
                 dispositions.push(Disposition::Immediate);
+                if record_why {
+                    why[hour].push(None);
+                }
             }
         }
         for (j, assigned) in solution.assignment.iter().enumerate() {
@@ -291,11 +353,29 @@ impl DecisionMaker {
                 None => Disposition::DutyCycle,
             };
             route[hour].push(d);
+            if record_why {
+                let iw = solution.why(&problem, j);
+                why[hour].push(Some(PlanWhy {
+                    weight: iw.weight,
+                    profit: iw.chosen.map_or(0.0, |c| c.profit),
+                    runner_up_slot: iw.runner_up.map(|c| c.slot),
+                    runner_up_profit: iw.runner_up.map_or(0.0, |c| c.profit),
+                    fastpath: iw.fastpath,
+                    reject: iw.reject.map(|r| match r {
+                        overlapped::OvRejectReason::NoCandidate => RouteReject::NoCandidate,
+                        overlapped::OvRejectReason::NoPositiveProfit => {
+                            RouteReject::NoPositiveProfit
+                        }
+                        overlapped::OvRejectReason::CapacityFull => RouteReject::CapacityFull,
+                    }),
+                }));
+            }
         }
         DayRouting {
             day,
             slots,
             route,
+            why,
             planned_profit: solution.profit,
         }
     }
@@ -459,12 +539,77 @@ mod tests {
                 v[3] = vec![Disposition::DeferTo { slot: 0 }, Disposition::DutyCycle];
                 v
             },
+            why: Vec::new(),
             planned_profit: 0.0,
         };
         assert_eq!(r.disposition(3, 0), Disposition::DeferTo { slot: 0 });
         assert_eq!(r.disposition(3, 1), Disposition::DutyCycle);
         assert_eq!(r.disposition(3, 2), Disposition::DeferTo { slot: 0 });
         assert_eq!(r.disposition(4, 0), Disposition::DutyCycle);
+        assert_eq!(r.why_for(3, 0), None);
+    }
+
+    #[test]
+    fn plans_carry_causal_why_when_obs_is_live() {
+        let m = maker();
+        let pred = two_slot_prediction();
+        let net = network_with_hours(&[(3, 2.0, 8_000.0), (8, 1.0, 1_000.0)]);
+        let routing = m.plan_day(0, &pred, &net);
+        if !netmaster_obs::runtime_enabled() {
+            assert!(routing.why.is_empty());
+            return;
+        }
+        // `why` mirrors `route` entry for entry.
+        assert_eq!(routing.why.len(), routing.route.len());
+        for (hour, list) in routing.route.iter().enumerate() {
+            assert_eq!(routing.why[hour].len(), list.len(), "hour {hour}");
+        }
+        // Active hour 8: an Immediate placeholder without explanation.
+        assert_eq!(routing.disposition(8, 0), Disposition::Immediate);
+        assert_eq!(routing.why_for(8, 0), None);
+        // Hour 3 demands were deferred into slot 0; the explanation
+        // names the winning slot's profit and the item weight.
+        assert_eq!(routing.disposition(3, 0), Disposition::DeferTo { slot: 0 });
+        let w = routing
+            .why_for(3, 0)
+            .expect("deferred entry explains itself");
+        assert!(w.profit > 0.0, "{w:?}");
+        assert!(w.weight > 0, "{w:?}");
+        assert_eq!(w.reject, None);
+        // Round-trips through serde, why table included.
+        let json = serde_json::to_string(&routing).unwrap();
+        let back: DayRouting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, routing);
+    }
+
+    #[test]
+    fn rejected_plans_explain_the_rejection() {
+        // A link so slow the slot holds almost nothing: spilled items
+        // must carry `CapacityFull`.
+        let mut m = maker();
+        m.link = LinkModel {
+            avg_down_bps: 0.002,
+            avg_up_bps: 0.001,
+            peak_down_bps: 0.01,
+            peak_up_bps: 0.01,
+        };
+        let pred = two_slot_prediction();
+        let net = network_with_hours(&[(3, 6.0, 60_000.0)]);
+        let routing = m.plan_day(0, &pred, &net);
+        if !netmaster_obs::runtime_enabled() {
+            return;
+        }
+        let spilled: Vec<PlanWhy> = routing.why[3]
+            .iter()
+            .flatten()
+            .filter(|w| w.reject.is_some())
+            .copied()
+            .collect();
+        assert!(!spilled.is_empty(), "{routing:?}");
+        for w in &spilled {
+            assert_eq!(w.reject, Some(RouteReject::CapacityFull), "{w:?}");
+            assert_eq!(w.profit, 0.0);
+        }
     }
 
     #[test]

@@ -4,14 +4,15 @@
 //! Special Apps guard the user experience.
 
 use crate::config::NetMasterConfig;
-use crate::decision::{DayRouting, DecisionMaker, Disposition};
+use crate::decision::{DayRouting, DecisionMaker, Disposition, PlanWhy, RouteReject};
 use crate::dutycycle::{run_window, SleepScheme};
 use crate::monitoring::Monitor;
 use netmaster_knapsack::OvScratch;
 use netmaster_mining::IncrementalMiner;
-use netmaster_obs::{self as obs, DecisionEvent, Journal, JournalEntry};
+use netmaster_obs::{self as obs, DecisionEvent, Journal, JournalEntry, TraceLedger};
 use netmaster_radio::{LinkModel, RrcModel, TailPolicy};
 use netmaster_sim::{DayPlan, Execution, Policy};
+use netmaster_trace::event::TraceId;
 #[cfg(test)]
 use netmaster_trace::time::SECS_PER_DAY;
 use netmaster_trace::time::{hour_of, Interval, Timestamp};
@@ -76,6 +77,9 @@ pub struct NetMasterPolicy {
     stats: NetMasterStats,
     /// Decision-audit journal (bounded ring; see [`netmaster_obs`]).
     journal: Journal,
+    /// Causal flight recorder: one lifecycle record per planned
+    /// activity (bounded ring; see [`netmaster_obs::tracectx`]).
+    ledger: TraceLedger,
 }
 
 impl NetMasterPolicy {
@@ -90,6 +94,7 @@ impl NetMasterPolicy {
             monitor: Monitor::new(),
             stats: NetMasterStats::default(),
             journal: Journal::new(),
+            ledger: TraceLedger::new(),
         }
     }
 
@@ -126,6 +131,43 @@ impl NetMasterPolicy {
     /// Takes every buffered journal entry, oldest first.
     pub fn drain_journal(&mut self) -> Vec<JournalEntry> {
         self.journal.drain()
+    }
+
+    /// The causal flight recorder (per-activity lifecycle records).
+    pub fn ledger(&self) -> &TraceLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access, for the middleware service's lazy energy
+    /// apportionment pass.
+    pub fn ledger_mut(&mut self) -> &mut TraceLedger {
+        &mut self.ledger
+    }
+
+    /// Takes every buffered lifecycle record, oldest first.
+    pub fn drain_ledger(&mut self) -> Vec<obs::ActivityTrace> {
+        self.ledger.drain()
+    }
+
+    /// Maps a routing-table explanation onto the ledger's plan reason.
+    fn assigned_reason(w: Option<PlanWhy>, slot: usize, prefetch: bool) -> obs::PlanReason {
+        let w = w.unwrap_or(PlanWhy {
+            weight: 0,
+            profit: 0.0,
+            runner_up_slot: None,
+            runner_up_profit: 0.0,
+            fastpath: false,
+            reject: None,
+        });
+        obs::PlanReason::Assigned {
+            slot,
+            profit: w.profit,
+            weight: w.weight,
+            runner_up_slot: w.runner_up_slot,
+            runner_up_profit: w.runner_up_profit,
+            prefetch,
+            fastpath: w.fastpath,
+        }
     }
 
     /// Whether enough history exists to trust predictions.
@@ -260,6 +302,32 @@ impl Policy for NetMasterPolicy {
             }
         }
 
+        // Flight recorder: one causal lifecycle record per activity,
+        // built in lockstep with the decisions below, finalized by the
+        // duty-cycle loop, and appended to the ledger at the end of the
+        // day. Screen-on/Natural is the default; branches overwrite.
+        let record_traces = obs::runtime_enabled();
+        let mut traces: Vec<obs::ActivityTrace> = Vec::new();
+        if record_traces {
+            traces.reserve(day.activities.len());
+            for (idx, a) in day.activities.iter().enumerate() {
+                traces.push(obs::ActivityTrace {
+                    trace_id: TraceId::new(day.day, idx).raw(),
+                    day: day.day,
+                    app: a.app.0,
+                    natural_start: a.start,
+                    duration: a.duration,
+                    bytes: a.bytes_down + a.bytes_up,
+                    screen_on: day.screen_on_at(a.start),
+                    plan: obs::PlanReason::ScreenOn,
+                    outcome: obs::Outcome::Natural,
+                    executed_at: a.start,
+                    latency_secs: 0,
+                    energy: None,
+                });
+            }
+        }
+
         // Trained-prediction misses: demands that still fell to the
         // duty-cycle layer despite a usable routing.
         let mut misses: u64 = 0;
@@ -291,6 +359,9 @@ impl Policy for NetMasterPolicy {
                     // next screen-on or duty wake-up — which is imminent,
                     // since the user is predicted to be around.
                     duty_pending.push((a.start, idx));
+                    if record_traces {
+                        traces[idx].plan = obs::PlanReason::InActiveSlot;
+                    }
                     if trained {
                         misses += 1;
                         self.journal.emit(|| DecisionEvent::PredictionMiss {
@@ -309,6 +380,13 @@ impl Policy for NetMasterPolicy {
                     let from = a.start;
                     let latency_secs = at.abs_diff(from);
                     self.stats.deferral_latency_secs += latency_secs;
+                    if record_traces {
+                        traces[idx].plan =
+                            Self::assigned_reason(routing.why_for(h, k), slot, false);
+                        traces[idx].outcome = obs::Outcome::Deferred { slot };
+                        traces[idx].executed_at = at;
+                        traces[idx].latency_secs = latency_secs;
+                    }
                     self.journal.emit(|| DecisionEvent::ActivityScheduled {
                         day: day.day,
                         hour: h,
@@ -334,6 +412,12 @@ impl Policy for NetMasterPolicy {
                     let from = a.start;
                     let latency_secs = at.abs_diff(from);
                     self.stats.deferral_latency_secs += latency_secs;
+                    if record_traces {
+                        traces[idx].plan = Self::assigned_reason(routing.why_for(h, k), slot, true);
+                        traces[idx].outcome = obs::Outcome::Prefetched { slot };
+                        traces[idx].executed_at = at;
+                        traces[idx].latency_secs = latency_secs;
+                    }
                     self.journal.emit(|| DecisionEvent::ActivityScheduled {
                         day: day.day,
                         hour: h,
@@ -350,6 +434,25 @@ impl Policy for NetMasterPolicy {
                 }
                 Disposition::DutyCycle => {
                     duty_pending.push((a.start, idx));
+                    if record_traces {
+                        traces[idx].plan = if trained {
+                            let reason = match routing.why_for(h, k).and_then(|w| w.reject) {
+                                Some(RouteReject::NoPositiveProfit) => {
+                                    obs::RejectReason::NoPositiveProfit
+                                }
+                                Some(RouteReject::CapacityFull) => obs::RejectReason::CapacityFull,
+                                // No routing entry at all for this hour:
+                                // the miner predicted no schedulable
+                                // demand here, so no candidate existed.
+                                Some(RouteReject::NoCandidate) | None => {
+                                    obs::RejectReason::NoCandidate
+                                }
+                            };
+                            obs::PlanReason::Rejected { reason }
+                        } else {
+                            obs::PlanReason::Untrained
+                        };
+                    }
                     if trained {
                         misses += 1;
                         self.journal.emit(|| DecisionEvent::PredictionMiss {
@@ -410,7 +513,8 @@ impl Policy for NetMasterPolicy {
             // in parallel — stagger so active time is counted honestly.
             let mut stagger: HashMap<Timestamp, u64> = HashMap::new();
             for (arr_idx, served_at) in outcome.served {
-                let demand = &day.activities[in_window[arr_idx].1];
+                let orig_idx = in_window[arr_idx].1;
+                let demand = &day.activities[orig_idx];
                 let off = stagger.entry(served_at).or_insert(0);
                 let at = served_at + *off;
                 *off += demand.duration.max(1);
@@ -418,6 +522,15 @@ impl Policy for NetMasterPolicy {
                     plan.executions.push(Execution::natural(demand));
                 } else {
                     plan.executions.push(Execution::moved(demand, at));
+                }
+                if record_traces {
+                    traces[orig_idx].outcome = if at == demand.start {
+                        obs::Outcome::Natural
+                    } else {
+                        obs::Outcome::DutyServed
+                    };
+                    traces[orig_idx].executed_at = at;
+                    traces[orig_idx].latency_secs = at.abs_diff(demand.start);
                 }
                 obs::observe!(
                     obs::names::DUTY_SERVICE_LATENCY_SECONDS,
@@ -458,6 +571,13 @@ impl Policy for NetMasterPolicy {
         self.stats.prediction_misses += misses;
         self.learn(day);
         plan.executions.sort_by_key(|e| e.start);
+
+        // Append today's lifecycle records to the flight recorder (the
+        // service fills in the energy apportionment lazily, off the
+        // simulation hot path).
+        for t in traces {
+            self.ledger.record(|| t);
+        }
 
         // Batched telemetry: one relaxed atomic add per counter per day
         // (the per-demand hot loop above only touches the journal).

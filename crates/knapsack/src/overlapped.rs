@@ -108,9 +108,78 @@ pub struct OvSolution {
     pub profit: f64,
     /// Used capacity per slot.
     pub used: Vec<u64>,
+    /// `fastpath[slot]` is `true` when that slot's `SinKnap` call was
+    /// answered by the capacity-slack greedy fast path (every eligible
+    /// item fit at once), `false` when it ran the full DP or saw no
+    /// eligible item. Recorded for causal tracing; empty for solvers
+    /// that predate the fast path ([`crate::reference`], brute force).
+    pub fastpath: Vec<bool>,
+}
+
+/// Why the overlapped solver left an item unscheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OvRejectReason {
+    /// The item listed no candidate slot.
+    NoCandidate,
+    /// No candidate had positive profit (the deferral penalty beat the
+    /// energy saving everywhere).
+    NoPositiveProfit,
+    /// Profitable candidates existed but slot capacity ran out.
+    CapacityFull,
+}
+
+/// The causal explanation of one item's outcome, reconstructed
+/// post-hoc from a solution (never touched by solver inner loops).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemWhy {
+    /// The item's weight.
+    pub weight: u64,
+    /// The winning candidate, when scheduled.
+    pub chosen: Option<Candidate>,
+    /// The competing candidate the item did *not* go to.
+    pub runner_up: Option<Candidate>,
+    /// Whether the winning slot was answered by the fast path.
+    pub fastpath: bool,
+    /// Why the item was left out, when unscheduled.
+    pub reject: Option<OvRejectReason>,
 }
 
 impl OvSolution {
+    /// Explains item `j`'s outcome: where it went and against what
+    /// competition, or why it was rejected. `problem` must be the
+    /// instance this solution was produced from.
+    pub fn why(&self, problem: &OvProblem, j: usize) -> ItemWhy {
+        let item = &problem.items[j];
+        let mut why = ItemWhy {
+            weight: item.weight,
+            chosen: None,
+            runner_up: None,
+            fastpath: false,
+            reject: None,
+        };
+        match self.assignment.get(j).copied().flatten() {
+            Some(slot) => {
+                for c in &item.candidates {
+                    if c.slot == slot && why.chosen.is_none() {
+                        why.chosen = Some(*c);
+                    } else if why.runner_up.is_none_or(|r| c.profit > r.profit) {
+                        why.runner_up = Some(*c);
+                    }
+                }
+                why.fastpath = self.fastpath.get(slot).copied().unwrap_or(false);
+            }
+            None => {
+                why.reject = Some(if item.candidates.is_empty() {
+                    OvRejectReason::NoCandidate
+                } else if !item.candidates.iter().any(|c| c.profit > 0.0) {
+                    OvRejectReason::NoPositiveProfit
+                } else {
+                    OvRejectReason::CapacityFull
+                });
+            }
+        }
+        why
+    }
     /// Checks feasibility against the problem.
     pub fn feasible(&self, problem: &OvProblem) -> bool {
         if self.used.len() != problem.capacities.len() {
@@ -178,10 +247,27 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
     }
 
     // --- Steps 2+3: per-slot ratio sort then SinKnap.
+    // lint:allow(hot-path-alloc) OvSolution::fastpath is the caller-owned result value, not reusable scratch
+    let mut fastpath = vec![false; nslots];
     for (slot, list) in slot_items.iter_mut().enumerate() {
         if list.is_empty() {
             continue;
         }
+        // Mirror `sin_knap_with`'s fast-path predicate (Σ eligible
+        // weights ≤ capacity) from the already-built candidate list, so
+        // causal traces can say fastpath-vs-DP without the inner solver
+        // reporting back.
+        let cap = problem.capacities[slot];
+        let mut eligible_w: u128 = 0;
+        let mut any_eligible = false;
+        for &(j, p) in list.iter() {
+            let w = problem.items[j].weight;
+            if p > 0.0 && w <= cap {
+                eligible_w += w as u128;
+                any_eligible = true;
+            }
+        }
+        fastpath[slot] = any_eligible && eligible_w <= cap as u128;
         // Sorting step (paper's step 2); SinKnap itself is order-free,
         // but the canonical order makes reconstruction deterministic.
         list.sort_by(|a, b| {
@@ -288,6 +374,7 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
         per_slot,
         profit,
         used,
+        fastpath,
     };
     #[cfg(feature = "strict-invariants")]
     {
@@ -316,6 +403,7 @@ pub fn brute_force(problem: &OvProblem) -> OvSolution {
         per_slot: vec![Vec::new(); nslots],
         profit: 0.0,
         used: vec![0; nslots],
+        fastpath: Vec::new(),
     };
     // Each item has candidates.len()+1 options (including "skip").
     let mut assignment: Vec<Option<usize>> = vec![None; n];
@@ -503,6 +591,71 @@ mod tests {
                 opt.profit
             );
         }
+    }
+
+    #[test]
+    fn why_explains_assignments_and_rejections() {
+        let p = OvProblem {
+            capacities: vec![10, 10],
+            items: vec![
+                // Scheduled: slot 1 wins on profit, slot 0 is runner-up.
+                OvItem::pair(4, (0, 3.0), (1, 8.0)),
+                // Rejected: no positive profit anywhere.
+                OvItem::pair(2, (0, -1.0), (1, 0.0)),
+                // Rejected: no candidate at all.
+                OvItem {
+                    weight: 5,
+                    candidates: vec![],
+                },
+                // Rejected: profitable but too big for any slot's room.
+                OvItem::single(100, 0, 9.0),
+            ],
+        };
+        let s = solve(&p, 0.05);
+        let w0 = s.why(&p, 0);
+        assert_eq!(s.assignment[0], Some(1));
+        assert_eq!(
+            w0.chosen,
+            Some(Candidate {
+                slot: 1,
+                profit: 8.0
+            })
+        );
+        assert_eq!(
+            w0.runner_up,
+            Some(Candidate {
+                slot: 0,
+                profit: 3.0
+            })
+        );
+        assert_eq!(w0.weight, 4);
+        assert!(w0.fastpath, "4 ≤ 10: slack fast path must answer");
+        assert_eq!(w0.reject, None);
+
+        assert_eq!(s.why(&p, 1).reject, Some(OvRejectReason::NoPositiveProfit));
+        assert_eq!(s.why(&p, 2).reject, Some(OvRejectReason::NoCandidate));
+        assert_eq!(s.why(&p, 3).reject, Some(OvRejectReason::CapacityFull));
+        for j in 1..4 {
+            assert_eq!(s.why(&p, j).chosen, None);
+        }
+    }
+
+    #[test]
+    fn fastpath_flags_match_solver_behaviour() {
+        // Slot 0 overflows (DP), slot 1 has slack (fast path), slot 2
+        // sees no items.
+        let p = OvProblem {
+            capacities: vec![10, 100, 50],
+            items: vec![
+                OvItem::single(8, 0, 5.0),
+                OvItem::single(8, 0, 4.0),
+                OvItem::single(8, 1, 3.0),
+            ],
+        };
+        let s = solve(&p, 0.05);
+        assert_eq!(s.fastpath, vec![false, true, false]);
+        assert!(s.why(&p, 2).fastpath);
+        assert!(!s.why(&p, 0).fastpath);
     }
 
     #[test]

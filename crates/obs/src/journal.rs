@@ -204,6 +204,7 @@ impl Journal {
         if self.buf.len() >= self.cap {
             self.buf.pop_front();
             self.dropped += 1;
+            crate::counter!(crate::names::JOURNAL_DROPPED_TOTAL);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -263,12 +264,19 @@ mod tests {
         if !crate::ENABLED {
             return;
         }
+        crate::reset();
         let mut j = Journal::with_capacity(3);
         for day in 0..5 {
             j.emit(|| sample(day));
         }
         assert_eq!(j.len(), 3);
         assert_eq!(j.dropped(), 2);
+        // Each ring eviction also bumps the fleet-wide drop counter.
+        assert_eq!(
+            crate::snapshot().counter(crate::names::JOURNAL_DROPPED_TOTAL),
+            2
+        );
+        crate::reset();
         let entries = j.drain();
         assert!(j.is_empty());
         // Oldest two were evicted; seq numbers reveal the gap.

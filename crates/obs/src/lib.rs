@@ -11,6 +11,10 @@
 //!   `stage_plan_day_seconds` histogram;
 //! * a bounded **decision-audit journal** — [`Journal`] of typed
 //!   [`DecisionEvent`]s, drainable to JSONL ([`to_jsonl`]);
+//! * a **causal flight recorder** — per-activity [`ActivityTrace`]
+//!   lifecycle records ([`tracectx`]) in a bounded [`TraceLedger`],
+//!   rolled into per-app/per-day energy bills and worst-offender
+//!   exemplars by [`ledger`];
 //! * **watchtower primitives** — [`timeseries`] (Welford, EWMA,
 //!   mergeable quantile sketch, per-day rings), [`drift`]
 //!   (Page–Hinkley + windowed-CUSUM change detectors), and [`health`]
@@ -35,10 +39,12 @@ pub mod drift;
 mod export;
 pub mod health;
 mod journal;
+pub mod ledger;
 #[path = "registry_names.rs"]
 pub mod names;
 mod registry;
 pub mod timeseries;
+pub mod tracectx;
 
 pub use export::validate_prometheus;
 pub use journal::{
@@ -47,6 +53,10 @@ pub use journal::{
 pub use registry::{
     counter_handle, gauge_max, gauge_set, hist_handle, reset, snapshot, BucketSnap, Counter,
     CounterSnap, GaugeSnap, Hist, HistSnap, Snapshot, FINITE_BUCKETS, HIST_BUCKETS,
+};
+pub use tracectx::{
+    trace_from_jsonl, trace_to_jsonl, ActivityTrace, EnergyShare, Outcome, PlanReason,
+    RejectReason, TraceLedger, DEFAULT_LEDGER_CAPACITY,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -73,6 +73,15 @@ pub const MINING_DAYS_ABSORBED_TOTAL: &str = "mining_days_absorbed_total";
 /// Miner resets forced by detected habit drift.
 pub const MINING_DRIFT_RESETS_TOTAL: &str = "mining_drift_resets_total";
 
+// --- Journal / ledger rings ------------------------------------------
+
+/// Events the bounded journal ring discarded on overflow.
+pub const JOURNAL_DROPPED_TOTAL: &str = "journal_dropped_total";
+/// Activity lifecycle records appended to the causal trace ledger.
+pub const LEDGER_RECORDS_TOTAL: &str = "ledger_records_total";
+/// Lifecycle records the bounded ledger ring discarded on overflow.
+pub const LEDGER_DROPPED_TOTAL: &str = "ledger_dropped_total";
+
 // --- Fleet -----------------------------------------------------------
 
 /// Members simulated across all fleet runs.
@@ -154,6 +163,9 @@ mod tests {
             KNAPSACK_CHOICE_BITS_HIGHWATER,
             DUTY_WAKEUPS_TOTAL,
             DUTY_EMPTY_WAKEUPS_TOTAL,
+            JOURNAL_DROPPED_TOTAL,
+            LEDGER_RECORDS_TOTAL,
+            LEDGER_DROPPED_TOTAL,
             MINING_REMINE_TOTAL,
             MINING_DAYS_ABSORBED_TOTAL,
             MINING_DRIFT_RESETS_TOTAL,

@@ -15,6 +15,7 @@ use netmaster_trace::event::AppId;
 use netmaster_trace::time::{merge_intervals, Interval};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::Hash;
 
 /// One app's share of the radio bill.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -70,7 +71,27 @@ impl AppEnergy {
 /// assert!(att[&AppId(2)].tail_j > att[&AppId(1)].tail_j);
 /// ```
 pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<AppId, AppEnergy> {
-    let mut out: HashMap<AppId, AppEnergy> = HashMap::new();
+    apportion(model, transfers)
+}
+
+/// Apportions a transfer timeline's energy to arbitrary owner keys.
+///
+/// This is [`attribute`] generalized over the owner: per-app billing
+/// uses `K = AppId`, the causal ledger apportions per-activity with
+/// `K` a trace id — each transfer then receives its own exact share of
+/// promotion, active, and tail energy, and the bill conserves
+/// [`RrcModel::account`]'s total for the same spans.
+///
+/// Conventions (eprof's last-trigger rule): the owner that wakes the
+/// radio pays the promotion, the owner whose transfer ends last pays
+/// the trailing tail, elapsed tail inside a session is paid by the
+/// owner whose transfer preceded the gap, and active energy splits
+/// proportionally to each owner's seconds inside every merged burst.
+pub fn apportion<K: Copy + Eq + Hash>(
+    model: &RrcModel,
+    transfers: &[(K, Interval)],
+) -> HashMap<K, AppEnergy> {
+    let mut out: HashMap<K, AppEnergy> = HashMap::new();
     if transfers.is_empty() {
         return out;
     }
@@ -93,72 +114,79 @@ pub fn attribute(model: &RrcModel, transfers: &[(AppId, Interval)]) -> HashMap<A
     }
 
     // Raw transfer seconds are informational (they may overlap).
-    for &(app, span) in transfers {
-        out.entry(app).or_default().transfer_secs += span.len() as f64;
+    for &(key, span) in transfers {
+        out.entry(key).or_default().transfer_secs += span.len() as f64;
     }
     // Active energy: each merged burst is charged once (as in
-    // `account`) and split among the apps transferring during it,
+    // `account`) and split among the owners transferring during it,
     // proportionally to their own seconds inside the burst — so
     // concurrent transfers share rather than double-charge.
     let bursts_all = merge_intervals(transfers.iter().map(|&(_, s)| s).collect());
     for burst in &bursts_all {
-        let shares: Vec<(AppId, f64)> = transfers
+        let shares: Vec<(K, f64)> = transfers
             .iter()
-            .filter_map(|&(app, s)| s.intersect(burst).map(|o| (app, o.len() as f64)))
+            .filter_map(|&(key, s)| s.intersect(burst).map(|o| (key, o.len() as f64)))
             .collect();
         let total_share: f64 = shares.iter().map(|&(_, s)| s).sum();
         if total_share <= 0.0 {
             continue;
         }
         let burst_j = cfg.active_energy_j(burst.len() as f64);
-        for (app, share) in shares {
-            out.entry(app).or_default().active_j += burst_j * share / total_share;
+        for (key, share) in shares {
+            out.entry(key).or_default().active_j += burst_j * share / total_share;
         }
     }
 
     // Overheads per session: promotion to the earliest-starting
-    // transfer's app, tail to the latest-ending transfer's app. The
-    // session-internal tail gaps (elapsed tail between bursts inside
-    // one session) are charged to the app whose transfer preceded the
-    // gap.
+    // transfer's owner, tail to the latest-ending transfer's owner.
+    // The session-internal tail gaps (elapsed tail between bursts
+    // inside one session) are charged to the owner whose transfer
+    // preceded the gap. Every payer is found by construction — each
+    // session contains at least one transfer and every burst boundary
+    // is some transfer's end — so there is no fallback path.
     for session in &sessions {
         // Transfers inside this session, ordered by start.
-        let mut inside: Vec<&(AppId, Interval)> = transfers
+        let mut inside: Vec<&(K, Interval)> = transfers
             .iter()
             .filter(|(_, s)| s.overlaps(session))
             .collect();
         inside.sort_by_key(|(_, s)| (s.start, s.end));
-        if inside.is_empty() {
+        let Some(&&(first_key, _)) = inside.first() else {
             continue;
-        }
-        let first_app = inside[0].0;
-        let e = out.entry(first_app).or_default();
+        };
+        let e = out.entry(first_key).or_default();
         e.promo_j += cfg.promo_energy_j();
         e.wakeups += 1;
 
-        let last_app = inside
-            .iter()
-            .max_by_key(|(_, s)| s.end)
-            .map(|(a, _)| *a)
-            .unwrap_or(first_app);
-        out.entry(last_app).or_default().tail_j += model.tail_policy.tail_energy_j(cfg);
+        // Latest end wins; on ties the later element in start order
+        // (matching `Iterator::max_by_key`, which keeps the last max).
+        let mut last = inside[0];
+        for t in &inside[1..] {
+            if t.1.end >= last.1.end {
+                last = t;
+            }
+        }
+        out.entry(last.0).or_default().tail_j += model.tail_policy.tail_energy_j(cfg);
 
         // Internal elapsed-tail gaps: walk the merged bursts of this
-        // session; each gap's tail-prefix energy goes to the app whose
-        // transfer ended the preceding burst.
+        // session; each gap's tail-prefix energy goes to the owner
+        // whose transfer ended the preceding burst.
         let bursts = merge_intervals(inside.iter().map(|(_, s)| *s).collect());
         for w in bursts.windows(2) {
             let gap = (w[1].start - w[0].end) as f64;
             if gap <= 0.0 {
                 continue;
             }
-            let payer = inside
-                .iter()
-                .filter(|(_, s)| s.end <= w[0].end)
-                .max_by_key(|(_, s)| s.end)
-                .map(|(a, _)| *a)
-                .unwrap_or(first_app);
-            out.entry(payer).or_default().tail_j += cfg.tail_prefix_energy_j(gap);
+            let mut payer: Option<&(K, Interval)> = None;
+            for t in &inside {
+                if t.1.end <= w[0].end && payer.is_none_or(|p| t.1.end >= p.1.end) {
+                    payer = Some(t);
+                }
+            }
+            // A burst boundary is always some transfer's end.
+            if let Some(&(key, _)) = payer {
+                out.entry(key).or_default().tail_j += cfg.tail_prefix_energy_j(gap);
+            }
         }
     }
     out
@@ -271,6 +299,56 @@ mod tests {
                 })
                 .collect();
             conservation_check(&m, &t);
+        }
+    }
+
+    #[test]
+    fn per_activity_apportionment_conserves_total_energy() {
+        // The ledger keys transfers by trace id (u64) instead of app:
+        // every activity gets its own exact share, and the per-activity
+        // bill must conserve the timeline total — fixed seed, both tail
+        // policies.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for model in [RrcModel::wcdma_default(), RrcModel::wcdma_immediate_off()] {
+            for _ in 0..20 {
+                let n = rng.random_range(1..40u64);
+                let t: Vec<(u64, Interval)> = (0..n)
+                    .map(|id| {
+                        let s = rng.random_range(0..30_000u64);
+                        (id, iv(s, s + rng.random_range(1..60u64)))
+                    })
+                    .collect();
+                let spans: Vec<Interval> = t.iter().map(|&(_, s)| s).collect();
+                let total = model.account(&spans).total_j();
+                let bill = apportion(&model, &t);
+                assert_eq!(bill.len(), n as usize, "every activity is billed");
+                let attributed: f64 = bill.values().map(AppEnergy::total_j).sum();
+                assert!(
+                    (total - attributed).abs() < 1e-9,
+                    "per-activity conservation violated: {total} vs {attributed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apportion_matches_attribute_for_app_keys() {
+        // `attribute` is `apportion` specialized to AppId; the two must
+        // agree field-for-field on a shared-session timeline.
+        let m = RrcModel::wcdma_default();
+        let t = [
+            (AppId(1), iv(0, 10)),
+            (AppId(2), iv(15, 25)),
+            (AppId(1), iv(20, 30)),
+            (AppId(3), iv(9_000, 9_005)),
+        ];
+        let a = attribute(&m, &t);
+        let b = apportion(&m, &t);
+        assert_eq!(a.len(), b.len());
+        for (app, e) in &a {
+            assert_eq!(b[app], *e);
         }
     }
 

@@ -9,6 +9,7 @@ use crate::par::{par_map, par_map_indexed};
 use crate::plan::Policy;
 use crate::runner::{simulate, SimConfig};
 use netmaster_obs::health::{HealthStatus, Scorecard};
+use netmaster_obs::{ledger, ActivityTrace};
 use netmaster_trace::stats::Summary;
 use netmaster_trace::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -127,6 +128,137 @@ impl FleetHealth {
     /// Total members represented.
     pub fn members(&self) -> usize {
         self.healthy + self.degraded + self.critical
+    }
+}
+
+/// One user's slice of the fleet-wide flight-recorder rollup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserLedgerRollup {
+    /// User id.
+    pub user: u32,
+    /// Lifecycle records contributed.
+    pub activities: u64,
+    /// Records whose activity arrived screen-off.
+    pub screen_off: u64,
+    /// Records the plan stage counted as prediction misses.
+    pub prediction_misses: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Summed baseline (stock-radio, natural-time) joules over billed
+    /// records.
+    pub baseline_j: f64,
+    /// Summed NetMaster-apportioned joules over billed records.
+    pub netmaster_j: f64,
+}
+
+impl UserLedgerRollup {
+    /// The user's ledger-derived energy-saving fraction.
+    pub fn saving(&self) -> f64 {
+        if self.baseline_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.netmaster_j / self.baseline_j
+    }
+}
+
+/// Fleet-wide aggregation of per-user flight recorders: energy bills
+/// summed per user, the saving distribution those bills imply, and the
+/// worst offending trace ids across the whole fleet — the exemplar
+/// link from fleet aggregates down to single causal chains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetLedger {
+    /// Per-user rollups, in input order.
+    pub users: Vec<UserLedgerRollup>,
+    /// Fleet-total baseline joules (billed records only).
+    pub baseline_j: f64,
+    /// Fleet-total NetMaster joules (billed records only).
+    pub netmaster_j: f64,
+    /// Distribution of per-user ledger savings.
+    pub saving: Summary,
+    /// The fleet's worst `(user, record)` pairs by scheduling latency.
+    pub worst_latency: Vec<(u32, ActivityTrace)>,
+    /// The fleet's worst `(user, record)` pairs by apportioned
+    /// NetMaster energy.
+    pub worst_energy: Vec<(u32, ActivityTrace)>,
+}
+
+impl FleetLedger {
+    /// Rolls per-user ledger records up into a fleet view, keeping the
+    /// `worst_k` worst exemplars per dimension.
+    pub fn from_user_records(users: &[(u32, Vec<ActivityTrace>)], worst_k: usize) -> Self {
+        let mut rollups = Vec::with_capacity(users.len());
+        let (mut base_total, mut nm_total) = (0.0f64, 0.0f64);
+        for (user, records) in users {
+            let mut r = UserLedgerRollup {
+                user: *user,
+                activities: records.len() as u64,
+                screen_off: 0,
+                prediction_misses: 0,
+                bytes: 0,
+                baseline_j: 0.0,
+                netmaster_j: 0.0,
+            };
+            for rec in records {
+                r.screen_off += (!rec.screen_on) as u64;
+                r.prediction_misses += rec.is_prediction_miss() as u64;
+                r.bytes += rec.bytes;
+                if let Some(e) = rec.energy {
+                    r.baseline_j += e.baseline_j;
+                    r.netmaster_j += e.actual_j;
+                }
+            }
+            base_total += r.baseline_j;
+            nm_total += r.netmaster_j;
+            rollups.push(r);
+        }
+        let savings: Vec<f64> = rollups.iter().map(UserLedgerRollup::saving).collect();
+        // Worst exemplars per user first (cheap), then across the fleet.
+        let mut worst_latency: Vec<(u32, ActivityTrace)> = Vec::new();
+        let mut worst_energy: Vec<(u32, ActivityTrace)> = Vec::new();
+        for (user, records) in users {
+            worst_latency.extend(
+                ledger::worst_by_latency(records, worst_k)
+                    .into_iter()
+                    .map(|t| (*user, t)),
+            );
+            worst_energy.extend(
+                ledger::worst_by_energy(records, worst_k)
+                    .into_iter()
+                    .map(|t| (*user, t)),
+            );
+        }
+        worst_latency.sort_by(|a, b| {
+            b.1.latency_secs
+                .cmp(&a.1.latency_secs)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.trace_id.cmp(&b.1.trace_id))
+        });
+        worst_latency.truncate(worst_k);
+        let actual = |t: &ActivityTrace| t.energy.map_or(0.0, |e| e.actual_j);
+        worst_energy.sort_by(|a, b| {
+            actual(&b.1)
+                .partial_cmp(&actual(&a.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.trace_id.cmp(&b.1.trace_id))
+        });
+        worst_energy.truncate(worst_k);
+        FleetLedger {
+            users: rollups,
+            baseline_j: base_total,
+            netmaster_j: nm_total,
+            saving: Summary::of(&savings).unwrap_or_else(empty_summary),
+            worst_latency,
+            worst_energy,
+        }
+    }
+
+    /// Fleet-level saving implied by the summed energy bills.
+    pub fn saving_total(&self) -> f64 {
+        if self.baseline_j <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.netmaster_j / self.baseline_j
     }
 }
 
@@ -358,6 +490,80 @@ mod tests {
         let empty = FleetHealth::from_scorecards(&[], 5);
         assert_eq!(empty.members(), 0);
         assert!(empty.worst.is_empty());
+    }
+
+    #[test]
+    fn fleet_ledger_rolls_up_user_records() {
+        use netmaster_obs::{EnergyShare, Outcome, PlanReason};
+        let rec =
+            |day: usize, idx: usize, off: bool, lat: u64, e: Option<(f64, f64)>| ActivityTrace {
+                trace_id: ((day as u64) << 32) | idx as u64,
+                day,
+                app: 1,
+                natural_start: 100 * idx as u64,
+                duration: 5,
+                bytes: 10,
+                screen_on: !off,
+                plan: if off {
+                    PlanReason::Rejected {
+                        reason: netmaster_obs::RejectReason::NoCandidate,
+                    }
+                } else {
+                    PlanReason::ScreenOn
+                },
+                outcome: if off {
+                    Outcome::DutyServed
+                } else {
+                    Outcome::Natural
+                },
+                executed_at: 100 * idx as u64 + lat,
+                latency_secs: lat,
+                energy: e.map(|(actual_j, baseline_j)| EnergyShare {
+                    actual_j,
+                    baseline_j,
+                }),
+            };
+        let users = vec![
+            (
+                7u32,
+                vec![
+                    rec(0, 0, true, 50, Some((1.0, 4.0))),
+                    rec(0, 1, false, 0, Some((2.0, 2.0))),
+                ],
+            ),
+            (
+                9u32,
+                vec![
+                    rec(0, 0, true, 900, Some((6.0, 8.0))),
+                    rec(1, 0, true, 10, None), // unbilled: counted, not summed
+                ],
+            ),
+        ];
+        let fl = FleetLedger::from_user_records(&users, 2);
+        assert_eq!(fl.users.len(), 2);
+        assert_eq!(fl.users[0].activities, 2);
+        assert_eq!(fl.users[0].screen_off, 1);
+        assert_eq!(fl.users[0].prediction_misses, 1);
+        assert!((fl.users[0].baseline_j - 6.0).abs() < 1e-12);
+        assert!((fl.users[0].saving() - 0.5).abs() < 1e-12);
+        assert!((fl.baseline_j - 14.0).abs() < 1e-12);
+        assert!((fl.netmaster_j - 9.0).abs() < 1e-12);
+        assert!((fl.saving_total() - 5.0 / 14.0).abs() < 1e-12);
+        assert_eq!(fl.saving.count, 2);
+        // Cross-fleet exemplars: user 9's 900 s deferral leads latency,
+        // its 6 J record leads energy.
+        assert_eq!(fl.worst_latency.len(), 2);
+        assert_eq!(fl.worst_latency[0].0, 9);
+        assert_eq!(fl.worst_latency[0].1.latency_secs, 900);
+        assert_eq!(fl.worst_energy[0].0, 9);
+        // Round-trips through JSON for the CLI's --json mode.
+        let json = serde_json::to_string(&fl).unwrap();
+        let back: FleetLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fl);
+        // Empty roll-up is benign.
+        let empty = FleetLedger::from_user_records(&[], 3);
+        assert_eq!(empty.users.len(), 0);
+        assert_eq!(empty.saving_total(), 0.0);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod par;
 pub mod plan;
 pub mod runner;
 
-pub use fleet::{run_fleet, run_fleet_streaming, FleetHealth, FleetMember, FleetReport};
+pub use fleet::{
+    run_fleet, run_fleet_streaming, FleetHealth, FleetLedger, FleetMember, FleetReport,
+    UserLedgerRollup,
+};
 pub use metrics::RunMetrics;
 pub use par::{par_map, par_map_indexed, par_sweep};
 pub use plan::{DayPlan, DefaultPolicy, Execution, Policy};

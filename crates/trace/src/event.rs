@@ -28,6 +28,71 @@ impl fmt::Display for AppId {
     }
 }
 
+/// Stable causal identifier for one network activity.
+///
+/// A `TraceId` names the activity positionally: `(day, index)` where
+/// `index` is the activity's position in its day's `activities` vector
+/// *after* [`DayTrace::normalize`](crate::trace::DayTrace::normalize)
+/// (the generator always normalizes, so ids are assigned at
+/// generation). Because generation and normalization are deterministic,
+/// the same `(profile, seed)` always yields the same id for the same
+/// logical transfer — the property the causal ledger needs to join
+/// planning decisions with energy apportionment. Filtering operations
+/// ([`crate::ops`]) re-index the surviving activities, so ids must be
+/// re-derived after filtering, never cached across it.
+///
+/// Packed into one `u64` (`day << 32 | index`) so it rides scratch
+/// structures and journal records without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Id of the `index`-th activity of `day`.
+    #[inline]
+    pub fn new(day: usize, index: usize) -> Self {
+        TraceId(((day as u64) << 32) | (index as u64 & 0xFFFF_FFFF))
+    }
+
+    /// The day the activity belongs to.
+    #[inline]
+    pub fn day(self) -> usize {
+        (self.0 >> 32) as usize
+    }
+
+    /// The activity's index within its day (post-normalization order).
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The raw packed value (what the obs ledger stores).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}-a{}", self.day(), self.index())
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = String;
+
+    /// Parses the `d<day>-a<index>` display form (used by
+    /// `netmaster explain --activity`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("bad trace id {s:?}: expected d<day>-a<index>");
+        let rest = s.strip_prefix('d').ok_or_else(err)?;
+        let (day, idx) = rest.split_once("-a").ok_or_else(err)?;
+        let day: usize = day.parse().map_err(|_| err())?;
+        let idx: usize = idx.parse().map_err(|_| err())?;
+        Ok(TraceId::new(day, idx))
+    }
+}
+
 /// Transfer direction of a network activity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Direction {
@@ -235,6 +300,28 @@ mod tests {
         v.sort_by_key(|e| (e.at(), e.rank()));
         assert!(matches!(v[0], Event::ScreenOn(_)));
         assert!(matches!(v[3], Event::ScreenOff(_)));
+    }
+
+    #[test]
+    fn trace_id_packs_and_displays() {
+        let id = TraceId::new(17, 42);
+        assert_eq!(id.day(), 17);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "d17-a42");
+        assert_eq!(TraceId::new(17, 42), id);
+        assert_eq!(id.raw(), (17u64 << 32) | 42);
+        // Ordering follows (day, index).
+        assert!(TraceId::new(17, 43) > id);
+        assert!(TraceId::new(18, 0) > id);
+    }
+
+    #[test]
+    fn trace_id_parses_display_form() {
+        let id: TraceId = "d3-a250".parse().unwrap();
+        assert_eq!((id.day(), id.index()), (3, 250));
+        assert!("a3-d250".parse::<TraceId>().is_err());
+        assert!("d3a250".parse::<TraceId>().is_err());
+        assert!("d3-ax".parse::<TraceId>().is_err());
     }
 
     #[test]

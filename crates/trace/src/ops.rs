@@ -3,9 +3,30 @@
 //! work with recorded trace files (the paper's monitoring component
 //! exports exactly this kind of data).
 
-use crate::event::AppId;
+use crate::event::{AppId, NetworkActivity, TraceId};
 use crate::time::DayKind;
-use crate::trace::{AppRegistry, Trace};
+use crate::trace::{AppRegistry, DayTrace, Trace};
+
+/// Enumerates a day's activities with their stable [`TraceId`]s.
+///
+/// Ids are positional over the day's *current* activity vector: call
+/// this on the normalized day you plan/simulate with, and re-derive
+/// after any filtering (filters re-index survivors).
+pub fn trace_ids(day: &DayTrace) -> impl Iterator<Item = (TraceId, &NetworkActivity)> {
+    day.activities
+        .iter()
+        .enumerate()
+        .map(move |(i, a)| (TraceId::new(day.day, i), a))
+}
+
+/// Looks up one activity by [`TraceId`] across a whole trace.
+pub fn find_activity(trace: &Trace, id: TraceId) -> Option<&NetworkActivity> {
+    trace
+        .days
+        .iter()
+        .find(|d| d.day == id.day())
+        .and_then(|d| d.activities.get(id.index()))
+}
 
 /// Keeps only the named apps' interactions and activities (screen
 /// sessions are left intact — the user still used the phone).
@@ -189,6 +210,26 @@ mod tests {
             .generate(12)
             .slice_days(9, 12);
         assert!(concat(&t, &wrong).is_err());
+    }
+
+    #[test]
+    fn trace_ids_are_stable_at_generation() {
+        // Same (profile, seed) ⇒ same id ↦ activity mapping: the
+        // property the causal ledger relies on.
+        let a = base();
+        let b = base();
+        for (da, db) in a.days.iter().zip(&b.days) {
+            let ids_a: Vec<_> = trace_ids(da).collect();
+            let ids_b: Vec<_> = trace_ids(db).collect();
+            assert_eq!(ids_a, ids_b);
+            // Ids are dense, ordered, and day-scoped.
+            for (i, (id, act)) in ids_a.iter().enumerate() {
+                assert_eq!(id.day(), da.day);
+                assert_eq!(id.index(), i);
+                assert_eq!(find_activity(&a, *id), Some(*act));
+            }
+        }
+        assert_eq!(find_activity(&a, TraceId::new(999, 0)), None);
     }
 
     #[test]
