@@ -39,9 +39,12 @@ pub fn trained_netmaster(trace: &Trace) -> NetMasterPolicy {
 }
 
 /// A NetMaster policy with a custom config, trained on the head of the
-/// trace.
+/// trace. Bench policies run metrics-only: the harness never drains
+/// per-member journals or ledgers, so the flight recorder would only
+/// pollute cache and distort the timings it exists to explain.
 pub fn trained_netmaster_with(trace: &Trace, cfg: NetMasterConfig) -> NetMasterPolicy {
     NetMasterPolicy::new(cfg, LinkModel::default(), RrcModel::wcdma_default())
+        .with_flight_recorder(false)
         .with_training(&trace.days[..TRAIN_DAYS.min(trace.days.len())])
 }
 

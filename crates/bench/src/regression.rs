@@ -14,7 +14,7 @@
 
 use serde::Deserialize;
 
-/// Regression thresholds for [`check`].
+/// Regression thresholds for [`check`] and [`check_solver_floors`].
 #[derive(Debug, Clone, Copy)]
 pub struct GateThresholds {
     /// Maximum tolerated fractional drop in fleet throughput
@@ -23,27 +23,62 @@ pub struct GateThresholds {
     /// Maximum tolerated absolute drop in the mean saving ratio,
     /// e.g. `0.02` for two percentage points.
     pub max_saving_drop: f64,
+    /// Minimum speedup every optimized solver bench must keep over its
+    /// reference oracle. `1.0` means "never slower than the reference"
+    /// — the floor that caught the original DP-path regression.
+    pub min_solver_speedup: f64,
 }
 
 impl GateThresholds {
     /// The defaults for full perf runs: >10% throughput or >2pp saving
-    /// regressions fail.
+    /// regressions fail, and every solver bench must be ≥1.0× vs its
+    /// reference.
     pub fn full() -> Self {
         GateThresholds {
             max_throughput_drop: 0.10,
             max_saving_drop: 0.02,
+            min_solver_speedup: 1.0,
         }
     }
 
     /// Smoke-mode thresholds: CI machines are noisy and smoke fleets
-    /// are tiny, so the throughput bound is only a sanity check; the
-    /// saving bound stays tight because savings are deterministic.
+    /// are tiny, so the throughput and solver bounds are only sanity
+    /// checks; the saving bound stays tight because savings are
+    /// deterministic.
     pub fn smoke() -> Self {
         GateThresholds {
             max_throughput_drop: 0.60,
             max_saving_drop: 0.02,
+            min_solver_speedup: 0.25,
         }
     }
+}
+
+/// One solver bench's measured speedup over its reference oracle
+/// (current-run side of [`check_solver_floors`]).
+#[derive(Debug, Clone)]
+pub struct SolverSpeedup {
+    /// The bench label, e.g. `"sin_knap bound n=100"`.
+    pub label: String,
+    /// `reference_ns / optimized_ns` from the current run.
+    pub speedup: f64,
+}
+
+/// Per-solver floor check: every optimized solver must hold
+/// [`GateThresholds::min_solver_speedup`] over its reference. Returns
+/// one message per sinking solver; needs no baseline document because
+/// the reference oracles *are* the baseline.
+pub fn check_solver_floors(current: &[SolverSpeedup], thr: &GateThresholds) -> Vec<String> {
+    current
+        .iter()
+        .filter(|s| s.speedup < thr.min_solver_speedup)
+        .map(|s| {
+            format!(
+                "solver bench {:?} at {:.2}x is below the {:.2}x floor vs its reference",
+                s.label, s.speedup, thr.min_solver_speedup
+            )
+        })
+        .collect()
 }
 
 /// The fleet numbers the gate compares (current-run side).
@@ -191,6 +226,32 @@ mod tests {
             saving_mean: 0.50,
         };
         assert_eq!(check(current, &doc, &GateThresholds::full()).len(), 2);
+    }
+
+    #[test]
+    fn solver_floor_catches_a_sinking_solver() {
+        let speedups = vec![
+            SolverSpeedup {
+                label: "sin_knap slack n=100".into(),
+                speedup: 120.0,
+            },
+            SolverSpeedup {
+                label: "sin_knap bound n=100".into(),
+                speedup: 0.91,
+            },
+            SolverSpeedup {
+                label: "overlapped 3x60".into(),
+                speedup: 1.0,
+            },
+        ];
+        let violations = check_solver_floors(&speedups, &GateThresholds::full());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("sin_knap bound n=100"),
+            "{violations:?}"
+        );
+        // Smoke floors are lenient: 0.91x passes there.
+        assert!(check_solver_floors(&speedups, &GateThresholds::smoke()).is_empty());
     }
 
     #[test]

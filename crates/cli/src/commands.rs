@@ -1040,7 +1040,7 @@ fn write_causal_chain(
     r: &netmaster_obs::ActivityTrace,
     names: &std::collections::HashMap<(u32, u16), String>,
 ) -> Result<(), String> {
-    use netmaster_obs::{Outcome, PlanReason, RejectReason};
+    use netmaster_obs::{Outcome, PlanReason, RejectReason, SolverArm};
     use netmaster_trace::event::TraceId;
     use netmaster_trace::time::SECS_PER_HOUR;
 
@@ -1079,7 +1079,7 @@ fn write_causal_chain(
             runner_up_slot,
             runner_up_profit,
             prefetch,
-            fastpath,
+            solver,
         } => format!(
             "knapsack {} slot {slot}: profit {profit:.2} J for {weight} B via {}{}",
             if prefetch {
@@ -1087,10 +1087,11 @@ fn write_causal_chain(
             } else {
                 "defers to"
             },
-            if fastpath {
-                "the capacity-slack fast path"
-            } else {
-                "the FPTAS DP"
+            match solver {
+                Some(SolverArm::Fastpath) => "the capacity-slack fast path",
+                Some(SolverArm::Bnb) => "exact branch-and-bound",
+                Some(SolverArm::Dp) => "the quantized DP",
+                None => "an unrecorded solver",
             },
             match runner_up_slot {
                 Some(s) => format!(" (beat slot {s} at {runner_up_profit:.2} J)"),

@@ -66,9 +66,9 @@ pub struct PlanWhy {
     pub runner_up_slot: Option<usize>,
     /// That competitor's profit.
     pub runner_up_profit: f64,
-    /// `true` when the winning slot's `SinKnap` was answered by the
-    /// capacity-slack fast path rather than the full DP.
-    pub fastpath: bool,
+    /// Which [`netmaster_knapsack::solve_auto`] arm answered the
+    /// winning slot (`None` when the item was rejected).
+    pub solver: Option<netmaster_obs::SolverArm>,
     /// Why the item fell through to duty cycle, when it did.
     pub reject: Option<RouteReject>,
 }
@@ -84,10 +84,12 @@ pub struct DayRouting {
     /// hour `h` takes `route[h][k mod len]`; an empty list means duty
     /// cycle.
     pub route: Vec<Vec<Disposition>>,
-    /// Parallel to `route`: the causal explanation behind each
-    /// disposition (`None` for `Immediate` placeholders). Populated
-    /// only while observability is runtime-enabled; empty otherwise.
-    pub why: Vec<Vec<Option<PlanWhy>>>,
+    /// Causal explanations for the planner-routed (non-`Immediate`)
+    /// entries of `route`, hour-tagged, in plan push order — one flat
+    /// allocation instead of a per-hour table, because this rides the
+    /// per-day hot path. Populated only while observability is
+    /// runtime-enabled; empty otherwise.
+    pub why: Vec<(u8, PlanWhy)>,
     /// Total planner profit (ΔE − ΔP over scheduled predicted items).
     pub planned_profit: f64,
 }
@@ -119,11 +121,28 @@ impl DayRouting {
     /// when why-tracking was off at plan time, the hour routes to duty
     /// cycle by default, or the entry is an `Immediate` placeholder.
     pub fn why_for(&self, hour: usize, k: usize) -> Option<PlanWhy> {
-        let list = self.why.get(hour)?;
+        if self.why.is_empty() {
+            return None;
+        }
+        let list = self.route.get(hour)?;
         if list.is_empty() {
             return None;
         }
-        list[k % list.len()]
+        let k = k % list.len();
+        if matches!(list[k], Disposition::Immediate) {
+            return None;
+        }
+        // Ordinal of this entry among the hour's planner-routed ones —
+        // `why` holds them in the same order `route[hour]` does.
+        let ord = list[..k]
+            .iter()
+            .filter(|d| !matches!(d, Disposition::Immediate))
+            .count();
+        self.why
+            .iter()
+            .filter(|(h, _)| *h as usize == hour)
+            .nth(ord)
+            .map(|&(_, w)| w)
     }
 
     /// `true` when `t` falls inside a predicted active slot.
@@ -158,15 +177,21 @@ pub struct DecisionMaker {
     /// Radio model with *stock* tails — `ΔE` is the saving relative to
     /// what the default device would burn on an isolated transfer.
     pub radio: RrcModel,
+    /// Whether to capture per-item [`PlanWhy`] explanations while
+    /// observability is live. Part of the flight-recorder detail level
+    /// (see [`crate::policies::NetMasterPolicy::with_flight_recorder`]);
+    /// metrics-only deployments turn it off.
+    pub record_why: bool,
 }
 
 impl DecisionMaker {
-    /// New decision maker.
+    /// New decision maker (flight-recorder explanations on).
     pub fn new(config: NetMasterConfig, link: LinkModel, radio: RrcModel) -> Self {
         DecisionMaker {
             config,
             link,
             radio,
+            record_why: true,
         }
     }
 
@@ -319,24 +344,20 @@ impl DecisionMaker {
         let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 
         // Flatten into the per-hour routing table. While observability
-        // is live, build the parallel `why` table in lockstep so every
-        // disposition carries its causal explanation.
-        let record_why = netmaster_obs::runtime_enabled();
+        // is live, build the flat `why` list in lockstep so every
+        // planner-routed disposition carries its causal explanation.
+        let record_why = self.record_why && netmaster_obs::runtime_enabled();
         let mut route: Vec<Vec<Disposition>> = vec![Vec::new(); HOURS_PER_DAY];
-        let mut why: Vec<Vec<Option<PlanWhy>>> = if record_why {
-            vec![Vec::new(); HOURS_PER_DAY]
-        } else {
-            Vec::new()
-        };
+        let mut why: Vec<(u8, PlanWhy)> = Vec::new();
+        if record_why {
+            why.reserve_exact(solution.assignment.len());
+        }
         for (hour, dispositions) in route.iter_mut().enumerate() {
             if slots
                 .iter()
                 .any(|s| s.contains(Interval::hour(day, hour).start))
             {
                 dispositions.push(Disposition::Immediate);
-                if record_why {
-                    why[hour].push(None);
-                }
             }
         }
         for (j, assigned) in solution.assignment.iter().enumerate() {
@@ -355,12 +376,18 @@ impl DecisionMaker {
             route[hour].push(d);
             if record_why {
                 let iw = solution.why(&problem, j);
-                why[hour].push(Some(PlanWhy {
+                why.push((hour as u8, PlanWhy {
                     weight: iw.weight,
                     profit: iw.chosen.map_or(0.0, |c| c.profit),
                     runner_up_slot: iw.runner_up.map(|c| c.slot),
                     runner_up_profit: iw.runner_up.map_or(0.0, |c| c.profit),
-                    fastpath: iw.fastpath,
+                    solver: iw.solver.map(|k| match k {
+                        netmaster_knapsack::SolverKind::Fastpath => {
+                            netmaster_obs::SolverArm::Fastpath
+                        }
+                        netmaster_knapsack::SolverKind::Bnb => netmaster_obs::SolverArm::Bnb,
+                        netmaster_knapsack::SolverKind::Dp => netmaster_obs::SolverArm::Dp,
+                    }),
                     reject: iw.reject.map(|r| match r {
                         overlapped::OvRejectReason::NoCandidate => RouteReject::NoCandidate,
                         overlapped::OvRejectReason::NoPositiveProfit => {
@@ -559,10 +586,16 @@ mod tests {
             assert!(routing.why.is_empty());
             return;
         }
-        // `why` mirrors `route` entry for entry.
-        assert_eq!(routing.why.len(), routing.route.len());
-        for (hour, list) in routing.route.iter().enumerate() {
-            assert_eq!(routing.why[hour].len(), list.len(), "hour {hour}");
+        // `why` carries one entry per planner-routed route entry.
+        let routed: usize = routing
+            .route
+            .iter()
+            .flatten()
+            .filter(|d| !matches!(d, Disposition::Immediate))
+            .count();
+        assert_eq!(routing.why.len(), routed);
+        for (h, _) in &routing.why {
+            assert!((*h as usize) < routing.route.len());
         }
         // Active hour 8: an Immediate placeholder without explanation.
         assert_eq!(routing.disposition(8, 0), Disposition::Immediate);
@@ -599,11 +632,11 @@ mod tests {
         if !netmaster_obs::runtime_enabled() {
             return;
         }
-        let spilled: Vec<PlanWhy> = routing.why[3]
+        let spilled: Vec<PlanWhy> = routing
+            .why
             .iter()
-            .flatten()
-            .filter(|w| w.reject.is_some())
-            .copied()
+            .filter(|(h, w)| *h == 3 && w.reject.is_some())
+            .map(|&(_, w)| w)
             .collect();
         assert!(!spilled.is_empty(), "{routing:?}");
         for w in &spilled {

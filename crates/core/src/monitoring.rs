@@ -152,6 +152,10 @@ pub struct Monitor {
     pub config: MonitorConfig,
     /// Backing store.
     pub db: Database,
+    /// Reusable per-day sample buffer: `(time, submission seq, down,
+    /// up)`. The seq key makes the alloc-free unstable sort reproduce
+    /// the stable by-time order exactly.
+    samples: Vec<(Timestamp, u32, u64, u64)>,
 }
 
 impl Monitor {
@@ -161,6 +165,7 @@ impl Monitor {
         Monitor {
             config,
             db: Database::new(config.cache_bytes),
+            samples: Vec::new(),
         }
     }
 
@@ -193,7 +198,7 @@ impl Monitor {
         // Time triggers: sample byte counters. One sample per period
         // *that saw traffic* (idle samples carry no record — the real
         // component reads counters but only writes deltas).
-        let mut samples: Vec<(Timestamp, u64, u64)> = Vec::new();
+        self.samples.clear();
         for a in &day.activities {
             let period = if day.screen_on_at(a.start) {
                 self.config.screen_on_timer
@@ -205,11 +210,15 @@ impl Monitor {
             let per_down = a.bytes_down / n_samples.max(1);
             let per_up = a.bytes_up / n_samples.max(1);
             for k in 0..n_samples {
-                samples.push((a.start + (k + 1) * period, per_down, per_up));
+                let seq = self.samples.len() as u32;
+                self.samples
+                    .push((a.start + (k + 1) * period, seq, per_down, per_up));
             }
         }
-        samples.sort_by_key(|&(t, ..)| t);
-        for (at, down, up) in samples {
+        // (time, seq) makes the unstable sort order identical to a
+        // stable sort by time, without the stable sort's temp buffer.
+        self.samples.sort_unstable_by_key(|&(t, seq, ..)| (t, seq));
+        for &(at, _, down, up) in &self.samples {
             self.db.record(Record::Bytes { at, down, up });
         }
     }

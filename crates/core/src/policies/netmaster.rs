@@ -7,7 +7,7 @@ use crate::config::NetMasterConfig;
 use crate::decision::{DayRouting, DecisionMaker, Disposition, PlanWhy, RouteReject};
 use crate::dutycycle::{run_window, SleepScheme};
 use crate::monitoring::Monitor;
-use netmaster_knapsack::OvScratch;
+use netmaster_knapsack::PooledOvScratch;
 use netmaster_mining::IncrementalMiner;
 use netmaster_obs::{self as obs, DecisionEvent, Journal, JournalEntry, TraceLedger};
 use netmaster_radio::{LinkModel, RrcModel, TailPolicy};
@@ -60,8 +60,11 @@ pub struct NetMasterStats {
 ///
 /// Mining state lives in an [`IncrementalMiner`]: absorbing a day is
 /// `O(day)` instead of re-deriving every statistic from a clone of the
-/// full history, and daily planning reuses one [`OvScratch`] so the
-/// knapsack solver allocates nothing per day. Only the last two
+/// full history, and daily planning reuses one
+/// [`netmaster_knapsack::OvScratch`] — checked out of a per-thread
+/// pool, so fleet workers recycle solver tables across short-lived
+/// member policies — and the knapsack solver allocates nothing per
+/// day. Only the last two
 /// [`DayTrace`]s are retained (for habit-drift resets); memory per
 /// policy is therefore independent of how long it has been running.
 pub struct NetMasterPolicy {
@@ -71,8 +74,10 @@ pub struct NetMasterPolicy {
     miner: IncrementalMiner,
     /// The freshest two days, kept verbatim for drift resets.
     recent: VecDeque<DayTrace>,
-    /// Reusable knapsack solver state.
-    scratch: OvScratch,
+    /// Reusable knapsack solver state, recycled through a per-thread
+    /// pool so short-lived policies (fleet members) skip the warm-up
+    /// allocations.
+    scratch: PooledOvScratch,
     monitor: Monitor,
     stats: NetMasterStats,
     /// Decision-audit journal (bounded ring; see [`netmaster_obs`]).
@@ -80,6 +85,10 @@ pub struct NetMasterPolicy {
     /// Causal flight recorder: one lifecycle record per planned
     /// activity (bounded ring; see [`netmaster_obs::tracectx`]).
     ledger: TraceLedger,
+    /// Flight-recorder detail level: `true` records journal events,
+    /// lifecycle traces, and plan explanations; `false` runs
+    /// metrics-only (counters, histograms, spans).
+    flight_recorder: bool,
 }
 
 impl NetMasterPolicy {
@@ -90,11 +99,12 @@ impl NetMasterPolicy {
             cfg,
             miner: IncrementalMiner::new(),
             recent: VecDeque::with_capacity(3),
-            scratch: OvScratch::new(),
+            scratch: PooledOvScratch::take(),
             monitor: Monitor::new(),
             stats: NetMasterStats::default(),
             journal: Journal::new(),
             ledger: TraceLedger::new(),
+            flight_recorder: true,
         }
     }
 
@@ -104,6 +114,23 @@ impl NetMasterPolicy {
         for d in days {
             self.learn(d);
         }
+        self
+    }
+
+    /// Sets the flight-recorder detail level. `true` (the default)
+    /// records the full causal chain per activity — journal why-events,
+    /// lifecycle traces, plan explanations — for `netmaster explain`
+    /// and the middleware service's energy ledger. `false` runs
+    /// **metrics-only**: counters, histograms, and stage spans still
+    /// flow, but per-activity recording is skipped entirely. Fleet
+    /// deployments run metrics-only — nobody drains a thousand
+    /// per-member rings, and the recording working set would evict
+    /// cache the domain pipeline needs; deep recording is a per-device
+    /// diagnostic you opt into.
+    pub fn with_flight_recorder(mut self, on: bool) -> Self {
+        self.flight_recorder = on;
+        self.decision.record_why = on;
+        self.journal.set_muted(!on);
         self
     }
 
@@ -156,7 +183,7 @@ impl NetMasterPolicy {
             profit: 0.0,
             runner_up_slot: None,
             runner_up_profit: 0.0,
-            fastpath: false,
+            solver: None,
             reject: None,
         });
         obs::PlanReason::Assigned {
@@ -166,7 +193,7 @@ impl NetMasterPolicy {
             runner_up_slot: w.runner_up_slot,
             runner_up_profit: w.runner_up_profit,
             prefetch,
-            fastpath: w.fastpath,
+            solver: w.solver,
         }
     }
 
@@ -306,7 +333,7 @@ impl Policy for NetMasterPolicy {
         // built in lockstep with the decisions below, finalized by the
         // duty-cycle loop, and appended to the ledger at the end of the
         // day. Screen-on/Natural is the default; branches overwrite.
-        let record_traces = obs::runtime_enabled();
+        let record_traces = self.flight_recorder && obs::runtime_enabled();
         let mut traces: Vec<obs::ActivityTrace> = Vec::new();
         if record_traces {
             traces.reserve(day.activities.len());

@@ -1,12 +1,17 @@
 //! Exact 0/1 knapsack by depth-first branch-and-bound with the
 //! fractional (Dantzig) upper bound.
 //!
-//! Scales far past the 24-item subset-enumeration oracle, which lets
-//! property tests check the FPTAS guarantee on realistically sized
-//! instances (hundreds of items), and provides an exact reference for
-//! the ablation that measures how much profit ε = 0.1 leaves behind.
+//! Originally a recursive test oracle, now a production solver: the
+//! search runs on an explicit stack (recursion depth was O(n) on
+//! adversarial equal-ratio instances — enough to overflow the shrunken
+//! stacks of `strict-invariants` test builds) and reuses a caller-owned
+//! [`BnbScratch`], so the dispatcher ([`crate::solvers::solve_auto`])
+//! can run it per slot with zero allocations. The budgeted entry point
+//! caps the node count so worst-case exponential instances degrade into
+//! an FPTAS fallback instead of a latency cliff.
 
 use crate::item::{Item, Solution};
+use crate::scratch::{BnbFrame, BnbScratch};
 
 /// Exact solver. `O(2^n)` worst case but aggressively pruned; practical
 /// into the hundreds of items for non-adversarial profit/weight mixes.
@@ -19,78 +24,130 @@ use crate::item::{Item, Solution};
 /// assert_eq!(sol.profit, 220.0);
 /// assert_eq!(sol.chosen, vec![1, 2]);
 /// ```
+///
+/// Allocates a fresh workspace; hot paths should hold a [`BnbScratch`]
+/// and call [`branch_and_bound_with`].
 pub fn branch_and_bound(items: &[Item], capacity: u64) -> Solution {
+    branch_and_bound_with(items, capacity, &mut BnbScratch::new())
+}
+
+/// [`branch_and_bound`] reusing a caller-owned workspace. Same search,
+/// same solution; the order/stack/path/incumbent buffers live in
+/// `scratch` and are reused across calls.
+// lint:hot-path
+pub fn branch_and_bound_with(items: &[Item], capacity: u64, scratch: &mut BnbScratch) -> Solution {
+    branch_and_bound_budgeted(items, capacity, usize::MAX, scratch)
+        // lint:allow(panic-hygiene) None only signals an exhausted budget, and usize::MAX never exhausts
+        .expect("unbounded search cannot exhaust its budget")
+}
+
+/// Dantzig bound from `depth` onward: take remaining items greedily by
+/// ratio, the last one fractionally.
+fn bound(items: &[Item], order: &[usize], mut depth: usize, mut room: u64, base: f64) -> f64 {
+    let mut b = base;
+    while depth < order.len() {
+        let it = &items[order[depth]];
+        if it.weight <= room {
+            room -= it.weight;
+            b += it.profit;
+        } else {
+            if it.weight > 0 {
+                b += it.profit * room as f64 / it.weight as f64;
+            }
+            return b;
+        }
+        depth += 1;
+    }
+    b
+}
+
+/// [`branch_and_bound_with`] that gives up after visiting `node_budget`
+/// search nodes, returning `None` instead of a (possibly non-optimal)
+/// incumbent. Callers treat `None` as "instance too adversarial for
+/// exact search" and fall back to the FPTAS, which keeps per-decision
+/// latency flat as instances grow.
+// lint:hot-path
+pub fn branch_and_bound_budgeted(
+    items: &[Item],
+    capacity: u64,
+    node_budget: usize,
+    scratch: &mut BnbScratch,
+) -> Option<Solution> {
+    let BnbScratch {
+        order,
+        stack,
+        current,
+        best,
+    } = scratch;
     // Eligible items sorted by ratio (needed for the fractional bound).
-    let mut order: Vec<usize> = (0..items.len())
-        .filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity)
-        .collect();
+    order.clear();
+    order.extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
     order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
     if order.is_empty() {
-        return Solution::default();
+        return Some(Solution::default());
     }
+    let n = order.len();
 
-    struct Ctx<'a> {
-        items: &'a [Item],
-        order: &'a [usize],
-        capacity: u64,
-        best_profit: f64,
-        best_set: Vec<usize>,
-        current: Vec<usize>,
+    // Explicit DFS, visiting nodes in exactly the order the old
+    // recursion did: incumbent check on entry, Dantzig prune, then the
+    // take branch before the skip branch. `current` is the shared path;
+    // each frame records the path length at its parent plus its own
+    // take/skip decision, so entering a frame first rewinds the path.
+    stack.clear();
+    current.clear();
+    best.clear();
+    let mut best_profit = 0.0f64;
+    let mut nodes = 0usize;
+    stack.push(BnbFrame {
+        depth: 0,
+        parent_len: 0,
+        take: false,
+        used: 0,
+        profit: 0.0,
+    });
+    while let Some(f) = stack.pop() {
+        nodes += 1;
+        if nodes > node_budget {
+            return None;
+        }
+        current.truncate(f.parent_len as usize);
+        if f.take {
+            current.push(order[f.depth as usize - 1]);
+        }
+        if f.profit > best_profit {
+            best_profit = f.profit;
+            best.clear();
+            best.extend_from_slice(current);
+        }
+        let depth = f.depth as usize;
+        if depth == n {
+            continue;
+        }
+        if bound(items, order, depth, capacity - f.used, f.profit) <= best_profit + 1e-12 {
+            continue; // cannot beat the incumbent
+        }
+        let it = items[order[depth]];
+        let len = current.len() as u32;
+        // Skip branch pushed first so the take branch pops first.
+        stack.push(BnbFrame {
+            depth: f.depth + 1,
+            parent_len: len,
+            take: false,
+            used: f.used,
+            profit: f.profit,
+        });
+        if f.used + it.weight <= capacity {
+            stack.push(BnbFrame {
+                depth: f.depth + 1,
+                parent_len: len,
+                take: true,
+                used: f.used + it.weight,
+                profit: f.profit + it.profit,
+            });
+        }
     }
-
-    /// Dantzig bound: take remaining items greedily by ratio, last one
-    /// fractionally.
-    fn bound(ctx: &Ctx<'_>, mut depth: usize, mut room: u64, base: f64) -> f64 {
-        let mut b = base;
-        while depth < ctx.order.len() {
-            let it = &ctx.items[ctx.order[depth]];
-            if it.weight <= room {
-                room -= it.weight;
-                b += it.profit;
-            } else {
-                if it.weight > 0 {
-                    b += it.profit * room as f64 / it.weight as f64;
-                }
-                return b;
-            }
-            depth += 1;
-        }
-        b
-    }
-
-    fn dfs(ctx: &mut Ctx<'_>, depth: usize, used: u64, profit: f64) {
-        if profit > ctx.best_profit {
-            ctx.best_profit = profit;
-            ctx.best_set = ctx.current.clone();
-        }
-        if depth == ctx.order.len() {
-            return;
-        }
-        if bound(ctx, depth, ctx.capacity - used, profit) <= ctx.best_profit + 1e-12 {
-            return; // cannot beat the incumbent
-        }
-        let idx = ctx.order[depth];
-        let it = ctx.items[idx];
-        // Branch 1: take the item (if it fits).
-        if used + it.weight <= ctx.capacity {
-            ctx.current.push(idx);
-            dfs(ctx, depth + 1, used + it.weight, profit + it.profit);
-            ctx.current.pop();
-        }
-        // Branch 2: skip it.
-        dfs(ctx, depth + 1, used, profit);
-    }
-
-    let mut ctx = Ctx {
-        items,
-        order: &order,
-        capacity,
-        best_profit: 0.0,
-        best_set: Vec::new(),
-        current: Vec::new(),
-    };
-    dfs(&mut ctx, 0, 0, 0.0);
-    Solution::from_indices(items, ctx.best_set)
+    // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
+    Some(Solution::from_indices(items, best.clone()))
 }
 
 #[cfg(test)]
@@ -167,5 +224,49 @@ mod tests {
         let s = branch_and_bound(&it, 25);
         assert!((s.profit - 20.0).abs() < 1e-9);
         assert_eq!(s.chosen.len(), 2);
+    }
+
+    #[test]
+    fn deep_equal_ratio_instance_runs_without_recursion() {
+        // 5 000 equal-ratio items: the old recursive left spine would
+        // be 5 000 calls deep — far past a strict-invariants test
+        // thread's stack. The explicit stack shrugs.
+        let it: Vec<Item> = (0..5_000).map(|_| Item::new(1.0, 1)).collect();
+        let s = branch_and_bound(&it, 2_500);
+        assert!((s.profit - 2_500.0).abs() < 1e-9);
+        assert!(s.feasible(2_500));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_solves() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let mut scratch = BnbScratch::new();
+        for trial in 0..60 {
+            let n = rng.random_range(1..=13);
+            let it: Vec<Item> = (0..n)
+                .map(|_| Item::new(rng.random_range(0.5..30.0), rng.random_range(1..30)))
+                .collect();
+            let cap = rng.random_range(1..90);
+            let warm = branch_and_bound_with(&it, cap, &mut scratch);
+            let fresh = branch_and_bound(&it, cap);
+            assert_eq!(warm, fresh, "trial {trial}: dirty scratch changed the answer");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none_and_generous_budget_matches() {
+        // Ratio gaps of 1e-9 sit above the 1e-12 prune tolerance, so the
+        // search still finishes — but not in 5 nodes.
+        let it: Vec<Item> = (0..40).map(|i| Item::new(10.0 + i as f64 * 1e-9, 10)).collect();
+        let mut scratch = BnbScratch::new();
+        assert_eq!(
+            branch_and_bound_budgeted(&it, 190, 5, &mut scratch),
+            None,
+            "5 nodes cannot finish a 40-item search"
+        );
+        // A generous budget completes and matches the unbounded search.
+        let capped = branch_and_bound_budgeted(&it, 190, usize::MAX - 1, &mut scratch);
+        let full = branch_and_bound_with(&it, 190, &mut scratch);
+        assert_eq!(capped, Some(full));
     }
 }

@@ -43,13 +43,13 @@ pub mod reference;
 pub mod scratch;
 pub mod solvers;
 
-pub use bnb::branch_and_bound;
+pub use bnb::{branch_and_bound, branch_and_bound_budgeted, branch_and_bound_with};
 pub use item::{Item, Solution};
 pub use overlapped::{solve_with, Candidate, OvItem, OvProblem, OvSolution};
-pub use scratch::{BitGrid, OvScratch, SolverScratch};
+pub use scratch::{BitGrid, BnbScratch, OvScratch, PooledOvScratch, SolverScratch};
 pub use solvers::{
     brute_force, dp_by_capacity, dp_by_capacity_with, greedy_add, greedy_add_presorted,
-    greedy_half, sin_knap, sin_knap_with,
+    greedy_half, greedy_half_with, quantized_dp, sin_knap, sin_knap_with, solve_auto, SolverKind,
 };
 
 /// `true` when this build compiles the `strict-invariants` runtime

@@ -4,8 +4,12 @@
 //! active slots and may be scheduled into either — so adjacent knapsacks
 //! share an itemset. Algorithm 1 resolves this by (1) *duplicating* each
 //! item into both candidate slots, (2) *sorting* each slot's items by
-//! profit-to-weight ratio, (3) running the single-knapsack FPTAS
-//! (`SinKnap`) per slot, (4) *filtering* items selected twice, and
+//! profit-to-weight ratio, (3) solving each slot's single knapsack —
+//! the paper runs the FPTAS (`SinKnap`); this implementation dispatches
+//! through [`crate::solvers::solve_auto`], which answers exactly via
+//! the slack fast path or branch-and-bound where that is cheaper and
+//! falls back to the quantized FPTAS — (4) *filtering* items selected
+//! twice, and
 //! (5) greedily adding leftovers (`GreedyAdd`). Lemma IV.1 proves the
 //! result is a `(1−ε)/2`-approximation; [`solve`] keeps that guarantee
 //! (filtering retains the higher-profit copy, which preserves at least
@@ -13,7 +17,7 @@
 
 use crate::item::Item;
 use crate::scratch::OvScratch;
-use crate::solvers::sin_knap_with;
+use crate::solvers::{solve_auto, SolverKind};
 
 /// A candidate placement of an item into a slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,12 +112,12 @@ pub struct OvSolution {
     pub profit: f64,
     /// Used capacity per slot.
     pub used: Vec<u64>,
-    /// `fastpath[slot]` is `true` when that slot's `SinKnap` call was
-    /// answered by the capacity-slack greedy fast path (every eligible
-    /// item fit at once), `false` when it ran the full DP or saw no
-    /// eligible item. Recorded for causal tracing; empty for solvers
-    /// that predate the fast path ([`crate::reference`], brute force).
-    pub fastpath: Vec<bool>,
+    /// `solver[slot]` records which [`solve_auto`] arm answered that
+    /// slot's single-knapsack instance (`None` when the slot saw no
+    /// eligible item and no solve ran). Recorded for causal tracing;
+    /// empty for solvers that predate the dispatcher
+    /// ([`crate::reference`], brute force).
+    pub solver: Vec<Option<SolverKind>>,
 }
 
 /// Why the overlapped solver left an item unscheduled.
@@ -138,8 +142,8 @@ pub struct ItemWhy {
     pub chosen: Option<Candidate>,
     /// The competing candidate the item did *not* go to.
     pub runner_up: Option<Candidate>,
-    /// Whether the winning slot was answered by the fast path.
-    pub fastpath: bool,
+    /// Which solver arm answered the winning slot.
+    pub solver: Option<SolverKind>,
     /// Why the item was left out, when unscheduled.
     pub reject: Option<OvRejectReason>,
 }
@@ -154,7 +158,7 @@ impl OvSolution {
             weight: item.weight,
             chosen: None,
             runner_up: None,
-            fastpath: false,
+            solver: None,
             reject: None,
         };
         match self.assignment.get(j).copied().flatten() {
@@ -166,7 +170,7 @@ impl OvSolution {
                         why.runner_up = Some(*c);
                     }
                 }
-                why.fastpath = self.fastpath.get(slot).copied().unwrap_or(false);
+                why.solver = self.solver.get(slot).copied().flatten();
             }
             None => {
                 why.reject = Some(if item.candidates.is_empty() {
@@ -219,7 +223,7 @@ pub fn solve(problem: &OvProblem, eps: f64) -> OvSolution {
 }
 
 /// [`solve`] reusing a caller-owned workspace: per-slot candidate
-/// lists, the per-slot item buffer, and the inner `SinKnap` DP tables
+/// lists, the per-slot item buffer, and the inner solver tables
 /// all live in `scratch` and are reused across calls, so a policy
 /// planning thousands of days performs no per-solve table allocations.
 /// The `GreedyAdd` step runs directly over the already-ratio-sorted
@@ -240,35 +244,28 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
     } = scratch;
 
     // --- Step 1: duplication — build each slot's (item, profit) list.
+    // Candidates no solver can ever accept (non-positive profit, or
+    // heavier than the whole slot) are dropped here once instead of
+    // being re-filtered inside every per-slot solve and GreedyAdd scan.
+    // They cannot appear in any solution, so the result is unchanged;
+    // `why` reads rejection reasons off the problem, not these lists.
     for (j, it) in problem.items.iter().enumerate() {
         for c in &it.candidates {
-            slot_items[c.slot].push((j, c.profit));
+            if c.profit > 0.0 && it.weight <= problem.capacities[c.slot] {
+                slot_items[c.slot].push((j, c.profit));
+            }
         }
     }
 
-    // --- Steps 2+3: per-slot ratio sort then SinKnap.
-    // lint:allow(hot-path-alloc) OvSolution::fastpath is the caller-owned result value, not reusable scratch
-    let mut fastpath = vec![false; nslots];
+    // --- Steps 2+3: per-slot ratio sort, then the solver dispatcher
+    // (slack fast path → exact branch-and-bound → quantized FPTAS).
+    // lint:allow(hot-path-alloc) OvSolution::solver is the caller-owned result value, not reusable scratch
+    let mut solver: Vec<Option<SolverKind>> = vec![None; nslots];
     for (slot, list) in slot_items.iter_mut().enumerate() {
         if list.is_empty() {
             continue;
         }
-        // Mirror `sin_knap_with`'s fast-path predicate (Σ eligible
-        // weights ≤ capacity) from the already-built candidate list, so
-        // causal traces can say fastpath-vs-DP without the inner solver
-        // reporting back.
-        let cap = problem.capacities[slot];
-        let mut eligible_w: u128 = 0;
-        let mut any_eligible = false;
-        for &(j, p) in list.iter() {
-            let w = problem.items[j].weight;
-            if p > 0.0 && w <= cap {
-                eligible_w += w as u128;
-                any_eligible = true;
-            }
-        }
-        fastpath[slot] = any_eligible && eligible_w <= cap as u128;
-        // Sorting step (paper's step 2); SinKnap itself is order-free,
+        // Sorting step (paper's step 2); the solvers are order-free,
         // but the canonical order makes reconstruction deterministic.
         list.sort_by(|a, b| {
             let ra = a.1 / problem.items[a.0].weight.max(1) as f64;
@@ -280,7 +277,8 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
             list.iter()
                 .map(|&(j, p)| Item::new(p, problem.items[j].weight)),
         );
-        let sol = sin_knap_with(items_buf, problem.capacities[slot], eps, knap);
+        let sol = solve_auto(items_buf, problem.capacities[slot], eps, knap);
+        solver[slot] = knap.last_solver();
         selected[slot].extend(sol.chosen.iter().map(|&k| list[k].0));
     }
 
@@ -334,10 +332,11 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
     }
 
     // --- Step 5: GreedyAdd — pack unassigned items into residual room.
-    // The slot lists are already in profit-to-weight order from step 2,
-    // so the greedy fill is a single scan: no candidate-list rebuild,
-    // no re-sort, no temporary `Solution`. Zero-weight items sort
-    // differently under `Item::ratio` (∞) than under the slot key
+    // The slot lists are already in profit-to-weight order from step 2
+    // and hold only positive-profit, slot-feasible candidates from
+    // step 1, so the greedy fill is a single scan: no candidate-list
+    // rebuild, no re-sort, no temporary `Solution`. Zero-weight items
+    // sort differently under `Item::ratio` (∞) than under the slot key
     // (p/max(w,1)), but they consume no capacity, so the set of items
     // accepted is identical to running `greedy_add` on the rebuilt
     // candidate list as the original implementation did
@@ -347,8 +346,8 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
         if used[slot] >= cap {
             continue;
         }
-        for &(j, p) in slot_items[slot].iter() {
-            if p <= 0.0 || assignment[j].is_some() {
+        for &(j, _) in slot_items[slot].iter() {
+            if assignment[j].is_some() {
                 continue;
             }
             let w = problem.items[j].weight;
@@ -374,7 +373,7 @@ pub fn solve_with(problem: &OvProblem, eps: f64, scratch: &mut OvScratch) -> OvS
         per_slot,
         profit,
         used,
-        fastpath,
+        solver,
     };
     #[cfg(feature = "strict-invariants")]
     {
@@ -403,7 +402,7 @@ pub fn brute_force(problem: &OvProblem) -> OvSolution {
         per_slot: vec![Vec::new(); nslots],
         profit: 0.0,
         used: vec![0; nslots],
-        fastpath: Vec::new(),
+        solver: Vec::new(),
     };
     // Each item has candidates.len()+1 options (including "skip").
     let mut assignment: Vec<Option<usize>> = vec![None; n];
@@ -629,7 +628,11 @@ mod tests {
             })
         );
         assert_eq!(w0.weight, 4);
-        assert!(w0.fastpath, "4 ≤ 10: slack fast path must answer");
+        assert_eq!(
+            w0.solver,
+            Some(SolverKind::Fastpath),
+            "4 ≤ 10: slack fast path must answer"
+        );
         assert_eq!(w0.reject, None);
 
         assert_eq!(s.why(&p, 1).reject, Some(OvRejectReason::NoPositiveProfit));
@@ -641,21 +644,35 @@ mod tests {
     }
 
     #[test]
-    fn fastpath_flags_match_solver_behaviour() {
-        // Slot 0 overflows (DP), slot 1 has slack (fast path), slot 2
-        // sees no items.
+    fn solver_tags_match_dispatcher_behaviour() {
+        // Slot 0 overflows with two items (exact branch-and-bound),
+        // slot 1 has slack (fast path), slot 2 sees no items (no solve
+        // at all), slot 3 overflows with more eligible items than the
+        // dispatcher will hand to exact search (quantized DP).
+        let mut items = vec![
+            OvItem::single(8, 0, 5.0),
+            OvItem::single(8, 0, 4.0),
+            OvItem::single(8, 1, 3.0),
+        ];
+        for i in 0..41 {
+            items.push(OvItem::single(8, 3, 1.0 + i as f64 * 0.1));
+        }
         let p = OvProblem {
-            capacities: vec![10, 100, 50],
-            items: vec![
-                OvItem::single(8, 0, 5.0),
-                OvItem::single(8, 0, 4.0),
-                OvItem::single(8, 1, 3.0),
-            ],
+            capacities: vec![10, 100, 50, 40],
+            items,
         };
         let s = solve(&p, 0.05);
-        assert_eq!(s.fastpath, vec![false, true, false]);
-        assert!(s.why(&p, 2).fastpath);
-        assert!(!s.why(&p, 0).fastpath);
+        assert_eq!(
+            s.solver,
+            vec![
+                Some(SolverKind::Bnb),
+                Some(SolverKind::Fastpath),
+                None,
+                Some(SolverKind::Dp),
+            ]
+        );
+        assert_eq!(s.why(&p, 2).solver, Some(SolverKind::Fastpath));
+        assert_eq!(s.why(&p, 0).solver, Some(SolverKind::Bnb));
     }
 
     #[test]

@@ -241,6 +241,6 @@ pub fn solve(problem: &OvProblem, eps: f64) -> OvSolution {
         per_slot,
         profit,
         used,
-        fastpath: Vec::new(),
+        solver: Vec::new(),
     }
 }

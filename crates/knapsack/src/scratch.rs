@@ -16,6 +16,11 @@ use crate::item::Item;
 pub struct BitGrid {
     words: Vec<u64>,
     cols: usize,
+    /// Words that may hold set bits (high-water of past resets): the
+    /// next [`BitGrid::reset`] scrubs only this prefix instead of the
+    /// whole allocation, so a large solve followed by small ones does
+    /// not keep paying the large solve's memset.
+    dirty: usize,
 }
 
 impl BitGrid {
@@ -25,12 +30,20 @@ impl BitGrid {
     }
 
     /// Resizes to `rows × cols` and clears every bit, reusing the
-    /// existing allocation when large enough.
+    /// existing allocation when large enough. Only the high-water
+    /// prefix of words that a previous generation could have written is
+    /// scrubbed; words beyond it are zero by construction.
     pub fn reset(&mut self, rows: usize, cols: usize) {
         self.cols = cols;
-        let words = rows * cols / 64 + 1;
-        self.words.clear();
-        self.words.resize(words, 0);
+        let needed = rows * cols / 64 + 1;
+        let scrub = self.dirty.min(self.words.len());
+        for w in &mut self.words[..scrub] {
+            *w = 0;
+        }
+        if self.words.len() < needed {
+            self.words.resize(needed, 0);
+        }
+        self.dirty = needed;
     }
 
     /// Sets bit `(row, col)`.
@@ -70,8 +83,62 @@ impl BitGrid {
     }
 }
 
+/// One sparse DP state of the profit-quantized Pareto-frontier solver
+/// ([`crate::solvers::quantized_dp`]): a reachable (weight, scaled
+/// profit) pair plus the arena link that reconstructs its item set.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct QState {
+    /// Total weight of the subset.
+    pub(crate) w: u64,
+    /// Total scaled profit of the subset.
+    pub(crate) q: u64,
+    /// Eligible-item index taken to reach this state.
+    pub(crate) item: u32,
+    /// Arena index of the predecessor state (`u32::MAX` = root).
+    pub(crate) parent: u32,
+}
+
+/// One pending node of the iterative branch-and-bound search
+/// ([`crate::bnb::branch_and_bound_with`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BnbFrame {
+    /// Depth in the ratio order (how many items decided).
+    pub(crate) depth: u32,
+    /// Length of the shared path vector when this node's parent forked.
+    pub(crate) parent_len: u32,
+    /// Whether this node takes item `order[depth - 1]`.
+    pub(crate) take: bool,
+    /// Capacity used by the path.
+    pub(crate) used: u64,
+    /// Profit accumulated by the path.
+    pub(crate) profit: f64,
+}
+
+/// Reusable workspace for the iterative branch-and-bound solver: the
+/// ratio order, the explicit DFS stack, the shared path vector, and the
+/// incumbent set. Contents are unspecified between calls.
+#[derive(Debug, Clone, Default)]
+pub struct BnbScratch {
+    /// Eligible item indices in profit-to-weight order.
+    pub(crate) order: Vec<usize>,
+    /// Explicit DFS stack (replaces the old recursion).
+    pub(crate) stack: Vec<BnbFrame>,
+    /// The current partial selection, shared across frames.
+    pub(crate) current: Vec<usize>,
+    /// The incumbent (best-so-far) selection.
+    pub(crate) best: Vec<usize>,
+}
+
+impl BnbScratch {
+    /// Creates an empty workspace (no allocations until first solve).
+    pub fn new() -> Self {
+        BnbScratch::default()
+    }
+}
+
 /// Reusable workspace for the single-knapsack solvers
-/// ([`crate::solvers::sin_knap_with`], [`crate::solvers::dp_by_capacity_with`]).
+/// ([`crate::solvers::sin_knap_with`], [`crate::solvers::dp_by_capacity_with`],
+/// [`crate::solvers::solve_auto`]).
 ///
 /// All fields are internal buffers: their contents are unspecified
 /// between calls, only their allocations persist.
@@ -87,12 +154,32 @@ pub struct SolverScratch {
     pub(crate) scaled: Vec<u64>,
     /// `best[c]` profits for the capacity DP.
     pub(crate) best: Vec<f64>,
+    /// Ratio order for the Dantzig bound and greedy passes.
+    pub(crate) order: Vec<usize>,
+    /// State arena of the sparse quantized DP.
+    pub(crate) arena: Vec<QState>,
+    /// Current Pareto frontier (arena indices, scaled profit ascending).
+    pub(crate) frontier: Vec<u32>,
+    /// Merge buffer for the next frontier.
+    pub(crate) merged: Vec<u32>,
+    /// Nested workspace for the branch-and-bound dispatch arm.
+    pub(crate) bnb: BnbScratch,
+    /// Which arm answered the last [`crate::solvers::solve_auto`] call.
+    pub(crate) last_kind: Option<crate::solvers::SolverKind>,
 }
 
 impl SolverScratch {
     /// Creates an empty workspace (no allocations until first solve).
     pub fn new() -> Self {
         SolverScratch::default()
+    }
+
+    /// Which solver arm answered the most recent
+    /// [`crate::solvers::solve_auto`] call through this scratch, or
+    /// `None` when the instance had no eligible item (or `solve_auto`
+    /// has not run yet).
+    pub fn last_solver(&self) -> Option<crate::solvers::SolverKind> {
+        self.last_kind
     }
 }
 
@@ -126,6 +213,73 @@ impl OvScratch {
         resize_clear(&mut self.selected, nslots);
         resize_clear(&mut self.chosen_slots, nitems);
         self.items_buf.clear();
+    }
+}
+
+std::thread_local! {
+    /// Per-thread recycling pool for [`OvScratch`] workspaces, so
+    /// short-lived owners (one fleet member's policy) inherit the
+    /// previous owner's warmed allocations instead of re-growing their
+    /// own from zero.
+    static OV_POOL: std::cell::RefCell<Vec<OvScratch>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Workspaces kept per thread; beyond this, drops free instead of pool.
+const OV_POOL_CAP: usize = 8;
+
+/// An [`OvScratch`] checked out of a per-thread pool; returns itself to
+/// the pool on drop. At fleet scale each worker thread churns through
+/// thousands of policies, each owning a scratch — pooling means the DP
+/// tables and per-slot lists are allocated once per thread, not once
+/// per member.
+#[derive(Debug, Default)]
+pub struct PooledOvScratch(Option<OvScratch>);
+
+impl PooledOvScratch {
+    /// Checks a workspace out of the current thread's pool (or creates
+    /// an empty one when the pool is dry).
+    pub fn take() -> Self {
+        let inner = OV_POOL
+            .with(|p| p.borrow_mut().pop())
+            .unwrap_or_default();
+        PooledOvScratch(Some(inner))
+    }
+}
+
+impl Clone for PooledOvScratch {
+    /// Cloning checks out a fresh workspace: scratch contents are
+    /// unspecified between calls, so there is nothing worth copying.
+    fn clone(&self) -> Self {
+        PooledOvScratch::take()
+    }
+}
+
+impl std::ops::Deref for PooledOvScratch {
+    type Target = OvScratch;
+    fn deref(&self) -> &OvScratch {
+        // lint:allow(panic-hygiene) the Option is Some from take() until Drop moves it back to the pool
+        self.0.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledOvScratch {
+    fn deref_mut(&mut self) -> &mut OvScratch {
+        // lint:allow(panic-hygiene) the Option is Some from take() until Drop moves it back to the pool
+        self.0.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledOvScratch {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            OV_POOL.with(|p| {
+                let mut pool = p.borrow_mut();
+                if pool.len() < OV_POOL_CAP {
+                    pool.push(inner);
+                }
+            });
+        }
     }
 }
 
@@ -167,6 +321,53 @@ mod tests {
         let mut g = BitGrid::new();
         g.reset(100, 800);
         assert!(g.capacity_bytes() <= 100 * 800 / 8 + 64);
+    }
+
+    #[test]
+    fn bitgrid_highwater_reset_scrubs_across_size_changes() {
+        let mut g = BitGrid::new();
+        // Large grid, bits set near the end of the dirty region.
+        g.reset(10, 100);
+        g.set(9, 99);
+        g.set(0, 0);
+        // Shrink: old high bits are outside the new grid but still in
+        // the allocation; a later regrow must not resurrect them.
+        g.reset(2, 10);
+        assert!(!g.get(0, 0));
+        g.set(1, 3);
+        g.reset(10, 100);
+        assert!(!g.get(9, 99), "stale bit leaked through shrink/regrow");
+        assert!(!g.get(0, 19), "small-grid bit leaked into the regrown grid");
+        for r in 0..10 {
+            for c in 0..100 {
+                assert!(!g.get(r, c), "bit ({r},{c}) not scrubbed");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_recycles_allocations_per_thread() {
+        // Drain anything earlier tests parked in this thread's pool.
+        loop {
+            let s = PooledOvScratch::take();
+            if s.knap.min_weight.capacity() == 0 && s.slot_items.capacity() == 0 {
+                break;
+            }
+            std::mem::forget(s); // deliberately leak warmed ones away
+        }
+        let mut s = PooledOvScratch::take();
+        s.knap.min_weight.resize(1024, 0);
+        let ptr = s.knap.min_weight.as_ptr();
+        drop(s);
+        let s2 = PooledOvScratch::take();
+        assert_eq!(s2.knap.min_weight.as_ptr(), ptr, "allocation recycled");
+        // Clone checks out a distinct workspace, never aliases.
+        let c = s2.clone();
+        assert_ne!(
+            c.knap.min_weight.as_ptr(),
+            s2.knap.min_weight.as_ptr(),
+            "clone must not alias the original's buffers"
+        );
     }
 
     #[test]

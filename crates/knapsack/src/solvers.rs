@@ -123,14 +123,25 @@ pub fn dp_by_capacity_with(items: &[Item], capacity: u64, scratch: &mut SolverSc
 
 /// Greedy by profit-to-weight ratio with the classic "best single item"
 /// fallback, a 1/2-approximation.
+///
+/// Allocates a fresh workspace; hot paths should hold a
+/// [`SolverScratch`] and call [`greedy_half_with`].
 pub fn greedy_half(items: &[Item], capacity: u64) -> Solution {
-    let mut order: Vec<usize> = (0..items.len())
-        .filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity)
-        .collect();
+    greedy_half_with(items, capacity, &mut SolverScratch::new())
+}
+
+/// [`greedy_half`] reusing a caller-owned workspace for the ratio
+/// order. Same solution; no per-call sort buffer allocation.
+// lint:hot-path
+pub fn greedy_half_with(items: &[Item], capacity: u64, scratch: &mut SolverScratch) -> Solution {
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
     order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
+    // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
     let mut chosen = Vec::new();
     let mut used = 0u64;
-    for &i in &order {
+    for &i in order.iter() {
         if used + items[i].weight <= capacity {
             used += items[i].weight;
             chosen.push(i);
@@ -142,6 +153,7 @@ pub fn greedy_half(items: &[Item], capacity: u64) -> Solution {
         .filter(|&i| items[i].weight <= capacity && items[i].profit > 0.0)
         .max_by(|&a, &b| items[a].profit.total_cmp(&items[b].profit));
     match best_single {
+        // lint:allow(hot-path-alloc) single-element result value, not reusable scratch
         Some(i) if items[i].profit > greedy.profit => Solution::from_indices(items, vec![i]),
         _ => greedy,
     }
@@ -229,7 +241,12 @@ pub fn sin_knap(items: &[Item], capacity: u64, eps: f64) -> Solution {
 /// * When capacity binds, the profit-scaling DP runs with `scratch`'s
 ///   reused `min_weight` table and bit-packed choice matrix (1/8 the
 ///   memory of the reference `Vec<bool>`), producing the same solution
-///   bit-for-bit.
+///   bit-for-bit. Three prunes keep that identity while skipping work
+///   the reference wastes: the table is truncated at the Dantzig bound
+///   on scaled profit, each item's inner loop stops at the reachable
+///   prefix sum, and states heavier than `capacity` are never stored
+///   (transitions only add weight, so they cannot reach a feasible
+///   reconstruction chain).
 // lint:hot-path
 pub fn sin_knap_with(
     items: &[Item],
@@ -243,6 +260,7 @@ pub fn sin_knap_with(
         choice,
         eligible,
         scaled,
+        order,
         ..
     } = scratch;
     // Eligible items only.
@@ -288,9 +306,35 @@ pub fn sin_knap_with(
     );
     let p_total: u64 = scaled.iter().sum();
 
+    // Dantzig upper bound on the *scaled* profit any feasible subset
+    // can reach: greedy by scaled ratio, last item fractional (rounded
+    // up, in integer arithmetic, so it can never under-bound). Every
+    // DP cell above the bound would stay unreachable-within-capacity,
+    // so the table is truncated there — typically a multiple smaller
+    // than the reference's `p_total + 1` cells when capacity binds.
+    order.clear();
+    order.extend(0..n);
+    order.sort_by(|&a, &b| {
+        let (pa, wa) = (scaled[a] as u128, items[eligible[a]].weight as u128);
+        let (pb, wb) = (scaled[b] as u128, items[eligible[b]].weight as u128);
+        (pb * wa).cmp(&(pa * wb)) // scaled ratio, descending
+    });
+    let mut room = capacity;
+    let mut ub: u64 = 0;
+    for &j in order.iter() {
+        let w = items[eligible[j]].weight;
+        if w <= room {
+            room -= w;
+            ub += scaled[j];
+        } else {
+            ub += ((scaled[j] as u128 * room as u128 + w as u128 - 1) / w as u128) as u64;
+            break;
+        }
+    }
+
     // min_weight[q] = least weight achieving scaled profit exactly q.
     const INF: u64 = u64::MAX;
-    let cells = (p_total + 1) as usize;
+    let cells = (p_total.min(ub) + 1) as usize;
     netmaster_obs::gauge_max(
         netmaster_obs::names::KNAPSACK_DP_CELLS_HIGHWATER,
         cells as f64,
@@ -303,14 +347,28 @@ pub fn sin_knap_with(
     min_weight.resize(cells, INF);
     choice.reset(n, cells); // choice[j][q]
     min_weight[0] = 0;
+    // Two further prunes, both leaving the ≤-capacity table — and so
+    // the reconstruction — bit-identical to the reference:
+    // * reachable prefix: after items `0..=j` no cell above the prefix
+    //   sum of their scaled profits can be non-INF, so the inner loop
+    //   stops there instead of at `cells`;
+    // * capacity prune: transitions only add weight, so a state heavier
+    //   than `capacity` can never sit on the reconstruction chain of a
+    //   within-capacity state — skip storing it at all.
+    let mut reach: u64 = 0;
     for (j, &idx) in eligible.iter().enumerate() {
         let (pj, wj) = (scaled[j] as usize, items[idx].weight);
+        reach = (reach + scaled[j]).min(cells as u64 - 1);
+        let hi = reach as usize;
         let base = choice.row_base(j);
-        for q in (pj..cells).rev() {
+        for q in (pj..=hi).rev() {
             let from = min_weight[q - pj];
-            if from != INF && from + wj < min_weight[q] {
-                min_weight[q] = from + wj;
-                choice.set_bit(base + q);
+            if from != INF {
+                let cand = from + wj;
+                if cand <= capacity && cand < min_weight[q] {
+                    min_weight[q] = cand;
+                    choice.set_bit(base + q);
+                }
             }
         }
     }
@@ -340,6 +398,276 @@ pub fn sin_knap_with(
         &sol,
         "sin_knap DP path",
     );
+    sol
+}
+
+/// Which arm of [`solve_auto`] answered an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Capacity-slack fast path: every eligible item fit together, the
+    /// exact optimum with no search at all.
+    Fastpath,
+    /// Exact branch-and-bound: small instance solved to optimality
+    /// within its node budget.
+    Bnb,
+    /// Profit-quantized `(1 − ε)` DP: the sparse Pareto frontier, or
+    /// its dense fallback when the frontier outgrows its arena budget.
+    Dp,
+}
+
+/// Arena-state budget past which [`quantized_dp`] abandons the sparse
+/// frontier for the dense table — bounds worst-case memory at ~24 MB
+/// of states while the dense path stays within the (truncated,
+/// bit-packed) footprint [`sin_knap_with`] already pays.
+const QDP_ARENA_BUDGET: usize = 1 << 20;
+
+/// Profit-quantized FPTAS over a *sparse* Pareto frontier: the same
+/// Ibarra–Kim scaling as [`sin_knap_with`], but instead of a dense
+/// `min_weight[q]` table the solver keeps only states `(q, w)` that no
+/// other state dominates (higher-or-equal scaled profit at
+/// lower-or-equal weight — Nemhauser–Ullmann). On the slot-shaped
+/// instances the planner emits, reachable profit levels are sparse and
+/// the frontier stays tiny next to `p_total` cells.
+///
+/// Same `(1 − ε)·OPT` guarantee as [`sin_knap_with`]; the chosen *set*
+/// may differ (both land on the maximum feasible scaled profit, but may
+/// break real-profit ties differently), so oracles should compare
+/// profit bounds, not sets. Deterministic: ties keep the older state.
+// lint:hot-path
+pub fn quantized_dp(
+    items: &[Item],
+    capacity: u64,
+    eps: f64,
+    scratch: &mut SolverScratch,
+) -> Solution {
+    use crate::scratch::QState;
+    let eps = eps.clamp(1e-6, 0.999);
+    const NO_PARENT: u32 = u32::MAX;
+    let best_idx: Option<u32> = {
+        let SolverScratch {
+            eligible,
+            scaled,
+            arena,
+            frontier,
+            merged,
+            ..
+        } = &mut *scratch;
+        eligible.clear();
+        eligible
+            .extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
+        if eligible.is_empty() {
+            return Solution::default();
+        }
+        let n = eligible.len();
+        let p_max = eligible
+            .iter()
+            .map(|&i| items[i].profit)
+            .fold(0.0f64, f64::max);
+        let k = eps * p_max / n as f64;
+        scaled.clear();
+        scaled.extend(
+            eligible
+                .iter()
+                .map(|&i| (items[i].profit / k).floor() as u64),
+        );
+
+        arena.clear();
+        frontier.clear();
+        arena.push(QState {
+            w: 0,
+            q: 0,
+            item: u32::MAX,
+            parent: NO_PARENT,
+        });
+        frontier.push(0);
+        let mut overflow = false;
+        for j in 0..n {
+            let (pj, wj) = (scaled[j], items[eligible[j]].weight);
+            if pj == 0 {
+                // A zero-scaled item can never raise q and never lower
+                // the min weight at a level (ties keep the old state).
+                continue;
+            }
+            // Merge `frontier` with `frontier ⊕ item j`, scanning q
+            // descending and keeping a state only when strictly lighter
+            // than everything at higher-or-equal profit. Equal-q ties
+            // process the lighter state first; full ties keep the old.
+            merged.clear();
+            let (mut i, mut t) = (frontier.len(), frontier.len());
+            let mut best_w = u64::MAX;
+            loop {
+                let take = loop {
+                    if t == 0 {
+                        break None;
+                    }
+                    let s = arena[frontier[t - 1] as usize];
+                    if s.w + wj <= capacity {
+                        break Some((s.q + pj, s.w + wj, frontier[t - 1]));
+                    }
+                    t -= 1;
+                };
+                let old = if i > 0 {
+                    let s = arena[frontier[i - 1] as usize];
+                    Some((s.q, s.w, frontier[i - 1]))
+                } else {
+                    None
+                };
+                let pick_take = match (old, take) {
+                    (None, None) => break,
+                    (Some(_), None) => false,
+                    (None, Some(_)) => true,
+                    (Some((oq, ow, _)), Some((tq, tw, _))) => {
+                        if tq != oq {
+                            tq > oq
+                        } else {
+                            tw < ow // equal profit: lighter first; full tie: old first
+                        }
+                    }
+                };
+                if pick_take {
+                    // lint:allow(panic-hygiene) pick_take is only true when the take side exists (merge guard above)
+                    let (q, w, parent) = take.expect("picked side is present");
+                    t -= 1;
+                    if w < best_w {
+                        if arena.len() >= QDP_ARENA_BUDGET {
+                            overflow = true;
+                            break;
+                        }
+                        arena.push(QState {
+                            w,
+                            q,
+                            item: j as u32,
+                            parent,
+                        });
+                        merged.push((arena.len() - 1) as u32);
+                        best_w = w;
+                    }
+                } else {
+                    // lint:allow(panic-hygiene) !pick_take requires the old side to exist (merge guard above)
+                    let (_, w, idx) = old.expect("picked side is present");
+                    i -= 1;
+                    if w < best_w {
+                        merged.push(idx);
+                        best_w = w;
+                    }
+                }
+            }
+            if overflow {
+                break;
+            }
+            frontier.clear();
+            frontier.extend(merged.iter().rev().copied());
+        }
+        netmaster_obs::gauge_max(
+            netmaster_obs::names::KNAPSACK_QDP_STATES_HIGHWATER,
+            arena.len() as f64,
+        );
+        if overflow {
+            None
+        } else {
+            netmaster_obs::counter!(netmaster_obs::names::KNAPSACK_DP_TOTAL);
+            frontier.last().copied()
+        }
+    };
+    let Some(best) = best_idx else {
+        // Frontier outgrew its arena: the dense (truncated, bit-packed)
+        // table is the bounded-memory fallback. It counts its own DP
+        // tick and keeps the same guarantee.
+        return sin_knap_with(items, capacity, eps, scratch);
+    };
+    // Reconstruct by walking the parent chain.
+    // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
+    let mut chosen = Vec::new();
+    let mut cur = best;
+    while cur != NO_PARENT {
+        let s = scratch.arena[cur as usize];
+        if s.item != u32::MAX {
+            chosen.push(scratch.eligible[s.item as usize]);
+        }
+        cur = s.parent;
+    }
+    let sol = Solution::from_indices(items, chosen);
+    #[cfg(feature = "strict-invariants")]
+    assert_solution_invariants(
+        capacity,
+        (1.0 - eps) * greedy_half(items, capacity).profit,
+        &sol,
+        "quantized_dp",
+    );
+    sol
+}
+
+/// Exact search is attempted up to this many eligible items…
+const BNB_MAX_N: usize = 40;
+/// …with a node budget linear in the item count, so adversarial
+/// equal-ratio instances fall through to the FPTAS at flat latency
+/// instead of going exponential.
+const BNB_NODES_PER_ITEM: usize = 64;
+
+/// The cost-model dispatcher: picks the cheapest solver that fits the
+/// instance, recording its choice in the obs counters and in
+/// [`SolverScratch::last_solver`].
+///
+/// * **Slack fast path** — every eligible item fits together: take them
+///   all (exact, no search).
+/// * **Exact branch-and-bound** — at most [`BNB_MAX_N`] eligible items:
+///   budgeted iterative search; optimal when it completes.
+/// * **Quantized FPTAS** — everything else (and exhausted budgets):
+///   [`quantized_dp`], guarantee `(1 − ε)·OPT`.
+///
+/// The returned profit is therefore always ≥ `(1 − ε)·OPT`, and exact
+/// whenever the fast path or branch-and-bound answered.
+// lint:hot-path
+pub fn solve_auto(items: &[Item], capacity: u64, eps: f64, scratch: &mut SolverScratch) -> Solution {
+    scratch.last_kind = None;
+    scratch.eligible.clear();
+    let mut total_weight: u128 = 0;
+    for (i, item) in items.iter().enumerate() {
+        if item.profit > 0.0 && item.weight <= capacity {
+            scratch.eligible.push(i);
+            total_weight += item.weight as u128;
+        }
+    }
+    if scratch.eligible.is_empty() {
+        return Solution::default();
+    }
+    if total_weight <= capacity as u128 {
+        netmaster_obs::counter!(netmaster_obs::names::KNAPSACK_FASTPATH_TOTAL);
+        scratch.last_kind = Some(SolverKind::Fastpath);
+        // lint:allow(hot-path-alloc) the result takes ownership of the index list; cloning keeps scratch reusable
+        let sol = Solution::from_indices(items, scratch.eligible.clone());
+        #[cfg(feature = "strict-invariants")]
+        assert_solution_invariants(
+            capacity,
+            greedy_half(items, capacity).profit,
+            &sol,
+            "solve_auto fast path",
+        );
+        return sol;
+    }
+    let n = scratch.eligible.len();
+    if n <= BNB_MAX_N {
+        if let Some(sol) = crate::bnb::branch_and_bound_budgeted(
+            items,
+            capacity,
+            BNB_NODES_PER_ITEM * n,
+            &mut scratch.bnb,
+        ) {
+            netmaster_obs::counter!(netmaster_obs::names::KNAPSACK_BNB_TOTAL);
+            scratch.last_kind = Some(SolverKind::Bnb);
+            // Exact ⇒ dominates greedy, same floor as the exact DP.
+            #[cfg(feature = "strict-invariants")]
+            assert_solution_invariants(
+                capacity,
+                greedy_half(items, capacity).profit,
+                &sol,
+                "solve_auto branch-and-bound",
+            );
+            return sol;
+        }
+    }
+    let sol = quantized_dp(items, capacity, eps, scratch);
+    scratch.last_kind = Some(SolverKind::Dp);
     sol
 }
 

@@ -1,0 +1,210 @@
+//! Adversarial solver-agreement property tests.
+//!
+//! Pins the dispatcher ([`solve_auto`]) and the sparse quantized DP
+//! ([`quantized_dp`]) against the exact oracles (`brute_force`,
+//! `branch_and_bound`) and the pre-optimization [`reference`] FPTAS on
+//! the instance families most likely to break an approximation scheme:
+//! equal-ratio items (every greedy/bound tie-breaks), profits that
+//! round to zero under the Ibarra–Kim scaling, capacities hit exactly,
+//! and zero-weight items. Every case runs in the default and the
+//! `strict-invariants` feature configuration (CI runs both); under
+//! strict invariants the solvers additionally self-check feasibility
+//! and the profit floor on every call.
+
+use netmaster_knapsack::{
+    branch_and_bound, brute_force, quantized_dp, reference, solve_auto, Item, Solution,
+    SolverScratch,
+};
+
+const EPS: f64 = 0.1;
+
+/// Exact optimum for small instances.
+fn opt(items: &[Item], cap: u64) -> f64 {
+    if items.len() <= 14 {
+        brute_force(items, cap).profit
+    } else {
+        branch_and_bound(items, cap).profit
+    }
+}
+
+/// Asserts the full agreement contract for one instance: both the
+/// dispatcher and the quantized DP are feasible, sit within
+/// `[(1−ε)·OPT, OPT]`, and the reference FPTAS (same scaling) does not
+/// beat the dispatcher by more than its own approximation slack.
+fn check(tag: &str, items: &[Item], cap: u64, scratch: &mut SolverScratch) {
+    let best = opt(items, cap);
+    let auto = solve_auto(items, cap, EPS, scratch);
+    let auto_kind = scratch.last_solver();
+    let qdp = quantized_dp(items, cap, EPS, scratch);
+    let reference = reference::sin_knap(items, cap, EPS);
+    for (name, sol) in [("solve_auto", &auto), ("quantized_dp", &qdp)] {
+        assert!(sol.feasible(cap), "{tag}/{name}: infeasible");
+        assert!(
+            sol.profit >= (1.0 - EPS) * best - 1e-9,
+            "{tag}/{name}: {} < (1-ε)·{best} (arm {auto_kind:?})",
+            sol.profit
+        );
+        assert!(
+            sol.profit <= best + 1e-9,
+            "{tag}/{name}: {} beats the exact optimum {best}",
+            sol.profit
+        );
+    }
+    assert!(
+        auto.profit >= (1.0 - EPS) * reference.profit - 1e-9,
+        "{tag}: dispatcher {} fell below the reference FPTAS band {}",
+        auto.profit,
+        reference.profit
+    );
+}
+
+#[test]
+fn equal_ratio_items_agree() {
+    let mut scratch = SolverScratch::new();
+    // Every item shares profit/weight ratio 1.0: all greedy orders tie,
+    // the Dantzig bound equals the optimum along entire spines, and the
+    // scaled DP sees uniform levels.
+    let items: Vec<Item> = (0..12).map(|_| Item::new(5.0, 5)).collect();
+    for cap in [0, 4, 5, 12, 25, 30, 60, 61] {
+        check(&format!("equal-ratio cap={cap}"), &items, cap, &mut scratch);
+    }
+    // Equal ratio at mixed magnitudes (weight w, profit w).
+    let mixed: Vec<Item> = [1u64, 2, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&w| Item::new(w as f64, w))
+        .collect();
+    for cap in [31, 63, 100, 127] {
+        check(&format!("equal-ratio-mixed cap={cap}"), &mixed, cap, &mut scratch);
+    }
+}
+
+#[test]
+fn profits_rounding_to_zero_under_scaling_agree() {
+    let mut scratch = SolverScratch::new();
+    // One huge item sets p_max; the rest floor to scaled profit 0
+    // (K = ε·p_max/n ≫ their profits). The FPTAS may drop them — the
+    // (1−ε) guarantee absorbs that — but must never go infeasible or
+    // lose the big item.
+    let mut items = vec![Item::new(1_000.0, 50)];
+    items.extend((0..10).map(|i| Item::new(1e-6 * (i + 1) as f64, 1)));
+    for cap in [50, 55, 60] {
+        check(&format!("zero-scaled cap={cap}"), &items, cap, &mut scratch);
+        let sol = solve_auto(&items, cap, EPS, &mut scratch);
+        assert!(
+            sol.chosen.contains(&0),
+            "cap={cap}: the dominant item must survive zero-rounding"
+        );
+    }
+    // Tight variant: the big item and the dust compete for room.
+    check("zero-scaled tight", &items, 52, &mut scratch);
+}
+
+#[test]
+fn exactly_tight_capacity_agrees() {
+    let mut scratch = SolverScratch::new();
+    // The optimum fills the knapsack to the byte: off-by-one weight
+    // accounting (the classic `<` vs `<=` slip) shows up here.
+    let items = [
+        Item::new(9.0, 3),
+        Item::new(14.0, 5),
+        Item::new(18.0, 7),
+        Item::new(22.0, 9),
+    ];
+    // cap 12 = 3+9 = 5+7; cap 24 = everything (slack fast path).
+    for cap in [12, 15, 16, 24] {
+        check(&format!("tight cap={cap}"), &items, cap, &mut scratch);
+    }
+    let sol = solve_auto(&items, 24, EPS, &mut scratch);
+    assert_eq!(sol.weight, 24, "cap 24: every item fits exactly");
+    assert_eq!(sol.chosen.len(), 4);
+}
+
+#[test]
+fn zero_weight_items_agree() {
+    let mut scratch = SolverScratch::new();
+    // Zero-weight, positive-profit items are free profit; every solver
+    // must take them even at capacity 0, and they must never perturb
+    // the weight accounting of the paid items.
+    let items = [
+        Item::new(3.0, 0),
+        Item::new(7.0, 10),
+        Item::new(0.5, 0),
+        Item::new(6.0, 9),
+    ];
+    for cap in [0, 9, 10, 19] {
+        check(&format!("zero-weight cap={cap}"), &items, cap, &mut scratch);
+    }
+    let sol = solve_auto(&items, 0, EPS, &mut scratch);
+    assert!(
+        (sol.profit - 3.5).abs() < 1e-9,
+        "cap 0: both free items, nothing else ({})",
+        sol.profit
+    );
+    assert_eq!(sol.weight, 0);
+}
+
+#[test]
+fn dirty_scratch_never_leaks_between_adversarial_cases() {
+    // The same scratch cycles through every family back-to-back; each
+    // answer must match a fresh-scratch solve bit for bit.
+    let families: Vec<(Vec<Item>, u64)> = vec![
+        ((0..12).map(|_| Item::new(5.0, 5)).collect(), 25),
+        (
+            {
+                let mut v = vec![Item::new(1_000.0, 50)];
+                v.extend((0..10).map(|i| Item::new(1e-6 * (i + 1) as f64, 1)));
+                v
+            },
+            55,
+        ),
+        (
+            vec![
+                Item::new(9.0, 3),
+                Item::new(14.0, 5),
+                Item::new(18.0, 7),
+                Item::new(22.0, 9),
+            ],
+            12,
+        ),
+        (
+            vec![
+                Item::new(3.0, 0),
+                Item::new(7.0, 10),
+                Item::new(0.5, 0),
+                Item::new(6.0, 9),
+            ],
+            10,
+        ),
+    ];
+    let mut shared = SolverScratch::new();
+    for round in 0..3 {
+        for (i, (items, cap)) in families.iter().enumerate() {
+            let warm: Solution = solve_auto(items, *cap, EPS, &mut shared);
+            let fresh = solve_auto(items, *cap, EPS, &mut SolverScratch::new());
+            assert_eq!(
+                warm, fresh,
+                "round {round} family {i}: dirty scratch changed the answer"
+            );
+            let warm_q = quantized_dp(items, *cap, EPS, &mut shared);
+            let fresh_q = quantized_dp(items, *cap, EPS, &mut SolverScratch::new());
+            assert_eq!(
+                warm_q, fresh_q,
+                "round {round} family {i}: dirty scratch changed the quantized DP"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "strict-invariants")]
+fn strict_invariants_config_is_exercised() {
+    // Pins that the feature-gated CI run actually compiled the oracles
+    // in; the agreement checks above then run them on every solve.
+    assert!(netmaster_knapsack::STRICT_INVARIANTS);
+}
+
+#[test]
+#[cfg(not(feature = "strict-invariants"))]
+fn default_config_is_exercised() {
+    assert!(!netmaster_knapsack::STRICT_INVARIANTS);
+}

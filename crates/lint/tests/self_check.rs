@@ -23,9 +23,12 @@ fn real_workspace_is_lint_clean_at_head() {
     // disable one.
     assert_eq!(report.rule_counts.len(), 5, "{:?}", report.rule_counts);
     // The waiver budget is explicit: new waivers are a reviewed,
-    // deliberate act, not background noise.
+    // deliberate act, not background noise. The solver-engine overhaul
+    // added five justified construction-invariant `expect()`s (pool
+    // Deref, merge-pick sides, the unbudgeted-search wrapper) plus one
+    // amortized once-per-app allocation in the miner's hot path.
     assert!(
-        report.waived.len() <= 16,
+        report.waived.len() <= 22,
         "waiver count {} crossed the review threshold — prune or justify",
         report.waived.len()
     );

@@ -27,7 +27,6 @@ use crate::stability::StabilityReport;
 use netmaster_trace::event::AppId;
 use netmaster_trace::time::{hour_of, DayKind, HOURS_PER_DAY};
 use netmaster_trace::trace::DayTrace;
-use std::collections::BTreeMap;
 
 /// Number of day kinds (weekday, weekend); indexed by `DayKind as usize`.
 const KINDS: usize = 2;
@@ -56,8 +55,10 @@ pub struct IncrementalMiner {
     net_count: [f64; HOURS_PER_DAY],
     /// Raw screen-off bytes per hour (pre-division totals).
     net_bytes: [f64; HOURS_PER_DAY],
-    /// Per-app raw (count, bytes) totals; BTreeMap for deterministic order.
-    per_app: BTreeMap<AppId, ([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])>,
+    /// Per-app raw (count, bytes) totals, indexed by the dense app id;
+    /// `None` until the app's first screen-off activity. Ascending
+    /// index order matches the BTreeMap ordering this replaced.
+    per_app: Vec<Option<Box<([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])>>>,
     /// Special-apps profile, folded day by day.
     special: SpecialApps,
 }
@@ -128,10 +129,13 @@ impl IncrementalMiner {
             let h = hour_of(a.start);
             self.net_count[h] += 1.0;
             self.net_bytes[h] += a.volume() as f64;
-            let entry = self
-                .per_app
-                .entry(a.app)
-                .or_insert(([0.0; HOURS_PER_DAY], [0.0; HOURS_PER_DAY]));
+            let i = a.app.0 as usize;
+            if i >= self.per_app.len() {
+                self.per_app.resize_with(i + 1, || None);
+            }
+            let entry = self.per_app[i]
+                // lint:allow(hot-path-alloc) boxed once per app lifetime, not per day — amortized to zero across the history
+                .get_or_insert_with(|| Box::new(([0.0; HOURS_PER_DAY], [0.0; HOURS_PER_DAY])));
             entry.0[h] += 1.0;
             entry.1[h] += a.volume() as f64;
         }
@@ -225,9 +229,11 @@ impl IncrementalMiner {
         let mut per_app: Vec<AppNetworkPrediction> = self
             .per_app
             .iter()
-            .map(|(&app, &(c, b))| {
-                let mut c = c;
-                let mut b = b;
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (AppId(i as u16), e)))
+            .map(|(app, e)| {
+                let mut c = e.0;
+                let mut b = e.1;
                 for h in 0..HOURS_PER_DAY {
                     c[h] /= days;
                     b[h] /= days;

@@ -10,18 +10,27 @@
 use netmaster_trace::event::AppId;
 use netmaster_trace::trace::{DayTrace, Trace};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+
+const KNOWN: u8 = 1;
+const NETWORKED: u8 = 2;
+const SPECIAL: u8 = 4;
 
 /// The per-user Special Apps profile.
+///
+/// `AppId` is a small dense `u16`, so the profile is flat arrays
+/// indexed by app id — `observe_day` runs on the mining hot path once
+/// per day per member, and hashing every interaction dominated it.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SpecialApps {
-    special: HashSet<AppId>,
-    /// Apps seen at all during profiling (used or trafficking).
-    known: HashSet<AppId>,
+    /// Per-app state bits ([`KNOWN`] | [`NETWORKED`] | [`SPECIAL`]),
+    /// indexed by app id; apps past the end are unseen.
+    flags: Vec<u8>,
     /// Interaction counts per app (Fig. 5's usage totals).
-    usage: HashMap<AppId, u64>,
-    /// Apps with at least one network activity.
-    networked: HashSet<AppId>,
+    usage: Vec<u64>,
+    /// Number of apps with the [`SPECIAL`] bit.
+    special_count: usize,
+    /// Number of apps with the [`KNOWN`] bit.
+    known_count: usize,
 }
 
 impl SpecialApps {
@@ -42,59 +51,85 @@ impl SpecialApps {
     /// record.
     pub fn observe_day(&mut self, day: &DayTrace) {
         for i in &day.interactions {
-            *self.usage.entry(i.app).or_insert(0) += 1;
-            self.known.insert(i.app);
-            if self.networked.contains(&i.app) {
-                self.special.insert(i.app);
-            }
+            let s = self.slot(i.app);
+            self.usage[s] += 1;
+            let f = self.flags[s];
+            self.set_flags(s, f | KNOWN | if f & NETWORKED != 0 { SPECIAL } else { 0 });
         }
         for a in &day.activities {
-            self.networked.insert(a.app);
-            self.known.insert(a.app);
-            if self.usage.contains_key(&a.app) {
-                self.special.insert(a.app);
-            }
+            let s = self.slot(a.app);
+            let f = self.flags[s];
+            let used = self.usage[s] > 0;
+            self.set_flags(
+                s,
+                f | KNOWN | NETWORKED | if used { SPECIAL } else { 0 },
+            );
         }
+    }
+
+    /// Index for an app, growing the arrays to cover it.
+    fn slot(&mut self, app: AppId) -> usize {
+        let i = app.0 as usize;
+        if i >= self.flags.len() {
+            self.flags.resize(i + 1, 0);
+            self.usage.resize(i + 1, 0);
+        }
+        i
+    }
+
+    /// Writes an app's flag byte, keeping the derived counts in step.
+    fn set_flags(&mut self, slot: usize, new: u8) {
+        let old = self.flags[slot];
+        self.known_count += usize::from(new & KNOWN != 0 && old & KNOWN == 0);
+        self.special_count += usize::from(new & SPECIAL != 0 && old & SPECIAL == 0);
+        self.flags[slot] = new;
     }
 
     /// Is this app Special? Unknown (newly installed) apps are treated
     /// as Special until profiled, as the paper prescribes.
     pub fn is_special(&self, app: AppId) -> bool {
-        self.special.contains(&app) || !self.known.contains(&app)
+        match self.flags.get(app.0 as usize) {
+            Some(&f) => f & SPECIAL != 0 || f & KNOWN == 0,
+            None => true,
+        }
     }
 
     /// Is the app known from profiling at all?
     pub fn is_known(&self, app: AppId) -> bool {
-        self.known.contains(&app)
+        self.flags
+            .get(app.0 as usize)
+            .is_some_and(|&f| f & KNOWN != 0)
     }
 
     /// Number of profiled Special Apps (excludes the unknown-app default).
     pub fn count(&self) -> usize {
-        self.special.len()
+        self.special_count
     }
 
     /// Number of apps seen during profiling.
     pub fn known_count(&self) -> usize {
-        self.known.len()
+        self.known_count
     }
 
     /// Interaction count recorded for an app.
     pub fn usage_count(&self, app: AppId) -> u64 {
-        self.usage.get(&app).copied().unwrap_or(0)
+        self.usage.get(app.0 as usize).copied().unwrap_or(0)
     }
 
     /// The most-used Special App and its count (WeChat for user 3:
     /// 669 uses, 59% of all usage).
     pub fn dominant(&self) -> Option<(AppId, u64)> {
-        self.special
+        self.flags
             .iter()
-            .map(|&a| (a, self.usage_count(a)))
+            .enumerate()
+            .filter(|&(_, &f)| f & SPECIAL != 0)
+            .map(|(i, _)| (AppId(i as u16), self.usage[i]))
             .max_by_key(|&(_, c)| c)
     }
 
     /// Fraction of all interactions owned by an app.
     pub fn usage_share(&self, app: AppId) -> f64 {
-        let total: u64 = self.usage.values().sum();
+        let total: u64 = self.usage.iter().sum();
         if total == 0 {
             return 0.0;
         }
@@ -104,8 +139,9 @@ impl SpecialApps {
     /// Registers a newly observed app as Special (paper: "when meeting
     /// a new installed app, we first recognize it as Special Apps").
     pub fn admit(&mut self, app: AppId) {
-        self.special.insert(app);
-        self.known.insert(app);
+        let s = self.slot(app);
+        let f = self.flags[s];
+        self.set_flags(s, f | KNOWN | SPECIAL);
     }
 }
 

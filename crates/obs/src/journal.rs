@@ -176,6 +176,10 @@ pub struct Journal {
     cap: usize,
     next_seq: u64,
     dropped: u64,
+    /// Muted journals drop events before construction — the
+    /// metrics-only flight-recorder detail level for fleet members,
+    /// where nobody will ever drain the ring.
+    muted: bool,
 }
 
 impl Journal {
@@ -191,14 +195,22 @@ impl Journal {
             cap: cap.max(1),
             next_seq: 0,
             dropped: 0,
+            muted: false,
         }
     }
 
+    /// Mutes (or unmutes) the journal: while muted, [`Journal::emit`]
+    /// is a no-op and events are never constructed.
+    pub fn set_muted(&mut self, muted: bool) {
+        self.muted = muted;
+    }
+
     /// Appends the event produced by `f`. When observability is
-    /// compiled out (or switched off at run time) `f` never runs.
+    /// compiled out (or switched off at run time), or the journal is
+    /// muted, `f` never runs.
     #[inline]
     pub fn emit(&mut self, f: impl FnOnce() -> DecisionEvent) {
-        if !runtime_enabled() {
+        if self.muted || !runtime_enabled() {
             return;
         }
         if self.buf.len() >= self.cap {

@@ -56,7 +56,7 @@ pub use registry::{
 };
 pub use tracectx::{
     trace_from_jsonl, trace_to_jsonl, ActivityTrace, EnergyShare, Outcome, PlanReason,
-    RejectReason, TraceLedger, DEFAULT_LEDGER_CAPACITY,
+    RejectReason, SolverArm, TraceLedger, DEFAULT_LEDGER_CAPACITY,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

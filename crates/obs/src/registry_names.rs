@@ -52,10 +52,14 @@ pub const PLANNER_ITEMS_TOTAL: &str = "planner_items_total";
 pub const KNAPSACK_FASTPATH_TOTAL: &str = "knapsack_fastpath_total";
 /// SIN-KNAP calls that ran the full DP.
 pub const KNAPSACK_DP_TOTAL: &str = "knapsack_dp_total";
+/// Dispatcher calls answered exactly by branch-and-bound.
+pub const KNAPSACK_BNB_TOTAL: &str = "knapsack_bnb_total";
 /// Largest DP table (cells) any call touched.
 pub const KNAPSACK_DP_CELLS_HIGHWATER: &str = "knapsack_dp_cells_highwater";
 /// Largest choice-bitset (bits) any call touched.
 pub const KNAPSACK_CHOICE_BITS_HIGHWATER: &str = "knapsack_choice_bits_highwater";
+/// Largest sparse-DP state arena any call grew.
+pub const KNAPSACK_QDP_STATES_HIGHWATER: &str = "knapsack_qdp_states_highwater";
 
 // --- Duty cycle ------------------------------------------------------
 
@@ -159,8 +163,10 @@ mod tests {
             PLANNER_ITEMS_TOTAL,
             KNAPSACK_FASTPATH_TOTAL,
             KNAPSACK_DP_TOTAL,
+            KNAPSACK_BNB_TOTAL,
             KNAPSACK_DP_CELLS_HIGHWATER,
             KNAPSACK_CHOICE_BITS_HIGHWATER,
+            KNAPSACK_QDP_STATES_HIGHWATER,
             DUTY_WAKEUPS_TOTAL,
             DUTY_EMPTY_WAKEUPS_TOTAL,
             JOURNAL_DROPPED_TOTAL,

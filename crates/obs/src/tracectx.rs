@@ -35,6 +35,22 @@ pub enum RejectReason {
     CapacityFull,
 }
 
+/// Which solver arm answered the winning slot's knapsack instance.
+///
+/// Mirrors `netmaster_knapsack::SolverKind` (obs sits below the solver
+/// crates in the dependency order, so it keeps its own copy for
+/// serialization); policies map one onto the other when they record a
+/// [`PlanReason::Assigned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverArm {
+    /// Capacity-slack fast path: every eligible item fit at once.
+    Fastpath,
+    /// Exact branch-and-bound within its node budget.
+    Bnb,
+    /// Profit-quantized `(1 − ε)` dynamic program.
+    Dp,
+}
+
 /// How the planner routed one screen-off activity (the causal "why"
 /// recorded at plan time).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,9 +78,9 @@ pub enum PlanReason {
         /// `true` when served before its natural time (prefetch),
         /// `false` when deferred later.
         prefetch: bool,
-        /// `true` when the winning slot's knapsack was answered by the
-        /// capacity-slack greedy fast path, `false` for the full DP.
-        fastpath: bool,
+        /// Which solver arm answered the winning slot's knapsack
+        /// (`None` only for records predating the dispatcher).
+        solver: Option<SolverArm>,
     },
     /// The knapsack rejected the activity; it fell to the duty-cycle
     /// fallback layer.
@@ -282,7 +298,7 @@ mod tests {
                 runner_up_slot: Some(0),
                 runner_up_profit: 4.0,
                 prefetch: false,
-                fastpath: true,
+                solver: Some(SolverArm::Fastpath),
             },
             outcome: Outcome::Deferred { slot: 1 },
             executed_at: 5_000,
@@ -352,7 +368,16 @@ mod tests {
                 runner_up_slot: None,
                 runner_up_profit: 0.0,
                 prefetch: true,
-                fastpath: false,
+                solver: Some(SolverArm::Bnb),
+            },
+            PlanReason::Assigned {
+                slot: 1,
+                profit: 2.0,
+                weight: 4,
+                runner_up_slot: Some(0),
+                runner_up_profit: 1.5,
+                prefetch: false,
+                solver: Some(SolverArm::Dp),
             },
             PlanReason::Rejected {
                 reason: RejectReason::NoCandidate,

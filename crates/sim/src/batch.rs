@@ -1,0 +1,253 @@
+//! Fleet batch solving: many single-knapsack instances, one scratch.
+//!
+//! A fleet worker chunk materializes thousands of per-slot knapsack
+//! instances whose *shapes* (item count, capacity) repeat heavily —
+//! every member's day planner emits slot problems drawn from the same
+//! generator family. Solving them in submission order thrashes the
+//! solver's reusable tables: a 10-item slot followed by a 500-item slot
+//! followed by another 10-item slot keeps resizing the DP grid and the
+//! branch-and-bound order buffer. [`SolverBatch`] instead *groups* the
+//! chunk by shape and sweeps each group through one shared
+//! [`SolverScratch`] in a single cache-friendly pass, then scatters the
+//! answers back to submission order.
+//!
+//! Grouping never changes an answer: every instance is solved by the
+//! same [`solve_auto`] dispatcher it would meet individually, and the
+//! scratch is reset per call; the batch only reorders *which* instance
+//! warms the tables next. `batch_matches_individual_solves` pins this
+//! bit-for-bit.
+
+use netmaster_knapsack::{solve_auto, Item, Solution, SolverKind, SolverScratch};
+
+/// One submitted instance: a span into the flattened item arena plus
+/// its capacity.
+#[derive(Debug, Clone, Copy)]
+struct BatchSpan {
+    start: usize,
+    len: usize,
+    capacity: u64,
+}
+
+/// Accumulates single-knapsack instances, solves them grouped by shape
+/// over one shared scratch, and hands results back in submission order.
+///
+/// ```
+/// use netmaster_knapsack::Item;
+/// use netmaster_sim::SolverBatch;
+///
+/// let mut batch = SolverBatch::new(0.1);
+/// let a = batch.submit(&[Item::new(5.0, 3), Item::new(4.0, 3)], 4);
+/// let b = batch.submit(&[Item::new(9.0, 2)], 10);
+/// batch.solve_all();
+/// assert_eq!(batch.solution(a).chosen, vec![0]);
+/// assert_eq!(batch.solution(b).profit, 9.0);
+/// ```
+#[derive(Debug)]
+pub struct SolverBatch {
+    eps: f64,
+    items: Vec<Item>,
+    spans: Vec<BatchSpan>,
+    order: Vec<usize>,
+    solutions: Vec<Solution>,
+    kinds: Vec<Option<SolverKind>>,
+    scratch: SolverScratch,
+    solved: bool,
+}
+
+impl SolverBatch {
+    /// Empty batch; `eps` is the FPTAS accuracy knob forwarded to every
+    /// [`solve_auto`] call (exact arms ignore it).
+    pub fn new(eps: f64) -> Self {
+        SolverBatch {
+            eps,
+            items: Vec::new(),
+            spans: Vec::new(),
+            order: Vec::new(),
+            solutions: Vec::new(),
+            kinds: Vec::new(),
+            scratch: SolverScratch::new(),
+            solved: false,
+        }
+    }
+
+    /// Queues one instance, returning its ticket (stable index into
+    /// [`solution`](Self::solution) / [`kind`](Self::kind) after
+    /// [`solve_all`](Self::solve_all)). Items are copied into the
+    /// batch's arena, so the caller's buffer can be reused immediately.
+    pub fn submit(&mut self, items: &[Item], capacity: u64) -> usize {
+        debug_assert!(!self.solved, "submit after solve_all without clear");
+        let start = self.items.len();
+        self.items.extend_from_slice(items);
+        self.spans.push(BatchSpan {
+            start,
+            len: items.len(),
+            capacity,
+        });
+        self.spans.len() - 1
+    }
+
+    /// Queued instances.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Solves every queued instance, shape-grouped: submissions are
+    /// sorted by (item count, capacity) so identically-shaped problems
+    /// run back-to-back over the shared scratch (the DP grid, frontier
+    /// arena and branch-and-bound buffers keep their sizes between
+    /// neighbours instead of oscillating), then results scatter back to
+    /// ticket order.
+    pub fn solve_all(&mut self) {
+        self.order.clear();
+        self.order.extend(0..self.spans.len());
+        let spans = &self.spans;
+        self.order
+            .sort_by_key(|&t| (spans[t].len, spans[t].capacity));
+        self.solutions.clear();
+        self.solutions.resize(spans.len(), Solution::default());
+        self.kinds.clear();
+        self.kinds.resize(spans.len(), None);
+        for &t in &self.order {
+            let s = self.spans[t];
+            let sol = solve_auto(
+                &self.items[s.start..s.start + s.len],
+                s.capacity,
+                self.eps,
+                &mut self.scratch,
+            );
+            self.kinds[t] = self.scratch.last_solver();
+            self.solutions[t] = sol;
+        }
+        self.solved = true;
+    }
+
+    /// Solution for a ticket. Panics when called before
+    /// [`solve_all`](Self::solve_all).
+    pub fn solution(&self, ticket: usize) -> &Solution {
+        assert!(self.solved, "solution() before solve_all()");
+        &self.solutions[ticket]
+    }
+
+    /// Which dispatcher arm answered a ticket (`None` when the instance
+    /// had no eligible item).
+    pub fn kind(&self, ticket: usize) -> Option<SolverKind> {
+        assert!(self.solved, "kind() before solve_all()");
+        self.kinds[ticket]
+    }
+
+    /// Drops queued instances and results, keeping every allocation
+    /// (item arena, result buffers, solver scratch) for the next chunk.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.spans.clear();
+        self.order.clear();
+        self.solutions.clear();
+        self.kinds.clear();
+        self.solved = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(rng: &mut StdRng) -> (Vec<Item>, u64) {
+        // Mix of shapes: tiny exact-search slots, mid DP slots, and the
+        // occasional degenerate (zero-eligible) instance.
+        const SHAPES: [usize; 9] = [0, 2, 2, 8, 8, 8, 50, 50, 120];
+        let n = SHAPES[rng.random_range(0..SHAPES.len())];
+        let items: Vec<Item> = (0..n)
+            .map(|_| {
+                Item::new(
+                    rng.random_range(-2.0..30.0),
+                    rng.random_range(1..400u64),
+                )
+            })
+            .collect();
+        let cap = rng.random_range(1..2_000);
+        (items, cap)
+    }
+
+    #[test]
+    fn batch_matches_individual_solves() {
+        let mut rng = StdRng::seed_from_u64(2014);
+        let mut batch = SolverBatch::new(0.1);
+        let mut expected = Vec::new();
+        for _ in 0..120 {
+            let (items, cap) = random_instance(&mut rng);
+            // Individual oracle: a fresh scratch per instance.
+            let mut fresh = SolverScratch::new();
+            let sol = solve_auto(&items, cap, 0.1, &mut fresh);
+            let t = batch.submit(&items, cap);
+            expected.push((t, sol, fresh.last_solver()));
+        }
+        batch.solve_all();
+        for (t, sol, kind) in expected {
+            assert_eq!(
+                batch.solution(t),
+                &sol,
+                "ticket {t}: grouped solve diverged from the individual solve"
+            );
+            assert_eq!(batch.kind(t), kind, "ticket {t}: dispatcher arm diverged");
+        }
+    }
+
+    #[test]
+    fn grouped_solve_order_is_by_shape() {
+        let mut batch = SolverBatch::new(0.1);
+        // Alternate shapes; the sweep must still return each ticket's
+        // own answer.
+        let big: Vec<Item> = (0..60).map(|i| Item::new(1.0 + i as f64, 10)).collect();
+        let small = [Item::new(7.0, 5), Item::new(3.0, 5)];
+        let mut tickets = Vec::new();
+        for round in 0..10 {
+            if round % 2 == 0 {
+                tickets.push((batch.submit(&small, 5), 7.0));
+            } else {
+                // All 60 fit: slack fast path, profit 1+2+…+60.
+                tickets.push((batch.submit(&big, 600), (1..=60).sum::<i32>() as f64));
+            }
+        }
+        batch.solve_all();
+        for (t, profit) in tickets {
+            assert!(
+                (batch.solution(t).profit - profit).abs() < 1e-9,
+                "ticket {t}: {} != {profit}",
+                batch.solution(t).profit
+            );
+        }
+    }
+
+    #[test]
+    fn clear_recycles_across_chunks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut batch = SolverBatch::new(0.1);
+        for chunk in 0..4 {
+            batch.clear();
+            assert!(batch.is_empty());
+            let mut oracle = Vec::new();
+            for _ in 0..30 {
+                let (items, cap) = random_instance(&mut rng);
+                let mut fresh = SolverScratch::new();
+                let sol = solve_auto(&items, cap, 0.1, &mut fresh);
+                oracle.push((batch.submit(&items, cap), sol));
+            }
+            assert_eq!(batch.len(), 30);
+            batch.solve_all();
+            for (t, sol) in oracle {
+                assert_eq!(
+                    batch.solution(t),
+                    &sol,
+                    "chunk {chunk} ticket {t}: dirty batch changed an answer"
+                );
+            }
+        }
+    }
+}

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod fleet;
 pub mod metrics;
 pub mod par;
 pub mod plan;
 pub mod runner;
 
+pub use batch::SolverBatch;
 pub use fleet::{
     run_fleet, run_fleet_streaming, FleetHealth, FleetLedger, FleetMember, FleetReport,
     UserLedgerRollup,
