@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Option keys that are boolean flags (consume no value).
-const FLAGS: &[&str] = &["help", "quiet", "json", "prom", "index-guard"];
+const FLAGS: &[&str] = &["help", "quiet", "json", "prom", "index-guard", "serve"];
 
 impl Args {
     /// Parses an argument vector (excluding argv[0]).

@@ -52,10 +52,21 @@ COMMANDS:
   fleet                   Simulate N synthetic users, report the saving distribution
       --users N             fleet size (default 20)
       --seed N              base seed (default 2014)
+      --serve               expose live scrape endpoints while the fleet runs
+      --addr HOST:PORT      bind address for --serve (default 127.0.0.1:9898)
+      --registry FILE       append a provenance-stamped result row (JSONL)
+  serve-obs               Run a telemetry workload and serve it over HTTP
+      --addr HOST:PORT      bind address (default 127.0.0.1:9898; port 0 picks one)
+      --users N             simulated users (default 3)
+      --days N              days per user, most training (default 16)
+      --seed N              base seed (default 2014)
+      --drop-threshold N    /healthz turns 503 past this many ring drops (default 0)
+      --linger-secs N       keep serving N seconds after the workload (default 0)
   obs                     Run a small simulated fleet and print its telemetry
       --users N             simulated users (default 3)
       --days N              days per user, most training (default 16)
       --seed N              base seed (default 2014)
+      --url URL             scrape a live serve-obs endpoint instead of running
       --json                JSON metrics snapshot instead of the table
       --prom                Prometheus text exposition instead of the table
       --journal FILE        also drain the decision-audit journal to JSONL
@@ -66,6 +77,9 @@ COMMANDS:
       --shift-user I        inject a 12-hour rhythm shift into member I
       --shift-day N         first shifted day (default 2/3 into the run)
       --worst K             worst members detailed in the report (default 3)
+      --serve               expose live scrape endpoints while the fleet runs
+      --addr HOST:PORT      bind address for --serve (default 127.0.0.1:9898)
+      --registry FILE       append a provenance-stamped result row (JSONL)
       --json                machine-readable fleet health report
       --journal FILE        drain the fleet's decision journals to JSONL
   explain                 Reconstruct causal chains and energy bills from the flight recorder
@@ -106,6 +120,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         "timeline" => timeline_cmd(args, out),
         "devourers" => devourers_cmd(args, out),
         "fleet" => fleet_cmd(args, out),
+        "serve-obs" => serve_obs_cmd(args, out),
         "obs" => obs_cmd(args, out),
         "watch" => watch_cmd(args, out),
         "explain" => explain_cmd(args, out),
@@ -529,33 +544,109 @@ fn lint_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+/// Starts a scrape server when `--serve` was given: returns the shared
+/// [`TelemetryHub`](netmaster_obs::TelemetryHub) the run publishes into
+/// and the running server (shut it down after the run). Errors loudly
+/// when observability is compiled out — a server over a disabled
+/// registry would scrape as all-empty.
+fn maybe_serve(
+    args: &Args,
+    out: &mut dyn Write,
+) -> Result<
+    Option<(
+        std::sync::Arc<netmaster_obs::TelemetryHub>,
+        netmaster_obs::ObsServer,
+    )>,
+    String,
+> {
+    use netmaster_obs::{ObsServer, ServeOptions, TelemetryHub};
+    use std::sync::Arc;
+
+    if !args.flag("serve") {
+        return Ok(None);
+    }
+    if !netmaster_obs::compiled() {
+        return Err(
+            "--serve needs observability, but this build has obs disabled \
+             (compiled with --no-default-features); rebuild with the default `obs` feature"
+                .into(),
+        );
+    }
+    let hub = Arc::new(TelemetryHub::new());
+    let opts = ServeOptions {
+        addr: args
+            .opt("addr", netmaster_obs::serve::DEFAULT_ADDR)
+            .to_owned(),
+        drop_threshold: args.num("drop-threshold", 0)?,
+        ..ServeOptions::default()
+    };
+    let server = ObsServer::start(opts, Arc::clone(&hub))?;
+    writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
+    Ok(Some((hub, server)))
+}
+
+/// Appends one provenance-stamped row to the `--registry` JSONL file
+/// when the option was given.
+fn maybe_register(
+    args: &Args,
+    out: &mut dyn Write,
+    kind: &str,
+    seed: u64,
+    config: &str,
+    kpis: std::collections::BTreeMap<String, f64>,
+) -> Result<(), String> {
+    let Some(path) = args.options.get("registry") else {
+        return Ok(());
+    };
+    let record = netmaster_obs::RunRecord::new(kind, seed, config, kpis);
+    netmaster_obs::RunRegistry::new(path).append(&record)?;
+    writeln!(
+        out,
+        "registered {kind} run {} (config {}) in {path}",
+        record.git_rev, record.config_hash
+    )
+    .map_err(io_err)
+}
+
 fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    use netmaster_sim::{par_map, run_fleet};
+    use netmaster_sim::run_fleet_streaming_with;
     let n: usize = args.num("users", 20)?;
     let base_seed: u64 = args.num("seed", 2014)?;
     let train = 14usize;
-    let seeds: Vec<u64> = (0..n as u64)
-        .map(|i| base_seed.wrapping_add(i * 7919))
-        .collect();
-    let traces: Vec<(u64, Trace)> = par_map(&seeds, |&seed| {
-        let profile = UserProfile::panel().remove((seed % 8) as usize);
-        (
-            seed,
-            TraceGenerator::new(profile)
-                .with_seed(seed)
-                .generate(train + 7),
-        )
-    });
-    let report = run_fleet(&traces, train, &SimConfig::default(), |trace| {
-        Box::new(
-            NetMasterPolicy::new(
-                NetMasterConfig::default(),
-                LinkModel::default(),
-                RrcModel::wcdma_default(),
+    let served = maybe_serve(args, out)?;
+    let hub = served.as_ref().map(|(hub, _)| hub);
+    if let Some(hub) = hub {
+        hub.begin_run(n as u64);
+    }
+    let report = run_fleet_streaming_with(
+        n,
+        train,
+        &SimConfig::default(),
+        |i| {
+            let seed = base_seed.wrapping_add(i as u64 * 7919);
+            let profile = UserProfile::panel().remove((seed % 8) as usize);
+            (
+                seed,
+                TraceGenerator::new(profile)
+                    .with_seed(seed)
+                    .generate(train + 7),
             )
-            .with_training(&trace.days[..train]),
-        ) as Box<dyn Policy + Send>
-    });
+        },
+        |trace| {
+            Box::new(
+                NetMasterPolicy::new(
+                    NetMasterConfig::default(),
+                    LinkModel::default(),
+                    RrcModel::wcdma_default(),
+                )
+                .with_training(&trace.days[..train]),
+            ) as Box<dyn Policy + Send>
+        },
+        hub.map(|h| h.as_ref()),
+    );
+    if let Some(hub) = hub {
+        hub.end_run();
+    }
     writeln!(
         out,
         "fleet of {n}: saving mean {:.3} (sd {:.3}, min {:.3}, max {:.3});          {:.0}% of members above 50%; affected max {:.4}",
@@ -565,6 +656,113 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         report.saving.max,
         100.0 * report.fraction_above(0.5),
         report.affected.max
+    )
+    .map_err(io_err)?;
+    let mut kpis = std::collections::BTreeMap::new();
+    kpis.insert("members".to_owned(), n as f64);
+    kpis.insert("saving_mean".to_owned(), report.saving.mean);
+    kpis.insert("saving_std_dev".to_owned(), report.saving.std_dev);
+    kpis.insert("saving_min".to_owned(), report.saving.min);
+    kpis.insert("saving_max".to_owned(), report.saving.max);
+    kpis.insert("affected_max".to_owned(), report.affected.max);
+    kpis.insert("radio_saving_mean".to_owned(), report.radio_saving.mean);
+    maybe_register(
+        args,
+        out,
+        "fleet",
+        base_seed,
+        &format!("users={n} train={train} days={}", train + 7),
+        kpis,
+    )?;
+    if let Some((_, server)) = served {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+/// Runs the `obs`-style middleware workload while a scrape server is
+/// live: progress ticks, journal tails, and per-app bills publish into
+/// the hub as each member finishes, and the server answers `/metrics`,
+/// `/healthz`, `/journal`, and `/ledger` throughout. With
+/// `--linger-secs N` the server stays up after the workload so external
+/// scrapers (CI smoke, Prometheus) can pull the finished run.
+fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use netmaster_core::MiddlewareService;
+    use netmaster_obs::{ledger, ObsServer, ServeOptions, TelemetryHub};
+    use std::sync::Arc;
+
+    if !netmaster_obs::compiled() {
+        return Err(
+            "serve-obs needs observability, but this build has obs disabled \
+             (compiled with --no-default-features); rebuild with the default `obs` feature"
+                .into(),
+        );
+    }
+    let users: usize = args.num("users", 3)?;
+    let days: usize = args.num("days", 16)?;
+    let seed: u64 = args.num("seed", 2014)?;
+    let linger: u64 = args.num("linger-secs", 0)?;
+    if users == 0 || days < 2 {
+        return Err("serve-obs needs --users ≥ 1 and --days ≥ 2".into());
+    }
+    let train = days.saturating_sub(2).min(14);
+
+    let hub = Arc::new(TelemetryHub::new());
+    let opts = ServeOptions {
+        addr: args
+            .opt("addr", netmaster_obs::serve::DEFAULT_ADDR)
+            .to_owned(),
+        drop_threshold: args.num("drop-threshold", 0)?,
+        ..ServeOptions::default()
+    };
+    let server = ObsServer::start(opts, Arc::clone(&hub))?;
+    writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
+
+    netmaster_obs::reset();
+    hub.begin_run(users as u64);
+    let mut records = Vec::new();
+    let mut journal_lines = 0usize;
+    for u in 0..users as u64 {
+        let member_seed = seed.wrapping_add(u * 7919);
+        let profile = UserProfile::panel().remove((member_seed % 8) as usize);
+        let trace = TraceGenerator::new(profile)
+            .with_seed(member_seed)
+            .generate(days);
+        let mut svc = MiddlewareService::new().import_history(&trace.days[..train]);
+        for day in &trace.days[train..] {
+            let _ = svc.run_day(day);
+            hub.day_done();
+        }
+        let entries = svc.drain_journal();
+        if let Ok(jsonl) = netmaster_obs::to_jsonl(&entries) {
+            journal_lines += entries.len();
+            hub.publish_journal_jsonl(&jsonl);
+        }
+        records.extend(svc.drain_ledger());
+        let bills = ledger::bill(&records);
+        if let Ok(json) = serde_json::to_string(&bills) {
+            hub.publish_ledger_json(json);
+        }
+        hub.member_done();
+    }
+    hub.end_run();
+    writeln!(
+        out,
+        "workload done: {users} users × {days} days ({train} training), \
+         {journal_lines} journal lines and {} ledger records published",
+        records.len()
+    )
+    .map_err(io_err)?;
+
+    if linger > 0 {
+        writeln!(out, "lingering for {linger} s — scrape away").map_err(io_err)?;
+        std::thread::sleep(std::time::Duration::from_secs(linger));
+    }
+    server.shutdown();
+    writeln!(
+        out,
+        "served {} requests",
+        netmaster_obs::snapshot().counter(netmaster_obs::names::SERVE_REQUESTS_TOTAL)
     )
     .map_err(io_err)?;
     Ok(())
@@ -579,6 +777,9 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     use netmaster_core::MiddlewareService;
 
+    if let Some(url) = args.options.get("url") {
+        return obs_remote(url, args, out);
+    }
     let users: usize = args.num("users", 3)?;
     let days: usize = args.num("days", 16)?;
     let seed: u64 = args.num("seed", 2014)?;
@@ -631,6 +832,43 @@ fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// `netmaster obs --url` — scrape a live `serve-obs` (or `--serve`)
+/// endpoint instead of running a local workload. `--prom` fetches and
+/// validates the `/metrics` exposition; otherwise `/snapshot` renders
+/// through the same table/JSON paths as a local run. Works in no-obs
+/// builds too: the telemetry lives in the *server's* process.
+fn obs_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let base = url.trim_end_matches('/');
+    if args.flag("prom") {
+        let (status, body) = netmaster_obs::http_get(&format!("{base}/metrics"))?;
+        if status != 200 {
+            return Err(format!("GET {base}/metrics returned {status}"));
+        }
+        netmaster_obs::validate_prometheus(&body)
+            .map_err(|e| format!("invalid exposition from {base}: {e}"))?;
+        write!(out, "{body}").map_err(io_err)?;
+        return Ok(());
+    }
+    let (status, body) = netmaster_obs::http_get(&format!("{base}/snapshot"))?;
+    if status != 200 {
+        return Err(format!("GET {base}/snapshot returned {status}"));
+    }
+    let snap: netmaster_obs::Snapshot =
+        serde_json::from_str(&body).map_err(|e| format!("bad snapshot from {base}: {e}"))?;
+    if args.flag("json") {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        )
+        .map_err(io_err)?;
+    } else {
+        writeln!(out, "telemetry scraped from {base}:\n").map_err(io_err)?;
+        write!(out, "{}", snap.render_table()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
 /// Runs the fleet health watchtower: every member lives `--days` under
 /// the middleware with per-day drift monitors, optionally with a
 /// habit shift injected into one member, and the per-user scorecards
@@ -638,7 +876,7 @@ fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// counts plus the worst-K members with reasons).
 #[cfg(feature = "obs")]
 fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    use netmaster_core::watchtower::{run_watch, HabitShift, WatchSpec};
+    use netmaster_core::watchtower::{run_watch, run_watch_observed, HabitShift, WatchSpec};
     use netmaster_obs::health::{HealthStatus, Scorecard};
     use netmaster_sim::FleetHealth;
 
@@ -674,9 +912,66 @@ fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         shift,
         ..WatchSpec::default()
     };
-    let outcomes = run_watch(&spec);
+    let served = maybe_serve(args, out)?;
+    let outcomes = match &served {
+        // Live mode: each finished member folds into an incremental
+        // fleet-health snapshot the scrape server serves on
+        // `/health/fleet` while later members are still running.
+        Some((hub, _)) => {
+            hub.begin_run(users as u64);
+            let seen = std::sync::Mutex::new(Vec::<Scorecard>::new());
+            let outcomes = run_watch_observed(&spec, &|card| {
+                let mut cards = seen.lock().unwrap_or_else(|e| e.into_inner());
+                cards.push(card.clone());
+                if let Ok(json) =
+                    serde_json::to_string(&FleetHealth::from_scorecards(&cards, worst))
+                {
+                    hub.publish_fleet_health_json(json);
+                }
+                hub.member_done();
+            });
+            hub.end_run();
+            outcomes
+        }
+        None => run_watch(&spec),
+    };
     let cards: Vec<Scorecard> = outcomes.iter().map(|o| o.scorecard.clone()).collect();
     let health = FleetHealth::from_scorecards(&cards, worst);
+
+    if let Some((hub, _)) = &served {
+        if let Ok(json) = serde_json::to_string(&health) {
+            hub.publish_fleet_health_json(json);
+        }
+        let entries: Vec<_> = outcomes
+            .iter()
+            .flat_map(|o| o.journal.iter().cloned())
+            .collect();
+        if let Ok(jsonl) = netmaster_obs::to_jsonl(&entries) {
+            hub.publish_journal_jsonl(&jsonl);
+        }
+    }
+    let mut kpis = std::collections::BTreeMap::new();
+    kpis.insert("members".to_owned(), users as f64);
+    kpis.insert("healthy".to_owned(), health.healthy as f64);
+    kpis.insert("degraded".to_owned(), health.degraded as f64);
+    kpis.insert("critical".to_owned(), health.critical as f64);
+    maybe_register(
+        args,
+        out,
+        "watch",
+        seed,
+        &format!(
+            "users={users} days={days} worst={worst} shift={}",
+            match shift {
+                Some(s) => format!("{}@{}", s.user_index, s.at_day),
+                None => "none".to_owned(),
+            }
+        ),
+        kpis,
+    )?;
+    if let Some((_, server)) = served {
+        server.shutdown();
+    }
 
     if let Some(path) = args.options.get("journal") {
         let entries: Vec<_> = outcomes.into_iter().flat_map(|o| o.journal).collect();
@@ -1231,6 +1526,13 @@ mod tests {
         dir.join(name).to_string_lossy().into_owned()
     }
 
+    /// Serializes tests that reset the process-global metrics registry
+    /// (`obs` and `serve-obs` both start from a clean slate).
+    fn registry_serial() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn help_prints_usage() {
         let out = run_to_string(&args("help")).unwrap();
@@ -1372,6 +1674,7 @@ mod tests {
     /// registry is never reset by a concurrently running sibling.
     #[test]
     fn obs_command_reports_telemetry() {
+        let _g = registry_serial();
         let table = run_to_string(&args("obs --users 2 --days 16 --seed 7")).unwrap();
         if netmaster_obs::compiled() {
             assert!(table.contains("service_days_total"), "{table}");
@@ -1420,6 +1723,7 @@ mod tests {
     /// `_count`.
     #[test]
     fn obs_prometheus_exposition_is_valid() {
+        let _g = registry_serial();
         let prom = run_to_string(&args("obs --users 1 --days 16 --seed 3 --prom")).unwrap();
         if netmaster_obs::compiled() {
             netmaster_obs::validate_prometheus(&prom).unwrap();
@@ -1558,6 +1862,129 @@ mod tests {
         let out = run_to_string(&args("fleet --users 3 --seed 5")).unwrap();
         assert!(out.contains("fleet of 3"));
         assert!(out.contains("saving mean"));
+    }
+
+    /// Two same-seed fleet runs append registry rows that are
+    /// byte-identical modulo the timestamp — the run registry's core
+    /// reproducibility contract.
+    #[test]
+    fn fleet_registry_rows_are_byte_deterministic() {
+        let p = tmp("fleet-runs.jsonl");
+        let _ = fs::remove_file(&p);
+        let out =
+            run_to_string(&args(&format!("fleet --users 2 --seed 11 --registry {p}"))).unwrap();
+        assert!(out.contains("registered fleet run"), "{out}");
+        run_to_string(&args(&format!("fleet --users 2 --seed 11 --registry {p}"))).unwrap();
+        let rows = netmaster_obs::RunRegistry::new(&p).rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, "fleet");
+        assert_eq!(rows[0].schema, netmaster_obs::RUN_SCHEMA_VERSION);
+        assert_eq!(rows[0].seed, 11);
+        assert!(rows[0].kpis.contains_key("saving_mean"), "{:?}", rows[0]);
+        let (mut a, mut b) = (rows[0].clone(), rows[1].clone());
+        a.timestamp_ms = 0;
+        b.timestamp_ms = 0;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same-seed rows must agree byte-for-byte modulo timestamp"
+        );
+    }
+
+    /// `obs --url` renders a remote server's telemetry through the
+    /// same table/JSON/Prometheus paths as a local run.
+    #[test]
+    fn obs_url_scrapes_a_remote_server() {
+        use std::sync::Arc;
+        let hub = Arc::new(netmaster_obs::TelemetryHub::new());
+        let server = netmaster_obs::ObsServer::start(
+            netmaster_obs::ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                ..Default::default()
+            },
+            Arc::clone(&hub),
+        )
+        .unwrap();
+        let url = server.base_url();
+
+        let prom = run_to_string(&args(&format!("obs --url {url} --prom"))).unwrap();
+        netmaster_obs::validate_prometheus(&prom).unwrap();
+        let json = run_to_string(&args(&format!("obs --url {url} --json"))).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["counters"].is_array());
+        let table = run_to_string(&args(&format!("obs --url {url}"))).unwrap();
+        assert!(table.contains("telemetry scraped from"), "{table}");
+
+        server.shutdown();
+        // A dead endpoint is a hard error, not an empty table.
+        assert!(run_to_string(&args(&format!("obs --url {url}"))).is_err());
+        assert!(run_to_string(&args("obs --url ftp://x --prom")).is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn serve_obs_runs_a_workload_and_drains() {
+        let _g = registry_serial();
+        let out = run_to_string(&args(
+            "serve-obs --addr 127.0.0.1:0 --users 1 --days 10 --seed 5",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("serving telemetry on http://127.0.0.1:"),
+            "{out}"
+        );
+        assert!(
+            out.contains("workload done: 1 users × 10 days (8 training)"),
+            "{out}"
+        );
+        assert!(out.contains("served "), "{out}");
+        assert!(run_to_string(&args("serve-obs --users 0")).is_err());
+        assert!(run_to_string(&args("serve-obs --addr 999.999.0.1:x")).is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn fleet_serves_while_running() {
+        let out =
+            run_to_string(&args("fleet --users 2 --seed 3 --serve --addr 127.0.0.1:0")).unwrap();
+        assert!(
+            out.contains("serving telemetry on http://127.0.0.1:"),
+            "{out}"
+        );
+        assert!(out.contains("fleet of 2"), "{out}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn watch_serves_and_registers() {
+        let p = tmp("watch-runs.jsonl");
+        let _ = fs::remove_file(&p);
+        let out = run_to_string(&args(&format!(
+            "watch --users 3 --days 12 --seed 7 --serve --addr 127.0.0.1:0 --registry {p}"
+        )))
+        .unwrap();
+        assert!(
+            out.contains("serving telemetry on http://127.0.0.1:"),
+            "{out}"
+        );
+        assert!(out.contains("fleet health: 3 members × 12 days"), "{out}");
+        assert!(out.contains("registered watch run"), "{out}");
+        let rows = netmaster_obs::RunRegistry::new(&p).rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].kind, "watch");
+        assert_eq!(rows[0].kpis.get("healthy"), Some(&3.0));
+        assert_eq!(rows[0].kpis.get("members"), Some(&3.0));
+    }
+
+    /// Without observability a scrape server would serve an all-empty
+    /// registry — the serving entry points must say so loudly.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn serve_entry_points_degrade_without_obs() {
+        for cmd in ["serve-obs", "fleet --users 1 --serve"] {
+            let err = run_to_string(&args(cmd)).unwrap_err();
+            assert!(err.contains("obs disabled"), "{cmd}: {err}");
+        }
     }
 
     #[test]

@@ -376,26 +376,29 @@ impl DecisionMaker {
             route[hour].push(d);
             if record_why {
                 let iw = solution.why(&problem, j);
-                why.push((hour as u8, PlanWhy {
-                    weight: iw.weight,
-                    profit: iw.chosen.map_or(0.0, |c| c.profit),
-                    runner_up_slot: iw.runner_up.map(|c| c.slot),
-                    runner_up_profit: iw.runner_up.map_or(0.0, |c| c.profit),
-                    solver: iw.solver.map(|k| match k {
-                        netmaster_knapsack::SolverKind::Fastpath => {
-                            netmaster_obs::SolverArm::Fastpath
-                        }
-                        netmaster_knapsack::SolverKind::Bnb => netmaster_obs::SolverArm::Bnb,
-                        netmaster_knapsack::SolverKind::Dp => netmaster_obs::SolverArm::Dp,
-                    }),
-                    reject: iw.reject.map(|r| match r {
-                        overlapped::OvRejectReason::NoCandidate => RouteReject::NoCandidate,
-                        overlapped::OvRejectReason::NoPositiveProfit => {
-                            RouteReject::NoPositiveProfit
-                        }
-                        overlapped::OvRejectReason::CapacityFull => RouteReject::CapacityFull,
-                    }),
-                }));
+                why.push((
+                    hour as u8,
+                    PlanWhy {
+                        weight: iw.weight,
+                        profit: iw.chosen.map_or(0.0, |c| c.profit),
+                        runner_up_slot: iw.runner_up.map(|c| c.slot),
+                        runner_up_profit: iw.runner_up.map_or(0.0, |c| c.profit),
+                        solver: iw.solver.map(|k| match k {
+                            netmaster_knapsack::SolverKind::Fastpath => {
+                                netmaster_obs::SolverArm::Fastpath
+                            }
+                            netmaster_knapsack::SolverKind::Bnb => netmaster_obs::SolverArm::Bnb,
+                            netmaster_knapsack::SolverKind::Dp => netmaster_obs::SolverArm::Dp,
+                        }),
+                        reject: iw.reject.map(|r| match r {
+                            overlapped::OvRejectReason::NoCandidate => RouteReject::NoCandidate,
+                            overlapped::OvRejectReason::NoPositiveProfit => {
+                                RouteReject::NoPositiveProfit
+                            }
+                            overlapped::OvRejectReason::CapacityFull => RouteReject::CapacityFull,
+                        }),
+                    },
+                ));
             }
         }
         DayRouting {

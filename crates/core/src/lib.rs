@@ -60,4 +60,3 @@ pub use service::{DayReport, MiddlewareService, ServiceSummary};
 /// `true` when this build compiles the `strict-invariants` runtime
 /// oracles (solver floors, watchtower monotonicity) into the stack.
 pub const STRICT_INVARIANTS: bool = cfg!(feature = "strict-invariants");
-

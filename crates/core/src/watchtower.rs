@@ -358,7 +358,24 @@ pub struct UserWatchOutcome {
 /// outcomes fed to its [`UserWatch`]. Members run in parallel;
 /// everything is deterministic in `spec.seed`.
 pub fn run_watch(spec: &WatchSpec) -> Vec<UserWatchOutcome> {
-    par_map_indexed(spec.users, |i| watch_member(spec, i))
+    run_watch_observed(spec, &|_| {})
+}
+
+/// [`run_watch`] with a per-member callback: `on_member` sees each
+/// finished member's [`Scorecard`] as workers complete it (called from
+/// worker threads, concurrently). The telemetry plane uses this to
+/// publish incremental fleet-health snapshots to a scrape server while
+/// the run executes; the returned outcomes are identical to
+/// [`run_watch`].
+pub fn run_watch_observed(
+    spec: &WatchSpec,
+    on_member: &(dyn Fn(&Scorecard) + Sync),
+) -> Vec<UserWatchOutcome> {
+    par_map_indexed(spec.users, |i| {
+        let outcome = watch_member(spec, i);
+        on_member(&outcome.scorecard);
+        outcome
+    })
 }
 
 fn watch_member(spec: &WatchSpec, i: usize) -> UserWatchOutcome {

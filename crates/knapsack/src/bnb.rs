@@ -81,7 +81,8 @@ pub fn branch_and_bound_budgeted(
     } = scratch;
     // Eligible items sorted by ratio (needed for the fractional bound).
     order.clear();
-    order.extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
+    order
+        .extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
     order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
     if order.is_empty() {
         return Some(Solution::default());
@@ -249,7 +250,10 @@ mod tests {
             let cap = rng.random_range(1..90);
             let warm = branch_and_bound_with(&it, cap, &mut scratch);
             let fresh = branch_and_bound(&it, cap);
-            assert_eq!(warm, fresh, "trial {trial}: dirty scratch changed the answer");
+            assert_eq!(
+                warm, fresh,
+                "trial {trial}: dirty scratch changed the answer"
+            );
         }
     }
 
@@ -257,7 +261,9 @@ mod tests {
     fn budget_exhaustion_returns_none_and_generous_budget_matches() {
         // Ratio gaps of 1e-9 sit above the 1e-12 prune tolerance, so the
         // search still finishes — but not in 5 nodes.
-        let it: Vec<Item> = (0..40).map(|i| Item::new(10.0 + i as f64 * 1e-9, 10)).collect();
+        let it: Vec<Item> = (0..40)
+            .map(|i| Item::new(10.0 + i as f64 * 1e-9, 10))
+            .collect();
         let mut scratch = BnbScratch::new();
         assert_eq!(
             branch_and_bound_budgeted(&it, 190, 5, &mut scratch),

@@ -240,9 +240,7 @@ impl PooledOvScratch {
     /// Checks a workspace out of the current thread's pool (or creates
     /// an empty one when the pool is dry).
     pub fn take() -> Self {
-        let inner = OV_POOL
-            .with(|p| p.borrow_mut().pop())
-            .unwrap_or_default();
+        let inner = OV_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
         PooledOvScratch(Some(inner))
     }
 }

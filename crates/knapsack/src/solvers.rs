@@ -136,7 +136,8 @@ pub fn greedy_half(items: &[Item], capacity: u64) -> Solution {
 pub fn greedy_half_with(items: &[Item], capacity: u64, scratch: &mut SolverScratch) -> Solution {
     let order = &mut scratch.order;
     order.clear();
-    order.extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
+    order
+        .extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
     order.sort_by(|&a, &b| items[b].ratio().total_cmp(&items[a].ratio()));
     // lint:allow(hot-path-alloc) Solution::chosen is the caller-owned result value, not reusable scratch
     let mut chosen = Vec::new();
@@ -327,7 +328,7 @@ pub fn sin_knap_with(
             room -= w;
             ub += scaled[j];
         } else {
-            ub += ((scaled[j] as u128 * room as u128 + w as u128 - 1) / w as u128) as u64;
+            ub += (scaled[j] as u128 * room as u128).div_ceil(w as u128) as u64;
             break;
         }
     }
@@ -453,8 +454,9 @@ pub fn quantized_dp(
             ..
         } = &mut *scratch;
         eligible.clear();
-        eligible
-            .extend((0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity));
+        eligible.extend(
+            (0..items.len()).filter(|&i| items[i].profit > 0.0 && items[i].weight <= capacity),
+        );
         if eligible.is_empty() {
             return Solution::default();
         }
@@ -618,7 +620,12 @@ const BNB_NODES_PER_ITEM: usize = 64;
 /// The returned profit is therefore always ≥ `(1 − ε)·OPT`, and exact
 /// whenever the fast path or branch-and-bound answered.
 // lint:hot-path
-pub fn solve_auto(items: &[Item], capacity: u64, eps: f64, scratch: &mut SolverScratch) -> Solution {
+pub fn solve_auto(
+    items: &[Item],
+    capacity: u64,
+    eps: f64,
+    scratch: &mut SolverScratch,
+) -> Solution {
     scratch.last_kind = None;
     scratch.eligible.clear();
     let mut total_weight: u128 = 0;

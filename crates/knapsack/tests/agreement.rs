@@ -74,7 +74,12 @@ fn equal_ratio_items_agree() {
         .map(|&w| Item::new(w as f64, w))
         .collect();
     for cap in [31, 63, 100, 127] {
-        check(&format!("equal-ratio-mixed cap={cap}"), &mixed, cap, &mut scratch);
+        check(
+            &format!("equal-ratio-mixed cap={cap}"),
+            &mixed,
+            cap,
+            &mut scratch,
+        );
     }
 }
 

@@ -9,9 +9,13 @@
 //! 2. every *literal* metric name at an instrumentation site
 //!    (`counter!`, `observe!`, `gauge_set`/`gauge_max`, `timer!`, and
 //!    `span!` after its `stage_<name>_seconds` expansion) is registered;
-//! 3. the `DecisionEvent` enum's variants and the registry's kind
+//! 3. the registry's `HELP` table covers every metric const (the
+//!    scrape server renders `# HELP` exposition lines from it), and
+//!    the telemetry-plane modules (`obs/src/serve.rs`, `obs/src/hub.rs`)
+//!    mint no metric-shaped string outside the registry;
+//! 4. the `DecisionEvent` enum's variants and the registry's kind
 //!    consts match exactly, both directions;
-//! 4. docs drift: every registered name appears in DESIGN.md or
+//! 5. docs drift: every registered name appears in DESIGN.md or
 //!    EXPERIMENTS.md, and every metric-shaped backtick token in those
 //!    docs is registered.
 
@@ -109,7 +113,63 @@ pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mu
         }
     }
 
-    // --- 3. DecisionEvent variants <-> kind consts, both directions. ---
+    // --- 3a. The HELP table must cover every metric const. ---
+    match help_table_idents(registry) {
+        Some(help_idents) => {
+            for (name, value, line) in &consts {
+                if metrics.contains_key(value) && !help_idents.contains(name) {
+                    emit_unwaivable(
+                        report,
+                        RULE,
+                        &reg_path,
+                        *line,
+                        format!("metric const `{name}` has no HELP entry — /metrics renders `# HELP` lines from that table"),
+                    );
+                }
+            }
+        }
+        None => {
+            if !metrics.is_empty() {
+                emit_unwaivable(
+                    report,
+                    RULE,
+                    &reg_path,
+                    0,
+                    format!("no `const HELP` table in {REGISTRY_SUFFIX} — /metrics renders `# HELP` lines from it"),
+                );
+            }
+        }
+    }
+
+    // --- 3b. Telemetry-plane modules must not mint metric names. ---
+    for krate in &ws.crates {
+        for file in &krate.files {
+            let plane = file.rel_path.ends_with("obs/src/serve.rs")
+                || file.rel_path.ends_with("obs/src/hub.rs");
+            if !plane || file.role != FileRole::Src {
+                continue;
+            }
+            for i in 0..file.code.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                if let Some(v) = file.code[i].str_value() {
+                    if looks_like_metric(v) && !metrics.contains_key(v) {
+                        emit(
+                            report,
+                            ledger,
+                            file,
+                            RULE,
+                            file.code[i].line,
+                            format!("telemetry-plane string {v:?} is metric-shaped but unregistered — add it to {REGISTRY_SUFFIX}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- 4. DecisionEvent variants <-> kind consts, both directions. ---
     if let Some((journal, variants)) = decision_event_variants(ws) {
         for (variant, line) in &variants {
             if !kinds.contains_key(variant) {
@@ -136,7 +196,7 @@ pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mu
         }
     }
 
-    // --- 4. Docs drift, both directions. ---
+    // --- 5. Docs drift, both directions. ---
     let mut docs_text = String::new();
     let mut any_docs = false;
     for doc in DOC_FILES {
@@ -196,6 +256,11 @@ fn registry_consts(file: &SourceFile) -> Vec<(String, String, u32)> {
         let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
             continue;
         };
+        // The HELP table pairs name consts with prose; it is checked
+        // by its own coverage pass, not parsed as a name const.
+        if name_tok.text == "HELP" {
+            continue;
+        }
         // Scan to the terminating `;`, grabbing the string value.
         let mut j = i + 2;
         let mut value = None;
@@ -210,6 +275,36 @@ fn registry_consts(file: &SourceFile) -> Vec<(String, String, u32)> {
         }
     }
     out
+}
+
+/// SCREAMING_SNAKE const names referenced inside the registry's
+/// `HELP` table body (`None` when the table is missing).
+fn help_table_idents(file: &SourceFile) -> Option<BTreeSet<String>> {
+    let code = &file.code;
+    for i in 0..code.len() {
+        if !code[i].is_ident("const")
+            || !code.get(i + 1).is_some_and(|t| t.is_ident("HELP"))
+            || file.is_test(i)
+        {
+            continue;
+        }
+        let mut idents = BTreeSet::new();
+        let mut j = i + 2;
+        while j < code.len() && !code[j].is_punct(';') {
+            let t = &code[j];
+            if t.kind == TokKind::Ident
+                && t.text.len() > 1
+                && t.text
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+            {
+                idents.insert(t.text.clone());
+            }
+            j += 1;
+        }
+        return Some(idents);
+    }
+    None
 }
 
 /// Literal metric names at instrumentation sites in one file:

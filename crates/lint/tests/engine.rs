@@ -74,6 +74,20 @@ fn metric_names_fixture_trips_unregistered_literal() {
 }
 
 #[test]
+fn metric_help_fixture_trips_help_and_plane_checks() {
+    let report = run_lint(&fixture("metric_help"), &only("metric-names")).unwrap();
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("ORPHAN_TOTAL") && f.message.contains("no HELP entry")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("bogus_requests_total")));
+}
+
+#[test]
 fn panic_hygiene_fixture_trips_unwrap() {
     let report = run_lint(&fixture("panic_hygiene"), &only("panic-hygiene")).unwrap();
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);

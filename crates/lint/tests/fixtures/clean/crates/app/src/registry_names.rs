@@ -1,2 +1,5 @@
 /// The fixture's one registered metric.
 pub const DEMO_TOTAL: &str = "demo_total";
+
+/// `# HELP` text for every metric const above.
+pub const HELP: &[(&str, &str)] = &[(DEMO_TOTAL, "The fixture's one registered metric")];

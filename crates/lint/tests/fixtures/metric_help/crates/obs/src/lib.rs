@@ -1,0 +1,2 @@
+mod registry_names;
+mod serve;

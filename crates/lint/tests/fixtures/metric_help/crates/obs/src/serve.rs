@@ -1,0 +1,5 @@
+/// A scrape route that hand-rolls a metric name instead of going
+/// through the registry — the lint must flag the literal.
+pub fn rogue_metric_line() -> &'static str {
+    "bogus_requests_total"
+}

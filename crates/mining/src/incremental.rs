@@ -31,6 +31,9 @@ use netmaster_trace::trace::DayTrace;
 /// Number of day kinds (weekday, weekend); indexed by `DayKind as usize`.
 const KINDS: usize = 2;
 
+/// One app's raw screen-off (count, bytes) hourly totals.
+type AppHourlyTotals = Box<([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])>;
+
 /// Mining state that absorbs one day at a time.
 ///
 /// Feed days in chronological order with [`IncrementalMiner::push_day`];
@@ -58,7 +61,7 @@ pub struct IncrementalMiner {
     /// Per-app raw (count, bytes) totals, indexed by the dense app id;
     /// `None` until the app's first screen-off activity. Ascending
     /// index order matches the BTreeMap ordering this replaced.
-    per_app: Vec<Option<Box<([f64; HOURS_PER_DAY], [f64; HOURS_PER_DAY])>>>,
+    per_app: Vec<Option<AppHourlyTotals>>,
     /// Special-apps profile, folded day by day.
     special: SpecialApps,
 }

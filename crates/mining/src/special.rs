@@ -60,10 +60,7 @@ impl SpecialApps {
             let s = self.slot(a.app);
             let f = self.flags[s];
             let used = self.usage[s] > 0;
-            self.set_flags(
-                s,
-                f | KNOWN | NETWORKED | if used { SPECIAL } else { 0 },
-            );
+            self.set_flags(s, f | KNOWN | NETWORKED | if used { SPECIAL } else { 0 });
         }
     }
 

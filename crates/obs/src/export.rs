@@ -18,24 +18,37 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// The `# HELP` text for a metric: the registry's line when the name
+/// is registered, a generic fallback otherwise (escaped either way —
+/// exposition HELP lines must not contain raw `\n` or `\`).
+fn help_line(raw_name: &str) -> String {
+    let text = crate::names::help_for(raw_name).unwrap_or("netmaster metric");
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 impl Snapshot {
     /// Renders the snapshot in the Prometheus text exposition format
-    /// (version 0.0.4): `# TYPE` lines, cumulative `_bucket{le=...}`
-    /// series, `_sum` and `_count` per histogram.
+    /// (version 0.0.4): `# HELP` text joined from
+    /// [`names::HELP`](crate::names::HELP), `# TYPE` lines, cumulative
+    /// `_bucket{le=...}` series, `_sum` and `_count` per histogram.
+    /// Serve it with `Content-Type: text/plain; version=0.0.4`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
             let name = format!("{PREFIX}{}", sanitize(&c.name));
+            let _ = writeln!(out, "# HELP {name} {}", help_line(&c.name));
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", c.value);
         }
         for g in &self.gauges {
             let name = format!("{PREFIX}{}", sanitize(&g.name));
+            let _ = writeln!(out, "# HELP {name} {}", help_line(&g.name));
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", g.value);
         }
         for h in &self.histograms {
             let name = format!("{PREFIX}{}", sanitize(&h.name));
+            let _ = writeln!(out, "# HELP {name} {}", help_line(&h.name));
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cum = 0u64;
             for b in &h.buckets {
@@ -227,6 +240,12 @@ mod tests {
     fn prometheus_exposition_is_well_formed() {
         let text = sample().to_prometheus();
         validate_prometheus(&text).unwrap();
+        assert!(text.contains(
+            "# HELP netmaster_sched_deferred_total \
+             Activities the planner deferred out of their requested slot"
+        ));
+        assert!(text.contains("# HELP netmaster_knapsack_dp_cells_highwater "));
+        assert!(text.contains("# HELP netmaster_stage_plan_day_seconds "));
         assert!(text.contains("# TYPE netmaster_sched_deferred_total counter"));
         assert!(text.contains("netmaster_sched_deferred_total 42"));
         assert!(text.contains("# TYPE netmaster_stage_plan_day_seconds histogram"));
@@ -249,6 +268,10 @@ mod tests {
         let text = snap.to_prometheus();
         validate_prometheus(&text).unwrap();
         assert!(text.contains("netmaster_weird_name_with_spaces_and_symbols 1"));
+        // Unregistered names fall back to generic HELP text.
+        assert!(
+            text.contains("# HELP netmaster_weird_name_with_spaces_and_symbols netmaster metric")
+        );
     }
 
     #[test]

@@ -176,6 +176,7 @@ pub struct Journal {
     cap: usize,
     next_seq: u64,
     dropped: u64,
+    high_water: usize,
     /// Muted journals drop events before construction — the
     /// metrics-only flight-recorder detail level for fleet members,
     /// where nobody will ever drain the ring.
@@ -195,6 +196,7 @@ impl Journal {
             cap: cap.max(1),
             next_seq: 0,
             dropped: 0,
+            high_water: 0,
             muted: false,
         }
     }
@@ -221,6 +223,7 @@ impl Journal {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.buf.push_back(JournalEntry { seq, event: f() });
+        self.high_water = self.high_water.max(self.buf.len());
     }
 
     /// Buffered entries.
@@ -238,8 +241,19 @@ impl Journal {
         self.dropped
     }
 
-    /// Takes every buffered entry, oldest first.
+    /// Highest fill level the ring has reached since creation. Equal
+    /// to the capacity once anything has been dropped — on `/healthz`
+    /// this distinguishes "ring sized generously" from "ring brim-full
+    /// and truncating".
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Takes every buffered entry, oldest first. Publishes the ring's
+    /// high-water mark as a gauge (drain is the cold path; `emit` only
+    /// maintains a local max).
     pub fn drain(&mut self) -> Vec<JournalEntry> {
+        crate::gauge_max(crate::names::JOURNAL_RING_HIGHWATER, self.high_water as f64);
         self.buf.drain(..).collect()
     }
 }
@@ -289,8 +303,17 @@ mod tests {
             2
         );
         crate::reset();
+        assert_eq!(j.high_water(), 3, "ring filled to capacity");
         let entries = j.drain();
         assert!(j.is_empty());
+        // Drain publishes the high-water mark as a gauge.
+        let snap = crate::snapshot();
+        let hw = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == crate::names::JOURNAL_RING_HIGHWATER)
+            .map(|g| g.value);
+        assert_eq!(hw, Some(3.0));
         // Oldest two were evicted; seq numbers reveal the gap.
         assert_eq!(
             entries.iter().map(|e| e.seq).collect::<Vec<_>>(),

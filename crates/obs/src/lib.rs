@@ -19,7 +19,13 @@
 //!   mergeable quantile sketch, per-day rings), [`drift`]
 //!   (Page–Hinkley + windowed-CUSUM change detectors), and [`health`]
 //!   (per-user scorecards) — assembled into the fleet health
-//!   watchtower by `netmaster-core`.
+//!   watchtower by `netmaster-core`;
+//! * a **live telemetry plane** — [`hub`] (the [`TelemetryHub`] sink
+//!   fleet runs publish progress and rendered documents into),
+//!   [`serve`] (a std-only HTTP scrape server: `/metrics`, `/healthz`,
+//!   `/health/fleet`, `/journal`, `/ledger`, `/snapshot`), and
+//!   [`runregistry`] (an append-only provenance-stamped JSONL log of
+//!   run results).
 //!
 //! ## Feature gating
 //!
@@ -38,15 +44,19 @@
 pub mod drift;
 mod export;
 pub mod health;
+pub mod hub;
 mod journal;
 pub mod ledger;
 #[path = "registry_names.rs"]
 pub mod names;
 mod registry;
+pub mod runregistry;
+pub mod serve;
 pub mod timeseries;
 pub mod tracectx;
 
 pub use export::validate_prometheus;
+pub use hub::{HubProgress, TelemetryHub};
 pub use journal::{
     parse_jsonl, to_jsonl, DecisionEvent, Journal, JournalEntry, DEFAULT_JOURNAL_CAPACITY,
 };
@@ -54,6 +64,8 @@ pub use registry::{
     counter_handle, gauge_max, gauge_set, hist_handle, reset, snapshot, BucketSnap, Counter,
     CounterSnap, GaugeSnap, Hist, HistSnap, Snapshot, FINITE_BUCKETS, HIST_BUCKETS,
 };
+pub use runregistry::{RunRecord, RunRegistry, RUN_SCHEMA_VERSION};
+pub use serve::{healthz_report, http_get, HealthzReport, ObsServer, ServeOptions};
 pub use tracectx::{
     trace_from_jsonl, trace_to_jsonl, ActivityTrace, EnergyShare, Outcome, PlanReason,
     RejectReason, SolverArm, TraceLedger, DEFAULT_LEDGER_CAPACITY,

@@ -86,12 +86,28 @@ pub const LEDGER_RECORDS_TOTAL: &str = "ledger_records_total";
 /// Lifecycle records the bounded ledger ring discarded on overflow.
 pub const LEDGER_DROPPED_TOTAL: &str = "ledger_dropped_total";
 
+/// Highest fill level the journal ring reached before a drain.
+pub const JOURNAL_RING_HIGHWATER: &str = "journal_ring_highwater";
+/// Highest fill level the trace-ledger ring reached before a drain.
+pub const LEDGER_RING_HIGHWATER: &str = "ledger_ring_highwater";
+
 // --- Fleet -----------------------------------------------------------
 
 /// Members simulated across all fleet runs.
 pub const FLEET_MEMBERS_TOTAL: &str = "fleet_members_total";
 /// Wall-clock seconds per simulated member (histogram).
 pub const FLEET_MEMBER_SECONDS: &str = "fleet_member_seconds";
+
+// --- Telemetry hub / scrape server -----------------------------------
+
+/// Members the live run has completed so far (telemetry hub gauge).
+pub const HUB_MEMBERS_DONE: &str = "hub_members_done";
+/// Windowed EWMA of members completed per second (telemetry hub gauge).
+pub const HUB_MEMBERS_PER_SEC: &str = "hub_members_per_sec";
+/// Simulated days the live run has executed so far (telemetry hub gauge).
+pub const HUB_DAYS_DONE: &str = "hub_days_done";
+/// HTTP requests the scrape server has answered.
+pub const SERVE_REQUESTS_TOTAL: &str = "serve_requests_total";
 
 // --- Latency histograms ----------------------------------------------
 
@@ -138,13 +154,177 @@ pub const KIND_DRIFT_DETECTED: &str = "DriftDetected";
 /// A member's health scorecard degraded.
 pub const KIND_HEALTH_DEGRADED: &str = "HealthDegraded";
 
+// --- `# HELP` text ----------------------------------------------------
+
+/// One-line `# HELP` text for every registered metric, keyed by the
+/// consts above. [`Snapshot::to_prometheus`](crate::Snapshot::to_prometheus)
+/// joins this table at render time, so the exposition's HELP lines can
+/// never drift from the registry; `netmaster lint` (rule
+/// `metric-names`) checks the table covers every metric const.
+pub const HELP: &[(&str, &str)] = &[
+    (
+        SCHED_DEFERRED_TOTAL,
+        "Activities the planner deferred out of their requested slot",
+    ),
+    (
+        SCHED_PREFETCHED_TOTAL,
+        "Activities prefetched into an earlier active slot",
+    ),
+    (
+        SCHED_DUTY_SERVED_TOTAL,
+        "Activities the duty-cycle fallback served",
+    ),
+    (
+        SCHED_WRONG_DECISIONS_TOTAL,
+        "Interactions hurt by a blocked radio (wrong decisions)",
+    ),
+    (
+        PREDICTION_HITS_TOTAL,
+        "Activities served inside a correctly-predicted slot",
+    ),
+    (
+        PREDICTION_MISSES_TOTAL,
+        "Slots where the usage prediction disagreed with the trace",
+    ),
+    (
+        SLOT_HOURS_PREDICTED_TOTAL,
+        "Slot-hours the habit model predicted active",
+    ),
+    (
+        SLOT_HOURS_ACTIVE_TOTAL,
+        "Slot-hours that actually saw user activity",
+    ),
+    (
+        SLOT_HOURS_OVERLAP_TOTAL,
+        "Slot-hours predicted active that really were active",
+    ),
+    (
+        POLICY_DAYS_TRAINED_TOTAL,
+        "Days executed with a trained habit model",
+    ),
+    (
+        POLICY_DAYS_UNTRAINED_TOTAL,
+        "Days executed before the habit model had enough history",
+    ),
+    (
+        SERVICE_DAYS_TOTAL,
+        "Days run through the middleware service",
+    ),
+    (
+        SPECIAL_PASSTHROUGH_TOTAL,
+        "Activities passed through untouched as special apps",
+    ),
+    (PLANNER_SLOTS_TOTAL, "Slots handed to the day planner"),
+    (PLANNER_ITEMS_TOTAL, "Items handed to the day planner"),
+    (
+        KNAPSACK_FASTPATH_TOTAL,
+        "SIN-KNAP calls answered by the greedy fast path",
+    ),
+    (KNAPSACK_DP_TOTAL, "SIN-KNAP calls that ran the full DP"),
+    (
+        KNAPSACK_BNB_TOTAL,
+        "Dispatcher calls answered exactly by branch-and-bound",
+    ),
+    (
+        KNAPSACK_DP_CELLS_HIGHWATER,
+        "Largest DP table (cells) any call touched",
+    ),
+    (
+        KNAPSACK_CHOICE_BITS_HIGHWATER,
+        "Largest choice-bitset (bits) any call touched",
+    ),
+    (
+        KNAPSACK_QDP_STATES_HIGHWATER,
+        "Largest sparse-DP state arena any call grew",
+    ),
+    (
+        DUTY_WAKEUPS_TOTAL,
+        "Wakeups the duty-cycle fallback scheduled",
+    ),
+    (DUTY_EMPTY_WAKEUPS_TOTAL, "Wakeups that found nothing to do"),
+    (
+        MINING_REMINE_TOTAL,
+        "Full re-mines triggered by the incremental miner",
+    ),
+    (
+        MINING_DAYS_ABSORBED_TOTAL,
+        "Days absorbed incrementally without a re-mine",
+    ),
+    (
+        MINING_DRIFT_RESETS_TOTAL,
+        "Miner resets forced by detected habit drift",
+    ),
+    (
+        JOURNAL_DROPPED_TOTAL,
+        "Events the bounded journal ring discarded on overflow",
+    ),
+    (
+        LEDGER_RECORDS_TOTAL,
+        "Activity lifecycle records appended to the causal trace ledger",
+    ),
+    (
+        LEDGER_DROPPED_TOTAL,
+        "Lifecycle records the bounded ledger ring discarded on overflow",
+    ),
+    (
+        JOURNAL_RING_HIGHWATER,
+        "Highest fill level the journal ring reached before a drain",
+    ),
+    (
+        LEDGER_RING_HIGHWATER,
+        "Highest fill level the trace-ledger ring reached before a drain",
+    ),
+    (
+        FLEET_MEMBERS_TOTAL,
+        "Members simulated across all fleet runs",
+    ),
+    (
+        FLEET_MEMBER_SECONDS,
+        "Wall-clock seconds per simulated member",
+    ),
+    (
+        HUB_MEMBERS_DONE,
+        "Members the live run has completed so far",
+    ),
+    (
+        HUB_MEMBERS_PER_SEC,
+        "Windowed EWMA of members completed per second",
+    ),
+    (
+        HUB_DAYS_DONE,
+        "Simulated days the live run has executed so far",
+    ),
+    (
+        SERVE_REQUESTS_TOTAL,
+        "HTTP requests the scrape server has answered",
+    ),
+    (
+        DEFERRAL_LATENCY_SECONDS,
+        "Slots of delay each deferred activity experienced (simulated)",
+    ),
+    (
+        DUTY_SERVICE_LATENCY_SECONDS,
+        "Delay between a demand's request and its duty-cycle service",
+    ),
+    (STAGE_MINE_SECONDS, "Habit mining stage latency"),
+    (STAGE_PREDICT_SECONDS, "Usage prediction stage latency"),
+    (STAGE_PLAN_DAY_SECONDS, "Day planning stage latency"),
+    (STAGE_SOLVE_SECONDS, "Knapsack solve stage latency"),
+    (STAGE_DUTYCYCLE_SECONDS, "Duty-cycle fallback stage latency"),
+    (STAGE_RUN_DAY_SECONDS, "Whole-day execution stage latency"),
+];
+
+/// The registered `# HELP` line for `name`, when the registry knows it.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    HELP.iter().find(|(n, _)| *n == name).map(|&(_, h)| h)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn metric_names_are_prometheus_shaped() {
-        for name in [
+    fn all_metrics() -> Vec<&'static str> {
+        vec![
             SCHED_DEFERRED_TOTAL,
             SCHED_PREFETCHED_TOTAL,
             SCHED_DUTY_SERVED_TOTAL,
@@ -177,6 +357,12 @@ mod tests {
             MINING_DRIFT_RESETS_TOTAL,
             FLEET_MEMBERS_TOTAL,
             FLEET_MEMBER_SECONDS,
+            JOURNAL_RING_HIGHWATER,
+            LEDGER_RING_HIGHWATER,
+            HUB_MEMBERS_DONE,
+            HUB_MEMBERS_PER_SEC,
+            HUB_DAYS_DONE,
+            SERVE_REQUESTS_TOTAL,
             DEFERRAL_LATENCY_SECONDS,
             STAGE_MINE_SECONDS,
             STAGE_PREDICT_SECONDS,
@@ -184,13 +370,35 @@ mod tests {
             STAGE_SOLVE_SECONDS,
             STAGE_DUTYCYCLE_SECONDS,
             STAGE_RUN_DAY_SECONDS,
-        ] {
+        ]
+    }
+
+    #[test]
+    fn metric_names_are_prometheus_shaped() {
+        for name in all_metrics() {
             assert!(
                 name.chars()
                     .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
                 "{name} breaks the Prometheus charset"
             );
         }
+    }
+
+    #[test]
+    fn help_covers_every_metric() {
+        for name in all_metrics() {
+            let help = help_for(name).unwrap_or_else(|| panic!("{name} missing from HELP"));
+            assert!(!help.is_empty(), "{name} has empty HELP text");
+            assert!(
+                !help.contains('\n') && !help.contains('\\'),
+                "{name} HELP text needs escaping"
+            );
+        }
+        assert_eq!(
+            HELP.len(),
+            all_metrics().len(),
+            "HELP has entries for unlisted metrics"
+        );
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! The scrape server: a std-only HTTP/1.1 endpoint over the metrics
+//! registry and a [`TelemetryHub`](crate::hub::TelemetryHub).
+//!
+//! | Endpoint         | Body                                             |
+//! |------------------|--------------------------------------------------|
+//! | `/metrics`       | Prometheus text exposition (v0.0.4, HELP/TYPE)   |
+//! | `/healthz`       | JSON liveness + drop counters + run progress     |
+//! | `/health/fleet`  | Published watchtower fleet-health JSON           |
+//! | `/journal?n=K`   | Last K published journal lines (JSONL)           |
+//! | `/ledger`        | Published per-app energy bill JSON               |
+//! | `/snapshot`      | The raw registry [`Snapshot`](crate::Snapshot) as JSON |
+//!
+//! Zero dependencies beyond `std::net`: requests are parsed
+//! line-by-line off the socket, responses always close the connection
+//! (`Connection: close`), and a bounded worker pool keeps one slow
+//! scraper from starving the rest. [`ObsServer::shutdown`] drains
+//! queued requests before returning, so in-flight scrapes complete.
+//!
+//! `/healthz` returns **503** when the journal/ledger rings have
+//! dropped more entries than the configured threshold — silent
+//! drop-oldest truncation becomes visible to the first prober.
+
+use crate::hub::{HubProgress, TelemetryHub};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default bind address for `netmaster serve-obs`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9898";
+
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Prometheus text exposition content type (format version 0.0.4).
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Scrape server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub threads: usize,
+    /// `/healthz` turns 503 once journal+ledger drops exceed this.
+    pub drop_threshold: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: DEFAULT_ADDR.to_owned(),
+            threads: 4,
+            drop_threshold: 0,
+        }
+    }
+}
+
+/// The `/healthz` response document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthzReport {
+    /// `"ok"`, or `"degraded"` when drops exceed the threshold.
+    pub status: String,
+    /// Events the bounded journal rings discarded (fleet-wide counter).
+    pub journal_dropped_total: u64,
+    /// Records the bounded trace-ledger rings discarded.
+    pub ledger_dropped_total: u64,
+    /// Highest journal-ring fill level any drained policy reached.
+    pub journal_ring_highwater: f64,
+    /// Highest ledger-ring fill level any drained policy reached.
+    pub ledger_ring_highwater: f64,
+    /// Drops tolerated before `/healthz` turns 503.
+    pub drop_threshold: u64,
+    /// Live run progress from the telemetry hub.
+    pub progress: HubProgress,
+}
+
+/// Builds the `/healthz` document from the current registry state and
+/// hub progress (exposed for the CLI's local health rendering).
+pub fn healthz_report(hub: &TelemetryHub, drop_threshold: u64) -> HealthzReport {
+    let snap = crate::snapshot();
+    let journal_dropped = snap.counter(crate::names::JOURNAL_DROPPED_TOTAL);
+    let ledger_dropped = snap.counter(crate::names::LEDGER_DROPPED_TOTAL);
+    let degraded = journal_dropped + ledger_dropped > drop_threshold;
+    HealthzReport {
+        status: if degraded { "degraded" } else { "ok" }.to_owned(),
+        journal_dropped_total: journal_dropped,
+        ledger_dropped_total: ledger_dropped,
+        journal_ring_highwater: snap
+            .gauge(crate::names::JOURNAL_RING_HIGHWATER)
+            .unwrap_or(0.0),
+        ledger_ring_highwater: snap
+            .gauge(crate::names::LEDGER_RING_HIGHWATER)
+            .unwrap_or(0.0),
+        drop_threshold,
+        progress: hub.progress(),
+    }
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    fn not_found(what: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain",
+            body: format!("not found: {what}\n"),
+        }
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Routes one request path (with optional query string) to a response.
+fn route(path: &str, hub: &TelemetryHub, drop_threshold: u64) -> Response {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, q),
+        None => (path, ""),
+    };
+    match route {
+        "/metrics" => Response::ok(PROMETHEUS_CONTENT_TYPE, crate::snapshot().to_prometheus()),
+        "/healthz" => {
+            let report = healthz_report(hub, drop_threshold);
+            let status = if report.status == "ok" { 200 } else { 503 };
+            let body = serde_json::to_string_pretty(&report)
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            Response {
+                status,
+                content_type: "application/json",
+                body,
+            }
+        }
+        "/health/fleet" => match hub.fleet_health_json() {
+            Some(json) => Response::ok("application/json", json),
+            None => Response::not_found("no fleet health published yet"),
+        },
+        "/journal" => {
+            let n = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(64);
+            Response::ok("application/x-ndjson", hub.journal_tail(n))
+        }
+        "/ledger" => match hub.ledger_json() {
+            Some(json) => Response::ok("application/json", json),
+            None => Response::not_found("no ledger published yet"),
+        },
+        "/snapshot" => {
+            let body = serde_json::to_string(&crate::snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            Response::ok("application/json", body)
+        }
+        other => Response::not_found(other),
+    }
+}
+
+/// Reads the request line + headers and answers one request, then
+/// closes the connection.
+fn handle_connection(stream: TcpStream, hub: &TelemetryHub, drop_threshold: u64) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers (we route on the request line alone).
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let response = match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => route(path, hub, drop_threshold),
+        _ => Response {
+            status: 400,
+            content_type: "text/plain",
+            body: "only GET is supported\n".to_owned(),
+        },
+    };
+    crate::counter!(crate::names::SERVE_REQUESTS_TOTAL);
+    let mut stream = reader.into_inner();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(response.body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A running scrape server. Dropping it without calling
+/// [`ObsServer::shutdown`] detaches the threads (the process exit
+/// reaps them); call `shutdown` for a drained stop.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `opts.addr` and starts the accept loop plus
+    /// `opts.threads` workers. Returns once the socket is listening.
+    pub fn start(opts: ServeOptions, hub: Arc<TelemetryHub>) -> Result<ObsServer, String> {
+        let listener =
+            TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::new();
+        for _ in 0..opts.threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let hub = Arc::clone(&hub);
+            let drop_threshold = opts.drop_threshold;
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the receiver lock only while dequeuing lets
+                // workers serve requests concurrently. `recv` errors
+                // only once the queue is empty AND the accept loop has
+                // dropped its sender — that is the drain guarantee.
+                let next = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                };
+                match next {
+                    Ok(stream) => handle_connection(stream, &hub, drop_threshold),
+                    Err(_) => break,
+                }
+            }));
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // tx drops here: workers finish the queue, then exit.
+        });
+
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port`, for building scrape URLs.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Stops accepting, drains queued requests, and joins every
+    /// thread. In-flight responses complete before this returns.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A minimal std-only HTTP/1.1 GET client (enough for scraping this
+/// server and for CI smoke checks): returns `(status, body)`.
+pub fn http_get(url: &str) -> Result<(u16, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got {url}"))?;
+    let (host, path) = match rest.split_once('/') {
+        Some((h, p)) => (h, format!("/{p}")),
+        None => (rest, "/".to_owned()),
+    };
+    let mut stream =
+        TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {host}"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line from {host}"))?;
+    Ok((status, body.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_test_server(hub: Arc<TelemetryHub>, drop_threshold: u64) -> ObsServer {
+        ObsServer::start(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                drop_threshold,
+            },
+            hub,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_exposition() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        let server = start_test_server(Arc::clone(&hub), 0);
+        let url = server.base_url();
+        if crate::ENABLED {
+            crate::reset();
+            crate::counter!("serve_test_total", 3);
+        }
+        let (status, body) = http_get(&format!("{url}/metrics")).unwrap();
+        assert_eq!(status, 200);
+        crate::validate_prometheus(&body).unwrap();
+        if crate::ENABLED {
+            assert!(body.contains("netmaster_serve_test_total 3"));
+            crate::reset();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_progress_and_drop_state() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        hub.begin_run(7);
+        hub.member_done();
+        let server = start_test_server(Arc::clone(&hub), 0);
+        let url = server.base_url();
+        let (status, body) = http_get(&format!("{url}/healthz")).unwrap();
+        assert_eq!(status, 200);
+        let report: HealthzReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.status, "ok");
+        assert_eq!(report.progress.members_done, 1);
+        assert_eq!(report.progress.members_total, 7);
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_degrades_past_the_drop_threshold() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        let hub = Arc::new(TelemetryHub::new());
+        // Overflow a tiny journal ring: 2 drops.
+        let mut j = crate::Journal::with_capacity(1);
+        for day in 0..3 {
+            j.emit(|| crate::DecisionEvent::PredictionMiss { day, hour: 0 });
+        }
+        let _ = j.drain();
+        let server = start_test_server(Arc::clone(&hub), 1);
+        let url = server.base_url();
+        let (status, body) = http_get(&format!("{url}/healthz")).unwrap();
+        assert_eq!(status, 503, "2 drops > threshold 1 must degrade: {body}");
+        let report: HealthzReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.status, "degraded");
+        assert_eq!(report.journal_dropped_total, 2);
+        assert_eq!(report.journal_ring_highwater, 1.0);
+        server.shutdown();
+        crate::reset();
+    }
+
+    #[test]
+    fn hub_documents_and_404s() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        let server = start_test_server(Arc::clone(&hub), 0);
+        let url = server.base_url();
+        let (status, _) = http_get(&format!("{url}/health/fleet")).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(&format!("{url}/ledger")).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(&format!("{url}/nope")).unwrap();
+        assert_eq!(status, 404);
+        hub.publish_fleet_health_json("{\"healthy\":5}".to_owned());
+        hub.publish_ledger_json("[]".to_owned());
+        hub.publish_journal_jsonl("{\"seq\":0}\n{\"seq\":1}\n");
+        let (status, body) = http_get(&format!("{url}/health/fleet")).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"healthy\":5}"));
+        let (status, body) = http_get(&format!("{url}/ledger")).unwrap();
+        assert_eq!((status, body.as_str()), (200, "[]"));
+        let (status, body) = http_get(&format!("{url}/journal?n=1")).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"seq\":1}\n"));
+        let (status, body) = http_get(&format!("{url}/snapshot")).unwrap();
+        assert_eq!(status, 200);
+        let _: crate::Snapshot = serde_json::from_str(&body).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_concurrent_requests() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        let server = start_test_server(Arc::clone(&hub), 0);
+        let url = server.base_url();
+        let fetchers: Vec<_> = (0..8)
+            .map(|_| {
+                let url = url.clone();
+                std::thread::spawn(move || http_get(&format!("{url}/healthz")))
+            })
+            .collect();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Every request issued before shutdown got a complete response.
+        for f in fetchers {
+            if let Ok(Ok((status, body))) = f.join().map_err(|_| ()) {
+                assert_eq!(status, 200);
+                assert!(body.contains("\"status\""));
+            }
+        }
+        // The drained server no longer answers.
+        assert!(http_get(&format!("http://{addr}/healthz")).is_err());
+    }
+}

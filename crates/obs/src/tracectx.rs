@@ -195,6 +195,7 @@ pub struct TraceLedger {
     buf: VecDeque<ActivityTrace>,
     cap: usize,
     dropped: u64,
+    high_water: usize,
 }
 
 impl TraceLedger {
@@ -209,6 +210,7 @@ impl TraceLedger {
             buf: VecDeque::new(),
             cap: cap.max(1),
             dropped: 0,
+            high_water: 0,
         }
     }
 
@@ -225,6 +227,7 @@ impl TraceLedger {
             crate::counter!(crate::names::LEDGER_DROPPED_TOTAL);
         }
         self.buf.push_back(f());
+        self.high_water = self.high_water.max(self.buf.len());
         crate::counter!(crate::names::LEDGER_RECORDS_TOTAL);
     }
 
@@ -243,6 +246,11 @@ impl TraceLedger {
         self.dropped
     }
 
+    /// Highest fill level the ring has reached since creation.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Buffered records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &ActivityTrace> {
         self.buf.iter()
@@ -254,8 +262,10 @@ impl TraceLedger {
         self.buf.iter_mut().filter(move |r| r.day == day)
     }
 
-    /// Takes every buffered record, oldest first.
+    /// Takes every buffered record, oldest first. Publishes the ring's
+    /// high-water mark as a gauge (drain is the cold path).
     pub fn drain(&mut self) -> Vec<ActivityTrace> {
+        crate::gauge_max(crate::names::LEDGER_RING_HIGHWATER, self.high_water as f64);
         self.buf.drain(..).collect()
     }
 }
@@ -323,6 +333,7 @@ mod tests {
         }
         assert_eq!(l.len(), 3);
         assert_eq!(l.dropped(), 2);
+        assert_eq!(l.high_water(), 3);
         let snap = crate::snapshot();
         assert_eq!(snap.counter(crate::names::LEDGER_RECORDS_TOTAL), 5);
         assert_eq!(snap.counter(crate::names::LEDGER_DROPPED_TOTAL), 2);

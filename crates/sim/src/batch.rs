@@ -164,12 +164,7 @@ mod tests {
         const SHAPES: [usize; 9] = [0, 2, 2, 8, 8, 8, 50, 50, 120];
         let n = SHAPES[rng.random_range(0..SHAPES.len())];
         let items: Vec<Item> = (0..n)
-            .map(|_| {
-                Item::new(
-                    rng.random_range(-2.0..30.0),
-                    rng.random_range(1..400u64),
-                )
-            })
+            .map(|_| Item::new(rng.random_range(-2.0..30.0), rng.random_range(1..400u64)))
             .collect();
         let cap = rng.random_range(1..2_000);
         (items, cap)

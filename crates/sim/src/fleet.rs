@@ -299,9 +299,34 @@ where
     G: Fn(usize) -> (u64, Trace) + Sync,
     F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
 {
+    run_fleet_streaming_with(n_members, test_from, cfg, make_trace, make_policy, None)
+}
+
+/// [`run_fleet_streaming`] with an optional telemetry hub: each
+/// finished member ticks
+/// [`TelemetryHub::member_done`](netmaster_obs::TelemetryHub::member_done),
+/// so a scrape server (`netmaster fleet --serve`) can report live
+/// progress and members-per-second while the run executes. The report
+/// is identical with or without a hub.
+pub fn run_fleet_streaming_with<G, F>(
+    n_members: usize,
+    test_from: usize,
+    cfg: &SimConfig,
+    make_trace: G,
+    make_policy: F,
+    hub: Option<&netmaster_obs::TelemetryHub>,
+) -> FleetReport
+where
+    G: Fn(usize) -> (u64, Trace) + Sync,
+    F: Fn(&Trace) -> Box<dyn Policy + Send> + Sync,
+{
     let members = par_map_indexed(n_members, |i| {
         let (seed, trace) = make_trace(i);
-        simulate_member(seed, &trace, test_from, cfg, &make_policy)
+        let member = simulate_member(seed, &trace, test_from, cfg, &make_policy);
+        if let Some(hub) = hub {
+            hub.member_done();
+        }
+        member
         // `trace` drops here, before the worker claims the next member.
     });
     FleetReport::from_members(members)
@@ -432,6 +457,30 @@ mod tests {
         let eager = run_fleet(&fleet, 3, &cfg, |_| Box::new(TailKiller));
         let streaming = run_fleet_streaming(6, 3, &cfg, gen_trace, |_| Box::new(TailKiller));
         assert_eq!(eager, streaming);
+    }
+
+    #[test]
+    fn observed_streaming_fleet_ticks_the_hub() {
+        let gen_trace = |i: usize| {
+            let seed = 300 + i as u64;
+            let profile = UserProfile::panel().remove(i % 8);
+            (
+                seed,
+                TraceGenerator::new(profile).with_seed(seed).generate(5),
+            )
+        };
+        let cfg = SimConfig::default();
+        let hub = netmaster_obs::TelemetryHub::new();
+        hub.begin_run(5);
+        let observed =
+            run_fleet_streaming_with(5, 3, &cfg, gen_trace, |_| Box::new(TailKiller), Some(&hub));
+        hub.end_run();
+        let plain = run_fleet_streaming(5, 3, &cfg, gen_trace, |_| Box::new(TailKiller));
+        assert_eq!(observed, plain, "the hub must not change results");
+        let p = hub.progress();
+        assert_eq!(p.members_done, 5);
+        assert_eq!(p.members_total, 5);
+        assert!(!p.run_active);
     }
 
     #[test]

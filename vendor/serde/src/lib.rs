@@ -14,7 +14,7 @@ pub mod json;
 pub use serde_derive::{Deserialize, Serialize};
 
 use json::{Error, Map, Number, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 
 /// A type that can render itself as a JSON value tree.
@@ -262,6 +262,30 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn deserialize_value(v: &Value) -> Result<Self, Error> {
         let pairs: Vec<(K, V)> = Vec::deserialize_value(v)?;
         Ok(pairs.into_iter().collect())
+    }
+}
+
+// String-keyed ordered maps serialize as JSON objects with sorted keys
+// — the byte-stable shape run-registry rows rely on.
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::deserialize_value(val)?)))
+                .collect(),
+            other => Err(Error::unexpected("object", other)),
+        }
     }
 }
 
