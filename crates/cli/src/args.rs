@@ -15,7 +15,15 @@ pub struct Args {
 }
 
 /// Option keys that are boolean flags (consume no value).
-const FLAGS: &[&str] = &["help", "quiet", "json", "prom", "index-guard", "serve"];
+const FLAGS: &[&str] = &[
+    "help",
+    "quiet",
+    "json",
+    "prom",
+    "index-guard",
+    "serve",
+    "series",
+];
 
 impl Args {
     /// Parses an argument vector (excluding argv[0]).

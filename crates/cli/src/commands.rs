@@ -54,6 +54,10 @@ COMMANDS:
       --seed N              base seed (default 2014)
       --serve               expose live scrape endpoints while the fleet runs
       --addr HOST:PORT      bind address for --serve (default 127.0.0.1:9898)
+      --sample-secs X       metrics-history sampling cadence for --serve (default 1)
+      --retention N         history points kept per series (default 4096)
+      --history FILE        persist sampled history segments (history.nmts)
+      --alerts SPECS        `;`-separated alert rules (name:metric<v:for=N:sev=page …)
       --registry FILE       append a provenance-stamped result row (JSONL)
   serve-obs               Run a telemetry workload and serve it over HTTP
       --addr HOST:PORT      bind address (default 127.0.0.1:9898; port 0 picks one)
@@ -62,11 +66,22 @@ COMMANDS:
       --seed N              base seed (default 2014)
       --drop-threshold N    /healthz turns 503 past this many ring drops (default 0)
       --linger-secs N       keep serving N seconds after the workload (default 0)
+      --sample-secs X       metrics-history sampling cadence (default 1)
+      --retention N         history points kept per series (default 4096)
+      --history FILE        persist sampled history segments (history.nmts)
+      --alerts SPECS        `;`-separated alert rules evaluated every sample
   obs                     Run a small simulated fleet and print its telemetry
       --users N             simulated users (default 3)
       --days N              days per user, most training (default 16)
       --seed N              base seed (default 2014)
       --url URL             scrape a live serve-obs endpoint instead of running
+      --timeout-secs X      connect/read timeout for --url requests (default 10)
+      --query METRIC        window-query one recorded series on the server
+      --fn NAME             query function: range | rate | increase | quantile (default range)
+      --from MS --to MS     query window bounds, unix milliseconds
+      --step MS             downsample range output to one point per step
+      --q X                 quantile for --fn quantile (default 0.5)
+      --series              list the server's recorded history series
       --json                JSON metrics snapshot instead of the table
       --prom                Prometheus text exposition instead of the table
       --journal FILE        also drain the decision-audit journal to JSONL
@@ -79,6 +94,10 @@ COMMANDS:
       --worst K             worst members detailed in the report (default 3)
       --serve               expose live scrape endpoints while the fleet runs
       --addr HOST:PORT      bind address for --serve (default 127.0.0.1:9898)
+      --sample-secs X       metrics-history sampling cadence for --serve (default 1)
+      --retention N         history points kept per series (default 4096)
+      --history FILE        persist sampled history segments (history.nmts)
+      --alerts SPECS        `;`-separated alert rules (name:metric<v:for=N:sev=page …)
       --registry FILE       append a provenance-stamped result row (JSONL)
       --json                machine-readable fleet health report
       --journal FILE        drain the fleet's decision journals to JSONL
@@ -544,22 +563,78 @@ fn lint_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
-/// Starts a scrape server when `--serve` was given: returns the shared
-/// [`TelemetryHub`](netmaster_obs::TelemetryHub) the run publishes into
-/// and the running server (shut it down after the run). Errors loudly
-/// when observability is compiled out — a server over a disabled
-/// registry would scrape as all-empty.
-fn maybe_serve(
+/// The live telemetry plane a `--serve` run stands up: the shared
+/// [`TelemetryHub`](netmaster_obs::TelemetryHub) the run publishes
+/// into, the scrape server, and the metrics-history sampler (plus an
+/// alert engine when `--alerts` rules were given).
+struct ServePlane {
+    hub: std::sync::Arc<netmaster_obs::TelemetryHub>,
+    server: netmaster_obs::ObsServer,
+    sampler: netmaster_obs::Sampler,
+}
+
+impl ServePlane {
+    /// Stops the sampler (one final sample, alert pass, and history
+    /// flush) and drains the server.
+    fn finish(self) {
+        self.sampler.stop();
+        self.server.shutdown();
+    }
+}
+
+/// Builds the metrics-history recorder configuration shared by
+/// `--serve` runs and `serve-obs`: the bounded store
+/// (`--retention`), the optional alert engine (`--alerts`), the
+/// sampling cadence (`--sample-secs`), and the optional persist path
+/// (`--history`).
+#[allow(clippy::type_complexity)]
+fn history_plane(
     args: &Args,
-    out: &mut dyn Write,
 ) -> Result<
-    Option<(
-        std::sync::Arc<netmaster_obs::TelemetryHub>,
-        netmaster_obs::ObsServer,
-    )>,
+    (
+        std::sync::Arc<netmaster_obs::MetricStore>,
+        Option<std::sync::Arc<netmaster_obs::AlertEngine>>,
+        std::time::Duration,
+        Option<std::path::PathBuf>,
+    ),
     String,
 > {
-    use netmaster_obs::{ObsServer, ServeOptions, TelemetryHub};
+    use netmaster_obs::{AlertEngine, AlertRule, MetricStore, StoreOptions};
+    use std::sync::Arc;
+
+    let sample_secs: f64 = args.num("sample-secs", 1.0)?;
+    if !sample_secs.is_finite() || sample_secs <= 0.0 {
+        return Err("--sample-secs must be a positive number of seconds".into());
+    }
+    let retention: usize = args.num("retention", netmaster_obs::store::DEFAULT_RETENTION_POINTS)?;
+    let store = Arc::new(MetricStore::new(StoreOptions {
+        retention_points: retention,
+    }));
+    let engine = match args.options.get("alerts") {
+        Some(specs) => {
+            let rules = AlertRule::parse_list(specs)?;
+            if rules.is_empty() {
+                return Err("--alerts parsed to an empty rule set".into());
+            }
+            Some(Arc::new(AlertEngine::new(rules)))
+        }
+        None => None,
+    };
+    let persist = args.options.get("history").map(std::path::PathBuf::from);
+    Ok((
+        store,
+        engine,
+        std::time::Duration::from_secs_f64(sample_secs),
+        persist,
+    ))
+}
+
+/// Starts a scrape server when `--serve` was given: returns the
+/// [`ServePlane`] to publish into (call [`ServePlane::finish`] after
+/// the run). Errors loudly when observability is compiled out — a
+/// server over a disabled registry would scrape as all-empty.
+fn maybe_serve(args: &Args, out: &mut dyn Write) -> Result<Option<ServePlane>, String> {
+    use netmaster_obs::{ObsServer, Sampler, ServeOptions, ServeState, TelemetryHub};
     use std::sync::Arc;
 
     if !args.flag("serve") {
@@ -573,6 +648,7 @@ fn maybe_serve(
         );
     }
     let hub = Arc::new(TelemetryHub::new());
+    let (store, engine, interval, persist) = history_plane(args)?;
     let opts = ServeOptions {
         addr: args
             .opt("addr", netmaster_obs::serve::DEFAULT_ADDR)
@@ -580,9 +656,18 @@ fn maybe_serve(
         drop_threshold: args.num("drop-threshold", 0)?,
         ..ServeOptions::default()
     };
-    let server = ObsServer::start(opts, Arc::clone(&hub))?;
+    let state = ServeState {
+        store: Some(Arc::clone(&store)),
+        alerts: engine.clone(),
+    };
+    let server = ObsServer::start_with(opts, Arc::clone(&hub), state)?;
+    let sampler = Sampler::start(store, engine, Some(Arc::clone(&hub)), interval, persist);
     writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
-    Ok(Some((hub, server)))
+    Ok(Some(ServePlane {
+        hub,
+        server,
+        sampler,
+    }))
 }
 
 /// Appends one provenance-stamped row to the `--registry` JSONL file
@@ -614,7 +699,7 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let base_seed: u64 = args.num("seed", 2014)?;
     let train = 14usize;
     let served = maybe_serve(args, out)?;
-    let hub = served.as_ref().map(|(hub, _)| hub);
+    let hub = served.as_ref().map(|p| &p.hub);
     if let Some(hub) = hub {
         hub.begin_run(n as u64);
     }
@@ -674,8 +759,8 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         &format!("users={n} train={train} days={}", train + 7),
         kpis,
     )?;
-    if let Some((_, server)) = served {
-        server.shutdown();
+    if let Some(plane) = served {
+        plane.finish();
     }
     Ok(())
 }
@@ -688,7 +773,7 @@ fn fleet_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 /// scrapers (CI smoke, Prometheus) can pull the finished run.
 fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     use netmaster_core::MiddlewareService;
-    use netmaster_obs::{ledger, ObsServer, ServeOptions, TelemetryHub};
+    use netmaster_obs::{ledger, ObsServer, Sampler, ServeOptions, ServeState, TelemetryHub};
     use std::sync::Arc;
 
     if !netmaster_obs::compiled() {
@@ -708,6 +793,7 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let train = days.saturating_sub(2).min(14);
 
     let hub = Arc::new(TelemetryHub::new());
+    let (store, engine, interval, persist) = history_plane(args)?;
     let opts = ServeOptions {
         addr: args
             .opt("addr", netmaster_obs::serve::DEFAULT_ADDR)
@@ -715,13 +801,28 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         drop_threshold: args.num("drop-threshold", 0)?,
         ..ServeOptions::default()
     };
-    let server = ObsServer::start(opts, Arc::clone(&hub))?;
+    let state = ServeState {
+        store: Some(Arc::clone(&store)),
+        alerts: engine.clone(),
+    };
+    let server = ObsServer::start_with(opts, Arc::clone(&hub), state)?;
     writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
+    if let Some(engine) = &engine {
+        writeln!(out, "evaluating {} alert rule(s)", engine.rules().len()).map_err(io_err)?;
+    }
 
     netmaster_obs::reset();
+    let sampler = Sampler::start(
+        Arc::clone(&store),
+        engine,
+        Some(Arc::clone(&hub)),
+        interval,
+        persist.clone(),
+    );
     hub.begin_run(users as u64);
     let mut records = Vec::new();
     let mut journal_lines = 0usize;
+    let mut savings = Vec::new();
     for u in 0..users as u64 {
         let member_seed = seed.wrapping_add(u * 7919);
         let profile = UserProfile::panel().remove((member_seed % 8) as usize);
@@ -743,6 +844,11 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         if let Ok(json) = serde_json::to_string(&bills) {
             hub.publish_ledger_json(json);
         }
+        // The run's headline outcome, refreshed per member so alert
+        // rules (e.g. a `fleet_saving_ratio<…` floor) see it mid-run.
+        savings.push(svc.summary().saving());
+        let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+        netmaster_obs::gauge_set(netmaster_obs::names::FLEET_SAVING_RATIO, mean);
         hub.member_done();
     }
     hub.end_run();
@@ -758,13 +864,19 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         writeln!(out, "lingering for {linger} s — scrape away").map_err(io_err)?;
         std::thread::sleep(std::time::Duration::from_secs(linger));
     }
+    sampler.stop();
     server.shutdown();
     writeln!(
         out,
-        "served {} requests",
-        netmaster_obs::snapshot().counter(netmaster_obs::names::SERVE_REQUESTS_TOTAL)
+        "served {} requests; recorded {} history samples ({} dropped)",
+        netmaster_obs::snapshot().counter(netmaster_obs::names::SERVE_REQUESTS_TOTAL),
+        store.samples_total(),
+        store.dropped_total(),
     )
     .map_err(io_err)?;
+    if let Some(path) = &persist {
+        writeln!(out, "history persisted to {}", path.display()).map_err(io_err)?;
+    }
     Ok(())
 }
 
@@ -834,13 +946,50 @@ fn obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 /// `netmaster obs --url` — scrape a live `serve-obs` (or `--serve`)
 /// endpoint instead of running a local workload. `--prom` fetches and
-/// validates the `/metrics` exposition; otherwise `/snapshot` renders
-/// through the same table/JSON paths as a local run. Works in no-obs
-/// builds too: the telemetry lives in the *server's* process.
+/// validates the `/metrics` exposition; `--series` lists the recorded
+/// history series; `--query METRIC` runs one window query (`--fn`,
+/// `--from`, `--to`, `--step`, `--q`); otherwise `/snapshot` renders
+/// through the same table/JSON paths as a local run. All requests
+/// honour `--timeout-secs`. Works in no-obs builds too: the telemetry
+/// lives in the *server's* process.
 fn obs_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let base = url.trim_end_matches('/');
+    let timeout_secs: f64 = args.num("timeout-secs", 10.0)?;
+    if !timeout_secs.is_finite() || timeout_secs <= 0.0 {
+        return Err("--timeout-secs must be a positive number of seconds".into());
+    }
+    let timeout = std::time::Duration::from_secs_f64(timeout_secs);
+    let get = |path: &str| netmaster_obs::http_get_with_timeout(&format!("{base}{path}"), timeout);
+    if args.flag("series") {
+        let (status, body) = get("/series")?;
+        if status != 200 {
+            return Err(format!(
+                "GET {base}/series returned {status}: {}",
+                body.trim()
+            ));
+        }
+        if args.flag("json") {
+            writeln!(out, "{body}").map_err(io_err)?;
+            return Ok(());
+        }
+        let rows: Vec<netmaster_obs::serve::SeriesInfo> =
+            serde_json::from_str(&body).map_err(|e| format!("bad series list: {e}"))?;
+        writeln!(out, "{} recorded series on {base}:", rows.len()).map_err(io_err)?;
+        for r in rows {
+            writeln!(
+                out,
+                "  {:<40} {:<10} {:>6} points",
+                r.metric, r.kind, r.points
+            )
+            .map_err(io_err)?;
+        }
+        return Ok(());
+    }
+    if let Some(metric) = args.options.get("query") {
+        return obs_query(base, metric, args, out, &get);
+    }
     if args.flag("prom") {
-        let (status, body) = netmaster_obs::http_get(&format!("{base}/metrics"))?;
+        let (status, body) = get("/metrics")?;
         if status != 200 {
             return Err(format!("GET {base}/metrics returned {status}"));
         }
@@ -849,7 +998,7 @@ fn obs_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String>
         write!(out, "{body}").map_err(io_err)?;
         return Ok(());
     }
-    let (status, body) = netmaster_obs::http_get(&format!("{base}/snapshot"))?;
+    let (status, body) = get("/snapshot")?;
     if status != 200 {
         return Err(format!("GET {base}/snapshot returned {status}"));
     }
@@ -865,6 +1014,43 @@ fn obs_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String>
     } else {
         writeln!(out, "telemetry scraped from {base}:\n").map_err(io_err)?;
         write!(out, "{}", snap.render_table()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `netmaster obs --url --query METRIC` — one `/query` request,
+/// rendered as a point table for `range` and as the raw JSON scalar
+/// for `rate`/`increase`/`quantile`.
+fn obs_query(
+    base: &str,
+    metric: &str,
+    args: &Args,
+    out: &mut dyn Write,
+    get: &dyn Fn(&str) -> Result<(u16, String), String>,
+) -> Result<(), String> {
+    let func = args.opt("fn", "range");
+    let mut path = format!("/query?metric={metric}&fn={func}");
+    for key in ["from", "to", "step", "q"] {
+        if let Some(v) = args.options.get(key) {
+            path.push_str(&format!("&{key}={v}"));
+        }
+    }
+    let (status, body) = get(&path)?;
+    if status != 200 {
+        return Err(format!(
+            "GET {base}{path} returned {status}: {}",
+            body.trim()
+        ));
+    }
+    if args.flag("json") || func != "range" {
+        writeln!(out, "{}", body.trim_end()).map_err(io_err)?;
+        return Ok(());
+    }
+    let range: netmaster_obs::serve::QueryRange =
+        serde_json::from_str(&body).map_err(|e| format!("bad query response: {e}"))?;
+    writeln!(out, "{}: {} points", range.metric, range.points.len()).map_err(io_err)?;
+    for (t_ms, v) in &range.points {
+        writeln!(out, "  {t_ms:>14}  {v}").map_err(io_err)?;
     }
     Ok(())
 }
@@ -917,7 +1103,8 @@ fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         // Live mode: each finished member folds into an incremental
         // fleet-health snapshot the scrape server serves on
         // `/health/fleet` while later members are still running.
-        Some((hub, _)) => {
+        Some(plane) => {
+            let hub = &plane.hub;
             hub.begin_run(users as u64);
             let seen = std::sync::Mutex::new(Vec::<Scorecard>::new());
             let outcomes = run_watch_observed(&spec, &|card| {
@@ -938,7 +1125,8 @@ fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let cards: Vec<Scorecard> = outcomes.iter().map(|o| o.scorecard.clone()).collect();
     let health = FleetHealth::from_scorecards(&cards, worst);
 
-    if let Some((hub, _)) = &served {
+    if let Some(plane) = &served {
+        let hub = &plane.hub;
         if let Ok(json) = serde_json::to_string(&health) {
             hub.publish_fleet_health_json(json);
         }
@@ -969,8 +1157,8 @@ fn watch_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         ),
         kpis,
     )?;
-    if let Some((_, server)) = served {
-        server.shutdown();
+    if let Some(plane) = served {
+        plane.finish();
     }
 
     if let Some(path) = args.options.get("journal") {

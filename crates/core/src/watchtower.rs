@@ -371,11 +371,22 @@ pub fn run_watch_observed(
     spec: &WatchSpec,
     on_member: &(dyn Fn(&Scorecard) + Sync),
 ) -> Vec<UserWatchOutcome> {
-    par_map_indexed(spec.users, |i| {
+    let outcomes = par_map_indexed(spec.users, |i| {
         let outcome = watch_member(spec, i);
         on_member(&outcome.scorecard);
         outcome
-    })
+    });
+    // Publish the fleet-mean saving so alert rules (the
+    // `fleet_saving_ratio<…` floor) can watch live watch runs too.
+    if !outcomes.is_empty() {
+        let mean = outcomes
+            .iter()
+            .map(|o| o.scorecard.saving.unwrap_or(o.scorecard.saving_mean))
+            .sum::<f64>()
+            / outcomes.len() as f64;
+        netmaster_obs::gauge_set(netmaster_obs::names::FLEET_SAVING_RATIO, mean);
+    }
+    outcomes
 }
 
 fn watch_member(spec: &WatchSpec, i: usize) -> UserWatchOutcome {

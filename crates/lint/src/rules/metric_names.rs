@@ -11,7 +11,8 @@
 //!    `span!` after its `stage_<name>_seconds` expansion) is registered;
 //! 3. the registry's `HELP` table covers every metric const (the
 //!    scrape server renders `# HELP` exposition lines from it), and
-//!    the telemetry-plane modules (`obs/src/serve.rs`, `obs/src/hub.rs`)
+//!    the telemetry-plane modules (`obs/src/serve.rs`, `obs/src/hub.rs`,
+//!    `obs/src/store.rs`, `obs/src/alerts.rs`)
 //!    mint no metric-shaped string outside the registry;
 //! 4. the `DecisionEvent` enum's variants and the registry's kind
 //!    consts match exactly, both directions;
@@ -145,7 +146,9 @@ pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mu
     for krate in &ws.crates {
         for file in &krate.files {
             let plane = file.rel_path.ends_with("obs/src/serve.rs")
-                || file.rel_path.ends_with("obs/src/hub.rs");
+                || file.rel_path.ends_with("obs/src/hub.rs")
+                || file.rel_path.ends_with("obs/src/store.rs")
+                || file.rel_path.ends_with("obs/src/alerts.rs");
             if !plane || file.role != FileRole::Src {
                 continue;
             }

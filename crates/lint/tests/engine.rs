@@ -88,6 +88,22 @@ fn metric_help_fixture_trips_help_and_plane_checks() {
 }
 
 #[test]
+fn metric_plane_fixture_trips_store_and_alerts_modules() {
+    let report = run_lint(&fixture("metric_plane"), &only("metric-names")).unwrap();
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("obs/src/store.rs")
+            && f.message.contains("rogue_store_points_total")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("obs/src/alerts.rs")
+            && f.message.contains("rogue_alerts_firing_seconds")));
+}
+
+#[test]
 fn panic_hygiene_fixture_trips_unwrap() {
     let report = run_lint(&fixture("panic_hygiene"), &only("panic-hygiene")).unwrap();
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);

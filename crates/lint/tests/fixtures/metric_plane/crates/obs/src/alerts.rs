@@ -1,0 +1,4 @@
+/// An alert engine that hand-rolls its gauge name — flagged too.
+pub fn rogue_gauge_name() -> &'static str {
+    "rogue_alerts_firing_seconds"
+}

@@ -1,0 +1,3 @@
+mod alerts;
+mod registry_names;
+mod store;

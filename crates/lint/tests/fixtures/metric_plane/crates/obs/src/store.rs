@@ -1,0 +1,14 @@
+/// A history-store module that mints a series name instead of going
+/// through the registry — the plane check must flag the literal.
+pub fn rogue_series_name() -> &'static str {
+    "rogue_store_points_total"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_literals_are_exempt() {
+        // Metric-shaped strings inside tests are fine.
+        assert!(!"test_only_store_total".is_empty());
+    }
+}

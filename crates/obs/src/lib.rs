@@ -23,9 +23,15 @@
 //! * a **live telemetry plane** — [`hub`] (the [`TelemetryHub`] sink
 //!   fleet runs publish progress and rendered documents into),
 //!   [`serve`] (a std-only HTTP scrape server: `/metrics`, `/healthz`,
-//!   `/health/fleet`, `/journal`, `/ledger`, `/snapshot`), and
-//!   [`runregistry`] (an append-only provenance-stamped JSONL log of
-//!   run results).
+//!   `/health/fleet`, `/journal`, `/ledger`, `/snapshot`, `/query`,
+//!   `/series`, `/alerts`), and [`runregistry`] (an append-only
+//!   provenance-stamped JSONL log of run results);
+//! * a **metrics history & alerting layer** — [`store`] (the
+//!   [`MetricStore`] recorder: bounded delta-of-delta time series over
+//!   the registry with a CRC-checked `history.nmts` segment file and a
+//!   window query API) and [`alerts`] (declarative threshold / absence
+//!   / burn-rate [`AlertRule`]s evaluated into
+//!   pending→firing→resolved transitions by an [`AlertEngine`]).
 //!
 //! ## Feature gating
 //!
@@ -41,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alerts;
 pub mod drift;
 mod export;
 pub mod health;
@@ -52,8 +59,11 @@ pub mod names;
 mod registry;
 pub mod runregistry;
 pub mod serve;
+pub mod store;
 pub mod timeseries;
 pub mod tracectx;
+
+pub use alerts::{AlertEngine, AlertRule, AlertsReport};
 
 pub use export::validate_prometheus;
 pub use hub::{HubProgress, TelemetryHub};
@@ -65,7 +75,11 @@ pub use registry::{
     CounterSnap, GaugeSnap, Hist, HistSnap, Snapshot, FINITE_BUCKETS, HIST_BUCKETS,
 };
 pub use runregistry::{RunRecord, RunRegistry, RUN_SCHEMA_VERSION};
-pub use serve::{healthz_report, http_get, HealthzReport, ObsServer, ServeOptions};
+pub use serve::{
+    healthz_report, http_get, http_get_with_timeout, HealthzReport, ObsServer, ServeOptions,
+    ServeState,
+};
+pub use store::{read_history, MetricStore, Sampler, StoreOptions};
 pub use tracectx::{
     trace_from_jsonl, trace_to_jsonl, ActivityTrace, EnergyShare, Outcome, PlanReason,
     RejectReason, SolverArm, TraceLedger, DEFAULT_LEDGER_CAPACITY,

@@ -98,6 +98,20 @@ pub const FLEET_MEMBERS_TOTAL: &str = "fleet_members_total";
 /// Wall-clock seconds per simulated member (histogram).
 pub const FLEET_MEMBER_SECONDS: &str = "fleet_member_seconds";
 
+// --- Fleet-level outcome gauges --------------------------------------
+
+/// Mean energy-saving ratio of the most recent fleet/watch run.
+pub const FLEET_SAVING_RATIO: &str = "fleet_saving_ratio";
+
+// --- Metrics history store / alerting --------------------------------
+
+/// Registry samples the metric store has recorded.
+pub const STORE_SAMPLES_TOTAL: &str = "store_samples_total";
+/// Points the bounded metric store evicted on overflow.
+pub const STORE_DROPPED_TOTAL: &str = "store_dropped_total";
+/// Alert rules currently in the firing state.
+pub const ALERTS_FIRING: &str = "alerts_firing";
+
 // --- Telemetry hub / scrape server -----------------------------------
 
 /// Members the live run has completed so far (telemetry hub gauge).
@@ -153,6 +167,10 @@ pub const KIND_DAY_EXECUTED: &str = "DayExecuted";
 pub const KIND_DRIFT_DETECTED: &str = "DriftDetected";
 /// A member's health scorecard degraded.
 pub const KIND_HEALTH_DEGRADED: &str = "HealthDegraded";
+/// An alert rule crossed from pending into firing.
+pub const KIND_ALERT_FIRING: &str = "AlertFiring";
+/// A firing alert rule stopped breaching and resolved.
+pub const KIND_ALERT_RESOLVED: &str = "AlertResolved";
 
 // --- `# HELP` text ----------------------------------------------------
 
@@ -283,6 +301,19 @@ pub const HELP: &[(&str, &str)] = &[
         "Wall-clock seconds per simulated member",
     ),
     (
+        FLEET_SAVING_RATIO,
+        "Mean energy-saving ratio of the most recent fleet/watch run",
+    ),
+    (
+        STORE_SAMPLES_TOTAL,
+        "Registry samples the metric store has recorded",
+    ),
+    (
+        STORE_DROPPED_TOTAL,
+        "Points the bounded metric store evicted on overflow",
+    ),
+    (ALERTS_FIRING, "Alert rules currently in the firing state"),
+    (
         HUB_MEMBERS_DONE,
         "Members the live run has completed so far",
     ),
@@ -357,6 +388,10 @@ mod tests {
             MINING_DRIFT_RESETS_TOTAL,
             FLEET_MEMBERS_TOTAL,
             FLEET_MEMBER_SECONDS,
+            FLEET_SAVING_RATIO,
+            STORE_SAMPLES_TOTAL,
+            STORE_DROPPED_TOTAL,
+            ALERTS_FIRING,
             JOURNAL_RING_HIGHWATER,
             LEDGER_RING_HIGHWATER,
             HUB_MEMBERS_DONE,

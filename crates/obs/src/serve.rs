@@ -9,6 +9,9 @@
 //! | `/journal?n=K`   | Last K published journal lines (JSONL)           |
 //! | `/ledger`        | Published per-app energy bill JSON               |
 //! | `/snapshot`      | The raw registry [`Snapshot`](crate::Snapshot) as JSON |
+//! | `/series`        | Recorded history series (needs a [`MetricStore`]) |
+//! | `/query?metric=…` | Window query over one recorded series (JSON)    |
+//! | `/alerts`        | Alert-rule states (needs an [`AlertEngine`])     |
 //!
 //! Zero dependencies beyond `std::net`: requests are parsed
 //! line-by-line off the socket, responses always close the connection
@@ -18,12 +21,15 @@
 //!
 //! `/healthz` returns **503** when the journal/ledger rings have
 //! dropped more entries than the configured threshold — silent
-//! drop-oldest truncation becomes visible to the first prober.
+//! drop-oldest truncation becomes visible to the first prober — or
+//! while any page-severity alert rule is firing.
 
+use crate::alerts::AlertEngine;
 use crate::hub::{HubProgress, TelemetryHub};
+use crate::store::MetricStore;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -60,11 +66,30 @@ impl Default for ServeOptions {
     }
 }
 
+/// The optional history/alerting attachments the server routes to.
+/// An empty state (the default) serves 404 on `/series`, `/query`,
+/// and `/alerts`.
+#[derive(Clone, Default)]
+pub struct ServeState {
+    /// Metrics-history recorder behind `/series` and `/query`.
+    pub store: Option<Arc<MetricStore>>,
+    /// Alert engine behind `/alerts` (and the `/healthz` 503 fold).
+    pub alerts: Option<Arc<AlertEngine>>,
+}
+
 /// The `/healthz` response document.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthzReport {
-    /// `"ok"`, or `"degraded"` when drops exceed the threshold.
+    /// `"ok"`, or `"degraded"` when drops exceed the threshold or a
+    /// page-severity alert is firing.
     pub status: String,
+    /// Wall-clock seconds since the run began (0 when idle).
+    pub uptime_secs: f64,
+    /// Windowed EWMA of members completed per second — distinguishes
+    /// "idle" from "stalled mid-run" for liveness probes.
+    pub members_per_sec: f64,
+    /// Alert rules currently firing (0 without an engine).
+    pub alerts_firing: u64,
     /// Events the bounded journal rings discarded (fleet-wide counter).
     pub journal_dropped_total: u64,
     /// Records the bounded trace-ledger rings discarded.
@@ -79,15 +104,25 @@ pub struct HealthzReport {
     pub progress: HubProgress,
 }
 
-/// Builds the `/healthz` document from the current registry state and
-/// hub progress (exposed for the CLI's local health rendering).
-pub fn healthz_report(hub: &TelemetryHub, drop_threshold: u64) -> HealthzReport {
+/// Builds the `/healthz` document from the current registry state, hub
+/// progress, and (when attached) the alert engine (exposed for the
+/// CLI's local health rendering).
+pub fn healthz_report(
+    hub: &TelemetryHub,
+    drop_threshold: u64,
+    alerts: Option<&AlertEngine>,
+) -> HealthzReport {
     let snap = crate::snapshot();
     let journal_dropped = snap.counter(crate::names::JOURNAL_DROPPED_TOTAL);
     let ledger_dropped = snap.counter(crate::names::LEDGER_DROPPED_TOTAL);
-    let degraded = journal_dropped + ledger_dropped > drop_threshold;
+    let paging = alerts.is_some_and(AlertEngine::page_firing);
+    let degraded = journal_dropped + ledger_dropped > drop_threshold || paging;
+    let progress = hub.progress();
     HealthzReport {
         status: if degraded { "degraded" } else { "ok" }.to_owned(),
+        uptime_secs: progress.elapsed_secs,
+        members_per_sec: progress.members_per_sec,
+        alerts_firing: alerts.map_or(0, AlertEngine::firing),
         journal_dropped_total: journal_dropped,
         ledger_dropped_total: ledger_dropped,
         journal_ring_highwater: snap
@@ -97,8 +132,28 @@ pub fn healthz_report(hub: &TelemetryHub, drop_threshold: u64) -> HealthzReport 
             .gauge(crate::names::LEDGER_RING_HIGHWATER)
             .unwrap_or(0.0),
         drop_threshold,
-        progress: hub.progress(),
+        progress,
     }
+}
+
+/// One row of the `GET /series` listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesInfo {
+    /// Metric name.
+    pub metric: String,
+    /// Series kind tag (`counter` | `gauge` | `histogram`).
+    pub kind: String,
+    /// Points currently retained in memory.
+    pub points: usize,
+}
+
+/// The `GET /query?fn=range` response document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRange {
+    /// Metric name.
+    pub metric: String,
+    /// `(unix_ms, value)` samples inside the window, oldest first.
+    pub points: Vec<(u64, f64)>,
 }
 
 struct Response {
@@ -135,8 +190,86 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
+/// One `key=value` query-string parameter, when present.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// `GET /query`: one window query over a recorded series.
+/// Parameters: `metric` (required), `from`/`to` (ms, defaults
+/// 0/`u64::MAX`), `step` (ms, downsamples range output to the last
+/// point per step), `fn` (`range` default, `rate`, `increase`, or
+/// `quantile` with `q`).
+fn route_query(query: &str, store: &MetricStore) -> Response {
+    let Some(metric) = query_param(query, "metric") else {
+        return Response {
+            status: 400,
+            content_type: "text/plain",
+            body: "missing ?metric= parameter\n".to_owned(),
+        };
+    };
+    let from: u64 = query_param(query, "from")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let to: u64 = query_param(query, "to")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX);
+    let func = query_param(query, "fn").unwrap_or("range");
+    let scalar = |name: &str, value: Option<f64>| match value {
+        Some(v) => Response::ok(
+            "application/json",
+            format!("{{\"metric\":{metric:?},\"fn\":{name:?},\"value\":{v}}}"),
+        ),
+        None => Response::not_found(&format!("{name}({metric}) has no samples in the window")),
+    };
+    match func {
+        "range" => {
+            let mut points = store.range(metric, from, to);
+            if points.is_empty() {
+                return Response::not_found(&format!("no samples of {metric} in the window"));
+            }
+            if let Some(step) = query_param(query, "step")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&s| s > 0)
+            {
+                // Keep the last point of each step-aligned bucket.
+                let mut kept: Vec<(u64, f64)> = Vec::new();
+                for p in points {
+                    match kept.last_mut() {
+                        Some(last) if last.0 / step == p.0 / step => *last = p,
+                        _ => kept.push(p),
+                    }
+                }
+                points = kept;
+            }
+            let doc = QueryRange {
+                metric: metric.to_owned(),
+                points,
+            };
+            let body =
+                serde_json::to_string(&doc).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            Response::ok("application/json", body)
+        }
+        "rate" => scalar("rate", store.rate(metric, from, to)),
+        "increase" => scalar("increase", store.increase(metric, from, to)),
+        "quantile" => {
+            let q: f64 = query_param(query, "q")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.5);
+            scalar("quantile", store.window_quantile(metric, q, from, to))
+        }
+        other => Response {
+            status: 400,
+            content_type: "text/plain",
+            body: format!("unknown fn {other:?} (range|rate|increase|quantile)\n"),
+        },
+    }
+}
+
 /// Routes one request path (with optional query string) to a response.
-fn route(path: &str, hub: &TelemetryHub, drop_threshold: u64) -> Response {
+fn route(path: &str, hub: &TelemetryHub, state: &ServeState, drop_threshold: u64) -> Response {
     let (route, query) = match path.split_once('?') {
         Some((r, q)) => (r, q),
         None => (path, ""),
@@ -144,7 +277,7 @@ fn route(path: &str, hub: &TelemetryHub, drop_threshold: u64) -> Response {
     match route {
         "/metrics" => Response::ok(PROMETHEUS_CONTENT_TYPE, crate::snapshot().to_prometheus()),
         "/healthz" => {
-            let report = healthz_report(hub, drop_threshold);
+            let report = healthz_report(hub, drop_threshold, state.alerts.as_deref());
             let status = if report.status == "ok" { 200 } else { 503 };
             let body = serde_json::to_string_pretty(&report)
                 .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
@@ -154,6 +287,35 @@ fn route(path: &str, hub: &TelemetryHub, drop_threshold: u64) -> Response {
                 body,
             }
         }
+        "/series" => match &state.store {
+            Some(store) => {
+                let rows: Vec<SeriesInfo> = store
+                    .series_list()
+                    .into_iter()
+                    .map(|(metric, kind, points)| SeriesInfo {
+                        metric,
+                        kind: kind.tag().to_owned(),
+                        points,
+                    })
+                    .collect();
+                let body = serde_json::to_string(&rows)
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                Response::ok("application/json", body)
+            }
+            None => Response::not_found("no metrics-history store attached"),
+        },
+        "/query" => match &state.store {
+            Some(store) => route_query(query, store),
+            None => Response::not_found("no metrics-history store attached"),
+        },
+        "/alerts" => match &state.alerts {
+            Some(engine) => {
+                let body = serde_json::to_string_pretty(&engine.report())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+                Response::ok("application/json", body)
+            }
+            None => Response::not_found("no alert engine attached"),
+        },
         "/health/fleet" => match hub.fleet_health_json() {
             Some(json) => Response::ok("application/json", json),
             None => Response::not_found("no fleet health published yet"),
@@ -181,7 +343,12 @@ fn route(path: &str, hub: &TelemetryHub, drop_threshold: u64) -> Response {
 
 /// Reads the request line + headers and answers one request, then
 /// closes the connection.
-fn handle_connection(stream: TcpStream, hub: &TelemetryHub, drop_threshold: u64) {
+fn handle_connection(
+    stream: TcpStream,
+    hub: &TelemetryHub,
+    state: &ServeState,
+    drop_threshold: u64,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
@@ -200,7 +367,7 @@ fn handle_connection(stream: TcpStream, hub: &TelemetryHub, drop_threshold: u64)
     }
     let mut parts = request_line.split_whitespace();
     let response = match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => route(path, hub, drop_threshold),
+        (Some("GET"), Some(path)) => route(path, hub, state, drop_threshold),
         _ => Response {
             status: 400,
             content_type: "text/plain",
@@ -233,8 +400,20 @@ pub struct ObsServer {
 
 impl ObsServer {
     /// Binds `opts.addr` and starts the accept loop plus
-    /// `opts.threads` workers. Returns once the socket is listening.
+    /// `opts.threads` workers with no history store or alert engine
+    /// attached. Returns once the socket is listening.
     pub fn start(opts: ServeOptions, hub: Arc<TelemetryHub>) -> Result<ObsServer, String> {
+        ObsServer::start_with(opts, hub, ServeState::default())
+    }
+
+    /// Like [`ObsServer::start`] but with a [`ServeState`] attaching a
+    /// [`MetricStore`] (`/series`, `/query`) and/or an [`AlertEngine`]
+    /// (`/alerts`, the `/healthz` page-severity fold).
+    pub fn start_with(
+        opts: ServeOptions,
+        hub: Arc<TelemetryHub>,
+        state: ServeState,
+    ) -> Result<ObsServer, String> {
         let listener =
             TcpListener::bind(&opts.addr).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
         let addr = listener
@@ -248,6 +427,7 @@ impl ObsServer {
         for _ in 0..opts.threads.max(1) {
             let rx = Arc::clone(&rx);
             let hub = Arc::clone(&hub);
+            let state = state.clone();
             let drop_threshold = opts.drop_threshold;
             workers.push(std::thread::spawn(move || loop {
                 // Holding the receiver lock only while dequeuing lets
@@ -259,7 +439,7 @@ impl ObsServer {
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => handle_connection(stream, &hub, drop_threshold),
+                    Ok(stream) => handle_connection(stream, &hub, &state, drop_threshold),
                     Err(_) => break,
                 }
             }));
@@ -313,9 +493,20 @@ impl ObsServer {
     }
 }
 
+/// Default connect + read timeout for [`http_get`].
+pub const DEFAULT_HTTP_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// A minimal std-only HTTP/1.1 GET client (enough for scraping this
-/// server and for CI smoke checks): returns `(status, body)`.
+/// server and for CI smoke checks): returns `(status, body)`. Connect
+/// and read both time out after [`DEFAULT_HTTP_TIMEOUT`] — a hung or
+/// black-holed scrape target fails the call instead of wedging it.
 pub fn http_get(url: &str) -> Result<(u16, String), String> {
+    http_get_with_timeout(url, DEFAULT_HTTP_TIMEOUT)
+}
+
+/// [`http_get`] with an explicit connect/read timeout (the CLI's
+/// `--timeout-secs`).
+pub fn http_get_with_timeout(url: &str, timeout: Duration) -> Result<(u16, String), String> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| format!("only http:// URLs are supported, got {url}"))?;
@@ -323,10 +514,15 @@ pub fn http_get(url: &str) -> Result<(u16, String), String> {
         Some((h, p)) => (h, format!("/{p}")),
         None => (rest, "/".to_owned()),
     };
-    let mut stream =
-        TcpStream::connect(host).map_err(|e| format!("cannot connect to {host}: {e}"))?;
+    let addr = host
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {host}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{host} resolved to no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| format!("cannot connect to {host}: {e}"))?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
+        .set_read_timeout(Some(timeout))
         .map_err(|e| format!("cannot set read timeout: {e}"))?;
     let request = format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n");
     stream
@@ -451,6 +647,167 @@ mod tests {
         assert_eq!(status, 200);
         let _: crate::Snapshot = serde_json::from_str(&body).unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn history_endpoints_404_without_attachments() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        let server = start_test_server(Arc::clone(&hub), 0);
+        let url = server.base_url();
+        for path in ["/series", "/query?metric=x_total", "/alerts"] {
+            let (status, _) = http_get(&format!("{url}{path}")).unwrap();
+            assert_eq!(status, 404, "{path} must 404 with an empty ServeState");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_endpoints_serve_the_attached_store() {
+        let _g = crate::test_serial();
+        let hub = Arc::new(TelemetryHub::new());
+        let store = Arc::new(crate::store::MetricStore::default());
+        for i in 0..10u64 {
+            let snap = crate::Snapshot {
+                counters: vec![crate::CounterSnap {
+                    name: "t_serve_total".to_owned(),
+                    value: i * 5,
+                }],
+                gauges: vec![crate::GaugeSnap {
+                    name: "t_serve_gauge".to_owned(),
+                    value: i as f64 * 0.1,
+                }],
+                histograms: Vec::new(),
+            };
+            store.sample_at(1000 * i, &snap);
+        }
+        let server = ObsServer::start_with(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                drop_threshold: 0,
+            },
+            Arc::clone(&hub),
+            ServeState {
+                store: Some(Arc::clone(&store)),
+                alerts: None,
+            },
+        )
+        .unwrap();
+        let url = server.base_url();
+
+        let (status, body) = http_get(&format!("{url}/series")).unwrap();
+        assert_eq!(status, 200);
+        let rows: Vec<SeriesInfo> = serde_json::from_str(&body).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].metric, "t_serve_total");
+        assert_eq!(rows[1].kind, "counter");
+        assert_eq!(rows[1].points, 10);
+
+        let (status, body) = http_get(&format!(
+            "{url}/query?metric=t_serve_total&from=2000&to=5000"
+        ))
+        .unwrap();
+        assert_eq!(status, 200);
+        let range: QueryRange = serde_json::from_str(&body).unwrap();
+        assert_eq!(range.metric, "t_serve_total");
+        assert_eq!(range.points.len(), 4);
+        assert_eq!(range.points[0], (2000, 10.0));
+
+        // step= keeps the last point per bucket: 10 points → 4.
+        let (status, body) =
+            http_get(&format!("{url}/query?metric=t_serve_total&step=3000")).unwrap();
+        assert_eq!(status, 200);
+        let range: QueryRange = serde_json::from_str(&body).unwrap();
+        assert_eq!(range.points.len(), 4);
+        assert_eq!(range.points[0], (2000, 10.0), "last point of [0,3000)");
+
+        let (status, body) =
+            http_get(&format!("{url}/query?metric=t_serve_total&fn=increase")).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"value\":45"), "{body}");
+        let (status, body) =
+            http_get(&format!("{url}/query?metric=t_serve_total&fn=rate")).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"value\":5"), "{body}");
+
+        let (status, _) = http_get(&format!("{url}/query?metric=missing_total")).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(&format!("{url}/query")).unwrap();
+        assert_eq!(status, 400, "missing ?metric= is a client error");
+        let (status, _) = http_get(&format!("{url}/query?metric=t_serve_total&fn=median")).unwrap();
+        assert_eq!(status, 400, "unknown fn is a client error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn firing_page_alert_degrades_healthz() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        let hub = Arc::new(TelemetryHub::new());
+        let store = Arc::new(crate::store::MetricStore::default());
+        let engine = Arc::new(crate::alerts::AlertEngine::new(vec![
+            crate::alerts::AlertRule::parse("floor:t_serve_gauge<0.5:sev=page").unwrap(),
+        ]));
+        let snap = crate::Snapshot {
+            counters: Vec::new(),
+            gauges: vec![crate::GaugeSnap {
+                name: "t_serve_gauge".to_owned(),
+                value: 0.1,
+            }],
+            histograms: Vec::new(),
+        };
+        store.sample_at(1000, &snap);
+        engine.evaluate(&store, 1000);
+        let server = ObsServer::start_with(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                drop_threshold: 0,
+            },
+            Arc::clone(&hub),
+            ServeState {
+                store: Some(Arc::clone(&store)),
+                alerts: Some(Arc::clone(&engine)),
+            },
+        )
+        .unwrap();
+        let url = server.base_url();
+        let (status, body) = http_get(&format!("{url}/alerts")).unwrap();
+        assert_eq!(status, 200);
+        let report: crate::AlertsReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.firing, 1);
+        assert!(report.page_firing);
+        assert_eq!(report.alerts[0].state, "firing");
+        let (status, body) = http_get(&format!("{url}/healthz")).unwrap();
+        assert_eq!(status, 503, "page-severity firing must degrade: {body}");
+        let health: HealthzReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(health.status, "degraded");
+        assert_eq!(health.alerts_firing, 1);
+        server.shutdown();
+        crate::reset();
+    }
+
+    #[test]
+    fn http_get_times_out_instead_of_hanging() {
+        // A listener that never answers: the read must give up.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let start = std::time::Instant::now();
+        let err = http_get_with_timeout(
+            &format!("http://{addr}/healthz"),
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot read response"), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout must bound the stall"
+        );
+        drop(listener);
     }
 
     #[test]

@@ -1,0 +1,1137 @@
+//! The embedded metrics-history store: a bounded in-memory time-series
+//! recorder over the sharded registry, with an append-only on-disk
+//! segment format and a window query layer.
+//!
+//! A [`MetricStore`] samples [`snapshot`](crate::snapshot) at a
+//! configurable cadence (a live [`Sampler`] thread, or deterministic
+//! logical time via [`MetricStore::sample_at`]) into one series per
+//! metric:
+//!
+//! * **counters** keep their raw monotone values in memory and persist
+//!   as zigzag-varint *deltas* (a reset encodes as one negative delta);
+//! * **gauges** persist raw (first value as IEEE-754 bits, then
+//!   XOR-with-previous varints — repeated values cost one byte);
+//! * **histograms** keep the registry's mergeable cumulative bucket
+//!   vectors (the same doubling-bucket scheme as
+//!   [`timeseries::LogSketch`](crate::timeseries::LogSketch)), so a
+//!   window quantile is a per-bucket difference, never a re-sample.
+//!
+//! Timestamps encode delta-of-delta (a fixed cadence costs ~1 byte per
+//! point). Retention is bounded per series: past
+//! [`StoreOptions::retention_points`] the oldest point is evicted and
+//! counted (`store_dropped_total`), the same drop-oldest discipline as
+//! [`TraceLedger`](crate::TraceLedger).
+//!
+//! On disk ([`MetricStore::flush_to`]) each flush appends one
+//! CRC-checked text line per series to `history.nmts` — the same POSIX
+//! line-atomic single-`write_all` discipline as
+//! [`runregistry`](crate::runregistry) — and
+//! [`read_history`] round-trips the points bit-for-bit.
+
+use crate::{BucketSnap, HistSnap, Snapshot};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Magic tag opening every `history.nmts` segment line. Bump the
+/// digit when the payload encoding changes incompatibly.
+pub const FORMAT_MAGIC: &str = "NMTS1";
+
+/// Default per-series retention (points kept in memory).
+pub const DEFAULT_RETENTION_POINTS: usize = 4096;
+
+/// Default live sampling cadence.
+pub const DEFAULT_SAMPLE_INTERVAL: Duration = Duration::from_secs(1);
+
+/// What a recorded series holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone `u64` counter (resets allowed).
+    Counter,
+    /// Raw `f64` gauge.
+    Gauge,
+    /// Cumulative histogram bucket vector.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lowercase wire tag (`counter` | `gauge` | `histogram`) — the
+    /// segment-file field and the `/series` JSON `kind` value.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<SeriesKind> {
+        match s {
+            "counter" => Some(SeriesKind::Counter),
+            "gauge" => Some(SeriesKind::Gauge),
+            "histogram" => Some(SeriesKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One histogram sample: the registry's cumulative state at sample
+/// time (bucket counts are cumulative-≤, overflow only in `count`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistPoint {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed seconds.
+    pub sum_secs: f64,
+    /// `(le_secs, cumulative count)` for each non-empty finite bucket.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// One sample's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram reading.
+    Hist(HistPoint),
+}
+
+/// A decoded `(timestamp, value)` sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Sample instant, milliseconds (wall-clock or logical).
+    pub t_ms: u64,
+    /// The sampled value.
+    pub value: PointValue,
+}
+
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    points: VecDeque<Point>,
+    /// Absolute index of `points[0]` since the series began.
+    base_index: u64,
+    /// Absolute index up to which points have been flushed to disk.
+    flushed_index: u64,
+}
+
+impl Series {
+    fn new(kind: SeriesKind) -> Series {
+        Series {
+            kind,
+            points: VecDeque::new(),
+            base_index: 0,
+            flushed_index: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    series: BTreeMap<String, Series>,
+    samples_total: u64,
+    dropped_total: u64,
+}
+
+/// Configuration for a [`MetricStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Points kept per series before drop-oldest eviction.
+    pub retention_points: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            retention_points: DEFAULT_RETENTION_POINTS,
+        }
+    }
+}
+
+/// The bounded in-memory time-series recorder. All methods take `&self`
+/// (a mutex guards the series map), so one `Arc<MetricStore>` is shared
+/// between the sampler thread, the alert engine, and the scrape server.
+#[derive(Debug)]
+pub struct MetricStore {
+    inner: Mutex<StoreInner>,
+    retention: usize,
+}
+
+impl Default for MetricStore {
+    fn default() -> Self {
+        Self::new(StoreOptions::default())
+    }
+}
+
+impl MetricStore {
+    /// An empty store.
+    pub fn new(opts: StoreOptions) -> MetricStore {
+        MetricStore {
+            inner: Mutex::new(StoreInner::default()),
+            retention: opts.retention_points.max(2),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Samples the live registry now (wall clock). No-op when
+    /// observability is switched off at run time.
+    pub fn sample(&self) {
+        if !crate::runtime_enabled() {
+            return;
+        }
+        self.sample_at(crate::runregistry::now_ms(), &crate::snapshot());
+    }
+
+    /// Records one snapshot at an explicit instant (logical time in
+    /// tests keeps same-seed histories byte-identical).
+    pub fn sample_at(&self, t_ms: u64, snap: &Snapshot) {
+        let mut inner = self.lock();
+        for c in &snap.counters {
+            push_point(
+                &mut inner,
+                &c.name,
+                SeriesKind::Counter,
+                Point {
+                    t_ms,
+                    value: PointValue::Counter(c.value),
+                },
+                self.retention,
+            );
+        }
+        for g in &snap.gauges {
+            push_point(
+                &mut inner,
+                &g.name,
+                SeriesKind::Gauge,
+                Point {
+                    t_ms,
+                    value: PointValue::Gauge(g.value),
+                },
+                self.retention,
+            );
+        }
+        for h in &snap.histograms {
+            push_point(
+                &mut inner,
+                &h.name,
+                SeriesKind::Histogram,
+                Point {
+                    t_ms,
+                    value: PointValue::Hist(HistPoint {
+                        count: h.count,
+                        sum_secs: h.sum_secs,
+                        buckets: h.buckets.iter().map(|b| (b.le_secs, b.count)).collect(),
+                    }),
+                },
+                self.retention,
+            );
+        }
+        inner.samples_total += 1;
+        drop(inner);
+        crate::counter!(crate::names::STORE_SAMPLES_TOTAL);
+    }
+
+    /// Snapshots recorded so far.
+    pub fn samples_total(&self) -> u64 {
+        self.lock().samples_total
+    }
+
+    /// Points evicted by the retention bound so far.
+    pub fn dropped_total(&self) -> u64 {
+        self.lock().dropped_total
+    }
+
+    /// Every recorded series: `(metric, kind, points held)`.
+    pub fn series_list(&self) -> Vec<(String, SeriesKind, usize)> {
+        self.lock()
+            .series
+            .iter()
+            .map(|(name, s)| (name.clone(), s.kind, s.points.len()))
+            .collect()
+    }
+
+    /// The raw points of `metric` within `[from_ms, to_ms]`.
+    pub fn points(&self, metric: &str, from_ms: u64, to_ms: u64) -> Vec<Point> {
+        let inner = self.lock();
+        let Some(s) = inner.series.get(metric) else {
+            return Vec::new();
+        };
+        s.points
+            .iter()
+            .filter(|p| p.t_ms >= from_ms && p.t_ms <= to_ms)
+            .cloned()
+            .collect()
+    }
+
+    /// `metric`'s samples in the window as `(t_ms, f64)` — counter and
+    /// gauge values directly, histogram total counts.
+    pub fn range(&self, metric: &str, from_ms: u64, to_ms: u64) -> Vec<(u64, f64)> {
+        self.points(metric, from_ms, to_ms)
+            .into_iter()
+            .map(|p| {
+                let v = match p.value {
+                    PointValue::Counter(v) => v as f64,
+                    PointValue::Gauge(v) => v,
+                    PointValue::Hist(h) => h.count as f64,
+                };
+                (p.t_ms, v)
+            })
+            .collect()
+    }
+
+    /// Reset-aware counter increase over the window: the sum of
+    /// positive sample-to-sample deltas (a reset restarts from the
+    /// post-reset value). `None` when fewer than two samples land in
+    /// the window or the series is not a counter/histogram count.
+    pub fn increase(&self, metric: &str, from_ms: u64, to_ms: u64) -> Option<f64> {
+        let pts = self.range(metric, from_ms, to_ms);
+        if pts.len() < 2 {
+            return None;
+        }
+        let mut total = 0.0;
+        for w in pts.windows(2) {
+            let (prev, cur) = (w[0].1, w[1].1);
+            total += if cur >= prev { cur - prev } else { cur };
+        }
+        Some(total)
+    }
+
+    /// Per-second rate of increase over the window (counter series),
+    /// `None` when the window holds fewer than two samples or no time
+    /// elapses between them.
+    pub fn rate(&self, metric: &str, from_ms: u64, to_ms: u64) -> Option<f64> {
+        let pts = self.range(metric, from_ms, to_ms);
+        let (first, last) = (pts.first()?, pts.last()?);
+        let dt = (last.0.saturating_sub(first.0)) as f64 / 1000.0;
+        if dt <= 0.0 {
+            return None;
+        }
+        Some(self.increase(metric, from_ms, to_ms)? / dt)
+    }
+
+    /// Quantile of a histogram series over the window: the cumulative
+    /// bucket vectors at the window edges are differenced per bucket
+    /// and interpolated exactly like
+    /// [`HistSnap::quantile_secs`](crate::HistSnap::quantile_secs).
+    /// `None` when the series is not a histogram or the window saw no
+    /// observations.
+    pub fn window_quantile(&self, metric: &str, q: f64, from_ms: u64, to_ms: u64) -> Option<f64> {
+        let pts = self.points(metric, from_ms, to_ms);
+        let mut hists = pts.iter().filter_map(|p| match &p.value {
+            PointValue::Hist(h) => Some(h),
+            _ => None,
+        });
+        let first = hists.next()?;
+        let last = hists.next_back().unwrap_or(first);
+        let diff = if last.count < first.count {
+            // The histogram reset inside the window: the cumulative
+            // state at the end *is* the window's distribution.
+            last.clone()
+        } else {
+            hist_diff(first, last)
+        };
+        if diff.count == 0 {
+            return None;
+        }
+        let snap = HistSnap {
+            name: metric.to_owned(),
+            count: diff.count,
+            sum_secs: diff.sum_secs,
+            buckets: diff
+                .buckets
+                .iter()
+                .map(|&(le_secs, count)| BucketSnap { le_secs, count })
+                .collect(),
+        };
+        Some(snap.quantile_secs(q))
+    }
+
+    /// Timestamp of the newest sample of `metric`, when any exists.
+    pub fn last_sample_ms(&self, metric: &str) -> Option<u64> {
+        let inner = self.lock();
+        inner
+            .series
+            .get(metric)
+            .and_then(|s| s.points.back().map(|p| p.t_ms))
+    }
+
+    /// The newest sample of `metric` as `f64` (see
+    /// [`MetricStore::range`] for the mapping).
+    pub fn last_value(&self, metric: &str) -> Option<f64> {
+        let inner = self.lock();
+        inner
+            .series
+            .get(metric)
+            .and_then(|s| s.points.back())
+            .map(|p| match &p.value {
+                PointValue::Counter(v) => *v as f64,
+                PointValue::Gauge(v) => *v,
+                PointValue::Hist(h) => h.count as f64,
+            })
+    }
+
+    /// Appends every not-yet-flushed point to `path`, one CRC-checked
+    /// segment line per series (skipping series with nothing new).
+    /// Returns the number of segments written. Each segment is a single
+    /// `write_all`, so concurrent appenders stay line-atomic on POSIX.
+    pub fn flush_to(&self, path: &Path) -> Result<usize, String> {
+        let mut inner = self.lock();
+        let mut lines = String::new();
+        let mut segments = 0usize;
+        for (name, s) in inner.series.iter_mut() {
+            let start = (s.flushed_index.saturating_sub(s.base_index)) as usize;
+            if start >= s.points.len() {
+                continue;
+            }
+            let fresh: Vec<Point> = s.points.iter().skip(start).cloned().collect();
+            let payload = encode_points(s.kind, &fresh);
+            lines.push_str(&segment_line(name, s.kind, fresh.len(), &payload));
+            s.flushed_index = s.base_index + s.points.len() as u64;
+            segments += 1;
+        }
+        drop(inner);
+        if segments == 0 {
+            return Ok(0);
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        file.write_all(lines.as_bytes())
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+        Ok(segments)
+    }
+}
+
+fn push_point(inner: &mut StoreInner, name: &str, kind: SeriesKind, p: Point, retention: usize) {
+    let s = inner
+        .series
+        .entry(name.to_owned())
+        .or_insert_with(|| Series::new(kind));
+    if s.kind != kind {
+        // A name switched shape across a reset; restart the series.
+        *s = Series::new(kind);
+    }
+    if s.points.len() >= retention {
+        s.points.pop_front();
+        s.base_index += 1;
+        inner.dropped_total += 1;
+        crate::counter!(crate::names::STORE_DROPPED_TOTAL);
+    }
+    s.points.push_back(p);
+}
+
+/// Per-bucket cumulative difference `last − first` (union of bucket
+/// bounds; a bound absent from `first` contributes zero).
+fn hist_diff(first: &HistPoint, last: &HistPoint) -> HistPoint {
+    let first_of = |le: f64| {
+        first
+            .buckets
+            .iter()
+            .find(|&&(l, _)| l == le)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    };
+    HistPoint {
+        count: last.count - first.count,
+        sum_secs: last.sum_secs - first.sum_secs,
+        buckets: last
+            .buckets
+            .iter()
+            .map(|&(le, c)| (le, c.saturating_sub(first_of(le))))
+            .collect(),
+    }
+}
+
+// --- Codec: varints, zigzag, delta-of-delta ---------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_signed(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, zigzag(v));
+}
+
+fn get_signed(bytes: &[u8], pos: &mut usize) -> Option<i64> {
+    get_varint(bytes, pos).map(unzigzag)
+}
+
+/// Encodes a run of points: delta-of-delta timestamps, then
+/// kind-specific values (see the module docs).
+pub fn encode_points(kind: SeriesKind, points: &[Point]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, points.len() as u64);
+    // Timestamps: first raw, then first delta, then delta-of-delta.
+    let mut prev_t = 0u64;
+    let mut prev_delta = 0i64;
+    for (i, p) in points.iter().enumerate() {
+        match i {
+            0 => put_varint(&mut out, p.t_ms),
+            1 => {
+                prev_delta = p.t_ms as i64 - prev_t as i64;
+                put_signed(&mut out, prev_delta);
+            }
+            _ => {
+                let delta = p.t_ms as i64 - prev_t as i64;
+                put_signed(&mut out, delta - prev_delta);
+                prev_delta = delta;
+            }
+        }
+        prev_t = p.t_ms;
+    }
+    match kind {
+        SeriesKind::Counter => {
+            let mut prev = 0i64;
+            for p in points {
+                let PointValue::Counter(v) = p.value else {
+                    continue;
+                };
+                put_signed(&mut out, v as i64 - prev);
+                prev = v as i64;
+            }
+        }
+        SeriesKind::Gauge => {
+            let mut prev_bits = 0u64;
+            for p in points {
+                let PointValue::Gauge(v) = p.value else {
+                    continue;
+                };
+                let bits = v.to_bits();
+                put_varint(&mut out, bits ^ prev_bits);
+                prev_bits = bits;
+            }
+        }
+        SeriesKind::Histogram => {
+            let mut prev: Option<&HistPoint> = None;
+            for p in points {
+                let PointValue::Hist(h) = &p.value else {
+                    continue;
+                };
+                let (pc, ps, pb): (i64, u64, &[(f64, u64)]) = match prev {
+                    Some(q) => (q.count as i64, q.sum_secs.to_bits(), &q.buckets),
+                    None => (0, 0, &[]),
+                };
+                put_signed(&mut out, h.count as i64 - pc);
+                put_varint(&mut out, h.sum_secs.to_bits() ^ ps);
+                put_varint(&mut out, h.buckets.len() as u64);
+                for (i, &(le, c)) in h.buckets.iter().enumerate() {
+                    let (ple, pcnt) = pb.get(i).copied().unwrap_or((0.0, 0));
+                    put_varint(&mut out, le.to_bits() ^ ple.to_bits());
+                    put_signed(&mut out, c as i64 - pcnt as i64);
+                }
+                prev = Some(h);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_points`].
+pub fn decode_points(kind: SeriesKind, bytes: &[u8]) -> Result<Vec<Point>, String> {
+    let mut pos = 0usize;
+    let bad = || "truncated history payload".to_owned();
+    let n = get_varint(bytes, &mut pos).ok_or_else(bad)? as usize;
+    let mut times = Vec::with_capacity(n);
+    let mut prev_t = 0i64;
+    let mut prev_delta = 0i64;
+    for i in 0..n {
+        let t = match i {
+            0 => get_varint(bytes, &mut pos).ok_or_else(bad)? as i64,
+            1 => {
+                prev_delta = get_signed(bytes, &mut pos).ok_or_else(bad)?;
+                prev_t + prev_delta
+            }
+            _ => {
+                prev_delta += get_signed(bytes, &mut pos).ok_or_else(bad)?;
+                prev_t + prev_delta
+            }
+        };
+        times.push(t.max(0) as u64);
+        prev_t = t;
+    }
+    let mut points = Vec::with_capacity(n);
+    match kind {
+        SeriesKind::Counter => {
+            let mut prev = 0i64;
+            for &t_ms in &times {
+                prev += get_signed(bytes, &mut pos).ok_or_else(bad)?;
+                points.push(Point {
+                    t_ms,
+                    value: PointValue::Counter(prev.max(0) as u64),
+                });
+            }
+        }
+        SeriesKind::Gauge => {
+            let mut prev_bits = 0u64;
+            for &t_ms in &times {
+                prev_bits ^= get_varint(bytes, &mut pos).ok_or_else(bad)?;
+                points.push(Point {
+                    t_ms,
+                    value: PointValue::Gauge(f64::from_bits(prev_bits)),
+                });
+            }
+        }
+        SeriesKind::Histogram => {
+            let mut prev: Option<HistPoint> = None;
+            for &t_ms in &times {
+                let (pc, ps, pb): (i64, u64, Vec<(f64, u64)>) = match &prev {
+                    Some(q) => (q.count as i64, q.sum_secs.to_bits(), q.buckets.clone()),
+                    None => (0, 0, Vec::new()),
+                };
+                let count = (pc + get_signed(bytes, &mut pos).ok_or_else(bad)?).max(0) as u64;
+                let sum_bits = ps ^ get_varint(bytes, &mut pos).ok_or_else(bad)?;
+                let n_buckets = get_varint(bytes, &mut pos).ok_or_else(bad)? as usize;
+                let mut buckets = Vec::with_capacity(n_buckets);
+                for i in 0..n_buckets {
+                    let (ple, pcnt) = pb.get(i).copied().unwrap_or((0.0, 0));
+                    let le_bits = ple.to_bits() ^ get_varint(bytes, &mut pos).ok_or_else(bad)?;
+                    let c = (pcnt as i64 + get_signed(bytes, &mut pos).ok_or_else(bad)?).max(0);
+                    buckets.push((f64::from_bits(le_bits), c as u64));
+                }
+                let h = HistPoint {
+                    count,
+                    sum_secs: f64::from_bits(sum_bits),
+                    buckets,
+                };
+                points.push(Point {
+                    t_ms,
+                    value: PointValue::Hist(h.clone()),
+                });
+                prev = Some(h);
+            }
+        }
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "history payload has {} trailing bytes",
+            bytes.len() - pos
+        ));
+    }
+    Ok(points)
+}
+
+// --- Segment file format ---------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum guarding
+/// every persisted segment.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex payload".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| format!("bad hex: {e}")))
+        .collect()
+}
+
+fn segment_line(metric: &str, kind: SeriesKind, n_points: usize, payload: &[u8]) -> String {
+    format!(
+        "{FORMAT_MAGIC} {metric} {} {n_points} {:08x} {}\n",
+        kind.tag(),
+        crc32(payload),
+        hex_encode(payload)
+    )
+}
+
+/// One decoded `history.nmts` segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Series name.
+    pub metric: String,
+    /// Series kind.
+    pub kind: SeriesKind,
+    /// The segment's points, oldest first.
+    pub points: Vec<Point>,
+}
+
+/// Reads every segment of a `history.nmts` file, oldest first,
+/// verifying magic, point counts, and CRCs (empty when absent).
+pub fn read_history(path: &Path) -> Result<Vec<Segment>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut segments = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut f = line.split_ascii_whitespace();
+        let err = |what: &str| format!("{}:{}: {what}", path.display(), lineno + 1);
+        match (f.next(), f.next(), f.next(), f.next(), f.next(), f.next()) {
+            (Some(FORMAT_MAGIC), Some(metric), Some(kind), Some(n), Some(crc), Some(hex)) => {
+                let kind = SeriesKind::from_tag(kind)
+                    .ok_or_else(|| err(&format!("unknown series kind {kind:?}")))?;
+                let payload = hex_decode(hex).map_err(|e| err(&e))?;
+                let want: u32 = u32::from_str_radix(crc, 16)
+                    .map_err(|_| err(&format!("bad crc field {crc:?}")))?;
+                let got = crc32(&payload);
+                if got != want {
+                    return Err(err(&format!("crc mismatch: {got:08x} != {want:08x}")));
+                }
+                let points = decode_points(kind, &payload).map_err(|e| err(&e))?;
+                let n: usize = n.parse().map_err(|_| err("bad point count"))?;
+                if points.len() != n {
+                    return Err(err(&format!(
+                        "point count mismatch: {} != {n}",
+                        points.len()
+                    )));
+                }
+                segments.push(Segment {
+                    metric: metric.to_owned(),
+                    kind,
+                    points,
+                });
+            }
+            (Some(magic), ..) => return Err(err(&format!("unknown segment magic {magic:?}"))),
+            _ => return Err(err("malformed segment line")),
+        }
+    }
+    Ok(segments)
+}
+
+// --- The live sampler -------------------------------------------------
+
+/// A background thread that drives a [`MetricStore`] (and optionally an
+/// [`AlertEngine`](crate::alerts::AlertEngine)) at a fixed cadence.
+/// Stop it with [`Sampler::stop`] for a final sample, alert pass, and
+/// flush.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    store: Arc<MetricStore>,
+    engine: Option<Arc<crate::alerts::AlertEngine>>,
+    persist: Option<PathBuf>,
+}
+
+impl Sampler {
+    /// Starts sampling every `interval`. When `engine` is given, each
+    /// sample is followed by an alert evaluation pass (firing/resolve
+    /// events publish into `hub`'s journal tail when a hub is given);
+    /// when `persist` is given, fresh points flush to that path after
+    /// every sample and on stop.
+    pub fn start(
+        store: Arc<MetricStore>,
+        engine: Option<Arc<crate::alerts::AlertEngine>>,
+        hub: Option<Arc<crate::hub::TelemetryHub>>,
+        interval: Duration,
+        persist: Option<PathBuf>,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_store = Arc::clone(&store);
+        let thread_engine = engine.clone();
+        let thread_persist = persist.clone();
+        let interval = interval.max(Duration::from_millis(1));
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                tick(
+                    &thread_store,
+                    thread_engine.as_deref(),
+                    hub.as_deref(),
+                    thread_persist.as_deref(),
+                );
+                // Sleep in short slices so `stop` is prompt.
+                let mut slept = Duration::ZERO;
+                while slept < interval && !thread_stop.load(Ordering::Relaxed) {
+                    let slice = (interval - slept).min(Duration::from_millis(25));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        });
+        Sampler {
+            stop,
+            handle: Some(handle),
+            store,
+            engine,
+            persist,
+        }
+    }
+
+    /// Stops the thread, takes one final sample + alert pass, and
+    /// flushes to the persist path when one was configured.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        tick(
+            &self.store,
+            self.engine.as_deref(),
+            None,
+            self.persist.as_deref(),
+        );
+    }
+}
+
+fn tick(
+    store: &MetricStore,
+    engine: Option<&crate::alerts::AlertEngine>,
+    hub: Option<&crate::hub::TelemetryHub>,
+    persist: Option<&Path>,
+) {
+    if !crate::runtime_enabled() {
+        return;
+    }
+    store.sample();
+    if let Some(engine) = engine {
+        engine.evaluate(store, crate::runregistry::now_ms());
+        if let Some(hub) = hub {
+            let jsonl = engine.drain_journal_jsonl();
+            if !jsonl.is_empty() {
+                hub.publish_journal_jsonl(&jsonl);
+            }
+        }
+    }
+    if let Some(path) = persist {
+        let _ = store.flush_to(path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSnap, GaugeSnap};
+
+    fn snap(counter: u64, gauge: f64) -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnap {
+                name: "t_store_total".to_owned(),
+                value: counter,
+            }],
+            gauges: vec![GaugeSnap {
+                name: "t_store_gauge".to_owned(),
+                value: gauge,
+            }],
+            histograms: Vec::new(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nm_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn varints_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX / 2, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_every_kind_bit_for_bit() {
+        let counters: Vec<Point> = [(1000u64, 5u64), (2000, 17), (3000, 17), (4000, 3)]
+            .iter()
+            .map(|&(t_ms, v)| Point {
+                t_ms,
+                value: PointValue::Counter(v),
+            })
+            .collect();
+        let gauges: Vec<Point> = [(1000u64, 0.5f64), (2000, 0.5), (3000, -1.25), (4000, 0.0)]
+            .iter()
+            .map(|&(t_ms, v)| Point {
+                t_ms,
+                value: PointValue::Gauge(v),
+            })
+            .collect();
+        let hists: Vec<Point> = (0..4)
+            .map(|i| Point {
+                t_ms: 1000 * (i as u64 + 1),
+                value: PointValue::Hist(HistPoint {
+                    count: 10 * (i as u64 + 1),
+                    sum_secs: 0.125 * (i as f64 + 1.0),
+                    buckets: vec![(0.001, 2 * (i as u64 + 1)), (0.008, 10 * (i as u64 + 1))],
+                }),
+            })
+            .collect();
+        for (kind, pts) in [
+            (SeriesKind::Counter, counters),
+            (SeriesKind::Gauge, gauges),
+            (SeriesKind::Histogram, hists),
+        ] {
+            let payload = encode_points(kind, &pts);
+            let back = decode_points(kind, &payload).unwrap();
+            assert_eq!(back, pts, "{kind:?} decode mismatch");
+            // Bit-for-bit: re-encoding the decode reproduces the bytes.
+            assert_eq!(encode_points(kind, &back), payload, "{kind:?} re-encode");
+        }
+    }
+
+    #[test]
+    fn counter_resets_survive_the_codec() {
+        // Property-style sweep: pseudo-random monotone runs with resets
+        // injected; encode→decode must be exact for every sequence.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let mut pts = Vec::new();
+            let mut t = 1_000_000u64;
+            let mut v = 0u64;
+            for _ in 0..40 {
+                t += 500 + rng() % 700;
+                if rng() % 10 == 0 {
+                    v = rng() % 5; // counter reset
+                } else {
+                    v += rng() % 1000;
+                }
+                pts.push(Point {
+                    t_ms: t,
+                    value: PointValue::Counter(v),
+                });
+            }
+            let payload = encode_points(SeriesKind::Counter, &pts);
+            let back = decode_points(SeriesKind::Counter, &payload).unwrap();
+            assert_eq!(back, pts);
+            assert_eq!(encode_points(SeriesKind::Counter, &back), payload);
+        }
+    }
+
+    #[test]
+    fn store_samples_and_queries_windows() {
+        let store = MetricStore::default();
+        for i in 0..10u64 {
+            store.sample_at(1000 * i, &snap(i * 5, i as f64 * 0.1));
+        }
+        assert_eq!(store.samples_total(), 10);
+        assert_eq!(store.dropped_total(), 0);
+        let list = store.series_list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].0, "t_store_gauge");
+        assert_eq!(list[0].1, SeriesKind::Gauge);
+        let pts = store.range("t_store_total", 2000, 5000);
+        assert_eq!(
+            pts,
+            vec![(2000, 10.0), (3000, 15.0), (4000, 20.0), (5000, 25.0)]
+        );
+        assert_eq!(store.increase("t_store_total", 2000, 5000), Some(15.0));
+        let rate = store.rate("t_store_total", 2000, 5000).unwrap();
+        assert!((rate - 5.0).abs() < 1e-12, "5/s counter, got {rate}");
+        assert_eq!(store.last_value("t_store_gauge"), Some(0.9));
+        assert_eq!(store.last_sample_ms("t_store_gauge"), Some(9000));
+        assert!(store.range("missing_total", 0, u64::MAX).is_empty());
+        assert_eq!(store.increase("t_store_total", 0, 500), None);
+    }
+
+    #[test]
+    fn increase_is_reset_aware() {
+        let store = MetricStore::default();
+        for (i, v) in [10u64, 20, 3, 8].iter().enumerate() {
+            store.sample_at(1000 * i as u64, &snap(*v, 0.0));
+        }
+        // 10→20 (+10), reset to 3 (+3), 3→8 (+5).
+        assert_eq!(store.increase("t_store_total", 0, u64::MAX), Some(18.0));
+    }
+
+    #[test]
+    fn retention_drops_oldest_and_counts() {
+        let store = MetricStore::new(StoreOptions {
+            retention_points: 4,
+        });
+        for i in 0..10u64 {
+            store.sample_at(1000 * i, &snap(i, 0.0));
+        }
+        // Two series × 6 evictions each.
+        assert_eq!(store.dropped_total(), 12);
+        let pts = store.range("t_store_total", 0, u64::MAX);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].0, 6000, "oldest points were evicted first");
+    }
+
+    #[test]
+    fn window_quantile_diffs_cumulative_buckets() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        let store = MetricStore::default();
+        // Two samples of a live histogram: the second adds slow events.
+        crate::observe!("t_store_seconds", 0.001);
+        crate::observe!("t_store_seconds", 0.001);
+        store.sample_at(1000, &crate::snapshot());
+        for _ in 0..20 {
+            crate::observe!("t_store_seconds", 1.0);
+        }
+        store.sample_at(2000, &crate::snapshot());
+        crate::reset();
+        let q = store
+            .window_quantile("t_store_seconds", 0.5, 0, u64::MAX)
+            .unwrap();
+        // The window's distribution is the 20 slow events only.
+        assert!(q > 0.1, "window p50 must reflect only the window: {q}");
+        assert_eq!(store.window_quantile("t_store_seconds", 0.5, 0, 500), None);
+        assert_eq!(
+            store.window_quantile("t_store_gauge", 0.5, 0, u64::MAX),
+            None
+        );
+    }
+
+    #[test]
+    fn history_file_round_trips_and_is_deterministic() {
+        let run = |path: &Path| {
+            let store = MetricStore::default();
+            for i in 0..20u64 {
+                store.sample_at(500 * i, &snap(i * 3, (i as f64 * 0.7).sin()));
+            }
+            store.flush_to(path).unwrap()
+        };
+        let p1 = tmp("round_a.nmts");
+        let p2 = tmp("round_b.nmts");
+        assert_eq!(run(&p1), 2, "one segment per series");
+        run(&p2);
+        // Same logical samples → byte-identical files.
+        assert_eq!(
+            std::fs::read(&p1).unwrap(),
+            std::fs::read(&p2).unwrap(),
+            "same-seed histories must be byte-identical"
+        );
+        let segments = read_history(&p1).unwrap();
+        assert_eq!(segments.len(), 2);
+        let counter = segments
+            .iter()
+            .find(|s| s.metric == "t_store_total")
+            .unwrap();
+        assert_eq!(counter.kind, SeriesKind::Counter);
+        assert_eq!(counter.points.len(), 20);
+        assert_eq!(
+            counter.points[7],
+            Point {
+                t_ms: 3500,
+                value: PointValue::Counter(21),
+            }
+        );
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn flush_is_incremental_and_append_only() {
+        let path = tmp("incremental.nmts");
+        let store = MetricStore::default();
+        store.sample_at(1000, &snap(1, 0.1));
+        assert_eq!(store.flush_to(&path).unwrap(), 2);
+        // Nothing new → nothing appended.
+        assert_eq!(store.flush_to(&path).unwrap(), 0);
+        store.sample_at(2000, &snap(2, 0.2));
+        store.sample_at(3000, &snap(3, 0.3));
+        assert_eq!(store.flush_to(&path).unwrap(), 2);
+        let segments = read_history(&path).unwrap();
+        assert_eq!(segments.len(), 4);
+        let counts: Vec<usize> = segments
+            .iter()
+            .filter(|s| s.metric == "t_store_total")
+            .map(|s| s.points.len())
+            .collect();
+        assert_eq!(counts, vec![1, 2], "each flush covers only fresh points");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_history_is_rejected() {
+        let path = tmp("corrupt.nmts");
+        let store = MetricStore::default();
+        store.sample_at(1000, &snap(1, 0.1));
+        store.flush_to(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Flip one payload nibble: the CRC must catch it.
+        let flip = text.len() - 3;
+        let orig = text.remove(flip);
+        text.insert(flip, if orig == '0' { '1' } else { '0' });
+        std::fs::write(&path, &text).unwrap();
+        let err = read_history(&path).unwrap_err();
+        assert!(err.contains("crc mismatch"), "{err}");
+        std::fs::write(&path, "BOGUS line\n").unwrap();
+        assert!(read_history(&path).unwrap_err().contains("magic"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -396,6 +396,64 @@ mod tests {
     }
 
     #[test]
+    fn log_sketch_empty_merge_is_identity() {
+        let mut s = LogSketch::for_seconds();
+        for i in 1..=100 {
+            s.push(i as f64 / 100.0);
+        }
+        let before = s.clone();
+        s.merge(&LogSketch::for_seconds());
+        assert_eq!(s, before);
+
+        // And merging *into* an empty sketch reproduces the source.
+        let mut empty = LogSketch::for_seconds();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        assert_eq!(empty.quantile(0.5), before.quantile(0.5));
+    }
+
+    #[test]
+    fn log_sketch_single_sample_quantiles_collapse() {
+        let mut s = LogSketch::for_seconds();
+        s.push(0.125);
+        assert_eq!(s.count(), 1);
+        // Every quantile of a one-sample sketch lands in the sample's
+        // bucket, so they all agree with each other and bracket the
+        // sample within one octave.
+        let p01 = s.quantile(0.01);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert_eq!(p01, p50);
+        assert_eq!(p50, p99);
+        assert!((0.0625..=0.25).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn day_series_wrap_exactly_at_capacity() {
+        // Filling to exactly `cap` must not evict anything, and the
+        // very next push evicts exactly the first sample.
+        let mut d = DaySeries::new(4);
+        for day in 1..=4 {
+            d.push(day as f64);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.last(), Some(4.0));
+
+        d.push(5.0);
+        assert_eq!(d.len(), 4, "wrap keeps len pinned at capacity");
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(d.last(), Some(5.0));
+
+        // A full extra lap replaces every slot once.
+        for day in 6..=9 {
+            d.push(day as f64);
+        }
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(d.last(), Some(9.0));
+    }
+
+    #[test]
     fn day_series_ring_evicts_oldest() {
         let mut d = DaySeries::new(3);
         assert!(d.is_empty());

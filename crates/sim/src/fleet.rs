@@ -59,8 +59,12 @@ impl FleetReport {
             .iter()
             .map(|m| m.candidate.radio_time_saving_vs(&m.baseline))
             .collect();
+        let saving = Summary::of(&savings).unwrap_or_else(empty_summary);
+        // Publish the run's headline outcome so alert rules (e.g. a
+        // `fleet_saving_ratio<…` floor) can watch it.
+        netmaster_obs::gauge_set(netmaster_obs::names::FLEET_SAVING_RATIO, saving.mean);
         FleetReport {
-            saving: Summary::of(&savings).unwrap_or_else(empty_summary),
+            saving,
             affected: Summary::of(&affected).unwrap_or_else(empty_summary),
             radio_saving: Summary::of(&radio).unwrap_or_else(empty_summary),
             members,
