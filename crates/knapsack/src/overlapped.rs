@@ -89,6 +89,7 @@ impl OvProblem {
         for (j, it) in self.items.iter().enumerate() {
             for c in &it.candidates {
                 if c.slot >= self.capacities.len() {
+                    // lint:allow(hot-path-alloc) rejection path only: the format aborts the solve, so steady-state calls never reach it
                     return Err(format!(
                         "item {j} references slot {} of {}",
                         c.slot,

@@ -15,13 +15,19 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
-/// The five rule ids, in catalogue order.
-pub const RULE_IDS: [&str; 5] = [
+/// The nine rule ids, in catalogue order. The last four are the
+/// call-graph–aware concurrency rules (PR 9); `hot-path-alloc` is
+/// transitive over the same graph.
+pub const RULE_IDS: [&str; 9] = [
     "hot-path-alloc",
     "feature-gate",
     "metric-names",
     "panic-hygiene",
     "determinism",
+    "lock-order",
+    "lock-across-io",
+    "atomic-ordering",
+    "thread-lifecycle",
 ];
 
 /// Per-rule disposition.
@@ -42,6 +48,11 @@ pub struct LintConfig {
     /// fixed-size hourly arrays make a lexical index ban too noisy;
     /// fixtures and stricter configs can turn it on.
     pub index_guard: bool,
+    /// L1's call-graph propagation: allocation in functions reachable
+    /// from a `lint:hot-path` marker is flagged, not just the marked
+    /// body. On by default; `transitive-hot-path = "off"` reverts to
+    /// the body-only check.
+    pub transitive_hot_path: bool,
 }
 
 impl Default for LintConfig {
@@ -52,6 +63,7 @@ impl Default for LintConfig {
                 .map(|&r| (r.to_owned(), Level::Deny))
                 .collect(),
             index_guard: false,
+            transitive_hot_path: true,
         }
     }
 }
@@ -120,6 +132,9 @@ impl LintConfig {
                 "options" => match key {
                     "index-guard" => {
                         cfg.index_guard = matches!(value, "on" | "true");
+                    }
+                    "transitive-hot-path" => {
+                        cfg.transitive_hot_path = !matches!(value, "off" | "false");
                     }
                     other => {
                         return Err(format!(

@@ -2,21 +2,30 @@
 //! repo. Machine-checks the project's own correctness rules — the
 //! conventions DESIGN.md promises but `rustc`/clippy cannot see:
 //!
-//! | rule             | enforces                                                |
-//! |------------------|---------------------------------------------------------|
-//! | `hot-path-alloc` | no allocation in `// lint:hot-path`-marked solver fns    |
-//! | `feature-gate`   | obs feature wiring: manifests + scrape-API gating        |
-//! | `metric-names`   | one registry for metric/journal names, docs in sync      |
-//! | `panic-hygiene`  | no unwrap/expect/panic in library code outside tests     |
-//! | `determinism`    | no wall clocks / unseeded RNG outside obs + bench        |
+//! | rule               | enforces                                                  |
+//! |--------------------|-----------------------------------------------------------|
+//! | `hot-path-alloc`   | no allocation in (or reachable from) `lint:hot-path` fns  |
+//! | `feature-gate`     | obs feature wiring: manifests + scrape-API gating         |
+//! | `metric-names`     | one registry for metric/journal names, docs in sync       |
+//! | `panic-hygiene`    | no unwrap/expect/panic in library code outside tests      |
+//! | `determinism`      | no wall clocks / unseeded RNG outside obs + bench         |
+//! | `lock-order`       | no cycles in the lock-acquisition graph (deadlocks)       |
+//! | `lock-across-io`   | no guard held across blocking I/O / channel waits         |
+//! | `atomic-ordering`  | Relaxed store/load pairs justify themselves or upgrade    |
+//! | `thread-lifecycle` | every `thread::spawn` has a reachable join/shutdown path  |
 //!
-//! Built std-only on a hand-rolled lexer ([`lexer`]) and lexical
-//! region analysis ([`source`]) — no syn, no proc-macros, no deps.
+//! Built std-only on a hand-rolled lexer ([`lexer`]), lexical region
+//! analysis ([`source`]), and a best-effort symbol/call-graph resolver
+//! ([`callgraph`]) — no syn, no proc-macros, no deps. The four
+//! concurrency rules and transitive hot-path propagation consume the
+//! call graph; its resolution policy and known false-negative classes
+//! are documented on the [`callgraph`] module.
 //! Findings are waivable inline with
 //! `// lint:allow(<rule>) <reason>`; a waiver without a reason is
 //! itself an error, and waivers that stop matching anything are
 //! flagged so suppressions never outlive their cause.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
@@ -24,6 +33,7 @@ pub mod rules;
 pub mod source;
 pub mod workspace;
 
+pub use callgraph::CallGraph;
 pub use config::{Level, LintConfig, RULE_IDS};
 pub use report::{Finding, Report, WaivedFinding};
 pub use workspace::{find_root, LoadError, Workspace};
@@ -38,6 +48,7 @@ pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 /// Lints the workspace rooted at `root` under `cfg`.
 pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<Report, LoadError> {
     let ws = workspace::load(root)?;
+    let graph = CallGraph::build(&ws);
     let mut report = Report::default();
     let mut ledger = WaiverLedger::default();
     report.files_scanned = ws.crates.iter().map(|c| c.files.len()).sum();
@@ -82,18 +93,25 @@ pub fn run_lint(root: &Path, cfg: &LintConfig) -> Result<Report, LoadError> {
         }
     }
 
-    type RuleFn = fn(&Workspace, &LintConfig, &mut Report, &mut WaiverLedger);
-    let catalogue: [(&'static str, RuleFn); 5] = [
+    type RuleFn = fn(&Workspace, &CallGraph, &LintConfig, &mut Report, &mut WaiverLedger);
+    let catalogue: [(&'static str, RuleFn); 9] = [
         ("hot-path-alloc", rules::hot_path),
         ("feature-gate", rules::feature_gate),
         ("metric-names", rules::metric_names),
         ("panic-hygiene", rules::panic_hygiene),
         ("determinism", rules::determinism),
+        ("lock-order", rules::lock_order),
+        ("lock-across-io", rules::lock_across_io),
+        ("atomic-ordering", rules::atomic_ordering),
+        ("thread-lifecycle", rules::thread_lifecycle),
     ];
     for (id, rule) in catalogue {
         if cfg.denies(id) {
             report.rule_counts.insert(id, 0);
-            rule(&ws, cfg, &mut report, &mut ledger);
+            // lint:allow(determinism) per-rule wall time is diagnostic output for the CI artifact, never analysis input
+            let t0 = std::time::Instant::now();
+            rule(&ws, &graph, cfg, &mut report, &mut ledger);
+            report.rule_timings_us.insert(id, t0.elapsed().as_micros());
         }
     }
 

@@ -35,6 +35,9 @@ pub struct Report {
     pub waived: Vec<WaivedFinding>,
     /// Rules that ran (id → active finding count).
     pub rule_counts: BTreeMap<&'static str, usize>,
+    /// Rules that ran (id → wall time in microseconds) — the CI
+    /// artifact's per-rule cost breakdown.
+    pub rule_timings_us: BTreeMap<&'static str, u128>,
     /// Source files scanned.
     pub files_scanned: usize,
 }
@@ -70,6 +73,15 @@ impl Report {
             self.waived.len(),
             self.files_scanned
         );
+        if !self.rule_timings_us.is_empty() {
+            let total: u128 = self.rule_timings_us.values().sum();
+            let per_rule: Vec<String> = self
+                .rule_timings_us
+                .iter()
+                .map(|(r, us)| format!("{r}={us}us"))
+                .collect();
+            let _ = writeln!(out, "timings: total={total}us {}", per_rule.join(" "));
+        }
         if !self.waived.is_empty() {
             for w in &self.waived {
                 let _ = writeln!(
@@ -97,6 +109,15 @@ impl Report {
             }
             first = false;
             let _ = write!(out, "\n    {}: {}", json_str(rule), n);
+        }
+        out.push_str("\n  },\n  \"rule_timings_us\": {");
+        let mut first = true;
+        for (rule, us) in &self.rule_timings_us {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    {}: {}", json_str(rule), us);
         }
         out.push_str("\n  },\n  \"findings\": [");
         let mut first = true;

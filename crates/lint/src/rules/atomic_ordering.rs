@@ -1,0 +1,102 @@
+//! L8 `atomic-ordering`: a `store(…, Ordering::Relaxed)` /
+//! `load(Ordering::Relaxed)` pair carries no happens-before edge, so
+//! any non-atomic data "published" around it is a data race waiting
+//! for a weaker memory model. Every Relaxed store/load in library code
+//! must either upgrade to a Release/Acquire pairing or carry a waiver
+//! stating the invariant that makes Relaxed sufficient (pure
+//! statistical counter, value protected by an adjacent lock, …).
+//!
+//! Read-modify-write counters (`fetch_add` & friends) are exempt by
+//! construction: they are the idiomatic Relaxed use this workspace's
+//! sharded registry is built on. `netmaster-bench` is exempt as a
+//! measurement harness.
+
+use super::{emit, WaiverLedger};
+use crate::callgraph::CallGraph;
+use crate::config::LintConfig;
+use crate::lexer::TokKind;
+use crate::report::Report;
+use crate::source::FileRole;
+use crate::workspace::Workspace;
+
+const RULE: &str = "atomic-ordering";
+
+/// Crates exempt from L8.
+const EXEMPT_CRATES: &[&str] = &["netmaster-bench"];
+
+/// Runs L8 over non-test `src/` code.
+pub fn check(
+    ws: &Workspace,
+    _graph: &CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
+    for krate in &ws.crates {
+        if EXEMPT_CRATES.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            if file.role != FileRole::Src {
+                continue;
+            }
+            let code = &file.code;
+            for i in 0..code.len() {
+                if file.is_test(i) {
+                    continue;
+                }
+                let op = if seq(code, i, &[".", "store", "("]) {
+                    "store"
+                } else if seq(code, i, &[".", "load", "("]) {
+                    "load"
+                } else {
+                    continue;
+                };
+                let Some(close) = matching_paren(code, i + 2) else {
+                    continue;
+                };
+                if code[i + 3..close].iter().any(|t| t.is_ident("Relaxed")) {
+                    let advice = if op == "store" {
+                        "pair it as `Ordering::Release` with an `Acquire` load"
+                    } else {
+                        "pair it as `Ordering::Acquire` with a `Release` store"
+                    };
+                    emit(
+                        report,
+                        ledger,
+                        file,
+                        RULE,
+                        code[i].line,
+                        format!(
+                            "`{op}(Ordering::Relaxed)` has no happens-before edge — if this \
+                             publishes or observes non-atomic data, {advice}; if Relaxed is \
+                             sufficient, waive with the invariant that makes it so"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn seq(code: &[crate::lexer::Tok], i: usize, needle: &[&str]) -> bool {
+    super::seq_at(code, i, needle)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(code: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}

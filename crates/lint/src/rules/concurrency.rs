@@ -1,0 +1,460 @@
+//! Shared lexical machinery for the concurrency rules: guard
+//! detection (`.lock()` / `.read()` / `.write()`), guard scopes,
+//! textual lock identity, and the blocking-I/O marker table.
+//!
+//! Lock identity is the normalized receiver text (`self.inner`,
+//! `registry().gauges`, `STATE`), with `self.*` receivers qualified by
+//! file (`hub.rs::self.inner`) so same-named fields of different types
+//! stay distinct. This is best-effort textual identity: two locals
+//! with the same name in different functions alias, and one lock
+//! reached through two differently-named bindings splits — both
+//! degrade to noise a waiver can absorb, never to silent misses of
+//! the patterns this workspace actually writes.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// What flavor of guard an acquisition produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardKind {
+    /// `.lock()` on a `Mutex`.
+    Mutex,
+    /// `.read()` on a `RwLock`.
+    RwRead,
+    /// `.write()` on a `RwLock`.
+    RwWrite,
+}
+
+impl GuardKind {
+    /// The method name, for messages.
+    pub fn method(self) -> &'static str {
+        match self {
+            GuardKind::Mutex => "lock()",
+            GuardKind::RwRead => "read()",
+            GuardKind::RwWrite => "write()",
+        }
+    }
+}
+
+/// One guard acquisition and the token range it is held over.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Normalized lock identity (see module docs).
+    pub lock_id: String,
+    /// Mutex / RwLock-read / RwLock-write.
+    pub kind: GuardKind,
+    /// Code-token index of the `.` starting the acquisition call.
+    pub acq_tok: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Token range `(start, end)` the guard is live over, exclusive
+    /// of the acquisition itself.
+    pub scope: (usize, usize),
+}
+
+/// Finds guard acquisitions in `body` and computes their held scopes.
+///
+/// Scope policy (lexical): a `let`-bound guard lives to the end of its
+/// enclosing block, truncated at an explicit `drop(binding)`; a guard
+/// bound by `if let` / `while let` lives to the end of the construct's
+/// block; an expression temporary lives to the end of its statement.
+pub fn find_guards(file: &SourceFile, body: (usize, usize)) -> Vec<Guard> {
+    let code = &file.code;
+    let end = body.1.min(code.len());
+    let mut out = Vec::new();
+    let mut i = body.0;
+    while i < end {
+        let kind = if seq(code, i, &[".", "lock", "(", ")"]) {
+            Some(GuardKind::Mutex)
+        } else if seq(code, i, &[".", "read", "(", ")"]) {
+            Some(GuardKind::RwRead)
+        } else if seq(code, i, &[".", "write", "(", ")"]) {
+            Some(GuardKind::RwWrite)
+        } else {
+            None
+        };
+        let Some(kind) = kind else {
+            i += 1;
+            continue;
+        };
+        let recv_start = receiver_start(code, i, body.0);
+        let mut lock_id = render(code, recv_start, i);
+        if lock_id.is_empty() {
+            lock_id = "<expr>".to_owned();
+        }
+        // `stdout().lock()` & friends return stream handle locks, not
+        // sync primitives: holding one across I/O is the whole point
+        // (batched writes), and only this thread's prints wait on it.
+        if lock_id.ends_with("stdout()")
+            || lock_id.ends_with("stderr()")
+            || lock_id.ends_with("stdin()")
+        {
+            i += 1;
+            continue;
+        }
+        if lock_id == "self" || lock_id.starts_with("self.") {
+            let stem = file
+                .rel_path
+                .rsplit('/')
+                .next()
+                .unwrap_or(file.rel_path.as_str());
+            lock_id = format!("{stem}::{lock_id}");
+        }
+        let stmt = stmt_start(code, recv_start, body.0);
+        let after_call = i + 4; // past `. lock ( )`
+        let scope_end = if code[stmt].is_ident("let")
+            || ((code[stmt].is_ident("if") || code[stmt].is_ident("while"))
+                && code.get(stmt + 1).is_some_and(|t| t.is_ident("let")))
+        {
+            let base = if code[stmt].is_ident("let") {
+                enclosing_block_end(code, after_call, end)
+            } else {
+                // `if let Ok(g) = m.lock() { … }`: held over the
+                // construct's first block only.
+                first_block_end(code, after_call, end)
+            };
+            let binding = binding_name(code, stmt, i);
+            match binding.and_then(|b| find_drop(code, after_call, base, &b)) {
+                Some(d) => d,
+                None => base,
+            }
+        } else {
+            stmt_end(code, after_call, end)
+        };
+        out.push(Guard {
+            lock_id,
+            kind,
+            acq_tok: i,
+            line: code[i].line,
+            scope: (after_call, scope_end),
+        });
+        i += 4;
+    }
+    out
+}
+
+/// Matches `needle` (idents / single punct chars) at `i`.
+fn seq(code: &[Tok], i: usize, needle: &[&str]) -> bool {
+    super::seq_at(code, i, needle)
+}
+
+/// Start of the receiver chain ending at the `.` token `dot`
+/// (`registry().gauges.lock()` → index of `registry`).
+fn receiver_start(code: &[Tok], dot: usize, floor: usize) -> usize {
+    let mut chain_start = dot;
+    let mut pos = dot;
+    loop {
+        let Some(mut p) = pos.checked_sub(1) else {
+            break;
+        };
+        if p < floor {
+            break;
+        }
+        if code[p].is_punct(')') {
+            // A call component `name(…)`: skip to its open paren.
+            let mut depth = 0i32;
+            let mut k = p;
+            let mut open = None;
+            loop {
+                if code[k].is_punct(')') {
+                    depth += 1;
+                } else if code[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(k);
+                        break;
+                    }
+                }
+                if k <= floor {
+                    break;
+                }
+                k -= 1;
+            }
+            let Some(open) = open else { break };
+            if open <= floor || code[open - 1].kind != TokKind::Ident {
+                break;
+            }
+            p = open - 1;
+        } else if code[p].kind != TokKind::Ident {
+            break;
+        }
+        chain_start = p;
+        // Continue through `.` or `::` separators only.
+        let Some(s) = p.checked_sub(1) else { break };
+        if s >= floor && code[s].is_punct('.') {
+            pos = s;
+        } else if s > floor && code[s].is_punct(':') && code[s - 1].is_punct(':') {
+            pos = s - 1;
+        } else {
+            break;
+        }
+    }
+    chain_start
+}
+
+/// Concatenated token text of `[start, end)` — receiver rendering.
+fn render(code: &[Tok], start: usize, end: usize) -> String {
+    code[start..end].iter().map(|t| t.text.as_str()).collect()
+}
+
+/// First token of the statement containing `i` (walk back to the
+/// nearest `;`, `{` or `}`).
+pub fn stmt_start(code: &[Tok], i: usize, floor: usize) -> usize {
+    let mut j = i;
+    while j > floor {
+        let t = &code[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Index just past the end of the enclosing block: the `}` that closes
+/// the block `i` sits in (or `end`).
+fn enclosing_block_end(code: &[Tok], i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// End of the first `{ … }` block opening at or after `i`.
+fn first_block_end(code: &[Tok], i: usize, end: usize) -> usize {
+    let mut j = i;
+    while j < end && !code[j].is_punct('{') {
+        j += 1;
+    }
+    let mut depth = 0i32;
+    while j < end {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// End of the statement containing `i`: the next `;` at brace depth 0.
+fn stmt_end(code: &[Tok], i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if code[j].is_punct(';') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// The binding name of a `let` / `if let` statement starting at
+/// `stmt`: the first lowercase identifier after `let` (skips `mut`
+/// and enum constructors like `Ok(`).
+fn binding_name(code: &[Tok], stmt: usize, before: usize) -> Option<String> {
+    let mut j = stmt;
+    while j < before && !code[j].is_ident("let") {
+        j += 1;
+    }
+    code.get(j + 1..before)?
+        .iter()
+        .take_while(|t| !t.is_punct('='))
+        .find(|t| {
+            t.kind == TokKind::Ident
+                && !t.is_ident("mut")
+                && t.text.chars().next().is_some_and(char::is_lowercase)
+        })
+        .map(|t| t.text.clone())
+}
+
+/// Position of `drop(binding)` inside `[from, to)`, if any.
+fn find_drop(code: &[Tok], from: usize, to: usize, binding: &str) -> Option<usize> {
+    (from..to.min(code.len())).find(|&j| {
+        code[j].is_ident("drop")
+            && code.get(j + 1).is_some_and(|t| t.is_punct('('))
+            && code.get(j + 2).is_some_and(|t| t.is_ident(binding))
+            && code.get(j + 3).is_some_and(|t| t.is_punct(')'))
+    })
+}
+
+/// Checks token `i` for a blocking operation. Returns a short
+/// description for the finding message.
+///
+/// `.read(buf)` / `.write(buf)` (with arguments) are I/O; the
+/// zero-argument forms are `RwLock` acquisitions and are left to the
+/// guard machinery. `.join()` with no argument is a thread join;
+/// `slice::join(sep)` takes one and is skipped.
+pub fn blocking_marker(code: &[Tok], i: usize) -> Option<&'static str> {
+    const DOT_CALLS: &[(&str, &str)] = &[
+        ("read_to_string", "`read_to_string` (stream read)"),
+        ("read_to_end", "`read_to_end` (stream read)"),
+        ("write_all", "`write_all` (stream write)"),
+        ("flush", "`flush` (stream write)"),
+        ("recv", "`recv` (channel wait)"),
+        ("recv_timeout", "`recv_timeout` (channel wait)"),
+        ("accept", "`accept` (socket wait)"),
+    ];
+    if code[i].is_punct('.') {
+        let name = code.get(i + 1)?;
+        if !code.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            return None;
+        }
+        for (m, desc) in DOT_CALLS {
+            if name.is_ident(m) {
+                return Some(desc);
+            }
+        }
+        let has_args = !code.get(i + 3).is_some_and(|t| t.is_punct(')'));
+        if name.is_ident("read") && has_args {
+            return Some("`read` (stream read)");
+        }
+        if name.is_ident("write") && has_args {
+            return Some("`write` (stream write)");
+        }
+        if name.is_ident("join") && !has_args {
+            return Some("`join` (thread wait)");
+        }
+        return None;
+    }
+    const PATHS: &[(&[&str], &str)] = &[
+        (&["thread", ":", ":", "sleep"], "`thread::sleep`"),
+        (&["TcpStream", ":", ":", "connect"], "`TcpStream::connect`"),
+        (&["File", ":", ":", "open"], "`File::open`"),
+        (&["File", ":", ":", "create"], "`File::create`"),
+        (&["fs", ":", ":", "read_to_string"], "`fs::read_to_string`"),
+        (&["fs", ":", ":", "read"], "`fs::read`"),
+        (&["fs", ":", ":", "write"], "`fs::write`"),
+        (&["fs", ":", ":", "create_dir_all"], "`fs::create_dir_all`"),
+        (&["fs", ":", ":", "remove_file"], "`fs::remove_file`"),
+        (&["fs", ":", ":", "rename"], "`fs::rename`"),
+    ];
+    for (needle, desc) in PATHS {
+        if seq(code, i, needle) {
+            return Some(desc);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileRole;
+    use std::path::PathBuf;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::analyze("x.rs".into(), PathBuf::from("/x.rs"), FileRole::Src, src)
+    }
+
+    fn guards(src: &str) -> (SourceFile, Vec<Guard>) {
+        let f = file(src);
+        let body = f.fns[0].body;
+        let gs = find_guards(&f, body);
+        (f, gs)
+    }
+
+    #[test]
+    fn std_stream_handle_locks_are_not_guards() {
+        let (_, gs) = guards("fn f() { let mut out = std::io::stdout().lock(); }\n");
+        assert!(
+            gs.is_empty(),
+            "stdout().lock() is a stream handle, not a mutex"
+        );
+        let (_, gs) = guards("fn f() { let e = std::io::stderr().lock(); }\n");
+        assert!(gs.is_empty());
+    }
+
+    #[test]
+    fn let_bound_guard_spans_enclosing_block() {
+        let (f, gs) = guards("fn f() { let g = STATE.lock().unwrap(); touch(); }\n");
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].lock_id, "STATE");
+        assert_eq!(gs[0].kind, GuardKind::Mutex);
+        let touch = f.code.iter().position(|t| t.is_ident("touch")).unwrap();
+        assert!(gs[0].scope.0 <= touch && touch < gs[0].scope.1);
+    }
+
+    #[test]
+    fn drop_truncates_scope() {
+        let (f, gs) = guards("fn f() { let g = M.lock().unwrap(); drop(g); late(); }\n");
+        let late = f.code.iter().position(|t| t.is_ident("late")).unwrap();
+        assert!(late >= gs[0].scope.1, "drop(g) must end the guard scope");
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let (f, gs) = guards("fn f() { M.lock().unwrap().push(1); after(); }\n");
+        let after = f.code.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(after >= gs[0].scope.1);
+    }
+
+    #[test]
+    fn self_receivers_are_file_qualified() {
+        let (_, gs) = guards("fn f(&self) { let g = self.inner.lock().unwrap(); }\n");
+        assert_eq!(gs[0].lock_id, "x.rs::self.inner");
+    }
+
+    #[test]
+    fn call_receivers_render_with_parens() {
+        let (_, gs) = guards("fn f() { let g = registry().gauges.lock().unwrap(); }\n");
+        assert_eq!(gs[0].lock_id, "registry().gauges");
+    }
+
+    #[test]
+    fn rwlock_read_write_detected_io_read_not() {
+        let (_, gs) = guards("fn f(s: &mut TcpStream, buf: &mut [u8]) { let g = RW.read().unwrap(); s.read(buf).ok(); let w = RW.write().unwrap(); }\n");
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].kind, GuardKind::RwRead);
+        assert_eq!(gs[1].kind, GuardKind::RwWrite);
+    }
+
+    #[test]
+    fn if_let_guard_scope_is_the_block() {
+        let (f, gs) = guards("fn f() { if let Ok(g) = M.lock() { inside(); } outside(); }\n");
+        assert_eq!(gs.len(), 1);
+        let inside = f.code.iter().position(|t| t.is_ident("inside")).unwrap();
+        let outside = f.code.iter().position(|t| t.is_ident("outside")).unwrap();
+        assert!(inside < gs[0].scope.1);
+        assert!(outside >= gs[0].scope.1);
+    }
+
+    #[test]
+    fn blocking_markers_classify_read_write_arity() {
+        let f = file("fn f(s: &mut TcpStream, b: &[u8]) { s.write(b); s.write_all(b); rx.recv(); h.join(); v.join(\",\"); }\n");
+        let hits: Vec<&str> = (0..f.code.len())
+            .filter_map(|i| blocking_marker(&f.code, i))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                "`write` (stream write)",
+                "`write_all` (stream write)",
+                "`recv` (channel wait)",
+                "`join` (thread wait)",
+            ]
+        );
+    }
+}

@@ -39,7 +39,13 @@ const BANNED: &[(&[&str], &str)] = &[
 ];
 
 /// Runs L5 over non-test library source of non-exempt crates.
-pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+pub fn check(
+    ws: &Workspace,
+    _graph: &crate::callgraph::CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
     for krate in &ws.crates {
         if EXEMPT_CRATES.contains(&krate.name.as_str()) {
             continue;

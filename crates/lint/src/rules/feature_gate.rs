@@ -45,7 +45,13 @@ const OBS_ONLY_MODULES: &[&str] = &["watchtower"];
 const SCRAPE_EXEMPT: &[&str] = &["netmaster-obs", "netmaster-cli", "netmaster-bench"];
 
 /// Runs L2 over manifests and library source.
-pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+pub fn check(
+    ws: &Workspace,
+    _graph: &crate::callgraph::CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
     // Crates that expose an `obs` feature (forwarders) — depending on
     // one of these without default-features = false force-enables obs.
     let forwarders: BTreeSet<&str> = ws

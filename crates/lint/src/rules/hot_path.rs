@@ -1,9 +1,19 @@
 //! L1 `hot-path-alloc`: no allocation inside functions marked
-//! `// lint:hot-path`. These are the scratch-threaded solver paths the
-//! perf harness budgets at zero steady-state allocations; a stray
-//! `collect()` or `clone()` silently regresses the fleet-scale story.
+//! `// lint:hot-path` — nor, since the call-graph layer landed, inside
+//! any function **reachable** from a marked one over confident call
+//! edges. These are the scratch-threaded solver paths the perf harness
+//! budgets at zero steady-state allocations; a stray `collect()` in a
+//! helper two calls down regresses the fleet-scale story just as
+//! surely as one in the marked body.
+//!
+//! Transitive propagation follows confident edges only (see
+//! [`crate::callgraph`]): ambiguous method dispatch degrades to the
+//! pre-PR-9 body-only check, never to false positives. The
+//! `transitive-hot-path` option in `lint.toml` can switch propagation
+//! off wholesale.
 
 use super::{emit, seq_at, WaiverLedger};
+use crate::callgraph::CallGraph;
 use crate::config::LintConfig;
 use crate::report::Report;
 use crate::workspace::Workspace;
@@ -38,37 +48,25 @@ const BANNED: &[(&[&str], &str)] = &[
     ),
 ];
 
-/// Runs L1 over every hot-path-marked function in the workspace.
-pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
-    let mut marked = 0usize;
-    for krate in &ws.crates {
-        for file in &krate.files {
-            for f in file.fns.iter().filter(|f| f.hot_path) {
-                marked += 1;
-                let (start, end) = f.body;
-                let mut i = start;
-                while i < end.min(file.code.len()) {
-                    for (needle, why) in BANNED {
-                        if seq_at(&file.code, i, needle) {
-                            emit(
-                                report,
-                                ledger,
-                                file,
-                                RULE,
-                                file.code[i].line,
-                                format!("{} inside hot-path fn `{}`", why, f.name),
-                            );
-                            break;
-                        }
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
+/// Runs L1 over every hot-path-marked function and (unless disabled)
+/// everything confidently reachable from one.
+pub fn check(
+    ws: &Workspace,
+    graph: &CallGraph,
+    cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.hot_path)
+        .map(|(id, _)| id)
+        .collect();
     // The markers themselves are load-bearing: if a refactor drops them
     // all, the rule must not silently pass an unmarked workspace.
-    if marked == 0 {
+    if seeds.is_empty() {
         super::emit_unwaivable(
             report,
             RULE,
@@ -77,5 +75,44 @@ pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mu
             "no `// lint:hot-path` markers found — the solver hot paths must stay marked"
                 .to_owned(),
         );
+        return;
+    }
+
+    let (reach, parent) = if cfg.transitive_hot_path {
+        graph.reachable(&seeds)
+    } else {
+        let mut only_seeds = vec![false; graph.fns.len()];
+        for &s in &seeds {
+            only_seeds[s] = true;
+        }
+        (only_seeds, vec![None; graph.fns.len()])
+    };
+
+    for (fid, node) in graph.fns.iter().enumerate() {
+        if !reach[fid] || node.is_test {
+            continue;
+        }
+        let file = &ws.crates[node.loc.0].files[node.loc.1];
+        let (start, end) = node.body;
+        let mut i = start;
+        while i < end.min(file.code.len()) {
+            for (needle, why) in BANNED {
+                if seq_at(&file.code, i, needle) {
+                    let msg = if node.hot_path {
+                        format!("{} inside hot-path fn `{}`", why, node.name)
+                    } else {
+                        format!(
+                            "{} inside `{}`, reachable from a hot path via `{}`",
+                            why,
+                            node.name,
+                            graph.chain(&parent, fid).join(" → ")
+                        )
+                    };
+                    emit(report, ledger, file, RULE, file.code[i].line, msg);
+                    break;
+                }
+            }
+            i += 1;
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! L7 `lock-across-io`: no guard may be held across blocking I/O —
+//! stream reads/writes, channel waits, filesystem calls, thread
+//! joins/sleeps. This is PR 7's stated scrape-server invariant
+//! (producers must never stall behind a scraper) promoted from review
+//! convention to machine check. Blocking calls are matched directly
+//! inside guard scopes and transitively through confident call edges
+//! (a helper that ends in `write_all` is as blocking as the
+//! `write_all` itself).
+
+use super::concurrency::{blocking_marker, find_guards};
+use super::{emit, WaiverLedger};
+use crate::callgraph::{calls_in_range, CallGraph};
+use crate::config::LintConfig;
+use crate::report::Report;
+use crate::workspace::Workspace;
+use std::collections::BTreeMap;
+
+const RULE: &str = "lock-across-io";
+
+/// Runs L7 over every non-test `src/` function.
+pub fn check(
+    ws: &Workspace,
+    graph: &CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
+    // Per-fn blocking classification: the marker found in the body, or
+    // the callee this fn blocks through (fixpoint over confident
+    // edges).
+    let mut blocking: Vec<Option<String>> = graph
+        .fns
+        .iter()
+        .map(|node| {
+            let file = &ws.crates[node.loc.0].files[node.loc.1];
+            let (s, e) = node.body;
+            (s..e.min(file.code.len()))
+                .find_map(|i| blocking_marker(&file.code, i))
+                .map(|d| d.to_owned())
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for fid in 0..graph.fns.len() {
+            if blocking[fid].is_some() {
+                continue;
+            }
+            for e in &graph.edges[fid] {
+                if e.confident {
+                    if let Some(inner) = &blocking[e.callee] {
+                        blocking[fid] =
+                            Some(format!("{} via `{}`", inner, graph.fns[e.callee].name));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (fid, node) in graph.fns.iter().enumerate() {
+        if node.is_test {
+            continue;
+        }
+        let file = &ws.crates[node.loc.0].files[node.loc.1];
+        // Findings keyed by site token so nested guard scopes report a
+        // blocking call once (innermost guard wins: its lock is the
+        // one the fix would narrow).
+        let mut sites: BTreeMap<usize, (u32, String)> = BTreeMap::new();
+        for g in find_guards(file, node.body) {
+            for i in g.scope.0..g.scope.1.min(file.code.len()) {
+                if let Some(op) = blocking_marker(&file.code, i) {
+                    sites.insert(
+                        i,
+                        (
+                            file.code[i].line,
+                            format!(
+                                "{op} while the `{}` guard on `{}` is held — blocking I/O \
+                                 under a lock stalls every other thread on that lock",
+                                g.kind.method(),
+                                g.lock_id
+                            ),
+                        ),
+                    );
+                }
+            }
+            for e in calls_in_range(graph, fid, g.scope) {
+                if let Some(op) = &blocking[e.callee] {
+                    sites.insert(
+                        e.tok,
+                        (
+                            e.line,
+                            format!(
+                                "call to `{}` blocks ({op}) while the `{}` guard on `{}` is \
+                                 held — release the lock before blocking",
+                                graph.fns[e.callee].name,
+                                g.kind.method(),
+                                g.lock_id
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+        for (_tok, (line, msg)) in sites {
+            emit(report, ledger, file, RULE, line, msg);
+        }
+    }
+}

@@ -34,7 +34,13 @@ const REGISTRY_SUFFIX: &str = "registry_names.rs";
 const DOC_FILES: &[&str] = &["DESIGN.md", "EXPERIMENTS.md"];
 
 /// Runs L3 across the workspace.
-pub fn check(ws: &Workspace, _cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+pub fn check(
+    ws: &Workspace,
+    _graph: &crate::callgraph::CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
     let Some(registry) = ws
         .crates
         .iter()

@@ -2,17 +2,26 @@
 //! [`Workspace`] appending [`Finding`]s to the report; waiver matching
 //! and accounting is centralized in [`emit`].
 
+mod atomic_ordering;
+pub mod concurrency;
 mod determinism;
 mod feature_gate;
 mod hot_path;
+mod lock_across_io;
+mod lock_order;
 mod metric_names;
 mod panic_hygiene;
+mod thread_lifecycle;
 
+pub use atomic_ordering::check as atomic_ordering;
 pub use determinism::check as determinism;
 pub use feature_gate::check as feature_gate;
 pub use hot_path::check as hot_path;
+pub use lock_across_io::check as lock_across_io;
+pub use lock_order::check as lock_order;
 pub use metric_names::check as metric_names;
 pub use panic_hygiene::check as panic_hygiene;
+pub use thread_lifecycle::check as thread_lifecycle;
 
 use crate::report::{Finding, Report, WaivedFinding};
 use crate::source::SourceFile;

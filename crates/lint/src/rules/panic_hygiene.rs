@@ -30,7 +30,13 @@ const BANNED: &[(&[&str], &str)] = &[
 ];
 
 /// Runs L4 over non-test library source.
-pub fn check(ws: &Workspace, cfg: &LintConfig, report: &mut Report, ledger: &mut WaiverLedger) {
+pub fn check(
+    ws: &Workspace,
+    _graph: &crate::callgraph::CallGraph,
+    cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
     for krate in &ws.crates {
         if EXEMPT_CRATES.contains(&krate.name.as_str()) {
             continue;

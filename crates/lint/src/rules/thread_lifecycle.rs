@@ -1,0 +1,140 @@
+//! L9 `thread-lifecycle`: every `thread::spawn` in library code must
+//! have a reachable join-or-shutdown path. A discarded `JoinHandle`
+//! cannot be joined at all; a kept handle needs a `.join()` somewhere
+//! in the spawning file or in code confidently reachable from it
+//! (serve's worker pool joins in `shutdown()`, the sampler joins in
+//! `stop()` — both in-file). Detached threads leak across test
+//! processes and wedge orderly daemon shutdown, which is exactly the
+//! always-on failure mode NetMaster cannot afford.
+//!
+//! Known false-negative class (documented, accepted): a join performed
+//! in a *different* crate, through a trait object, or via a
+//! std-colliding method name is not seen and would need a waiver on
+//! the spawn instead.
+
+use super::concurrency::stmt_start;
+use super::{emit, WaiverLedger};
+use crate::callgraph::CallGraph;
+use crate::config::LintConfig;
+use crate::report::Report;
+use crate::source::{FileRole, SourceFile};
+use crate::workspace::Workspace;
+
+const RULE: &str = "thread-lifecycle";
+
+/// Runs L9 over non-test `src/` code.
+pub fn check(
+    ws: &Workspace,
+    graph: &CallGraph,
+    _cfg: &LintConfig,
+    report: &mut Report,
+    ledger: &mut WaiverLedger,
+) {
+    for (ki, krate) in ws.crates.iter().enumerate() {
+        for (fi, file) in krate.files.iter().enumerate() {
+            if file.role != FileRole::Src {
+                continue;
+            }
+            let code = &file.code;
+            for i in 0..code.len() {
+                if file.is_test(i) || !seq(code, i, &["thread", ":", ":", "spawn", "("]) {
+                    continue;
+                }
+                let line = code[i].line;
+                let Some(close) = matching_paren(code, i + 4) else {
+                    continue;
+                };
+                let after = code.get(close + 1);
+                let stmt = stmt_start(code, i, 0);
+                let let_bound = code[stmt].is_ident("let");
+                let discarded = match after {
+                    // `thread::spawn(…);` as a bare statement, or
+                    // `let _ = thread::spawn(…);`.
+                    Some(t) if t.is_punct(';') => {
+                        !let_bound || code.get(stmt + 1).is_some_and(|t| t.is_punct('_'))
+                    }
+                    // Passed along (`workers.push(spawn(…))`), chained
+                    // (`spawn(…).join()`), or returned — the handle
+                    // survives.
+                    _ => false,
+                };
+                if discarded {
+                    emit(
+                        report,
+                        ledger,
+                        file,
+                        RULE,
+                        line,
+                        "the JoinHandle from `thread::spawn` is discarded — the thread can \
+                         never be joined; keep the handle and join it on the shutdown path"
+                            .to_owned(),
+                    );
+                } else if !join_reachable(ws, graph, file, (ki, fi)) {
+                    emit(
+                        report,
+                        ledger,
+                        file,
+                        RULE,
+                        line,
+                        "no `.join()` is reachable from this file for the thread spawned here \
+                         — wire the handle into a join-or-shutdown path"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `true` when a thread join (`.join()`, no arguments) exists in this
+/// file's non-test code or in any function confidently reachable from
+/// this file's functions.
+fn join_reachable(
+    ws: &Workspace,
+    graph: &CallGraph,
+    file: &SourceFile,
+    loc: (usize, usize),
+) -> bool {
+    if has_join(file) {
+        return true;
+    }
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.loc == loc)
+        .map(|(id, _)| id)
+        .collect();
+    let (seen, _) = graph.reachable(&seeds);
+    graph
+        .fns
+        .iter()
+        .enumerate()
+        .any(|(id, f)| seen[id] && f.loc != loc && has_join(&ws.crates[f.loc.0].files[f.loc.1]))
+}
+
+/// Does the file contain a zero-argument `.join()` outside tests?
+fn has_join(file: &SourceFile) -> bool {
+    let code = &file.code;
+    (0..code.len()).any(|i| !file.is_test(i) && seq(code, i, &[".", "join", "(", ")"]))
+}
+
+fn seq(code: &[crate::lexer::Tok], i: usize, needle: &[&str]) -> bool {
+    super::seq_at(code, i, needle)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(code: &[crate::lexer::Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}

@@ -49,6 +49,77 @@ fn hot_path_fixture_trips_hot_path_alloc() {
 }
 
 #[test]
+fn hot_path_transitive_fixture_names_the_call_chain() {
+    let report = run_lint(&fixture("hot_path_transitive"), &only("hot-path-alloc")).unwrap();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, "hot-path-alloc");
+    assert!(report.findings[0].message.contains("collect"));
+    assert!(report.findings[0]
+        .message
+        .contains("hot_entry → stage_one → stage_two"));
+    // Switching propagation off reverts to the body-only check: the
+    // marked body is clean, so the fixture passes.
+    let mut cfg = only("hot-path-alloc");
+    cfg.transitive_hot_path = false;
+    let report = run_lint(&fixture("hot_path_transitive"), &cfg).unwrap();
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn lock_order_fixture_names_the_cycle() {
+    let report = run_lint(&fixture("lock_order"), &only("lock-order")).unwrap();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, "lock-order");
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(
+        msg.contains("A → B → A") || msg.contains("B → A → B"),
+        "{msg}"
+    );
+    assert!(msg.contains("read_a"), "the call edge must be named: {msg}");
+}
+
+#[test]
+fn lock_across_io_fixture_names_guard_and_op() {
+    let report = run_lint(&fixture("lock_across_io"), &only("lock-across-io")).unwrap();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, "lock-across-io");
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("write_all"), "{msg}");
+    assert!(msg.contains("JOURNAL"), "{msg}");
+}
+
+#[test]
+fn atomic_ordering_fixture_trips_relaxed_pair() {
+    let report = run_lint(&fixture("atomic_ordering"), &only("atomic-ordering")).unwrap();
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.rule == "atomic-ordering"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("store(Ordering::Relaxed)")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("load(Ordering::Relaxed)")));
+}
+
+#[test]
+fn thread_lifecycle_fixture_trips_discard_and_joinless() {
+    let report = run_lint(&fixture("thread_lifecycle"), &only("thread-lifecycle")).unwrap();
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.rule == "thread-lifecycle"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("discarded")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("no `.join()` is reachable")));
+}
+
+#[test]
 fn feature_gate_fixture_trips_manifest_checks() {
     let report = run_lint(&fixture("feature_gate"), &only("feature-gate")).unwrap();
     // Two manifest findings: missing default-features = false, and the

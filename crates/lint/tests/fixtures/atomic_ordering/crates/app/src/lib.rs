@@ -1,0 +1,20 @@
+//! Deliberate Relaxed publish: PAYLOAD is written, then "published"
+//! through a Relaxed store with no release edge; the Relaxed load on
+//! the other side completes the broken pair.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+pub static mut PAYLOAD: u64 = 0;
+
+pub fn publish(v: u64) {
+    unsafe { PAYLOAD = v };
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn consume() -> Option<u64> {
+    if READY.load(Ordering::Relaxed) {
+        return Some(unsafe { PAYLOAD });
+    }
+    None
+}

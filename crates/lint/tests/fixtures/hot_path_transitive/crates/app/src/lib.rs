@@ -1,0 +1,16 @@
+//! Deliberate transitive hot-path allocation: the marked entry is
+//! alloc-free but reaches a `collect()` two calls down.
+
+// lint:hot-path
+pub fn hot_entry(acc: &mut [u64; 4]) {
+    stage_one(acc);
+}
+
+fn stage_one(acc: &mut [u64; 4]) {
+    stage_two(acc);
+}
+
+fn stage_two(acc: &mut [u64; 4]) {
+    let spill: Vec<u64> = acc.iter().copied().collect();
+    acc[0] = spill.len() as u64;
+}

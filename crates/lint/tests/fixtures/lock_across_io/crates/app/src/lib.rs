@@ -1,0 +1,14 @@
+//! Deliberate guard-across-I/O: the journal mutex is held over a
+//! socket write, stalling every producer behind a slow scraper.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub static JOURNAL: Mutex<Vec<u8>> = Mutex::new(Vec::new());
+
+pub fn flush_journal(stream: &mut TcpStream) -> std::io::Result<()> {
+    let g = JOURNAL.lock().unwrap();
+    stream.write_all(&g)?;
+    Ok(())
+}

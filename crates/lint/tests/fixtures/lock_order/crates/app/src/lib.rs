@@ -1,0 +1,23 @@
+//! Deliberate lock-order inversion: `a_then_b` takes A then B while
+//! `b_then_a` takes B and reaches A through a call edge.
+
+use std::sync::Mutex;
+
+pub static A: Mutex<u32> = Mutex::new(0);
+pub static B: Mutex<u32> = Mutex::new(0);
+
+pub fn a_then_b() -> u32 {
+    let ga = A.lock().unwrap();
+    let gb = B.lock().unwrap();
+    *ga + *gb
+}
+
+pub fn b_then_a() -> u32 {
+    let gb = B.lock().unwrap();
+    *gb + read_a()
+}
+
+fn read_a() -> u32 {
+    let ga = A.lock().unwrap();
+    *ga
+}

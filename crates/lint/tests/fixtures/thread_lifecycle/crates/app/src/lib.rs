@@ -1,0 +1,13 @@
+//! Deliberate thread leaks: one spawn discards its handle outright,
+//! the other keeps it but no join exists anywhere in the crate.
+
+use std::thread;
+
+pub fn fire_and_forget() {
+    thread::spawn(|| {});
+}
+
+pub fn bound_but_never_joined() {
+    let worker = thread::spawn(|| {});
+    let _ = worker.thread().id();
+}

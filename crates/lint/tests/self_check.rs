@@ -5,6 +5,7 @@
 
 use netmaster_lint::{run_lint, LintConfig};
 use std::path::PathBuf;
+use std::time::Instant;
 
 #[test]
 fn real_workspace_is_lint_clean_at_head() {
@@ -13,22 +14,44 @@ fn real_workspace_is_lint_clean_at_head() {
         .canonicalize()
         .expect("workspace root resolves");
     let cfg = LintConfig::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let t0 = Instant::now();
     let report = run_lint(&root, &cfg).expect("workspace loads");
+    let wall = t0.elapsed();
     assert!(
         report.clean(),
         "workspace must be lint-clean at HEAD; findings:\n{}",
         report.render_text()
     );
-    // All five rules ran — the committed config must not quietly
+    // All nine rules ran — the committed config must not quietly
     // disable one.
-    assert_eq!(report.rule_counts.len(), 5, "{:?}", report.rule_counts);
+    assert_eq!(report.rule_counts.len(), 9, "{:?}", report.rule_counts);
+    // Every rule reports its cost in the CI artifact.
+    assert_eq!(
+        report.rule_timings_us.len(),
+        9,
+        "{:?}",
+        report.rule_timings_us
+    );
+    // The linter must stay cheap enough to run on every push: the
+    // call-graph build plus all nine rules complete in well under five
+    // seconds on the full workspace (measured ~40ms release, and debug
+    // CI builds get two orders of magnitude of headroom).
+    assert!(
+        wall.as_secs() < 5,
+        "full-workspace lint took {wall:?}, budget is 5s"
+    );
     // The waiver budget is explicit: new waivers are a reviewed,
     // deliberate act, not background noise. The solver-engine overhaul
     // added five justified construction-invariant `expect()`s (pool
     // Deref, merge-pick sides, the unbudgeted-search wrapper) plus one
-    // amortized once-per-app allocation in the miner's hot path.
+    // amortized once-per-app allocation in the miner's hot path. The
+    // concurrency-rule audit added fifteen: the registry's
+    // Mutex-ordered Relaxed shard cells, the RUNTIME kill switch, the
+    // serve workers' recv-under-guard dequeue, three amortized or
+    // cold-path allocations now visible through transitive hot-path
+    // propagation, and the linter's own diagnostic timer.
     assert!(
-        report.waived.len() <= 22,
+        report.waived.len() <= 40,
         "waiver count {} crossed the review threshold — prune or justify",
         report.waived.len()
     );

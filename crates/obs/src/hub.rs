@@ -110,10 +110,10 @@ impl TelemetryHub {
     /// Marks the start of a run over `members_total` members (0 when
     /// unknown), resetting progress counters and the rate window.
     pub fn begin_run(&self, members_total: u64) {
-        self.members_done.store(0, Ordering::Relaxed);
-        self.days_done.store(0, Ordering::Relaxed);
-        self.members_total.store(members_total, Ordering::Relaxed);
-        self.run_active.store(true, Ordering::Relaxed);
+        self.members_done.store(0, Ordering::Release);
+        self.days_done.store(0, Ordering::Release);
+        self.members_total.store(members_total, Ordering::Release);
+        self.run_active.store(true, Ordering::Release);
         let mut inner = self.lock();
         inner.started = Some(Instant::now());
         inner.last_publish = None;
@@ -141,7 +141,7 @@ impl TelemetryHub {
 
     /// Marks the run finished and force-publishes final gauge values.
     pub fn end_run(&self) {
-        self.run_active.store(false, Ordering::Relaxed);
+        self.run_active.store(false, Ordering::Release);
         let mut inner = self.lock();
         self.refresh(&mut inner, true);
     }
@@ -163,7 +163,7 @@ impl TelemetryHub {
         if !due && !force {
             return;
         }
-        let members = self.members_done.load(Ordering::Relaxed);
+        let members = self.members_done.load(Ordering::Acquire);
         if let Some(t) = inner.last_publish {
             let dt = now.duration_since(t).as_secs_f64();
             if dt > 0.0 {
@@ -178,7 +178,7 @@ impl TelemetryHub {
         crate::gauge_set(crate::names::HUB_MEMBERS_PER_SEC, inner.rate_value);
         crate::gauge_set(
             crate::names::HUB_DAYS_DONE,
-            self.days_done.load(Ordering::Relaxed) as f64,
+            self.days_done.load(Ordering::Acquire) as f64,
         );
     }
 
@@ -233,10 +233,10 @@ impl TelemetryHub {
     pub fn progress(&self) -> HubProgress {
         let inner = self.lock();
         HubProgress {
-            run_active: self.run_active.load(Ordering::Relaxed),
-            members_done: self.members_done.load(Ordering::Relaxed),
-            members_total: self.members_total.load(Ordering::Relaxed),
-            days_done: self.days_done.load(Ordering::Relaxed),
+            run_active: self.run_active.load(Ordering::Acquire),
+            members_done: self.members_done.load(Ordering::Acquire),
+            members_total: self.members_total.load(Ordering::Acquire),
+            days_done: self.days_done.load(Ordering::Acquire),
             members_per_sec: inner.rate_value,
             elapsed_secs: inner
                 .started

@@ -104,7 +104,7 @@ static RUNTIME: AtomicBool = AtomicBool::new(true);
 /// the perf harness to measure instrumentation overhead inside one
 /// binary; compiled-out builds ignore it.
 pub fn set_runtime_enabled(on: bool) {
-    RUNTIME.store(on, Ordering::Relaxed);
+    RUNTIME.store(on, Ordering::Relaxed); // lint:allow(atomic-ordering) pure on/off gate toggled between measured phases; no data is published under it
 }
 
 /// `true` when instrumentation is compiled in *and* runtime-enabled.
@@ -112,7 +112,7 @@ pub fn set_runtime_enabled(on: bool) {
 /// away entirely.
 #[inline]
 pub fn runtime_enabled() -> bool {
-    ENABLED && RUNTIME.load(Ordering::Relaxed)
+    ENABLED && RUNTIME.load(Ordering::Relaxed) // lint:allow(atomic-ordering) kill-switch read on the record fast path: no data is published under this flag, and Relaxed keeps the disabled path fence-free
 }
 
 /// An in-flight timer; records elapsed wall-clock seconds into its

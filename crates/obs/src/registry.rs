@@ -55,10 +55,10 @@ impl HistCell {
     }
 
     fn zero(&self) {
-        self.count.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
         self.sum_ns.store(0, Ordering::Relaxed);
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+            b.store(0, Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
         }
     }
 }
@@ -117,7 +117,7 @@ struct Registry {
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
-        counters: Mutex::new(Vec::new()),
+        counters: Mutex::new(Vec::new()), // lint:allow(hot-path-alloc) one-time OnceLock construction; hot-path calls return the cached reference
         hists: Mutex::new(Vec::new()),
         gauges: Mutex::new(BTreeMap::new()),
     })
@@ -177,7 +177,7 @@ pub fn gauge_max(name: &'static str, value: f64) {
 pub fn reset() {
     let r = registry();
     for (_, c) in r.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-        c.store(0, Ordering::Relaxed);
+        c.store(0, Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
     }
     for (_, h) in r.hists.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         h.zero();
@@ -310,16 +310,16 @@ pub fn snapshot() -> Snapshot {
     let r = registry();
     let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
     for (name, c) in r.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
-        *counters.entry(name).or_insert(0) += c.load(Ordering::Relaxed);
+        *counters.entry(name).or_insert(0) += c.load(Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
     }
 
     let mut hists: BTreeMap<&'static str, (u64, u64, [u64; HIST_BUCKETS])> = BTreeMap::new();
     for (name, h) in r.hists.lock().unwrap_or_else(|e| e.into_inner()).iter() {
         let entry = hists.entry(name).or_insert((0, 0, [0; HIST_BUCKETS]));
-        entry.0 += h.count.load(Ordering::Relaxed);
+        entry.0 += h.count.load(Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
         entry.1 += h.sum_ns.load(Ordering::Relaxed);
         for (acc, b) in entry.2.iter_mut().zip(&h.buckets) {
-            *acc += b.load(Ordering::Relaxed);
+            *acc += b.load(Ordering::Relaxed); // lint:allow(atomic-ordering) shard cells are reached under the registry Mutex, whose unlock edge orders resets against merges; racing Relaxed increments are statistical
         }
     }
 
@@ -482,6 +482,32 @@ mod tests {
         assert_eq!(snapshot().gauge("test_gauge"), Some(9.0));
         reset();
         assert_eq!(snapshot().gauge("test_gauge"), None);
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::set_runtime_enabled(true);
+        reset();
+        // Poison the gauges lock: a thread panics while holding it.
+        let _ = std::thread::spawn(|| {
+            let _guard = registry().gauges.lock().unwrap();
+            panic!("poison the gauges lock");
+        })
+        .join();
+        assert!(registry().gauges.is_poisoned());
+        // Every accessor recovers the data via `into_inner` instead of
+        // propagating the panic to unrelated threads: the guarded map
+        // is valid — the poisoned bit only records that a panic
+        // happened elsewhere.
+        gauge_set("test_poison_gauge", 2.5);
+        gauge_max("test_poison_gauge", 7.5);
+        assert_eq!(snapshot().gauge("test_poison_gauge"), Some(7.5));
+        reset();
+        assert_eq!(snapshot().gauge("test_poison_gauge"), None);
     }
 
     #[test]

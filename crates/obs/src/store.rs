@@ -790,7 +790,7 @@ impl Sampler {
         let thread_persist = persist.clone();
         let interval = interval.max(Duration::from_millis(1));
         let handle = std::thread::spawn(move || {
-            while !thread_stop.load(Ordering::Relaxed) {
+            while !thread_stop.load(Ordering::Acquire) {
                 tick(
                     &thread_store,
                     thread_engine.as_deref(),
@@ -799,7 +799,7 @@ impl Sampler {
                 );
                 // Sleep in short slices so `stop` is prompt.
                 let mut slept = Duration::ZERO;
-                while slept < interval && !thread_stop.load(Ordering::Relaxed) {
+                while slept < interval && !thread_stop.load(Ordering::Acquire) {
                     let slice = (interval - slept).min(Duration::from_millis(25));
                     std::thread::sleep(slice);
                     slept += slice;
@@ -818,7 +818,7 @@ impl Sampler {
     /// Stops the thread, takes one final sample + alert pass, and
     /// flushes to the persist path when one was configured.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -1,0 +1,181 @@
+//! Deterministic concurrency stress test for the telemetry plane: N
+//! scraper threads hammer every HTTP endpoint while M producer threads
+//! drive the hub's hot path and a background [`Sampler`] feeds the
+//! [`MetricStore`] + [`AlertEngine`], all against one [`ObsServer`] on
+//! port 0. The point is the interleaving, not the numbers: shutdown
+//! ordering is exact (producers join → run ends → scrapers drain →
+//! sampler stops → server drains), and every post-drain assertion is
+//! on state that joins have already made single-threaded.
+//!
+//! Deliberately NOT gated on the `obs` feature: under
+//! `--no-default-features` the same thread topology runs — the server
+//! still serves, the sampler thread still spins and stops — but
+//! recording folds away, which the tail assertions pin down.
+
+use netmaster_obs::serve::ServeState;
+use netmaster_obs::{
+    http_get, AlertEngine, AlertRule, MetricStore, ObsServer, Sampler, ServeOptions, StoreOptions,
+    TelemetryHub,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// The obs registry is process-global; tests that reset it must not
+/// interleave.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const PRODUCERS: usize = 3;
+const SCRAPERS: usize = 4;
+const ITEMS: usize = 400;
+const PATHS: [&str; 5] = [
+    "/metrics",
+    "/healthz",
+    "/series",
+    "/alerts",
+    "/query?metric=stress_level&fn=range",
+];
+
+#[test]
+fn scrape_burst_with_producers_and_sampler_drains_exactly() {
+    let _g = serial();
+    netmaster_obs::reset();
+    netmaster_obs::set_runtime_enabled(true);
+
+    let hub = Arc::new(TelemetryHub::new());
+    let store = Arc::new(MetricStore::new(StoreOptions {
+        retention_points: 4096,
+    }));
+    let rules = AlertRule::parse_list("stress_floor:stress_level<0.5:for=2:sev=page")
+        .expect("rule spec parses");
+    let engine = Arc::new(AlertEngine::new(rules));
+    let server = ObsServer::start_with(
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 3,
+            drop_threshold: 0,
+        },
+        Arc::clone(&hub),
+        ServeState {
+            store: Some(Arc::clone(&store)),
+            alerts: Some(Arc::clone(&engine)),
+        },
+    )
+    .expect("bind a scrape server on 127.0.0.1:0");
+    let base = server.base_url();
+    let sampler = Sampler::start(
+        Arc::clone(&store),
+        Some(Arc::clone(&engine)),
+        Some(Arc::clone(&hub)),
+        Duration::from_millis(2),
+        None,
+    );
+
+    hub.begin_run((PRODUCERS * ITEMS) as u64);
+
+    // Producers: the hub's hot path (Relaxed RMW + throttled try_lock
+    // publish into the registry gauges).
+    let mut producers = Vec::new();
+    for _ in 0..PRODUCERS {
+        let hub = Arc::clone(&hub);
+        producers.push(thread::spawn(move || {
+            for i in 0..ITEMS {
+                hub.member_done();
+                if i % 8 == 0 {
+                    hub.day_done();
+                }
+            }
+        }));
+    }
+
+    // Scrapers: rotate through every endpoint until the producers are
+    // done, then one more full rotation so each path is also exercised
+    // against the post-run state.
+    let done = Arc::new(AtomicBool::new(false));
+    let mut scrapers = Vec::new();
+    for s in 0..SCRAPERS {
+        let base = base.clone();
+        let done = Arc::clone(&done);
+        scrapers.push(thread::spawn(move || {
+            let mut served = 0usize;
+            let mut i = s; // stagger so scrapers start on different paths
+            let mut tail = None;
+            loop {
+                let path = PATHS[i % PATHS.len()];
+                i += 1;
+                let (status, _body) = http_get(&format!("{base}{path}"))
+                    .unwrap_or_else(|e| panic!("GET {path}: {e}"));
+                assert!(
+                    matches!(status, 200 | 404 | 503),
+                    "GET {path} answered {status}"
+                );
+                served += 1;
+                if done.load(Ordering::Acquire) {
+                    let t = *tail.get_or_insert(served + PATHS.len());
+                    if served >= t {
+                        break;
+                    }
+                }
+            }
+            served
+        }));
+    }
+
+    for p in producers {
+        p.join().expect("producer thread");
+    }
+    hub.end_run();
+    done.store(true, Ordering::Release);
+    let mut scraped = 0usize;
+    for s in scrapers {
+        scraped += s.join().expect("scraper thread");
+    }
+    assert!(
+        scraped >= SCRAPERS * PATHS.len(),
+        "each scraper must complete at least one full rotation, served {scraped}"
+    );
+
+    // Exact drain accounting: every producer joined before these
+    // reads, so the counts are closed-form, not approximate.
+    let progress = hub.progress();
+    assert!(!progress.run_active, "end_run must clear run_active");
+    assert_eq!(progress.members_done, (PRODUCERS * ITEMS) as u64);
+    assert_eq!(progress.members_total, (PRODUCERS * ITEMS) as u64);
+    assert_eq!(progress.days_done, (PRODUCERS * ITEMS.div_ceil(8)) as u64);
+
+    // The stress rule watches a series nothing records, so the
+    // concurrent evaluate passes must all have left it inactive.
+    assert_eq!(engine.firing(), 0, "{:?}", engine.report());
+
+    // Sampler shutdown: stop() joins the thread and takes one final
+    // sample, after which the store goes quiet for good.
+    sampler.stop();
+    let samples = store.samples_total();
+    if netmaster_obs::compiled() {
+        assert!(samples >= 1, "the final stop() tick must always sample");
+    } else {
+        // Compiled-out builds keep the thread topology but fold
+        // recording away entirely.
+        assert_eq!(samples, 0, "no-obs builds must not record samples");
+    }
+    thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        store.samples_total(),
+        samples,
+        "samples after stop() mean the sampler thread outlived its join"
+    );
+
+    // Server shutdown drains the queue and joins accept + workers; a
+    // fresh connection must now be refused.
+    server.shutdown();
+    assert!(
+        http_get(&format!("{base}/healthz")).is_err(),
+        "the listener must be closed after shutdown"
+    );
+}

@@ -61,7 +61,7 @@ fn every_endpoint_serves_while_a_watch_run_streams() {
             };
             let cards = Mutex::new(Vec::new());
             let outcomes = run_watch_observed(&spec, &|card| {
-                let mut cards = cards.lock().expect("cards lock");
+                let mut cards = cards.lock().unwrap_or_else(|e| e.into_inner());
                 cards.push(card.clone());
                 let health = FleetHealth::from_scorecards(&cards, 3);
                 hub.publish_fleet_health_json(
