@@ -13,7 +13,7 @@ fn spans(n: usize, seed: u64) -> Vec<Interval> {
     (0..n)
         .map(|_| {
             let s = rng.random_range(0..7 * 86_400u64);
-            Interval::new(s, s + rng.random_range(1..60))
+            Interval::new(s, s + rng.random_range(1..60u64))
         })
         .collect()
 }

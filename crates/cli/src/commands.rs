@@ -33,6 +33,11 @@ COMMANDS:
       --seed N              RNG seed (default 2014)
       --out FILE            output path (default trace.json); `-` for stdout
   profile <trace.json>    Habit & traffic statistics of a trace
+      --url URL             pull a CPU profile from a live server's /profile instead
+      --secs N              sampling window for --url (default 0 = since start, max 60)
+      --fmt FORMAT          folded (flamegraph-ready) | json (default folded)
+      --out FILE            write the profile to FILE instead of stdout
+      --timeout-secs X      connect/read timeout for --url requests (default 10)
   predict <trace.json>    Predict user active slots from a trace
       --delta X             uniform threshold δ (default: 0.2 weekday / 0.1 weekend)
       --train N             training days (default all but the last 7)
@@ -59,6 +64,8 @@ COMMANDS:
       --history FILE        persist sampled history segments (history.nmts)
       --alerts SPECS        `;`-separated alert rules (name:metric<v:for=N:sev=page …)
       --registry FILE       append a provenance-stamped result row (JSONL)
+      --profile-hz N        sample live span stacks at N Hz, served on /profile
+      --traces N            span-tree ring capacity for --serve (default 256)
   serve-obs               Run a telemetry workload and serve it over HTTP
       --addr HOST:PORT      bind address (default 127.0.0.1:9898; port 0 picks one)
       --users N             simulated users (default 3)
@@ -70,6 +77,8 @@ COMMANDS:
       --retention N         history points kept per series (default 4096)
       --history FILE        persist sampled history segments (history.nmts)
       --alerts SPECS        `;`-separated alert rules evaluated every sample
+      --profile-hz N        sample live span stacks at N Hz, served on /profile
+      --traces N            span-tree ring capacity (default 256)
   obs                     Run a small simulated fleet and print its telemetry
       --users N             simulated users (default 3)
       --days N              days per user, most training (default 16)
@@ -99,6 +108,8 @@ COMMANDS:
       --history FILE        persist sampled history segments (history.nmts)
       --alerts SPECS        `;`-separated alert rules (name:metric<v:for=N:sev=page …)
       --registry FILE       append a provenance-stamped result row (JSONL)
+      --profile-hz N        sample live span stacks at N Hz, served on /profile
+      --traces N            span-tree ring capacity for --serve (default 256)
       --json                machine-readable fleet health report
       --journal FILE        drain the fleet's decision journals to JSONL
   explain                 Reconstruct causal chains and energy bills from the flight recorder
@@ -215,6 +226,9 @@ fn generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 }
 
 fn profile(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    if let Some(url) = args.options.get("url") {
+        return profile_remote(url, args, out);
+    }
     let trace = load_trace(args)?;
     let split = traffic_split(&trace);
     let util = screen_on_utilization(&trace);
@@ -571,13 +585,17 @@ struct ServePlane {
     hub: std::sync::Arc<netmaster_obs::TelemetryHub>,
     server: netmaster_obs::ObsServer,
     sampler: netmaster_obs::Sampler,
+    profiler: Option<netmaster_obs::Profiler>,
 }
 
 impl ServePlane {
     /// Stops the sampler (one final sample, alert pass, and history
-    /// flush) and drains the server.
+    /// flush), joins the profiler thread, and drains the server.
     fn finish(self) {
         self.sampler.stop();
+        if let Some(profiler) = self.profiler {
+            profiler.stop();
+        }
         self.server.shutdown();
     }
 }
@@ -629,6 +647,42 @@ fn history_plane(
     ))
 }
 
+/// Parses the span-tracing and profiling options shared by every
+/// serving surface: `--traces N` resizes the global span-tree ring and
+/// `--profile-hz N` starts the always-on sampling profiler. Returns
+/// the running profiler (stop it when the run ends) so its aggregate
+/// can feed the server's `/profile` endpoint. Errors loudly when
+/// either flag is given but observability is compiled out.
+fn trace_profile_plane(args: &Args) -> Result<Option<netmaster_obs::Profiler>, String> {
+    let wants = args.options.contains_key("profile-hz") || args.options.contains_key("traces");
+    if !wants {
+        return Ok(None);
+    }
+    if !netmaster_obs::compiled() {
+        return Err(
+            "--profile-hz/--traces need observability, but this build has obs disabled \
+             (compiled with --no-default-features); rebuild with the default `obs` feature"
+                .into(),
+        );
+    }
+    if let Some(spec) = args.options.get("traces") {
+        let capacity: usize = spec
+            .parse()
+            .map_err(|_| format!("option --traces: cannot parse {spec:?}"))?;
+        netmaster_obs::TraceStore::global().set_capacity(capacity);
+    }
+    let Some(spec) = args.options.get("profile-hz") else {
+        return Ok(None);
+    };
+    let hz: u32 = spec
+        .parse()
+        .map_err(|_| format!("option --profile-hz: cannot parse {spec:?}"))?;
+    if hz == 0 {
+        return Err("--profile-hz must be ≥ 1 (omit the flag to disable profiling)".into());
+    }
+    Ok(Some(netmaster_obs::Profiler::start(hz)))
+}
+
 /// Starts a scrape server when `--serve` was given: returns the
 /// [`ServePlane`] to publish into (call [`ServePlane::finish`] after
 /// the run). Errors loudly when observability is compiled out — a
@@ -638,6 +692,13 @@ fn maybe_serve(args: &Args, out: &mut dyn Write) -> Result<Option<ServePlane>, S
     use std::sync::Arc;
 
     if !args.flag("serve") {
+        if args.options.contains_key("profile-hz") || args.options.contains_key("traces") {
+            return Err(
+                "--profile-hz/--traces need --serve (there is no server to scrape \
+                        the profile or trace data from otherwise)"
+                    .into(),
+            );
+        }
         return Ok(None);
     }
     if !netmaster_obs::compiled() {
@@ -647,6 +708,7 @@ fn maybe_serve(args: &Args, out: &mut dyn Write) -> Result<Option<ServePlane>, S
                 .into(),
         );
     }
+    let profiler = trace_profile_plane(args)?;
     let hub = Arc::new(TelemetryHub::new());
     let (store, engine, interval, persist) = history_plane(args)?;
     let opts = ServeOptions {
@@ -659,14 +721,19 @@ fn maybe_serve(args: &Args, out: &mut dyn Write) -> Result<Option<ServePlane>, S
     let state = ServeState {
         store: Some(Arc::clone(&store)),
         alerts: engine.clone(),
+        profile: profiler.as_ref().map(|p| p.agg()),
     };
     let server = ObsServer::start_with(opts, Arc::clone(&hub), state)?;
     let sampler = Sampler::start(store, engine, Some(Arc::clone(&hub)), interval, persist);
     writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
+    if let Some(profiler) = &profiler {
+        writeln!(out, "profiling span stacks at {} Hz", profiler.hz()).map_err(io_err)?;
+    }
     Ok(Some(ServePlane {
         hub,
         server,
         sampler,
+        profiler,
     }))
 }
 
@@ -683,7 +750,14 @@ fn maybe_register(
     let Some(path) = args.options.get("registry") else {
         return Ok(());
     };
-    let record = netmaster_obs::RunRecord::new(kind, seed, config, kpis);
+    // Profiling provenance: a row produced under an active sampling
+    // profiler says so, because the profiler's overhead (however small)
+    // is part of the run's conditions.
+    let config = match args.options.get("profile-hz") {
+        Some(hz) => format!("{config} profile-hz={hz}"),
+        None => config.to_owned(),
+    };
+    let record = netmaster_obs::RunRecord::new(kind, seed, &config, kpis);
     netmaster_obs::RunRegistry::new(path).append(&record)?;
     writeln!(
         out,
@@ -792,6 +866,7 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     }
     let train = days.saturating_sub(2).min(14);
 
+    let profiler = trace_profile_plane(args)?;
     let hub = Arc::new(TelemetryHub::new());
     let (store, engine, interval, persist) = history_plane(args)?;
     let opts = ServeOptions {
@@ -804,11 +879,15 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let state = ServeState {
         store: Some(Arc::clone(&store)),
         alerts: engine.clone(),
+        profile: profiler.as_ref().map(|p| p.agg()),
     };
     let server = ObsServer::start_with(opts, Arc::clone(&hub), state)?;
     writeln!(out, "serving telemetry on {}", server.base_url()).map_err(io_err)?;
     if let Some(engine) = &engine {
         writeln!(out, "evaluating {} alert rule(s)", engine.rules().len()).map_err(io_err)?;
+    }
+    if let Some(profiler) = &profiler {
+        writeln!(out, "profiling span stacks at {} Hz", profiler.hz()).map_err(io_err)?;
     }
 
     netmaster_obs::reset();
@@ -865,6 +944,17 @@ fn serve_obs_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_secs(linger));
     }
     sampler.stop();
+    if let Some(profiler) = profiler {
+        let report = profiler.report();
+        writeln!(
+            out,
+            "profiler captured {} samples over {} distinct stacks",
+            report.samples_total,
+            report.stacks.len()
+        )
+        .map_err(io_err)?;
+        profiler.stop();
+    }
     server.shutdown();
     writeln!(
         out,
@@ -1018,6 +1108,10 @@ fn obs_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String>
     Ok(())
 }
 
+/// HTTP GET closure shared by the remote query subcommands: path in,
+/// `(status, body)` out.
+type HttpGet<'a> = &'a dyn Fn(&str) -> Result<(u16, String), String>;
+
 /// `netmaster obs --url --query METRIC` — one `/query` request,
 /// rendered as a point table for `range` and as the raw JSON scalar
 /// for `rate`/`increase`/`quantile`.
@@ -1026,7 +1120,7 @@ fn obs_query(
     metric: &str,
     args: &Args,
     out: &mut dyn Write,
-    get: &dyn Fn(&str) -> Result<(u16, String), String>,
+    get: HttpGet,
 ) -> Result<(), String> {
     let func = args.opt("fn", "range");
     let mut path = format!("/query?metric={metric}&fn={func}");
@@ -1051,6 +1145,68 @@ fn obs_query(
     writeln!(out, "{}: {} points", range.metric, range.points.len()).map_err(io_err)?;
     for (t_ms, v) in &range.points {
         writeln!(out, "  {t_ms:>14}  {v}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `netmaster profile --url URL` — pull a folded-stack CPU profile
+/// from a live serving run's `/profile` endpoint. The folded format is
+/// exactly what `flamegraph.pl` / `inferno-flamegraph` consume, so
+/// `--out fleet.folded` is one pipe away from a flamegraph SVG.
+fn profile_remote(url: &str, args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let base = url.trim_end_matches('/');
+    let timeout_secs: f64 = args.num("timeout-secs", 10.0)?;
+    if !timeout_secs.is_finite() || timeout_secs <= 0.0 {
+        return Err("--timeout-secs must be a positive number of seconds".into());
+    }
+    let secs: u64 = args.num("secs", 0)?;
+    if secs > netmaster_obs::MAX_PROFILE_WINDOW_SECS {
+        return Err(format!(
+            "--secs is capped at {} (the server clamps longer windows anyway)",
+            netmaster_obs::MAX_PROFILE_WINDOW_SECS
+        ));
+    }
+    let fmt = args.opt("fmt", "folded");
+    if fmt != "folded" && fmt != "json" {
+        return Err(format!("--fmt must be folded or json, got {fmt:?}"));
+    }
+    // A windowed profile blocks server-side for the window, so the
+    // request timeout has to outlive it.
+    let timeout = std::time::Duration::from_secs_f64(timeout_secs.max(secs as f64 + 5.0));
+    let path = format!("/profile?secs={secs}&fmt={fmt}");
+    let (status, body) = netmaster_obs::http_get_with_timeout(&format!("{base}{path}"), timeout)?;
+    if status != 200 {
+        return Err(format!(
+            "GET {base}{path} returned {status}: {}",
+            body.trim()
+        ));
+    }
+    // Validate before writing: a half-scraped or malformed profile
+    // should fail here, not downstream in the flamegraph tooling.
+    let report = if fmt == "json" {
+        serde_json::from_str::<netmaster_obs::ProfileReport>(&body)
+            .map_err(|e| format!("bad profile JSON from {base}: {e}"))?
+    } else {
+        netmaster_obs::ProfileReport::parse_folded(&body)
+            .map_err(|e| format!("bad folded profile from {base}: {e}"))?
+    };
+    match args.options.get("out") {
+        Some(path) => {
+            fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            writeln!(
+                out,
+                "wrote {} profile samples over {} stacks to {path}",
+                report.samples_total,
+                report.stacks.len()
+            )
+            .map_err(io_err)?;
+        }
+        None => {
+            write!(out, "{body}").map_err(io_err)?;
+            if !body.ends_with('\n') {
+                writeln!(out).map_err(io_err)?;
+            }
+        }
     }
     Ok(())
 }
@@ -1391,6 +1547,16 @@ fn explain_cmd(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             for r in records {
                 write_causal_chain(out, *u, r, &app_names)?;
             }
+        }
+        // Metric → tree jump: the in-process replay above captured its
+        // span trees, so the latency profile of the day that produced
+        // this activity can sit right under its causal chain.
+        let day = (id.raw() >> 32) as usize;
+        if let Some(tree) =
+            netmaster_obs::TraceStore::global().find_by_attr("day", &day.to_string())
+        {
+            writeln!(out, "\nspan tree for day {day}:").map_err(io_err)?;
+            write!(out, "{}", tree.render()).map_err(io_err)?;
         }
         return Ok(());
     }
@@ -1986,7 +2152,7 @@ mod tests {
             .skip_while(|l| !l.contains("worst deferral latency"))
             .nth(1)
             .unwrap();
-        let id = line.trim().split_whitespace().next().unwrap().to_owned();
+        let id = line.split_whitespace().next().unwrap().to_owned();
         let user = line
             .split("user ")
             .nth(1)

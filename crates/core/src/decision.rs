@@ -343,6 +343,30 @@ impl DecisionMaker {
         let problem = OvProblem { capacities, items };
         let solution = overlapped::solve_with(&problem, self.config.epsilon, scratch);
 
+        // Tag the enclosing "solve" span with the solver-arm mix so a
+        // slow-trace exemplar explains *which* algorithm ran. Guarded by
+        // the capture toggle so the A/B's untraced arm allocates nothing.
+        if netmaster_obs::trace_capture_enabled() {
+            let (mut fastpath, mut bnb, mut dp) = (0usize, 0usize, 0usize);
+            for kind in solution.solver.iter().flatten() {
+                match kind {
+                    netmaster_knapsack::SolverKind::Fastpath => fastpath += 1,
+                    netmaster_knapsack::SolverKind::Bnb => bnb += 1,
+                    netmaster_knapsack::SolverKind::Dp => dp += 1,
+                }
+            }
+            let arm = match (fastpath, bnb, dp) {
+                (0, 0, 0) => None,
+                (_, 0, 0) => Some("fastpath"),
+                (0, _, 0) => Some("bnb"),
+                (0, 0, _) => Some("dp"),
+                _ => Some("mixed"),
+            };
+            if let Some(arm) = arm {
+                netmaster_obs::span_attr!("arm", arm);
+            }
+        }
+
         // Flatten into the per-hour routing table. While observability
         // is live, build the flat `why` list in lockstep so every
         // planner-routed disposition carries its causal explanation.

@@ -285,6 +285,7 @@ impl Policy for NetMasterPolicy {
 
     fn plan_day(&mut self, day: &DayTrace) -> DayPlan {
         let _plan_span = obs::span!("plan_day");
+        obs::span_attr!("day", day.day);
         let stats_before = self.stats;
         let routing = self.build_routing(day.day);
         let trained = self.trained();
@@ -642,6 +643,9 @@ impl Policy for NetMasterPolicy {
             obs::names::SLOT_HOURS_OVERLAP_TOTAL,
             d.slot_hours_overlap - stats_before.slot_hours_overlap
         );
+        // With obs compiled out both counter! arms expand to nothing,
+        // which clippy would flag as identical branches.
+        #[allow(clippy::if_same_then_else)]
         if trained {
             obs::counter!(obs::names::POLICY_DAYS_TRAINED_TOTAL);
         } else {

@@ -193,6 +193,7 @@ impl MiddlewareService {
     /// Executes one observed day under the middleware and reports.
     pub fn run_day(&mut self, day: &DayTrace) -> DayReport {
         let _run_span = netmaster_obs::span!("run_day");
+        netmaster_obs::span_attr!("day", day.day);
         netmaster_obs::counter!(netmaster_obs::names::SERVICE_DAYS_TOTAL);
         let trained = self.policy.trained();
         let stock = simulate(std::slice::from_ref(day), &mut DefaultPolicy, &self.sim);

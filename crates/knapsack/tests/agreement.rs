@@ -202,6 +202,9 @@ fn dirty_scratch_never_leaks_between_adversarial_cases() {
 
 #[test]
 #[cfg(feature = "strict-invariants")]
+// The "constant" is exactly what's under test: this cfg of the suite
+// must see the oracles compiled in.
+#[allow(clippy::assertions_on_constants)]
 fn strict_invariants_config_is_exercised() {
     // Pins that the feature-gated CI run actually compiled the oracles
     // in; the agreement checks above then run them on every solve.
@@ -210,6 +213,9 @@ fn strict_invariants_config_is_exercised() {
 
 #[test]
 #[cfg(not(feature = "strict-invariants"))]
+// The "constant" is exactly what's under test: this cfg of the suite
+// must see the oracles compiled out.
+#[allow(clippy::assertions_on_constants)]
 fn default_config_is_exercised() {
     assert!(!netmaster_knapsack::STRICT_INVARIANTS);
 }

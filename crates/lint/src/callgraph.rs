@@ -584,11 +584,11 @@ fn resolve_path(
 
 /// Convenience for rules: the set of confident edges out of `id`
 /// whose call-site token lies in `range`.
-pub fn calls_in_range<'g>(
-    graph: &'g CallGraph,
+pub fn calls_in_range(
+    graph: &CallGraph,
     id: FnId,
     range: (usize, usize),
-) -> impl Iterator<Item = &'g Edge> {
+) -> impl Iterator<Item = &Edge> {
     graph.edges[id]
         .iter()
         .filter(move |e| e.confident && e.tok >= range.0 && e.tok < range.1)

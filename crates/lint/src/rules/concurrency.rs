@@ -143,10 +143,7 @@ fn seq(code: &[Tok], i: usize, needle: &[&str]) -> bool {
 fn receiver_start(code: &[Tok], dot: usize, floor: usize) -> usize {
     let mut chain_start = dot;
     let mut pos = dot;
-    loop {
-        let Some(mut p) = pos.checked_sub(1) else {
-            break;
-        };
+    while let Some(mut p) = pos.checked_sub(1) {
         if p < floor {
             break;
         }

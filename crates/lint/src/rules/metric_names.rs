@@ -12,8 +12,9 @@
 //! 3. the registry's `HELP` table covers every metric const (the
 //!    scrape server renders `# HELP` exposition lines from it), and
 //!    the telemetry-plane modules (`obs/src/serve.rs`, `obs/src/hub.rs`,
-//!    `obs/src/store.rs`, `obs/src/alerts.rs`)
-//!    mint no metric-shaped string outside the registry;
+//!    `obs/src/store.rs`, `obs/src/alerts.rs`, `obs/src/spantree.rs`,
+//!    `obs/src/profile.rs`) mint no metric-shaped string outside the
+//!    registry;
 //! 4. the `DecisionEvent` enum's variants and the registry's kind
 //!    consts match exactly, both directions;
 //! 5. docs drift: every registered name appears in DESIGN.md or
@@ -154,7 +155,9 @@ pub fn check(
             let plane = file.rel_path.ends_with("obs/src/serve.rs")
                 || file.rel_path.ends_with("obs/src/hub.rs")
                 || file.rel_path.ends_with("obs/src/store.rs")
-                || file.rel_path.ends_with("obs/src/alerts.rs");
+                || file.rel_path.ends_with("obs/src/alerts.rs")
+                || file.rel_path.ends_with("obs/src/spantree.rs")
+                || file.rel_path.ends_with("obs/src/profile.rs");
             if !plane || file.role != FileRole::Src {
                 continue;
             }

@@ -175,6 +175,22 @@ fn metric_plane_fixture_trips_store_and_alerts_modules() {
 }
 
 #[test]
+fn metric_spantree_fixture_trips_tracing_modules() {
+    let report = run_lint(&fixture("metric_spantree"), &only("metric-names")).unwrap();
+    assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("obs/src/spantree.rs")
+            && f.message.contains("rogue_spans_dropped_total")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file.ends_with("obs/src/profile.rs")
+            && f.message.contains("rogue_profile_samples_seconds")));
+}
+
+#[test]
 fn panic_hygiene_fixture_trips_unwrap() {
     let report = run_lint(&fixture("panic_hygiene"), &only("panic-hygiene")).unwrap();
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);

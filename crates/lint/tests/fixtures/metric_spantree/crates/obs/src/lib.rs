@@ -1,0 +1,3 @@
+mod profile;
+mod registry_names;
+mod spantree;

@@ -1,0 +1,4 @@
+/// A profiler that mints its sample counter name inline — flagged too.
+pub fn rogue_sample_counter() -> &'static str {
+    "rogue_profile_samples_seconds"
+}

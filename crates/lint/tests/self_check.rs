@@ -49,9 +49,12 @@ fn real_workspace_is_lint_clean_at_head() {
     // Mutex-ordered Relaxed shard cells, the RUNTIME kill switch, the
     // serve workers' recv-under-guard dequeue, three amortized or
     // cold-path allocations now visible through transitive hot-path
-    // propagation, and the linter's own diagnostic timer.
+    // propagation, and the linter's own diagnostic timer. The span-tree
+    // tracing layer added three: the trace-capture kill switch's
+    // Relaxed store/load pair (a pure on/off gate publishing no data)
+    // and the capture-gate read on the span fast path.
     assert!(
-        report.waived.len() <= 40,
+        report.waived.len() <= 43,
         "waiver count {} crossed the review threshold — prune or justify",
         report.waived.len()
     );

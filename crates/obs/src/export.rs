@@ -332,4 +332,30 @@ mod tests {
         let back: Snapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
     }
+
+    #[test]
+    fn remote_scrape_round_trip_keeps_interpolated_quantiles() {
+        // The `obs --url` path: snapshot → JSON over the wire →
+        // deserialize → render_table. The quantile columns must come
+        // out in-bucket interpolated, not raw bucket upper bounds.
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![HistSnap {
+                name: "t_remote_seconds".into(),
+                count: 100,
+                sum_secs: 0.16,
+                buckets: vec![BucketSnap {
+                    le_secs: 0.002048,
+                    count: 100,
+                }],
+            }],
+        };
+        let wire = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&wire).unwrap();
+        let table = back.render_table();
+        // p50 ranks halfway through the [le/2, le] bucket mass:
+        // 0.75 · 2.048ms ≈ 1.5ms — NOT the 2.048ms upper bound.
+        assert!(table.contains("1.5ms"), "{table}");
+    }
 }

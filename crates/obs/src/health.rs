@@ -171,7 +171,7 @@ mod tests {
             first_alarm_day: None,
             remines: 0,
         };
-        let mut cards = vec![
+        let mut cards = [
             mk(HealthStatus::Healthy, 0, 0.6),
             mk(HealthStatus::Critical, 3, 0.1),
             mk(HealthStatus::Degraded, 1, 0.4),

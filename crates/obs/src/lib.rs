@@ -9,6 +9,13 @@
 //! * **span timers** — [`span!`]`("plan_day")` returns a guard whose
 //!   drop records wall-clock latency into the
 //!   `stage_plan_day_seconds` histogram;
+//! * **hierarchical span trees & sampling profiler** — nested spans
+//!   assemble into causal trees ([`spantree`]: thread-local span
+//!   stacks, stable span ids, self vs total time, typed attributes via
+//!   [`span_attr!`]) retained in a bounded [`TraceStore`] with
+//!   slow-trace exemplars, while a background sampler ([`profile`])
+//!   walks live span stacks into collapsed flamegraph aggregates
+//!   (`/profile` on the scrape server);
 //! * a bounded **decision-audit journal** — [`Journal`] of typed
 //!   [`DecisionEvent`]s, drainable to JSONL ([`to_jsonl`]);
 //! * a **causal flight recorder** — per-activity [`ActivityTrace`]
@@ -56,9 +63,11 @@ mod journal;
 pub mod ledger;
 #[path = "registry_names.rs"]
 pub mod names;
+pub mod profile;
 mod registry;
 pub mod runregistry;
 pub mod serve;
+pub mod spantree;
 pub mod store;
 pub mod timeseries;
 pub mod tracectx;
@@ -70,6 +79,9 @@ pub use hub::{HubProgress, TelemetryHub};
 pub use journal::{
     parse_jsonl, to_jsonl, DecisionEvent, Journal, JournalEntry, DEFAULT_JOURNAL_CAPACITY,
 };
+pub use profile::{
+    FoldedStack, ProfileAgg, ProfileReport, Profiler, DEFAULT_PROFILE_HZ, MAX_PROFILE_WINDOW_SECS,
+};
 pub use registry::{
     counter_handle, gauge_max, gauge_set, hist_handle, reset, snapshot, BucketSnap, Counter,
     CounterSnap, GaugeSnap, Hist, HistSnap, Snapshot, FINITE_BUCKETS, HIST_BUCKETS,
@@ -79,6 +91,7 @@ pub use serve::{
     healthz_report, http_get, http_get_with_timeout, HealthzReport, ObsServer, ServeOptions,
     ServeState,
 };
+pub use spantree::{set_trace_capture, trace_capture_enabled, SpanNode, TraceStore};
 pub use store::{read_history, MetricStore, Sampler, StoreOptions};
 pub use tracectx::{
     trace_from_jsonl, trace_to_jsonl, ActivityTrace, EnergyShare, Outcome, PlanReason,
@@ -116,19 +129,46 @@ pub fn runtime_enabled() -> bool {
 }
 
 /// An in-flight timer; records elapsed wall-clock seconds into its
-/// histogram when dropped. Construct via [`span!`] or [`timer!`].
+/// histogram when dropped, and threads the span through the
+/// hierarchical trace layer ([`spantree`]): a live-stack frame for the
+/// sampling profiler plus a tree node under the enclosing span.
+/// Construct via [`span!`] or [`timer!`].
+///
+/// A span dropped while its thread is panicking is **abandoned**: its
+/// partial duration is counted in `spans_abandoned_total` instead of
+/// polluting the latency histogram, and no tree node is recorded.
 #[must_use = "a span records on drop; bind it with `let _span = ...`"]
-pub struct Span(Option<(Instant, Hist)>);
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    start: Instant,
+    hist: Hist,
+    frame: Option<spantree::FrameToken>,
+}
 
 impl Span {
-    /// Starts a span over `hist` (skips the clock read when recording
-    /// is off).
+    /// Starts a named span over `hist` (skips the clock read and the
+    /// trace layer when recording is off).
     #[inline]
-    pub fn new(hist: Option<Hist>) -> Span {
+    pub fn enter(name: &'static str, hist: Option<Hist>) -> Span {
         match hist {
-            Some(h) if runtime_enabled() => Span(Some((Instant::now(), h))),
+            Some(hist) if runtime_enabled() => {
+                let frame = spantree::push_frame(name);
+                Span(Some(ActiveSpan {
+                    start: Instant::now(),
+                    hist,
+                    frame,
+                }))
+            }
             _ => Span(None),
         }
+    }
+
+    /// [`Span::enter`] under the generic name `"span"`, kept for
+    /// callers that predate the span tree.
+    #[inline]
+    pub fn new(hist: Option<Hist>) -> Span {
+        Span::enter("span", hist)
     }
 
     /// A span that records nothing.
@@ -140,8 +180,16 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((start, hist)) = self.0.take() {
-            hist.observe_secs(start.elapsed().as_secs_f64());
+        let Some(active) = self.0.take() else { return };
+        let secs = active.start.elapsed().as_secs_f64();
+        let abandoned = std::thread::panicking();
+        if abandoned {
+            crate::counter!(crate::names::SPANS_ABANDONED_TOTAL);
+        } else {
+            active.hist.observe_secs(secs);
+        }
+        if let Some(frame) = active.frame {
+            spantree::pop_frame(frame, secs, abandoned);
         }
     }
 }
@@ -202,7 +250,9 @@ macro_rules! observe {
 
 /// Times a pipeline stage: `let _span = obs::span!("plan_day");`
 /// records into the `stage_plan_day_seconds` histogram when the guard
-/// drops.
+/// drops, and opens a `"plan_day"` node in the span tree — nested
+/// `span!` guards become its children, and the sampling profiler sees
+/// it on the live stack.
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! span {
@@ -211,7 +261,10 @@ macro_rules! span {
             static __OBS_SPAN_HIST: $crate::Hist =
                 $crate::hist_handle(concat!("stage_", $name, "_seconds"));
         }
-        $crate::Span::new(__OBS_SPAN_HIST.try_with(::std::clone::Clone::clone).ok())
+        $crate::Span::enter(
+            $name,
+            __OBS_SPAN_HIST.try_with(::std::clone::Clone::clone).ok(),
+        )
     }};
 }
 
@@ -234,7 +287,10 @@ macro_rules! timer {
         ::std::thread_local! {
             static __OBS_TIMER_HIST: $crate::Hist = $crate::hist_handle($name);
         }
-        $crate::Span::new(__OBS_TIMER_HIST.try_with(::std::clone::Clone::clone).ok())
+        $crate::Span::enter(
+            $name,
+            __OBS_TIMER_HIST.try_with(::std::clone::Clone::clone).ok(),
+        )
     }};
 }
 
@@ -245,6 +301,32 @@ macro_rules! timer {
     ($name:literal) => {
         $crate::Span::disabled()
     };
+}
+
+/// Attaches a typed attribute to the innermost open span on this
+/// thread: `obs::span_attr!("day", day)` tags the enclosing
+/// [`span!`] guard's tree node with `day=<value>`, so
+/// `netmaster explain` can jump from a metric to the exact causal
+/// tree. The value is only formatted while tree capture is live; with
+/// the `enabled` feature off the whole call folds away.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span_attr {
+    ($key:literal, $value:expr) => {{
+        if $crate::spantree::trace_capture_enabled() {
+            $crate::spantree::set_attr($key, &$value);
+        }
+    }};
+}
+
+/// Disabled-build `span_attr!`: references the value (for side-effect
+/// parity) and discards it.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span_attr {
+    ($key:literal, $value:expr) => {{
+        let _ = &$value;
+    }};
 }
 
 /// Serializes tests that touch the process-global registry or the
@@ -283,6 +365,31 @@ mod tests {
         assert_eq!(snap.histogram("lib_macro_seconds").unwrap().count, 1);
         assert_eq!(snap.histogram("stage_lib_macro_seconds").unwrap().count, 1);
         assert_eq!(snap.histogram("lib_timer_seconds").unwrap().count, 1);
+        crate::reset();
+    }
+
+    #[test]
+    fn panicking_span_is_abandoned_not_recorded() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        crate::spantree::TraceStore::global().clear();
+        let unwound = std::panic::catch_unwind(|| {
+            let _span = crate::span!("panicky");
+            panic!("boom");
+        });
+        assert!(unwound.is_err());
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter(crate::names::SPANS_ABANDONED_TOTAL), 1);
+        // The abandoned duration must NOT pollute the stage histogram…
+        assert!(snap
+            .histogram("stage_panicky_seconds")
+            .is_none_or(|h| h.count == 0));
+        // …and no tree is recorded for the torn-down span.
+        assert!(crate::spantree::TraceStore::global().is_empty());
+        crate::spantree::TraceStore::global().clear();
         crate::reset();
     }
 

@@ -240,8 +240,12 @@ impl HistSnap {
     /// bucket's lower bound is half its upper bound (bounds double),
     /// except the first finite bucket which starts at zero — so a rank
     /// landing `f` of the way through a bucket's mass reports
-    /// `lo + f · (le − lo)` rather than snapping to `le`. Observations
-    /// past the last finite bucket report that bucket's bound.
+    /// `lo + f · (le − lo)` rather than snapping to `le`. A rank
+    /// landing past the last finite bucket (overflow observations)
+    /// reports the overflow mass's estimated mean — `sum` minus the
+    /// finite buckets' midpoint mass, over the overflow count — never
+    /// a raw bucket bound, so a single huge outlier surfaces at its
+    /// real magnitude instead of the histogram ceiling.
     pub fn quantile_secs(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -249,21 +253,27 @@ impl HistSnap {
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         let mut last = 0.0;
+        let mut finite_mass = 0.0;
         for b in &self.buckets {
             let before = cum;
             cum += b.count;
-            last = b.le_secs;
+            let lo = if b.le_secs <= bucket_le_secs(0) {
+                0.0
+            } else {
+                b.le_secs / 2.0
+            };
             if cum >= target {
-                let lo = if b.le_secs <= bucket_le_secs(0) {
-                    0.0
-                } else {
-                    b.le_secs / 2.0
-                };
                 let frac = (target - before) as f64 / b.count as f64;
                 return lo + frac * (b.le_secs - lo);
             }
+            finite_mass += b.count as f64 * (lo + b.le_secs) / 2.0;
+            last = b.le_secs;
         }
-        last
+        let overflow = self.count.saturating_sub(cum);
+        if overflow == 0 {
+            return last;
+        }
+        ((self.sum_secs - finite_mass) / overflow as f64).max(last)
     }
 }
 
@@ -382,6 +392,41 @@ mod tests {
         assert!((bucket_le_secs(1) / bucket_le_secs(0) - 2.0).abs() < 1e-12);
         // Last finite bound covers multi-hour simulated latencies.
         assert!(bucket_le_secs(FINITE_BUCKETS - 1) > 24.0 * 3600.0);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_outlier_magnitude_not_bucket_ceiling() {
+        let last = bucket_le_secs(FINITE_BUCKETS - 1);
+        let outlier = 10.0 * last;
+        let snap = HistSnap {
+            name: "t_overflow_seconds".to_owned(),
+            count: 2,
+            sum_secs: 1e-7 + outlier,
+            buckets: vec![BucketSnap {
+                le_secs: bucket_le_secs(0),
+                count: 1,
+            }],
+        };
+        // The rank landing in a finite bucket still interpolates.
+        assert!(snap.quantile_secs(0.5) <= bucket_le_secs(0));
+        // The rank landing in the overflow tracks the outlier's real
+        // magnitude instead of snapping to the histogram ceiling.
+        let p99 = snap.quantile_secs(0.99);
+        assert!(p99 > last, "p99 snapped to the finite ceiling: {p99}");
+        assert!(
+            (p99 / outlier - 1.0).abs() < 0.01,
+            "p99 {p99} vs outlier {outlier}"
+        );
+
+        // All-overflow histogram: no finite bucket at all used to
+        // report 0.0 for every quantile.
+        let all_over = HistSnap {
+            name: "t_all_overflow_seconds".to_owned(),
+            count: 1,
+            sum_secs: 5.0 * last,
+            buckets: Vec::new(),
+        };
+        assert!((all_over.quantile_secs(0.5) / (5.0 * last) - 1.0).abs() < 1e-9);
     }
 
     #[test]

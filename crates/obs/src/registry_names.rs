@@ -112,6 +112,17 @@ pub const STORE_DROPPED_TOTAL: &str = "store_dropped_total";
 /// Alert rules currently in the firing state.
 pub const ALERTS_FIRING: &str = "alerts_firing";
 
+// --- Span tree / sampling profiler -----------------------------------
+
+/// Spans entered (every `span!`/`timer!` guard constructed).
+pub const SPANS_STARTED_TOTAL: &str = "spans_started_total";
+/// Spans dropped mid-panic; counted here instead of their histogram.
+pub const SPANS_ABANDONED_TOTAL: &str = "spans_abandoned_total";
+/// Completed span trees the bounded trace store evicted on overflow.
+pub const TRACE_STORE_DROPPED_TOTAL: &str = "trace_store_dropped_total";
+/// Live span stacks the sampling profiler has captured.
+pub const PROFILE_SAMPLES_TOTAL: &str = "profile_samples_total";
+
 // --- Telemetry hub / scrape server -----------------------------------
 
 /// Members the live run has completed so far (telemetry hub gauge).
@@ -314,6 +325,22 @@ pub const HELP: &[(&str, &str)] = &[
     ),
     (ALERTS_FIRING, "Alert rules currently in the firing state"),
     (
+        SPANS_STARTED_TOTAL,
+        "Spans entered (every span!/timer! guard constructed)",
+    ),
+    (
+        SPANS_ABANDONED_TOTAL,
+        "Spans dropped mid-panic, counted here instead of their histogram",
+    ),
+    (
+        TRACE_STORE_DROPPED_TOTAL,
+        "Completed span trees the bounded trace store evicted on overflow",
+    ),
+    (
+        PROFILE_SAMPLES_TOTAL,
+        "Live span stacks the sampling profiler has captured",
+    ),
+    (
         HUB_MEMBERS_DONE,
         "Members the live run has completed so far",
     ),
@@ -392,6 +419,10 @@ mod tests {
             STORE_SAMPLES_TOTAL,
             STORE_DROPPED_TOTAL,
             ALERTS_FIRING,
+            SPANS_STARTED_TOTAL,
+            SPANS_ABANDONED_TOTAL,
+            TRACE_STORE_DROPPED_TOTAL,
+            PROFILE_SAMPLES_TOTAL,
             JOURNAL_RING_HIGHWATER,
             LEDGER_RING_HIGHWATER,
             HUB_MEMBERS_DONE,

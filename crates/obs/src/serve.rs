@@ -12,6 +12,7 @@
 //! | `/series`        | Recorded history series (needs a [`MetricStore`]) |
 //! | `/query?metric=…` | Window query over one recorded series (JSON)    |
 //! | `/alerts`        | Alert-rule states (needs an [`AlertEngine`])     |
+//! | `/profile?secs=N&fmt=folded\|json` | Collapsed flamegraph stacks (needs a [`ProfileAgg`]) |
 //!
 //! Zero dependencies beyond `std::net`: requests are parsed
 //! line-by-line off the socket, responses always close the connection
@@ -26,6 +27,7 @@
 
 use crate::alerts::AlertEngine;
 use crate::hub::{HubProgress, TelemetryHub};
+use crate::profile::{ProfileAgg, MAX_PROFILE_WINDOW_SECS};
 use crate::store::MetricStore;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -66,15 +68,17 @@ impl Default for ServeOptions {
     }
 }
 
-/// The optional history/alerting attachments the server routes to.
-/// An empty state (the default) serves 404 on `/series`, `/query`,
-/// and `/alerts`.
+/// The optional history/alerting/profiling attachments the server
+/// routes to. An empty state (the default) serves 404 on `/series`,
+/// `/query`, `/alerts`, and `/profile`.
 #[derive(Clone, Default)]
 pub struct ServeState {
     /// Metrics-history recorder behind `/series` and `/query`.
     pub store: Option<Arc<MetricStore>>,
     /// Alert engine behind `/alerts` (and the `/healthz` 503 fold).
     pub alerts: Option<Arc<AlertEngine>>,
+    /// Sampling-profiler aggregate behind `/profile`.
+    pub profile: Option<Arc<ProfileAgg>>,
 }
 
 /// The `/healthz` response document.
@@ -268,6 +272,39 @@ fn route_query(query: &str, store: &MetricStore) -> Response {
     }
 }
 
+/// `GET /profile`: the sampling profiler's collapsed flamegraph
+/// aggregate. Parameters: `secs` (window the profile over the next N
+/// seconds — blocks this worker, capped at
+/// [`MAX_PROFILE_WINDOW_SECS`]; 0/absent returns the cumulative
+/// aggregate immediately) and `fmt` (`folded` default, or `json`).
+fn route_profile(query: &str, agg: &ProfileAgg) -> Response {
+    let secs: u64 = query_param(query, "secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+        .min(MAX_PROFILE_WINDOW_SECS);
+    let fmt = query_param(query, "fmt").unwrap_or("folded");
+    let report = if secs > 0 {
+        let before = agg.report();
+        std::thread::sleep(Duration::from_secs(secs));
+        agg.report().diff(&before)
+    } else {
+        agg.report()
+    };
+    match fmt {
+        "folded" => Response::ok("text/plain", report.render_folded()),
+        "json" => {
+            let body =
+                serde_json::to_string(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            Response::ok("application/json", body)
+        }
+        other => Response {
+            status: 400,
+            content_type: "text/plain",
+            body: format!("unknown fmt {other:?} (folded|json)\n"),
+        },
+    }
+}
+
 /// Routes one request path (with optional query string) to a response.
 fn route(path: &str, hub: &TelemetryHub, state: &ServeState, drop_threshold: u64) -> Response {
     let (route, query) = match path.split_once('?') {
@@ -307,6 +344,10 @@ fn route(path: &str, hub: &TelemetryHub, state: &ServeState, drop_threshold: u64
         "/query" => match &state.store {
             Some(store) => route_query(query, store),
             None => Response::not_found("no metrics-history store attached"),
+        },
+        "/profile" => match &state.profile {
+            Some(agg) => route_profile(query, agg),
+            None => Response::not_found("no profiler attached"),
         },
         "/alerts" => match &state.alerts {
             Some(engine) => {
@@ -655,7 +696,7 @@ mod tests {
         let hub = Arc::new(TelemetryHub::new());
         let server = start_test_server(Arc::clone(&hub), 0);
         let url = server.base_url();
-        for path in ["/series", "/query?metric=x_total", "/alerts"] {
+        for path in ["/series", "/query?metric=x_total", "/alerts", "/profile"] {
             let (status, _) = http_get(&format!("{url}{path}")).unwrap();
             assert_eq!(status, 404, "{path} must 404 with an empty ServeState");
         }
@@ -691,6 +732,7 @@ mod tests {
             ServeState {
                 store: Some(Arc::clone(&store)),
                 alerts: None,
+                profile: None,
             },
         )
         .unwrap();
@@ -772,6 +814,7 @@ mod tests {
             ServeState {
                 store: Some(Arc::clone(&store)),
                 alerts: Some(Arc::clone(&engine)),
+                profile: None,
             },
         )
         .unwrap();
@@ -788,6 +831,58 @@ mod tests {
         assert_eq!(health.status, "degraded");
         assert_eq!(health.alerts_firing, 1);
         server.shutdown();
+        crate::reset();
+    }
+
+    #[test]
+    fn profile_endpoint_serves_folded_and_json() {
+        let _g = crate::test_serial();
+        if !crate::ENABLED {
+            return;
+        }
+        crate::reset();
+        crate::spantree::TraceStore::global().clear();
+        let hub = Arc::new(TelemetryHub::new());
+        let agg = Arc::new(ProfileAgg::new());
+        // Deterministic samples: tick while a known stack is live.
+        {
+            let _outer = crate::span!("serve_prof_outer");
+            let _inner = crate::span!("serve_prof_inner");
+            agg.tick();
+            agg.tick();
+        }
+        let server = ObsServer::start_with(
+            ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: 2,
+                drop_threshold: 0,
+            },
+            Arc::clone(&hub),
+            ServeState {
+                store: None,
+                alerts: None,
+                profile: Some(Arc::clone(&agg)),
+            },
+        )
+        .unwrap();
+        let url = server.base_url();
+        let (status, body) = http_get(&format!("{url}/profile")).unwrap();
+        assert_eq!(status, 200);
+        let parsed = crate::ProfileReport::parse_folded(&body).unwrap();
+        assert_eq!(parsed.samples_total, 2, "{body}");
+        assert_eq!(parsed.stacks[0].stack, "serve_prof_outer;serve_prof_inner");
+        let (status, body) = http_get(&format!("{url}/profile?fmt=json")).unwrap();
+        assert_eq!(status, 200);
+        let report: crate::ProfileReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report.samples_total, 2);
+        // A windowed profile over a quiet second returns empty stacks.
+        let (status, body) = http_get(&format!("{url}/profile?secs=1&fmt=folded")).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.is_empty(), "quiet window must profile nothing: {body}");
+        let (status, _) = http_get(&format!("{url}/profile?fmt=svg")).unwrap();
+        assert_eq!(status, 400, "unknown fmt is a client error");
+        server.shutdown();
+        crate::spantree::TraceStore::global().clear();
         crate::reset();
     }
 

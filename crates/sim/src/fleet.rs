@@ -352,6 +352,7 @@ where
     // `fleet_member_seconds` histogram (per-thread shards, merged on
     // scrape), so a straggling worker shows up as a fat tail.
     let _member_timer = netmaster_obs::timer!("fleet_member_seconds");
+    netmaster_obs::span_attr!("user", trace.user_id);
     netmaster_obs::counter!(netmaster_obs::names::FLEET_MEMBERS_TOTAL);
     let test = &trace.days[test_from.min(trace.days.len().saturating_sub(1))..];
     let baseline = simulate(test, &mut crate::plan::DefaultPolicy, cfg);

@@ -65,6 +65,7 @@ fn scrape_burst_with_producers_and_sampler_drains_exactly() {
         ServeState {
             store: Some(Arc::clone(&store)),
             alerts: Some(Arc::clone(&engine)),
+            profile: None,
         },
     )
     .expect("bind a scrape server on 127.0.0.1:0");
@@ -178,4 +179,64 @@ fn scrape_burst_with_producers_and_sampler_drains_exactly() {
         http_get(&format!("{base}/healthz")).is_err(),
         "the listener must be closed after shutdown"
     );
+}
+
+/// Sampling-profiler accounting under real thread concurrency: N
+/// worker threads each hold the same two-deep span stack open behind a
+/// barrier while the main thread drives a [`ProfileAgg`] by hand. With
+/// the workers parked, every tick must see exactly N live stacks, so
+/// the totals are closed-form — no sleeps, no tolerance bands.
+#[test]
+fn profiler_ticks_account_for_every_live_stack_exactly() {
+    use netmaster_obs::ProfileAgg;
+    use std::sync::Barrier;
+
+    const PROF_THREADS: usize = 4;
+    const PROF_TICKS: u64 = 5;
+
+    let _g = serial();
+    netmaster_obs::reset();
+    netmaster_obs::set_runtime_enabled(true);
+
+    let agg = Arc::new(ProfileAgg::new());
+    let open = Arc::new(Barrier::new(PROF_THREADS + 1));
+    let done = Arc::new(Barrier::new(PROF_THREADS + 1));
+    let workers: Vec<_> = (0..PROF_THREADS)
+        .map(|_| {
+            let open = Arc::clone(&open);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let _outer = netmaster_obs::span!("stress_prof_outer");
+                let _inner = netmaster_obs::span!("stress_prof_inner");
+                open.wait();
+                done.wait();
+            })
+        })
+        .collect();
+
+    open.wait();
+    for _ in 0..PROF_TICKS {
+        agg.tick();
+    }
+    done.wait();
+    for w in workers {
+        w.join().expect("profiled worker joins");
+    }
+
+    let report = agg.report();
+    if netmaster_obs::compiled() {
+        let expected = PROF_THREADS as u64 * PROF_TICKS;
+        assert_eq!(report.samples_total, expected);
+        // Every worker holds the identical stack, so the folded
+        // aggregate collapses to one row accounting for all samples.
+        assert_eq!(report.stacks.len(), 1, "{:?}", report.stacks);
+        assert_eq!(
+            report.stacks[0].stack,
+            "stress_prof_outer;stress_prof_inner"
+        );
+        assert_eq!(report.stacks[0].count, expected);
+    } else {
+        assert_eq!(report.samples_total, 0);
+        assert!(report.stacks.is_empty());
+    }
 }

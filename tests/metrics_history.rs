@@ -95,6 +95,7 @@ fn sample_persist_query_fire_and_resolve_round_trip() {
         ServeState {
             store: Some(Arc::clone(&store)),
             alerts: Some(Arc::clone(&engine)),
+            profile: None,
         },
     )
     .expect("bind history server on 127.0.0.1:0");
